@@ -1,0 +1,68 @@
+"""Benchmark regenerating the §4.1 accuracy study (HD vs SVM)."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import accuracy
+
+
+@pytest.fixture(scope="module")
+def accuracy_result():
+    result = accuracy.run_accuracy_study()
+    publish("accuracy", accuracy.render(result))
+    return result
+
+
+def test_accuracy_orderings(accuracy_result):
+    """The paper's §4.1 claims as assertions."""
+    hd_full = accuracy_result.mean_hd(10_000)
+    hd_200 = accuracy_result.mean_hd(200)
+    hd_50 = accuracy_result.mean_hd(50)
+    svm = accuracy_result.mean_svm
+    # HD at full dimension beats the SVM (paper: 92.4 vs 89.6).
+    assert hd_full > svm
+    # 200-D closely maintains the accuracy (paper: -1.7 points)...
+    assert hd_full - hd_200 < 0.03
+    # ...but far below the knee it collapses.
+    assert hd_50 < hd_200 - 0.1
+
+
+def test_accuracy_absolute_regime(accuracy_result):
+    """All classifiers land in the paper's ~85-95% band."""
+    assert 0.85 < accuracy_result.mean_hd(10_000) < 0.97
+    assert 0.85 < accuracy_result.mean_svm < 0.97
+
+
+def test_bench_accuracy_hd_training(benchmark, emg_models, accuracy_result):
+    """Wall time of one 10,000-D HD fit+score on a full subject."""
+    import numpy as np
+
+    from repro.hdc import BatchHDClassifier, HDClassifierConfig
+
+    train_w, train_l, _ = emg_models["train"]
+    test_w, test_l, _ = emg_models["test"]
+
+    def fit_and_score():
+        clf = BatchHDClassifier(HDClassifierConfig(dim=10_000))
+        clf.fit(train_w, train_l)
+        return clf.score(test_w, test_l)
+
+    score = benchmark.pedantic(fit_and_score, rounds=1, iterations=1)
+    assert score > 0.8
+
+
+def test_bench_accuracy_svm_training(benchmark, emg_models):
+    """Wall time of the SMO one-vs-one training on a full subject."""
+    import numpy as np
+
+    from repro.svm import MulticlassSVM, SVMConfig
+
+    train_w, train_l, train_f = emg_models["train"]
+
+    def fit():
+        return MulticlassSVM(SVMConfig(kernel="rbf", c=10.0)).fit(
+            train_f, np.asarray(train_l)
+        )
+
+    svm = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert svm.total_support_vectors() > 0

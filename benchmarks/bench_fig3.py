@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 3: cycles vs dimension per N-gram size."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    result = fig3.run_fig3()
+    publish("fig3", fig3.render(result))
+    return result
+
+
+def test_fig3_linearity(fig3_result):
+    """Paper: execution time grows linearly with dimension for every N."""
+    for n in fig3_result.ngrams:
+        assert fig3_result.linearity_r2(n) > 0.9999
+
+
+def test_fig3_ngram_ordering(fig3_result):
+    """Larger N-grams cost more at every dimension."""
+    for i in range(len(fig3_result.dims)):
+        column = [fig3_result.cycles[n][i] for n in fig3_result.ngrams]
+        assert column == sorted(column)
+
+
+def test_bench_fig3(benchmark, fig3_result):
+    """Wall time of the Fig. 3 sweep (calibration ISS runs + model)."""
+    from repro.perf.calibration import clear_cache
+
+    def run():
+        clear_cache()
+        return fig3.run_fig3()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.cycles[1][-1] > 0

@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 4: N-gram sweep across core counts."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import fig4
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    result = fig4.run_fig4()
+    publish("fig4", fig4.render(result))
+    return result
+
+
+def test_fig4_scaling(fig4_result):
+    """Paper: the workload scales 'perfectly' across cores."""
+    for n in (5, 10):
+        assert fig4_result.parallel_efficiency(8, n) > 0.85
+        assert fig4_result.parallel_efficiency(2, n) > 0.95
+
+
+def test_fig4_monotone_in_n(fig4_result):
+    for cores in fig4_result.cores:
+        values = fig4_result.cycles[cores]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+def test_bench_fig4(benchmark, fig4_result):
+    """Wall time of the full (N x cores) calibration sweep."""
+    from repro.perf.calibration import clear_cache
+
+    def run():
+        clear_cache()
+        return fig4.run_fig4()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.cycles[8][0] < result.cycles[1][0]

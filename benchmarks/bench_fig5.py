@@ -1,0 +1,44 @@
+"""Benchmark regenerating Fig. 5: channel scalability + memory footprint."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    result = fig5.run_fig5()
+    publish("fig5", fig5.render(result))
+    return result
+
+
+def test_fig5_wolf_meets_deadline_at_256_channels(fig5_result):
+    """Paper: the accelerator handles 256 channels within 10 ms."""
+    assert all(p.wolf_meets_deadline for p in fig5_result.points)
+
+
+def test_fig5_m4_hits_latency_wall(fig5_result):
+    """Paper: the M4 cannot keep up beyond 16 channels (we measure the
+    wall at 64; same story, different constant)."""
+    failure = fig5_result.m4_first_failure()
+    assert failure is not None
+    assert failure <= 64
+
+
+def test_fig5_linear_cycles_and_memory(fig5_result):
+    assert fig5_result.cycles_linearity_r2() > 0.99
+    kb = [p.model_kbytes for p in fig5_result.points]
+    assert all(b > a for a, b in zip(kb, kb[1:]))
+
+
+def test_bench_fig5(benchmark, fig5_result):
+    """Wall time of the channel sweep (14 calibrations, both machines)."""
+    from repro.perf.calibration import clear_cache
+
+    def run():
+        clear_cache()
+        return fig5.run_fig5()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.points[-1].n_channels == 256

@@ -1,0 +1,51 @@
+"""Microbenchmarks of the core HD library primitives (numpy side)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    BinaryHypervector,
+    BatchHDClassifier,
+    HDClassifierConfig,
+    bind,
+    bulk_distances,
+    bundle,
+)
+
+DIM = 10_000
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(11)
+    return [BinaryHypervector.random(DIM, rng) for _ in range(9)]
+
+
+def test_bench_bind(benchmark, vectors):
+    benchmark(bind, vectors[0], vectors[1])
+
+
+def test_bench_bundle_five(benchmark, vectors):
+    """The per-sample channel bundle of the EMG chain."""
+    benchmark(bundle, vectors[:5])
+
+
+def test_bench_rotate(benchmark, vectors):
+    benchmark(vectors[0].rotate, 1)
+
+
+def test_bench_hamming(benchmark, vectors):
+    benchmark(vectors[0].hamming, vectors[1])
+
+
+def test_bench_bulk_distances(benchmark, vectors):
+    matrix = np.stack([v.words for v in vectors[:5]])
+    benchmark(bulk_distances, vectors[5].words, matrix)
+
+
+def test_bench_batch_window_encode(benchmark):
+    """Vectorised encoding throughput (windows/second at 10,000-D)."""
+    rng = np.random.default_rng(12)
+    clf = BatchHDClassifier(HDClassifierConfig(dim=DIM))
+    windows = rng.uniform(0, 21, size=(64, 5, 4))
+    benchmark(clf.encode_windows, windows)

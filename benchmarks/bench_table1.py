@@ -1,0 +1,70 @@
+"""Benchmark regenerating Table 1: HD (200-D) vs SVM on the Cortex M4."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import table1
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    result = table1.run_table1()
+    publish("table1", table1.render(result))
+    return result
+
+
+def test_table1_shape(table1_result):
+    """Iso-accuracy holds: both classifiers within 2 points."""
+    assert abs(
+        table1_result.hd_accuracy - table1_result.svm_accuracy
+    ) < 0.03
+    assert table1_result.functional_match
+
+
+def test_bench_table1_hd_kernel(benchmark, table1_result, emg_models):
+    """Wall time of one 200-D HD classification on the simulated M4."""
+    import numpy as np
+
+    from repro.hdc import HDClassifier, HDClassifierConfig, bitpack
+    from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
+    from repro.pulp import CORTEX_M4_SOC
+
+    batch_10k = emg_models["batch"]
+    test_w, _, _ = emg_models["test"]
+    from repro.hdc import BatchHDClassifier
+
+    batch = BatchHDClassifier(HDClassifierConfig(dim=200))
+    train_w, train_l, _ = emg_models["train"]
+    batch.fit(train_w, train_l)
+    reference = HDClassifier(HDClassifierConfig(dim=200))
+    spatial = reference.encoder.spatial
+    am = np.stack([bitpack.pack_bits(p) for p in batch.prototypes])
+    sim = HDChainSimulator(
+        ChainConfig(
+            soc=CORTEX_M4_SOC,
+            n_cores=1,
+            dims=ChainDims(dim=200, n_levels=22, n_classes=5),
+        )
+    )
+    sim.load_model(
+        spatial.item_memory.as_matrix(),
+        spatial.continuous_memory.as_matrix(),
+        am,
+    )
+    window = np.asarray(test_w[0])
+    result = benchmark.pedantic(
+        sim.run_window, args=(window,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["simulated_cycles"] = result.total_cycles
+
+
+def test_bench_table1_svm_kernel(benchmark, emg_models):
+    """Wall time of one fixed-point SVM classification on the M4."""
+    from repro.kernels.svm_kernel import SVMKernelSimulator
+
+    sim = SVMKernelSimulator(emg_models["fixed_svm"])
+    _, _, test_f = emg_models["test"]
+    label, cycles = benchmark.pedantic(
+        sim.classify, args=(test_f[0],), rounds=3, iterations=1
+    )
+    benchmark.extra_info["simulated_cycles"] = cycles

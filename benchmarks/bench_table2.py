@@ -1,0 +1,31 @@
+"""Benchmark regenerating Table 2: power ladder M4 vs PULPv3."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    result = table2.run_table2(dim=10_000)
+    publish("table2", table2.render(result))
+    return result
+
+
+def test_table2_power_ladder(table2_result):
+    totals = [row.total_mw for row in table2_result.rows]
+    assert totals == sorted(totals, reverse=True)
+    boosts = [r.boost for r in table2_result.rows if r.boost is not None]
+    # Paper: 4.9x / 8.1x / 9.9x — ours lands in the same ladder shape.
+    assert boosts[0] > 3.0
+    assert boosts[-1] > 8.0
+
+
+def test_bench_table2(benchmark, table2_result):
+    """Wall time of the full Table 2 regeneration (three ISS runs at
+    10,000-D plus the power model)."""
+    result = benchmark.pedantic(
+        table2.run_table2, kwargs=dict(dim=10_000), rounds=1, iterations=1
+    )
+    assert result.rows[-1].boost > 8.0

@@ -1,0 +1,58 @@
+"""Benchmark regenerating Table 3: per-kernel cycles and speed-ups."""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import table3
+
+
+@pytest.fixture(scope="module")
+def table3_result():
+    result = table3.run_table3(dim=10_000)
+    publish("table3", table3.render(result))
+    return result
+
+
+def test_table3_speedups(table3_result):
+    assert 3.2 < table3_result.speedup("pulpv3_4") < 4.0  # paper 3.73
+    assert 1.1 < table3_result.speedup("wolf_1") < 1.5  # paper 1.23
+    assert table3_result.speedup("wolf_1_bi") > 1.7  # paper 2.84
+    assert table3_result.speedup("wolf_8_bi") > 12.0  # paper 18.38
+
+
+def test_table3_load_split(table3_result):
+    """MAP+ENCODERS dominates; AM is the small kernel that saturates."""
+    base = table3_result.column("pulpv3_1")
+    assert base.encode_load > 0.9
+    assert (
+        table3_result.speedup("pulpv3_4", "am")
+        < table3_result.speedup("pulpv3_4", "encode")
+    )
+
+
+def test_bench_table3_pulpv3_single_core(benchmark, table3_result):
+    """Wall time of the slowest single configuration (PULPv3 1 core,
+    10,000-D: ~1.4M simulated cycles)."""
+    from repro.experiments.table3 import run_table3
+
+    def one_config():
+        import numpy as np
+
+        from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
+        from repro.pulp import PULPV3_SOC
+
+        rng = np.random.default_rng(0)
+        dims = ChainDims(dim=10_000, n_levels=22, n_classes=5)
+        sim = HDChainSimulator(
+            ChainConfig(soc=PULPV3_SOC, n_cores=1, dims=dims)
+        )
+        nw = dims.n_words
+        sim.load_model(
+            rng.integers(0, 2**32, size=(4, nw), dtype=np.uint32),
+            rng.integers(0, 2**32, size=(22, nw), dtype=np.uint32),
+            rng.integers(0, 2**32, size=(5, nw), dtype=np.uint32),
+        )
+        return sim.run_window_levels(rng.integers(0, 22, size=(5, 4)))
+
+    result = benchmark.pedantic(one_config, rounds=1, iterations=1)
+    benchmark.extra_info["simulated_cycles"] = result.total_cycles

@@ -1,0 +1,62 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale, prints the rendered result (visible with ``pytest -s`` and in the
+teed bench log), and records it under ``results/`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, rendered: str) -> None:
+    """Print a rendered experiment and persist it to results/."""
+    print(f"\n{rendered}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+
+
+@pytest.fixture(scope="session")
+def emg_models():
+    """Trained HD (batch) + packed matrices on subject 0 (session cache)."""
+    import numpy as np
+
+    from repro.emg import (
+        EMGDatasetConfig,
+        WindowConfig,
+        feature_matrix,
+        generate_subject,
+        scale_features,
+        subject_windows,
+    )
+    from repro.hdc import BatchHDClassifier, HDClassifierConfig
+    from repro.svm import (
+        FixedPointConfig,
+        FixedPointSVM,
+        MulticlassSVM,
+        SVMConfig,
+    )
+
+    dataset = EMGDatasetConfig(n_subjects=1)
+    wc = WindowConfig(window_samples=5, stride_samples=25)
+    subject = generate_subject(dataset, 0)
+    (train_w, train_l), (test_w, test_l) = subject_windows(subject, wc)
+    train_w, test_w = np.asarray(train_w), np.asarray(test_w)
+    batch = BatchHDClassifier(HDClassifierConfig(dim=10_000))
+    batch.fit(train_w, train_l)
+    train_f, test_f, _, _ = scale_features(
+        feature_matrix(list(train_w)), feature_matrix(list(test_w))
+    )
+    svm = MulticlassSVM(SVMConfig(kernel="rbf", c=10.0))
+    svm.fit(train_f, np.asarray(train_l))
+    fp = FixedPointSVM.from_float(svm, FixedPointConfig(exp_terms=2))
+    return dict(
+        batch=batch,
+        svm=svm,
+        fixed_svm=fp,
+        train=(train_w, train_l, train_f),
+        test=(test_w, test_l, test_f),
+    )

@@ -1,0 +1,17 @@
+"""Reproduction of *PULP-HD: Accelerating Brain-Inspired High-Dimensional
+Computing on a Parallel Ultra-Low Power Platform* (DAC 2018).
+
+Subpackages:
+
+* :mod:`repro.hdc` — the HD computing library (the paper's algorithm);
+* :mod:`repro.emg` — the synthetic EMG dataset substrate;
+* :mod:`repro.svm` — the SVM baseline (SMO + fixed point);
+* :mod:`repro.pulp` — the simulated hardware (ISS, memory, DMA, power);
+* :mod:`repro.kernels` — the generated accelerator kernels;
+* :mod:`repro.perf` — the ISS-calibrated analytic performance model;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,57 @@
+"""Synthetic EMG substrate: signal model, preprocessing, dataset, windows.
+
+Replaces the paper's five-subject EMG recordings [19] with a statistically
+equivalent generator (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from .dataset import (
+    EMGDatasetConfig,
+    SubjectDataset,
+    Trial,
+    generate_dataset,
+    generate_subject,
+)
+from .features import feature_matrix, scale_features, window_features
+from .preprocess import PreprocessConfig, notch_filter, preprocess_trial
+from .signal_model import (
+    EMGModelConfig,
+    GESTURE_NAMES,
+    MAX_AMPLITUDE_MV,
+    SAMPLE_RATE_HZ,
+    SubjectModel,
+    make_subject,
+    synthesize_trial,
+)
+from .windows import (
+    WindowConfig,
+    paper_split,
+    subject_windows,
+    windows_from_trial,
+    windows_from_trials,
+)
+
+__all__ = [
+    "EMGDatasetConfig",
+    "EMGModelConfig",
+    "GESTURE_NAMES",
+    "MAX_AMPLITUDE_MV",
+    "PreprocessConfig",
+    "SAMPLE_RATE_HZ",
+    "SubjectDataset",
+    "SubjectModel",
+    "Trial",
+    "WindowConfig",
+    "feature_matrix",
+    "generate_dataset",
+    "generate_subject",
+    "make_subject",
+    "notch_filter",
+    "paper_split",
+    "preprocess_trial",
+    "scale_features",
+    "subject_windows",
+    "synthesize_trial",
+    "window_features",
+    "windows_from_trial",
+    "windows_from_trials",
+]

@@ -1,0 +1,130 @@
+"""Synthetic EMG dataset generation following the paper's protocol.
+
+The paper's dataset [19]: five subjects, four gestures plus rest, each
+gesture three seconds long and repeated ten times, sampled at 500 Hz from
+four forearm channels.  This module generates the synthetic equivalent
+(:mod:`repro.emg.signal_model`), preprocesses it
+(:mod:`repro.emg.preprocess`), and packages trials per subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .preprocess import PreprocessConfig, preprocess_trial
+from .signal_model import (
+    EMGModelConfig,
+    GESTURE_NAMES,
+    SubjectModel,
+    make_subject,
+    synthesize_trial,
+)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One preprocessed gesture trial."""
+
+    subject_id: int
+    gesture: int
+    repetition: int
+    envelope: np.ndarray  # (samples, channels) non-negative mV
+
+    @property
+    def gesture_name(self) -> str:
+        """Human-readable class name."""
+        return GESTURE_NAMES[self.gesture]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of timestamps in the trial."""
+        return self.envelope.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of electrode channels."""
+        return self.envelope.shape[1]
+
+
+@dataclass(frozen=True)
+class SubjectDataset:
+    """All trials of one subject."""
+
+    subject: SubjectModel
+    trials: List[Trial]
+
+    @property
+    def subject_id(self) -> int:
+        """Subject identifier."""
+        return self.subject.subject_id
+
+    def trials_for_gesture(self, gesture: int) -> List[Trial]:
+        """Trials of a single gesture class, in repetition order."""
+        return [t for t in self.trials if t.gesture == gesture]
+
+
+@dataclass(frozen=True)
+class EMGDatasetConfig:
+    """Dataset-level protocol parameters (defaults match the paper)."""
+
+    n_subjects: int = 5
+    n_repetitions: int = 10
+    model: EMGModelConfig = field(default_factory=EMGModelConfig)
+    preprocess: PreprocessConfig = field(default_factory=PreprocessConfig)
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.n_subjects <= 0:
+            raise ValueError(
+                f"n_subjects must be positive, got {self.n_subjects}"
+            )
+        if self.n_repetitions <= 0:
+            raise ValueError(
+                f"n_repetitions must be positive, got {self.n_repetitions}"
+            )
+        if self.model.sample_rate_hz != self.preprocess.sample_rate_hz:
+            raise ValueError(
+                "signal model and preprocessing disagree on the sample rate"
+            )
+
+    @property
+    def n_gestures(self) -> int:
+        """Number of classes (four gestures + rest)."""
+        return len(GESTURE_NAMES)
+
+
+def generate_subject(
+    config: EMGDatasetConfig, subject_id: int
+) -> SubjectDataset:
+    """Generate one subject's preprocessed trials deterministically.
+
+    Each subject draws from an independent child seed, so subjects can be
+    generated individually (and in any order) with identical results.
+    """
+    rng = np.random.default_rng((config.seed, subject_id))
+    subject = make_subject(config.model, subject_id, rng)
+    trials = []
+    for gesture in range(config.n_gestures):
+        for repetition in range(config.n_repetitions):
+            raw = synthesize_trial(config.model, subject, gesture, rng)
+            env = preprocess_trial(raw, config.preprocess)
+            trials.append(
+                Trial(
+                    subject_id=subject_id,
+                    gesture=gesture,
+                    repetition=repetition,
+                    envelope=env,
+                )
+            )
+    return SubjectDataset(subject=subject, trials=trials)
+
+
+def generate_dataset(config: EMGDatasetConfig) -> List[SubjectDataset]:
+    """Generate the full multi-subject dataset."""
+    return [
+        generate_subject(config, subject_id)
+        for subject_id in range(config.n_subjects)
+    ]

@@ -1,0 +1,55 @@
+"""Feature extraction for the SVM baseline.
+
+The paper's SVM operates on feature vectors whose "dimension … is fixed to
+four as the number of input channels" (section 4.1): one amplitude feature
+per channel per classification window.  We use the mean of the envelope
+over the window — the standard mean-absolute-value (MAV) feature of the
+myoelectric-control literature, computed on the already-rectified
+envelope.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def window_features(window: np.ndarray) -> np.ndarray:
+    """Per-channel mean envelope amplitude of one window.
+
+    ``window`` is (timestamps, channels); the result is a (channels,)
+    float64 feature vector.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if window.ndim != 2:
+        raise ValueError(
+            f"window must be (timestamps, channels), got {window.shape}"
+        )
+    return window.mean(axis=0)
+
+
+def feature_matrix(
+    windows: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Stack window features into an (n_windows, channels) matrix."""
+    if not len(windows):
+        raise ValueError("no windows to extract features from")
+    return np.stack([window_features(w) for w in windows])
+
+
+def scale_features(
+    train: np.ndarray, test: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Standardise features using training-set statistics.
+
+    Returns (train_scaled, test_scaled, mean, std).  Channels with zero
+    variance in training are left unscaled (std forced to 1) rather than
+    producing NaNs.
+    """
+    train = np.asarray(train, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    mean = train.mean(axis=0)
+    std = train.std(axis=0)
+    std = np.where(std > 0, std, 1.0)
+    return (train - mean) / std, (test - mean) / std, mean, std

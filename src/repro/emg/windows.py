@@ -1,0 +1,138 @@
+"""Classification windows and the paper's train/test split protocol.
+
+The paper classifies with a 10 ms detection latency, i.e. a window of
+W = 5 samples at 500 Hz, and trains per subject on 25 % of the dataset
+while testing on the entire dataset (section 4.1).  This module slices
+trials into windows and implements that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .dataset import SubjectDataset, Trial
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Windowing parameters.
+
+    ``window_samples`` is W (5 for the 10 ms latency at 500 Hz);
+    ``stride_samples`` defaults to W (non-overlapping windows);
+    ``extra_samples`` extends each slice so a window can still produce W
+    N-grams when N > 1 (callers pass ``ngram_size - 1``); ``skip_onset_s``
+    drops the ramp-up transient at the start of each trial, where the
+    envelope has not yet reached the gesture's plateau.
+    """
+
+    window_samples: int = 5
+    stride_samples: int | None = None
+    extra_samples: int = 0
+    skip_onset_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.window_samples <= 0:
+            raise ValueError(
+                f"window_samples must be positive, got {self.window_samples}"
+            )
+        if self.stride_samples is not None and self.stride_samples <= 0:
+            raise ValueError(
+                f"stride_samples must be positive, got {self.stride_samples}"
+            )
+        if self.extra_samples < 0:
+            raise ValueError(
+                f"extra_samples must be >= 0, got {self.extra_samples}"
+            )
+        if self.skip_onset_s < 0:
+            raise ValueError(
+                f"skip_onset_s must be >= 0, got {self.skip_onset_s}"
+            )
+
+    @property
+    def stride(self) -> int:
+        """Effective stride between window starts."""
+        return (
+            self.stride_samples
+            if self.stride_samples is not None
+            else self.window_samples
+        )
+
+    @property
+    def slice_samples(self) -> int:
+        """Timestamps per extracted slice (window plus N-gram margin)."""
+        return self.window_samples + self.extra_samples
+
+    def detection_latency_ms(self, sample_rate_hz: int) -> float:
+        """Detection latency implied by the window length."""
+        return 1000.0 * self.window_samples / sample_rate_hz
+
+
+def windows_from_trial(
+    trial: Trial, config: WindowConfig, sample_rate_hz: int = 500
+) -> List[np.ndarray]:
+    """Slice one trial into (slice_samples, channels) windows."""
+    start = int(round(config.skip_onset_s * sample_rate_hz))
+    env = trial.envelope
+    out = []
+    length = config.slice_samples
+    pos = start
+    while pos + length <= env.shape[0]:
+        out.append(env[pos : pos + length])
+        pos += config.stride
+    return out
+
+
+def windows_from_trials(
+    trials: Sequence[Trial], config: WindowConfig, sample_rate_hz: int = 500
+) -> Tuple[List[np.ndarray], List[int]]:
+    """Windows plus gesture labels from a set of trials."""
+    windows: List[np.ndarray] = []
+    labels: List[int] = []
+    for trial in trials:
+        for window in windows_from_trial(trial, config, sample_rate_hz):
+            windows.append(window)
+            labels.append(trial.gesture)
+    return windows, labels
+
+
+def paper_split(
+    subject: SubjectDataset, train_fraction: float = 0.25
+) -> Tuple[List[Trial], List[Trial]]:
+    """The paper's split: train on 25 % of trials, test on the whole set.
+
+    The training quarter is taken as the first ``ceil(fraction * reps)``
+    repetitions of every gesture (deterministic, stratified by class); the
+    test set is *all* trials, matching "the model training is done per
+    subject and off-line using 25 % of the dataset, while the entire
+    dataset is used for testing".
+    """
+    if not 0 < train_fraction <= 1:
+        raise ValueError(
+            f"train_fraction must be in (0, 1], got {train_fraction}"
+        )
+    train: List[Trial] = []
+    gestures = sorted({t.gesture for t in subject.trials})
+    for gesture in gestures:
+        trials = subject.trials_for_gesture(gesture)
+        n_train = max(1, int(np.ceil(train_fraction * len(trials))))
+        train.extend(trials[:n_train])
+    return train, list(subject.trials)
+
+
+def subject_windows(
+    subject: SubjectDataset,
+    config: WindowConfig,
+    train_fraction: float = 0.25,
+    sample_rate_hz: int = 500,
+) -> Tuple[
+    Tuple[List[np.ndarray], List[int]], Tuple[List[np.ndarray], List[int]]
+]:
+    """Windowed (train, test) sets for one subject under the paper split."""
+    train_trials, test_trials = paper_split(subject, train_fraction)
+    return (
+        windows_from_trials(train_trials, config, sample_rate_hz),
+        windows_from_trials(test_trials, config, sample_rate_hz),
+    )

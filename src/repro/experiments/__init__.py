@@ -1,0 +1,19 @@
+"""One module per paper table/figure, each with ``run_*`` producing a
+result object and ``render`` producing the table with the published
+numbers alongside (the source of EXPERIMENTS.md)."""
+
+from . import accuracy, fig3, fig4, fig5, table1, table2, table3
+from .reporting import Series, Table, render_series_table
+
+__all__ = [
+    "Series",
+    "Table",
+    "accuracy",
+    "fig3",
+    "fig4",
+    "fig5",
+    "render_series_table",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,54 @@
+"""Regenerate every table and figure of the paper from the command line.
+
+Usage::
+
+    python -m repro.experiments              # everything (~2 minutes)
+    python -m repro.experiments table3 fig5  # a subset
+
+Rendered outputs go to stdout and to ``results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from . import accuracy, fig3, fig4, fig5, table1, table2, table3
+
+RUNNERS = {
+    "accuracy": lambda: accuracy.render(accuracy.run_accuracy_study()),
+    "table1": lambda: table1.render(table1.run_table1()),
+    "table2": lambda: table2.render(table2.run_table2()),
+    "table3": lambda: table3.render(table3.run_table3()),
+    "fig3": lambda: fig3.render(fig3.run_fig3()),
+    "fig4": lambda: fig4.render(fig4.run_fig4()),
+    "fig5": lambda: fig5.render(fig5.run_fig5()),
+}
+
+
+def main(argv: list | None = None) -> int:
+    """Run the requested experiments (all by default)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    unknown = [name for name in argv if name not in RUNNERS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RUNNERS))}",
+            file=sys.stderr,
+        )
+        return 2
+    selected = argv or list(RUNNERS)
+    results_dir = pathlib.Path("results")
+    results_dir.mkdir(exist_ok=True)
+    for name in selected:
+        start = time.time()
+        rendered = RUNNERS[name]()
+        print(rendered)
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+        (results_dir / f"{name}.txt").write_text(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

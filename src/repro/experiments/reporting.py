@@ -1,0 +1,104 @@
+"""Fixed-width table and series formatting for the experiment harness.
+
+Every experiment renders its result next to the paper's published
+numbers, so a bench run reads like the original table with a
+"measured" column — the per-experiment EXPERIMENTS.md entries are
+generated from these renderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A fixed-width text table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are str()-ed."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote line."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The formatted table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self.headers)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One line of a figure: named y values over shared x values."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+
+
+def render_series_table(
+    title: str,
+    x_label: str,
+    series: Sequence[Series],
+    x_format: str = "g",
+    y_format: str = ".0f",
+) -> str:
+    """Render figure series as one table: x column + one column each."""
+    if not series:
+        raise ValueError("no series to render")
+    x_ref = list(series[0].x)
+    for s in series[1:]:
+        if list(s.x) != x_ref:
+            raise ValueError(
+                f"series {s.name!r} has mismatched x values"
+            )
+    table = Table(title=title, headers=[x_label] + [s.name for s in series])
+    for i, x in enumerate(x_ref):
+        table.add_row(
+            format(x, x_format),
+            *(format(s.y[i], y_format) for s in series),
+        )
+    return table.render()
+
+
+def ratio_str(measured: float, paper: Optional[float]) -> str:
+    """'measured (paper P)' annotation used across experiment tables."""
+    if paper is None:
+        return f"{measured:.2f}"
+    return f"{measured:.2f} (paper {paper:.2f})"

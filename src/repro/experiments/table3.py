@@ -1,0 +1,158 @@
+"""Table 3 — per-kernel cycles, load split, and speed-ups:
+PULPv3 (1 / 4 cores) versus Wolf (1 core, 1 core + builtins,
+8 cores + builtins), all at 10,000-D, N = 1.
+
+Every configuration is a full ISS execution of the generated kernels;
+speed-ups are relative to the single-core PULPv3 column exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..kernels import ChainConfig, ChainDims, HDChainSimulator
+from ..pulp.soc import PULPV3_SOC, SoCConfig, WOLF_SOC
+from .reporting import Table
+
+PAPER = {
+    "pulpv3_1": dict(enc=492, am=41, total=533),
+    "pulpv3_4": dict(enc=129, am=14, total=143, sp=3.73),
+    "wolf_1": dict(enc=401, am=33, total=434, sp=1.23),
+    "wolf_1_bi": dict(enc=176, am=12, total=188, sp=2.84),
+    "wolf_8_bi": dict(enc=25, am=4, total=29, sp=18.38),
+}
+"""Published kilocycle counts and end-to-end speed-ups."""
+
+CONFIGS = (
+    ("pulpv3_1", "PULPv3 1 core", PULPV3_SOC, 1, False),
+    ("pulpv3_4", "PULPv3 4 cores", PULPV3_SOC, 4, False),
+    ("wolf_1", "Wolf 1 core", WOLF_SOC, 1, False),
+    ("wolf_1_bi", "Wolf 1 core built-in", WOLF_SOC, 1, True),
+    ("wolf_8_bi", "Wolf 8 cores built-in", WOLF_SOC, 8, True),
+)
+"""The five machine configurations of Table 3."""
+
+
+@dataclass(frozen=True)
+class Table3Column:
+    """One configuration's measured kernel breakdown."""
+
+    key: str
+    label: str
+    encode_cycles: int
+    am_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles."""
+        return self.encode_cycles + self.am_cycles
+
+    @property
+    def encode_load(self) -> float:
+        """MAP+ENCODERS share of the total."""
+        return self.encode_cycles / self.total_cycles
+
+    @property
+    def am_load(self) -> float:
+        """AM share of the total."""
+        return self.am_cycles / self.total_cycles
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """All measured columns of Table 3."""
+
+    columns: List[Table3Column]
+    dim: int
+
+    def column(self, key: str) -> Table3Column:
+        """Look up a configuration column by key."""
+        for col in self.columns:
+            if col.key == key:
+                return col
+        raise KeyError(key)
+
+    def speedup(self, key: str, kernel: str = "total") -> float:
+        """Speed-up of ``key`` over single-core PULPv3 for one kernel."""
+        base = self.column("pulpv3_1")
+        target = self.column(key)
+        pick = {
+            "total": lambda c: c.total_cycles,
+            "encode": lambda c: c.encode_cycles,
+            "am": lambda c: c.am_cycles,
+        }[kernel]
+        return pick(base) / pick(target)
+
+
+def run_table3(dim: int = 10_000, seed: int = 11) -> Table3Result:
+    """Run all five configurations through the ISS."""
+    rng = np.random.default_rng(seed)
+    dims = ChainDims(
+        dim=dim, n_channels=4, n_levels=22, n_classes=5, ngram=1, window=5
+    )
+    n_words = dims.n_words
+    im = rng.integers(0, 2**32, size=(4, n_words), dtype=np.uint32)
+    cim = rng.integers(0, 2**32, size=(22, n_words), dtype=np.uint32)
+    am = rng.integers(0, 2**32, size=(5, n_words), dtype=np.uint32)
+    levels = rng.integers(0, 22, size=(dims.n_samples, 4))
+
+    columns = []
+    for key, label, soc, n_cores, builtins in CONFIGS:
+        sim = HDChainSimulator(
+            ChainConfig(
+                soc=soc, n_cores=n_cores, dims=dims, use_builtins=builtins
+            )
+        )
+        sim.load_model(im, cim, am)
+        result = sim.run_window_levels(levels)
+        columns.append(
+            Table3Column(
+                key=key,
+                label=label,
+                encode_cycles=result.encode_cycles,
+                am_cycles=result.am_cycles,
+            )
+        )
+    return Table3Result(columns=columns, dim=dim)
+
+
+def render(result: Table3Result) -> str:
+    """Table 3 with paper numbers alongside."""
+    table = Table(
+        title=f"Table 3 — accelerated HD computing, {result.dim}-D, N=1 "
+        "(cycles in k; sp = speed-up vs PULPv3 1 core)",
+        headers=[
+            "Configuration", "MAP+ENC (k)", "ld (%)", "AM (k)",
+            "TOTAL (k)", "sp (x)", "Paper TOTAL (k) / sp",
+        ],
+    )
+    for col in result.columns:
+        paper = PAPER[col.key]
+        paper_str = f"{paper['total']}"
+        if "sp" in paper:
+            paper_str += f" / {paper['sp']:.2f}x"
+        sp = result.speedup(col.key)
+        table.add_row(
+            col.label,
+            f"{col.encode_cycles / 1e3:.1f}",
+            f"{100 * col.encode_load:.1f}",
+            f"{col.am_cycles / 1e3:.2f}",
+            f"{col.total_cycles / 1e3:.1f}",
+            f"{sp:.2f}",
+            paper_str,
+        )
+    table.add_note(
+        "per-kernel speed-ups vs PULPv3 1 core — "
+        f"MAP+ENC: 4c {result.speedup('pulpv3_4', 'encode'):.2f} "
+        "(paper 3.81), "
+        f"Wolf 8c+bi {result.speedup('wolf_8_bi', 'encode'):.2f} "
+        "(paper 19.68); "
+        f"AM: 4c {result.speedup('pulpv3_4', 'am'):.2f} (paper 2.93), "
+        f"Wolf 8c+bi {result.speedup('wolf_8_bi', 'am'):.2f} "
+        "(paper 10.25)"
+    )
+    return table.render()

@@ -1,0 +1,71 @@
+"""Core HD computing library: the paper's algorithmic contribution.
+
+Public surface:
+
+* :mod:`~repro.hdc.bitpack` — packed uint32 representation of binary
+  hypervectors (the paper's 32-components-per-word layout).
+* :class:`~repro.hdc.hypervector.BinaryHypervector` — the value type.
+* :mod:`~repro.hdc.ops` — the MAP operations (bind / bundle / permute)
+  and Hamming distance.
+* :class:`~repro.hdc.item_memory.ItemMemory` /
+  :class:`~repro.hdc.item_memory.ContinuousItemMemory` — symbol and level
+  seed memories.
+* :class:`~repro.hdc.encoder.SpatialEncoder` /
+  :class:`~repro.hdc.encoder.TemporalEncoder` /
+  :class:`~repro.hdc.encoder.WindowEncoder` — the processing chain.
+* :class:`~repro.hdc.associative_memory.AssociativeMemory` — prototype
+  storage and nearest-prototype search.
+* :class:`~repro.hdc.classifier.HDClassifier` — end-to-end fit/predict.
+* :mod:`~repro.hdc.reference` — the unpacked golden model used for
+  bit-exact validation (the paper's MATLAB reference).
+"""
+
+from .associative_memory import (
+    AssociativeMemory,
+    PrototypeAccumulator,
+    bulk_distances,
+)
+from .batch import BatchHDClassifier
+from .classifier import HDClassifier, HDClassifierConfig
+from .encoder import SpatialEncoder, TemporalEncoder, WindowEncoder
+from .hypervector import BinaryHypervector
+from .item_memory import ContinuousItemMemory, ItemMemory, quantize_samples
+from .online import OnlineHDClassifier
+from .robustness import (
+    DegradationCurve,
+    DegradationPoint,
+    degradation_curve,
+    faulty_memory,
+    flip_bits,
+    stuck_at,
+)
+from .ops import bind, bundle, bundle_counts, hamming, permute, similarity
+
+__all__ = [
+    "AssociativeMemory",
+    "BatchHDClassifier",
+    "BinaryHypervector",
+    "ContinuousItemMemory",
+    "DegradationCurve",
+    "DegradationPoint",
+    "HDClassifier",
+    "HDClassifierConfig",
+    "ItemMemory",
+    "OnlineHDClassifier",
+    "PrototypeAccumulator",
+    "SpatialEncoder",
+    "TemporalEncoder",
+    "WindowEncoder",
+    "bind",
+    "degradation_curve",
+    "faulty_memory",
+    "flip_bits",
+    "bulk_distances",
+    "bundle",
+    "bundle_counts",
+    "hamming",
+    "permute",
+    "quantize_samples",
+    "similarity",
+    "stuck_at",
+]

@@ -1,0 +1,209 @@
+"""Associative memory (AM): prototype storage and Hamming-distance search.
+
+During training the per-class N-gram hypervectors are accumulated and
+thresholded into one binary *prototype* hypervector per class.  During
+classification the AM compares a query hypervector against every prototype
+and returns the label with the minimum Hamming distance (section 2.1.1).
+
+The AM supports both one-shot construction from a finished set of
+prototypes and the streaming accumulation used during training ("the AM
+matrix can be continuously updated for on-line learning", section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from . import bitpack, ops
+from .hypervector import BinaryHypervector
+
+
+class PrototypeAccumulator:
+    """Streaming per-component one-counts for one class prototype.
+
+    Training adds many N-gram hypervectors per class; storing them all to
+    bundle at the end would be O(trials × dim).  Instead we keep the
+    per-component count of ones and the number of added vectors, exactly
+    reproducing :func:`repro.hdc.ops.bundle` semantics at finalization
+    (including the XOR-of-first-two tiebreaker for even counts).
+    """
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        self._dim = int(dim)
+        self._counts = np.zeros(dim, dtype=np.int64)
+        self._total = 0
+        self._first: BinaryHypervector | None = None
+        self._tiebreak: BinaryHypervector | None = None
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality."""
+        return self._dim
+
+    @property
+    def total(self) -> int:
+        """Number of hypervectors added so far."""
+        return self._total
+
+    def add(self, vector: BinaryHypervector) -> None:
+        """Accumulate one encoded hypervector into the class counts."""
+        if vector.dim != self._dim:
+            raise ValueError(
+                f"dimension mismatch: accumulator {self._dim}, "
+                f"vector {vector.dim}"
+            )
+        self._counts += vector.to_bits()
+        self._total += 1
+        if self._first is None:
+            self._first = vector
+        elif self._tiebreak is None:
+            self._tiebreak = self._first ^ vector
+
+    def finalize(self) -> BinaryHypervector:
+        """Majority-threshold the accumulated counts into a prototype."""
+        if self._total == 0:
+            raise ValueError("cannot finalize an empty accumulator")
+        if self._total == 1:
+            assert self._first is not None
+            return self._first
+        assert self._tiebreak is not None
+        return ops.bundle_counts(self._counts, self._total, self._tiebreak)
+
+
+class AssociativeMemory:
+    """Stores class prototypes and answers nearest-prototype queries."""
+
+    def __init__(self, dim: int):
+        if dim <= 0:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        self._dim = int(dim)
+        self._labels: List[Hashable] = []
+        self._prototypes: Dict[Hashable, BinaryHypervector] = {}
+
+    @classmethod
+    def from_prototypes(
+        cls, prototypes: Dict[Hashable, BinaryHypervector]
+    ) -> "AssociativeMemory":
+        """Build directly from a finished {label: prototype} mapping."""
+        if not prototypes:
+            raise ValueError("associative memory needs at least one prototype")
+        first = next(iter(prototypes.values()))
+        am = cls(first.dim)
+        for label, proto in prototypes.items():
+            am.store(label, proto)
+        return am
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality."""
+        return self._dim
+
+    @property
+    def labels(self) -> tuple:
+        """Stored class labels, in insertion order."""
+        return tuple(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._prototypes
+
+    def __getitem__(self, label: Hashable) -> BinaryHypervector:
+        try:
+            return self._prototypes[label]
+        except KeyError:
+            raise KeyError(f"no prototype stored for label {label!r}") from None
+
+    def store(self, label: Hashable, prototype: BinaryHypervector) -> None:
+        """Store (or overwrite) the prototype for ``label``."""
+        if prototype.dim != self._dim:
+            raise ValueError(
+                f"dimension mismatch: AM {self._dim}, "
+                f"prototype {prototype.dim}"
+            )
+        if label not in self._prototypes:
+            self._labels.append(label)
+        self._prototypes[label] = prototype
+
+    def distances(self, query: BinaryHypervector) -> Dict[Hashable, int]:
+        """Hamming distance of ``query`` to every stored prototype."""
+        if not self._labels:
+            raise ValueError("associative memory is empty")
+        if query.dim != self._dim:
+            raise ValueError(
+                f"dimension mismatch: AM {self._dim}, query {query.dim}"
+            )
+        return {
+            label: query.hamming(self._prototypes[label])
+            for label in self._labels
+        }
+
+    def classify(self, query: BinaryHypervector) -> Hashable:
+        """Label of the prototype with minimum Hamming distance.
+
+        Ties are resolved in favour of the earliest-stored label, which is
+        the behaviour of a linear scan keeping the first strict minimum —
+        the same rule the ISS AM-search kernel implements.
+        """
+        dists = self.distances(query)
+        best_label = self._labels[0]
+        best_dist = dists[best_label]
+        for label in self._labels[1:]:
+            if dists[label] < best_dist:
+                best_label, best_dist = label, dists[label]
+        return best_label
+
+    def classify_with_distances(
+        self, query: BinaryHypervector
+    ) -> Tuple[Hashable, Dict[Hashable, int]]:
+        """Like :meth:`classify` but also returns the full distance map."""
+        dists = self.distances(query)
+        best_label = self._labels[0]
+        best_dist = dists[best_label]
+        for label in self._labels[1:]:
+            if dists[label] < best_dist:
+                best_label, best_dist = label, dists[label]
+        return best_label, dists
+
+    def as_matrix(self) -> np.ndarray:
+        """All prototypes as a (n_classes, n_words) uint32 matrix.
+
+        Row order matches :attr:`labels`; this is the AM matrix the ISS
+        kernels stream from simulated L2 memory.
+        """
+        if not self._labels:
+            raise ValueError("associative memory is empty")
+        return np.stack(
+            [self._prototypes[label].words for label in self._labels]
+        )
+
+    def memory_bytes(self) -> int:
+        """Storage footprint of the AM matrix in bytes (packed words)."""
+        return len(self._labels) * bitpack.words_for_dim(self._dim) * 4
+
+
+def bulk_distances(
+    query_words: np.ndarray, prototype_matrix: np.ndarray
+) -> np.ndarray:
+    """Vectorised Hamming distances of one packed query to many prototypes.
+
+    ``query_words`` is a (n_words,) uint32 array and ``prototype_matrix`` a
+    (n_classes, n_words) uint32 matrix; returns int64 distances per class.
+    Used by the benchmark harness where constructing per-row
+    :class:`BinaryHypervector` objects would dominate the measurement.
+    """
+    query_words = np.ascontiguousarray(query_words, dtype=np.uint32)
+    prototype_matrix = np.ascontiguousarray(prototype_matrix, dtype=np.uint32)
+    if prototype_matrix.ndim != 2 or prototype_matrix.shape[1] != query_words.size:
+        raise ValueError(
+            f"prototype matrix shape {prototype_matrix.shape} does not match "
+            f"query of {query_words.size} words"
+        )
+    xored = np.bitwise_xor(prototype_matrix, query_words[None, :])
+    as_bytes = xored.view(np.uint8).reshape(prototype_matrix.shape[0], -1)
+    return bitpack._BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.int64)

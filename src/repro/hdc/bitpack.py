@@ -1,0 +1,168 @@
+"""Bit-level packing utilities for binary hypervectors.
+
+The paper packs 32 consecutive binary components of a hypervector into one
+unsigned 32-bit integer, so that a 10,000-D hypervector becomes an array of
+313 words (section 3).  This module is the single authority for that layout:
+
+* components are packed **LSB-first**: logical component ``d`` lives in word
+  ``d // 32`` at bit position ``d % 32``;
+* when the dimension is not a multiple of 32, the unused high bits of the
+  last word (the *pad bits*) are always zero.  Every function here preserves
+  that invariant and most consumers rely on it (e.g. Hamming distances may
+  popcount whole words without masking).
+
+All packed vectors are ``numpy.ndarray`` with ``dtype=uint32``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 32
+"""Number of hypervector components stored per packed word."""
+
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint32
+)
+
+
+def words_for_dim(dim: int) -> int:
+    """Number of uint32 words needed to store a ``dim``-component vector.
+
+    >>> words_for_dim(10000)
+    313
+    """
+    if dim <= 0:
+        raise ValueError(f"dimension must be positive, got {dim}")
+    return (dim + WORD_BITS - 1) // WORD_BITS
+
+
+def pad_mask(dim: int) -> np.uint32:
+    """Mask of the *valid* bits in the final word of a ``dim``-bit vector."""
+    rem = dim % WORD_BITS
+    if rem == 0:
+        return np.uint32(0xFFFFFFFF)
+    return np.uint32((1 << rem) - 1)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 1-D array of {0,1} components into uint32 words, LSB-first.
+
+    ``bits`` may be any integer or boolean dtype; values must be 0 or 1.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ValueError(f"expected a 1-D bit array, got shape {bits.shape}")
+    if bits.size == 0:
+        raise ValueError("cannot pack an empty bit array")
+    as_u8 = bits.astype(np.uint8)
+    if np.any(as_u8 > 1):
+        raise ValueError("bit array contains values other than 0 and 1")
+    n_words = words_for_dim(bits.size)
+    padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+    padded[: bits.size] = as_u8
+    # numpy packs MSB-first per byte; bitorder='little' gives LSB-first,
+    # and viewing four consecutive bytes as one little-endian uint32 keeps
+    # logical bit d at word d//32, bit d%32.
+    packed_bytes = np.packbits(padded, bitorder="little")
+    return packed_bytes.view("<u4").astype(np.uint32)
+
+
+def unpack_bits(words: np.ndarray, dim: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: return ``dim`` components as uint8."""
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    if words.ndim != 1:
+        raise ValueError(f"expected a 1-D word array, got shape {words.shape}")
+    if words.size != words_for_dim(dim):
+        raise ValueError(
+            f"word count {words.size} does not match dimension {dim} "
+            f"(expected {words_for_dim(dim)})"
+        )
+    as_bytes = words.astype("<u4").view(np.uint8)
+    bits = np.unpackbits(as_bytes, bitorder="little")
+    return bits[:dim].astype(np.uint8)
+
+
+def clear_pad_bits(words: np.ndarray, dim: int) -> np.ndarray:
+    """Return ``words`` with the pad bits of the last word forced to zero."""
+    out = np.array(words, dtype=np.uint32, copy=True)
+    if out.size:
+        out[-1] &= pad_mask(dim)
+    return out
+
+
+def pad_bits_are_zero(words: np.ndarray, dim: int) -> bool:
+    """Check the packing invariant: no stray bits above component ``dim-1``."""
+    words = np.asarray(words, dtype=np.uint32)
+    if words.size != words_for_dim(dim):
+        return False
+    return bool(words[-1] == (words[-1] & pad_mask(dim)))
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits across all packed words."""
+    as_bytes = np.ascontiguousarray(words, dtype=np.uint32).view(np.uint8)
+    return int(_BYTE_POPCOUNT[as_bytes].sum())
+
+
+def popcount_per_word(words: np.ndarray) -> np.ndarray:
+    """Per-word set-bit counts (uint32 array, same length as ``words``)."""
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    as_bytes = words.view(np.uint8).reshape(-1, 4)
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.uint32)
+
+
+def rotate_bits(words: np.ndarray, dim: int, k: int) -> np.ndarray:
+    """Circularly rotate the *logical* ``dim`` bits left by ``k`` positions.
+
+    This is the permutation ρ of the paper applied ``k`` times: component
+    ``d`` of the input becomes component ``(d + k) % dim`` of the output.
+    The rotation is over the logical dimension, not over the padded word
+    array, so pad bits stay zero.
+
+    Arbitrary-precision integers keep this exact and simple; the ISS kernels
+    implement the same operation with word-shift sequences and are tested
+    against this function.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    if words.size != words_for_dim(dim):
+        raise ValueError(
+            f"word count {words.size} does not match dimension {dim}"
+        )
+    k %= dim
+    if k == 0:
+        return words.copy()
+    value = int.from_bytes(words.astype("<u4").tobytes(), "little")
+    mask = (1 << dim) - 1
+    rotated = ((value << k) | (value >> (dim - k))) & mask
+    n_words = words.size
+    out_bytes = rotated.to_bytes(n_words * 4, "little")
+    return np.frombuffer(out_bytes, dtype="<u4").astype(np.uint32)
+
+
+def random_packed(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """A packed vector with i.i.d. Bernoulli(1/2) components.
+
+    This is the paper's dense random hypervector: each component is 0 or 1
+    with equal probability, so two independent draws differ in ~dim/2
+    positions (orthogonality in Hamming space).
+    """
+    bits = rng.integers(0, 2, size=dim, dtype=np.uint8)
+    return pack_bits(bits)
+
+
+def packed_from_int(value: int, dim: int) -> np.ndarray:
+    """Pack the low ``dim`` bits of a Python integer (for tests/fixtures)."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >> dim:
+        raise ValueError(f"value does not fit in {dim} bits")
+    n_words = words_for_dim(dim)
+    out_bytes = value.to_bytes(n_words * 4, "little")
+    return np.frombuffer(out_bytes, dtype="<u4").astype(np.uint32)
+
+
+def packed_to_int(words: np.ndarray) -> int:
+    """Inverse of :func:`packed_from_int` (for tests/fixtures)."""
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    return int.from_bytes(words.astype("<u4").tobytes(), "little")

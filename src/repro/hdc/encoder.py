@@ -1,0 +1,206 @@
+"""Spatial and temporal encoders (section 2.1.1 and Fig. 1 of the paper).
+
+* The **spatial encoder** represents the set of all channel-value pairs at
+  one timestamp as a single hypervector: every channel vector is bound
+  (XOR) to its quantised level vector, and the bound vectors are bundled
+  (componentwise majority) into the spatial hypervector
+  ``S_t = [(E1 ⊕ V1) + ... + (Ei ⊕ Vi)]``.
+* The **temporal encoder** captures a temporal window by combining N
+  consecutive spatial hypervectors into one N-gram:
+  ``S_t ⊕ ρ¹S_{t+1} ⊕ ρ²S_{t+2} ⊕ ... ⊕ ρ^{n-1}S_{t+n-1}``.
+
+Note the rotation convention: the *later* samples receive more rotations.
+The N-gram of N=1 is the spatial hypervector itself, which is why the EMG
+task in Tables 1–3 (N=1) skips the temporal kernel entirely.
+
+* The **window encoder** turns a classification window of W consecutive
+  timestamps into a single query hypervector by bundling the window's
+  N-gram vectors, matching the paper's 10 ms detection window (W=5 at
+  500 Hz).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import ops
+from .hypervector import BinaryHypervector
+from .item_memory import ContinuousItemMemory, ItemMemory
+
+
+class SpatialEncoder:
+    """Encodes one multi-channel sample into a spatial hypervector."""
+
+    def __init__(
+        self,
+        item_memory: ItemMemory,
+        continuous_memory: ContinuousItemMemory,
+        signal_lo: float,
+        signal_hi: float,
+    ):
+        if item_memory.dim != continuous_memory.dim:
+            raise ValueError(
+                f"IM dimension {item_memory.dim} != CIM dimension "
+                f"{continuous_memory.dim}"
+            )
+        if signal_hi <= signal_lo:
+            raise ValueError(f"invalid signal range [{signal_lo}, {signal_hi}]")
+        self._im = item_memory
+        self._cim = continuous_memory
+        self._lo = float(signal_lo)
+        self._hi = float(signal_hi)
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality."""
+        return self._im.dim
+
+    @property
+    def n_channels(self) -> int:
+        """Number of input channels (IM symbols)."""
+        return len(self._im)
+
+    @property
+    def item_memory(self) -> ItemMemory:
+        """The channel item memory."""
+        return self._im
+
+    @property
+    def continuous_memory(self) -> ContinuousItemMemory:
+        """The level continuous item memory."""
+        return self._cim
+
+    def bound_vectors(
+        self, sample: Sequence[float] | np.ndarray
+    ) -> list[BinaryHypervector]:
+        """The per-channel bound vectors ``E_i ⊕ V_i`` for one sample."""
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 1 or sample.size != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} channel values, "
+                f"got shape {sample.shape}"
+            )
+        out = []
+        for channel, value in zip(self._im.symbols, sample):
+            level_vec = self._cim.lookup(value, self._lo, self._hi)
+            out.append(self._im[channel] ^ level_vec)
+        return out
+
+    def encode(self, sample: Sequence[float] | np.ndarray) -> BinaryHypervector:
+        """Spatial hypervector of one time-aligned multi-channel sample."""
+        return ops.bundle(self.bound_vectors(sample))
+
+    def encode_levels(self, levels: Sequence[int]) -> BinaryHypervector:
+        """Spatial encoding from already-quantised integer levels.
+
+        This is the exact operation the ISS kernels perform (they consume
+        pre-quantised levels), exposed for bit-exact cross-validation.
+        """
+        levels = np.asarray(levels)
+        if levels.ndim != 1 or levels.size != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} levels, got shape {levels.shape}"
+            )
+        bound = [
+            self._im[channel] ^ self._cim[int(level)]
+            for channel, level in zip(self._im.symbols, levels)
+        ]
+        return ops.bundle(bound)
+
+
+class TemporalEncoder:
+    """Encodes N consecutive spatial hypervectors into one N-gram vector."""
+
+    def __init__(self, ngram_size: int):
+        if ngram_size < 1:
+            raise ValueError(f"N-gram size must be >= 1, got {ngram_size}")
+        self._n = int(ngram_size)
+
+    @property
+    def ngram_size(self) -> int:
+        """The temporal window length N."""
+        return self._n
+
+    def encode(
+        self, spatial: Sequence[BinaryHypervector]
+    ) -> BinaryHypervector:
+        """N-gram hypervector of ``spatial[0] .. spatial[N-1]``.
+
+        ``spatial`` must contain exactly N vectors ordered oldest first;
+        vector ``k`` is rotated by ``k`` positions before XOR-combining.
+        """
+        if len(spatial) != self._n:
+            raise ValueError(
+                f"expected exactly {self._n} spatial vectors, got {len(spatial)}"
+            )
+        out = spatial[0]
+        for k, vec in enumerate(spatial[1:], start=1):
+            out = out ^ vec.rotate(k)
+        return out
+
+    def sliding(
+        self, spatial: Sequence[BinaryHypervector]
+    ) -> list[BinaryHypervector]:
+        """All N-grams of a longer spatial sequence (stride 1).
+
+        A sequence of T >= N spatial vectors yields ``T - N + 1`` N-grams.
+        """
+        if len(spatial) < self._n:
+            raise ValueError(
+                f"need at least {self._n} spatial vectors, got {len(spatial)}"
+            )
+        return [
+            self.encode(spatial[t : t + self._n])
+            for t in range(len(spatial) - self._n + 1)
+        ]
+
+
+class WindowEncoder:
+    """End-to-end encoder: raw multi-channel window → query hypervector.
+
+    A classification window of W timestamps is encoded by (1) spatially
+    encoding each timestamp, (2) forming the sliding N-grams, and (3)
+    bundling all N-grams of the window into one query vector.  With N=1
+    this reduces to bundling the W spatial vectors.  To produce W N-grams
+    per window the caller may supply ``W + N − 1`` timestamps; any T >= N
+    is accepted and yields ``T − N + 1`` N-grams.
+    """
+
+    def __init__(self, spatial: SpatialEncoder, temporal: TemporalEncoder):
+        self._spatial = spatial
+        self._temporal = temporal
+
+    @property
+    def spatial(self) -> SpatialEncoder:
+        """The spatial (per-timestamp) encoder."""
+        return self._spatial
+
+    @property
+    def temporal(self) -> TemporalEncoder:
+        """The temporal (N-gram) encoder."""
+        return self._temporal
+
+    @property
+    def dim(self) -> int:
+        """Hypervector dimensionality."""
+        return self._spatial.dim
+
+    def ngrams(self, window: np.ndarray) -> list[BinaryHypervector]:
+        """The window's N-gram hypervectors.
+
+        ``window`` is a (T, n_channels) array of raw samples with
+        T >= N-gram size.
+        """
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise ValueError(
+                f"window must be (timestamps, channels), got {window.shape}"
+            )
+        spatial_seq = [self._spatial.encode(row) for row in window]
+        return self._temporal.sliding(spatial_seq)
+
+    def encode(self, window: np.ndarray) -> BinaryHypervector:
+        """Query hypervector of one classification window."""
+        return ops.bundle(self.ngrams(window))

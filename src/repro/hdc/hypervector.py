@@ -1,0 +1,151 @@
+"""The :class:`BinaryHypervector` value type.
+
+A thin, dimension-aware wrapper around a packed uint32 word array (see
+:mod:`repro.hdc.bitpack`).  It exists so that the rest of the library can
+pass hypervectors around without re-validating word counts and pad bits at
+every call site, and so that operators read like the paper's algebra::
+
+    bound   = channel ^ level          # multiplication / binding (XOR)
+    rotated = spatial.rotate(2)        # permutation rho^2
+    dist    = query.hamming(prototype) # associative-memory lookup metric
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from . import bitpack
+
+
+class BinaryHypervector:
+    """An immutable dense binary hypervector of a fixed dimension.
+
+    Instances always satisfy two invariants, enforced at construction:
+    the packed word array has exactly ``words_for_dim(dim)`` entries, and
+    all pad bits above component ``dim - 1`` are zero.
+    """
+
+    __slots__ = ("_words", "_dim")
+
+    def __init__(self, words: np.ndarray, dim: int):
+        words = np.ascontiguousarray(words, dtype=np.uint32)
+        if words.ndim != 1:
+            raise ValueError(f"packed words must be 1-D, got {words.shape}")
+        if words.size != bitpack.words_for_dim(dim):
+            raise ValueError(
+                f"{words.size} words cannot hold a {dim}-D hypervector "
+                f"(need {bitpack.words_for_dim(dim)})"
+            )
+        if not bitpack.pad_bits_are_zero(words, dim):
+            raise ValueError("pad bits above the dimension must be zero")
+        self._words = words.copy()
+        self._words.flags.writeable = False
+        self._dim = int(dim)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BinaryHypervector":
+        """Build from an explicit {0,1} component sequence."""
+        arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+        return cls(bitpack.pack_bits(arr), arr.size)
+
+    @classmethod
+    def random(cls, dim: int, rng: np.random.Generator) -> "BinaryHypervector":
+        """Draw i.i.d. Bernoulli(1/2) components (a fresh quasi-orthogonal seed)."""
+        return cls(bitpack.random_packed(dim, rng), dim)
+
+    @classmethod
+    def zeros(cls, dim: int) -> "BinaryHypervector":
+        """The all-zero vector (identity element of XOR binding)."""
+        return cls(np.zeros(bitpack.words_for_dim(dim), dtype=np.uint32), dim)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of logical components."""
+        return self._dim
+
+    @property
+    def n_words(self) -> int:
+        """Number of packed uint32 words."""
+        return self._words.size
+
+    @property
+    def words(self) -> np.ndarray:
+        """The packed word array (read-only view)."""
+        return self._words
+
+    def to_bits(self) -> np.ndarray:
+        """Unpack to a uint8 array of ``dim`` components."""
+        return bitpack.unpack_bits(self._words, self._dim)
+
+    # -- algebra ----------------------------------------------------------
+
+    def _check_same_space(self, other: "BinaryHypervector") -> None:
+        if not isinstance(other, BinaryHypervector):
+            raise TypeError(f"expected BinaryHypervector, got {type(other)!r}")
+        if other._dim != self._dim:
+            raise ValueError(
+                f"dimension mismatch: {self._dim} vs {other._dim}"
+            )
+
+    def __xor__(self, other: "BinaryHypervector") -> "BinaryHypervector":
+        """Binding (the paper's multiplication): componentwise XOR."""
+        self._check_same_space(other)
+        return BinaryHypervector(
+            np.bitwise_xor(self._words, other._words), self._dim
+        )
+
+    def rotate(self, k: int = 1) -> "BinaryHypervector":
+        """Permutation ρ^k: circular rotation of components by ``k``."""
+        return BinaryHypervector(
+            bitpack.rotate_bits(self._words, self._dim, k), self._dim
+        )
+
+    def hamming(self, other: "BinaryHypervector") -> int:
+        """Number of components at which the two vectors differ."""
+        self._check_same_space(other)
+        return bitpack.popcount_words(
+            np.bitwise_xor(self._words, other._words)
+        )
+
+    def normalized_hamming(self, other: "BinaryHypervector") -> float:
+        """Hamming distance as a fraction of the dimension, in [0, 1]."""
+        return self.hamming(other) / self._dim
+
+    def popcount(self) -> int:
+        """Number of components set to 1."""
+        return bitpack.popcount_words(self._words)
+
+    def get_bit(self, index: int) -> int:
+        """Read logical component ``index`` (0-based)."""
+        if not 0 <= index < self._dim:
+            raise IndexError(f"component {index} out of range 0..{self._dim - 1}")
+        word, bit = divmod(index, bitpack.WORD_BITS)
+        return int((self._words[word] >> np.uint32(bit)) & np.uint32(1))
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryHypervector):
+            return NotImplemented
+        return self._dim == other._dim and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._dim, self._words.tobytes()))
+
+    def __len__(self) -> int:
+        return self._dim
+
+    def __repr__(self) -> str:
+        ones = self.popcount()
+        return (
+            f"BinaryHypervector(dim={self._dim}, ones={ones}, "
+            f"words={self.n_words})"
+        )

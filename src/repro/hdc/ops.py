@@ -1,0 +1,123 @@
+"""The MAP operation set on binary hypervectors (section 2.1 of the paper).
+
+* **Multiplication** (binding) — componentwise XOR; produces a vector
+  dissimilar to both inputs; self-inverse.
+* **Addition** (bundling) — componentwise majority with ties broken by a
+  reproducible tiebreaker vector; produces a vector similar to every input.
+* **Permutation** — circular rotation; produces a dissimilar
+  pseudo-orthogonal vector, used to encode sequence position.
+
+The bundling tie rule follows section 5.1 exactly: when the number of
+inputs is even, "one random but reproducible hypervector is generated, by
+componentwise XOR between two bound hypervectors, for the majority to break
+the ties at random".  We XOR the first two inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import bitpack
+from .hypervector import BinaryHypervector
+
+
+def bind(a: BinaryHypervector, b: BinaryHypervector) -> BinaryHypervector:
+    """Bind two hypervectors (componentwise XOR)."""
+    return a ^ b
+
+
+def permute(v: BinaryHypervector, k: int = 1) -> BinaryHypervector:
+    """Apply the permutation ρ^k (circular component rotation by ``k``)."""
+    return v.rotate(k)
+
+
+def hamming(a: BinaryHypervector, b: BinaryHypervector) -> int:
+    """Hamming distance between two hypervectors."""
+    return a.hamming(b)
+
+
+def tiebreaker(vectors: Sequence[BinaryHypervector]) -> BinaryHypervector:
+    """The reproducible tie-breaking vector for an even-sized bundle.
+
+    Defined as the XOR of the first two inputs (paper, section 5.1).  It is
+    deterministic given the inputs, yet its components look random with
+    respect to each individual input.
+    """
+    if len(vectors) < 2:
+        raise ValueError("a tiebreaker needs at least two input vectors")
+    return vectors[0] ^ vectors[1]
+
+
+def _stacked_bit_counts(vectors: Sequence[BinaryHypervector]) -> np.ndarray:
+    """Per-component count of ones across the input vectors (int32 array)."""
+    dim = vectors[0].dim
+    counts = np.zeros(dim, dtype=np.int32)
+    for v in vectors:
+        counts += v.to_bits()
+    return counts
+
+
+def bundle(vectors: Sequence[BinaryHypervector]) -> BinaryHypervector:
+    """Bundle (add) hypervectors by componentwise majority.
+
+    For an even input count, the XOR tiebreaker of the first two inputs is
+    appended so the effective count is odd and every component has a strict
+    majority.  A single input is returned unchanged; an empty bundle is an
+    error.
+    """
+    if len(vectors) == 0:
+        raise ValueError("cannot bundle zero hypervectors")
+    dim = vectors[0].dim
+    for v in vectors[1:]:
+        if v.dim != dim:
+            raise ValueError(
+                f"all bundled vectors must share a dimension, got {v.dim} vs {dim}"
+            )
+    if len(vectors) == 1:
+        return vectors[0]
+    effective = list(vectors)
+    if len(effective) % 2 == 0:
+        effective.append(tiebreaker(vectors))
+    counts = _stacked_bit_counts(effective)
+    majority = (counts > len(effective) // 2).astype(np.uint8)
+    return BinaryHypervector(bitpack.pack_bits(majority), dim)
+
+
+def bundle_counts(
+    counts: np.ndarray, total: int, tie_break: BinaryHypervector
+) -> BinaryHypervector:
+    """Majority-threshold pre-accumulated per-component one-counts.
+
+    This is the streaming form of :func:`bundle` used by trainers that
+    accumulate many N-gram vectors per class without keeping them all: the
+    caller maintains ``counts`` (ones per component) over ``total`` added
+    vectors and supplies a tiebreaker used only when ``total`` is even and a
+    component is exactly split.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 1:
+        raise ValueError("counts must be 1-D")
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if np.any(counts < 0) or np.any(counts > total):
+        raise ValueError("counts must lie in [0, total]")
+    dim = counts.size
+    if tie_break.dim != dim:
+        raise ValueError("tiebreaker dimension mismatch")
+    if total % 2 == 1:
+        majority = (counts > total // 2).astype(np.uint8)
+    else:
+        tie_bits = tie_break.to_bits()
+        doubled = 2 * counts.astype(np.int64) + tie_bits
+        majority = (doubled > total).astype(np.uint8)
+    return BinaryHypervector(bitpack.pack_bits(majority), dim)
+
+
+def similarity(a: BinaryHypervector, b: BinaryHypervector) -> float:
+    """Normalized similarity in [0, 1]: 1 − hamming/dim.
+
+    Unrelated random hypervectors score ≈ 0.5; identical vectors score 1.
+    """
+    return 1.0 - a.normalized_hamming(b)

@@ -1,0 +1,156 @@
+"""Fault injection and graceful degradation.
+
+Section 4.1 of the paper: "the HD classifier exhibits a graceful
+degradation with lower dimensionality, or faulty components, allowing a
+trade-off between the application's accuracy and the available hardware
+resources" [19, 20].  This module makes that claim testable: it injects
+stuck-at / bit-flip faults into stored prototypes and queries and
+measures the accuracy of the degraded model.
+
+Because hypervector information is distributed holographically, flipping
+a random fraction ``p`` of prototype components moves every query's
+distance by a ~Binomial(pD) amount while the *margins* between classes
+scale with D — so accuracy decays smoothly in ``p`` instead of
+collapsing, and larger dimensions tolerate more damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .associative_memory import AssociativeMemory
+from .hypervector import BinaryHypervector
+from . import bitpack
+
+
+def flip_bits(
+    vector: BinaryHypervector,
+    fraction: float,
+    rng: np.random.Generator,
+) -> BinaryHypervector:
+    """Flip a random ``fraction`` of the vector's components."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n_flips = int(round(fraction * vector.dim))
+    if n_flips == 0:
+        return vector
+    bits = vector.to_bits()
+    positions = rng.choice(vector.dim, size=n_flips, replace=False)
+    bits[positions] ^= 1
+    return BinaryHypervector(bitpack.pack_bits(bits), vector.dim)
+
+
+def stuck_at(
+    vector: BinaryHypervector,
+    fraction: float,
+    value: int,
+    rng: np.random.Generator,
+) -> BinaryHypervector:
+    """Force a random ``fraction`` of components to a stuck value."""
+    if value not in (0, 1):
+        raise ValueError(f"stuck value must be 0 or 1, got {value}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    n_faults = int(round(fraction * vector.dim))
+    if n_faults == 0:
+        return vector
+    bits = vector.to_bits()
+    positions = rng.choice(vector.dim, size=n_faults, replace=False)
+    bits[positions] = value
+    return BinaryHypervector(bitpack.pack_bits(bits), vector.dim)
+
+
+def faulty_memory(
+    am: AssociativeMemory,
+    fraction: float,
+    rng: np.random.Generator,
+    mode: str = "flip",
+) -> AssociativeMemory:
+    """A copy of an associative memory with faults in every prototype.
+
+    ``mode`` is ``'flip'``, ``'stuck0'``, or ``'stuck1'``.
+    """
+    faulty = AssociativeMemory(am.dim)
+    for label in am.labels:
+        proto = am[label]
+        if mode == "flip":
+            proto = flip_bits(proto, fraction, rng)
+        elif mode == "stuck0":
+            proto = stuck_at(proto, fraction, 0, rng)
+        elif mode == "stuck1":
+            proto = stuck_at(proto, fraction, 1, rng)
+        else:
+            raise ValueError(
+                f"mode must be flip/stuck0/stuck1, got {mode!r}"
+            )
+        faulty.store(label, proto)
+    return faulty
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Accuracy under one fault rate."""
+
+    fault_fraction: float
+    accuracy: float
+
+
+@dataclass(frozen=True)
+class DegradationCurve:
+    """Accuracy as a function of the injected fault rate."""
+
+    mode: str
+    points: List[DegradationPoint]
+
+    def accuracy_at(self, fraction: float) -> float:
+        """Accuracy at an exact swept fault rate."""
+        for point in self.points:
+            if point.fault_fraction == fraction:
+                return point.accuracy
+        raise KeyError(f"fault rate {fraction} not in the sweep")
+
+    def is_graceful(self, threshold_drop: float = 0.15) -> bool:
+        """No adjacent fault step loses more than ``threshold_drop``."""
+        accs = [p.accuracy for p in self.points]
+        return all(
+            a - b <= threshold_drop for a, b in zip(accs, accs[1:])
+        )
+
+
+def degradation_curve(
+    classifier,
+    windows: Sequence[np.ndarray],
+    labels: Sequence,
+    fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4),
+    mode: str = "flip",
+    seed: int = 1234,
+) -> DegradationCurve:
+    """Sweep fault rates over a trained classifier's AM.
+
+    ``classifier`` is a fitted :class:`~repro.hdc.classifier.HDClassifier`
+    (anything exposing ``associative_memory`` and ``encoder``).  The
+    original model is left untouched.
+    """
+    rng = np.random.default_rng(seed)
+    queries = [
+        classifier.encoder.encode(np.asarray(w, dtype=np.float64))
+        for w in windows
+    ]
+    points = []
+    for fraction in fractions:
+        am = faulty_memory(
+            classifier.associative_memory, fraction, rng, mode
+        )
+        hits = sum(
+            am.classify(q) == label for q, label in zip(queries, labels)
+        )
+        points.append(
+            DegradationPoint(
+                fault_fraction=float(fraction),
+                accuracy=hits / len(labels),
+            )
+        )
+    return DegradationCurve(mode=mode, points=points)

@@ -1,0 +1,35 @@
+"""Generated ISS kernels of the HD accelerator: data layout, code
+generation, the spatial/temporal/AM kernels, the full processing chain,
+and the fixed-point SVM kernel used for the Cortex M4 comparison.
+"""
+
+from .am_search import build_am_program
+from .chain import (
+    ChainConfig,
+    ChainResult,
+    HDChainSimulator,
+    build_encode_program,
+    emit_bundle_rows,
+)
+from .codegen import MAJORITY_STYLES, majority_style_for
+from .layout import ChainDims, ChainLayout, make_layout
+from .spatial import SpatialSource, build_spatial_program, choose_strategy
+from .temporal import build_ngram_program
+
+__all__ = [
+    "ChainConfig",
+    "ChainDims",
+    "ChainLayout",
+    "ChainResult",
+    "HDChainSimulator",
+    "MAJORITY_STYLES",
+    "SpatialSource",
+    "build_am_program",
+    "build_encode_program",
+    "build_ngram_program",
+    "build_spatial_program",
+    "choose_strategy",
+    "emit_bundle_rows",
+    "majority_style_for",
+    "make_layout",
+]

@@ -1,0 +1,510 @@
+"""The full HD processing chain on the simulated platform.
+
+``build_encode_program`` generates the MAP + spatial + temporal encoder
+kernel (the paper's ``MAP+ENCODERS`` row of Table 3): per input sample it
+double-buffers the needed CIM rows from L2 via DMA, binds channels to
+levels, majority-bundles the bound vectors into the spatial hypervector,
+forms N-grams by iterated rotate-XOR, and finally majority-bundles the
+window's N-grams into the query hypervector in L1.
+
+``build_am_program`` (see :mod:`repro.kernels.am_search`) then scores the
+query against the streamed AM matrix.  :class:`HDChainSimulator` wires
+both onto a simulated cluster, feeds it real model matrices and window
+data, and reads the predicted label back from simulated memory — the
+functional-equivalence counterpart of the paper's "matches the golden
+MATLAB model" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..hdc import bitpack
+from ..hdc.classifier import HDClassifier
+from ..hdc.item_memory import quantize_samples
+from ..pulp.assembler import Assembler, Program
+from ..pulp.cluster import Cluster, ClusterRunResult
+from ..pulp.soc import SoCConfig
+from . import codegen
+from .am_search import build_am_program
+from .layout import ChainDims, ChainLayout, make_layout
+from .spatial import SpatialSource, choose_strategy, emit_spatial_sample
+from .temporal import emit_ngram
+
+MAX_REGISTER_BUNDLE_ROWS = 7
+"""Largest row count handled by the register window bundle."""
+
+
+def emit_bundle_rows(
+    asm: Assembler,
+    layout: ChainLayout,
+    base_addr: int,
+    n_rows: int,
+    dst_addr: int,
+    n_cores: int,
+    style: str,
+) -> None:
+    """Majority-bundle ``n_rows`` contiguous L1 rows into ``dst_addr``.
+
+    Used for the window bundle (query formation).  Small row counts keep
+    every row word in a register; larger counts fall back to a bit-serial
+    sweep over the rows in memory.  Even row counts get the XOR
+    tiebreaker of the first two rows, as everywhere else.
+    """
+    dims = layout.dims
+    profile = asm.profile
+    row = dims.row_bytes
+    k = n_rows + (1 if n_rows % 2 == 0 else 0)
+
+    if n_rows == 1:
+        from .temporal import emit_copy_words
+
+        emit_copy_words(asm, layout, base_addr, dst_addr, n_cores)
+        return
+
+    w = asm.reg("w")
+    w_end = asm.reg("w_end")
+    t = asm.reg("t")
+    cnt = asm.reg("cnt")
+    res = asm.reg("res")
+    bit = asm.reg("bit")
+    thresh = asm.reg("thresh")
+    c32 = asm.reg("c32")
+    p_base = asm.reg("p_base")
+    p_dst = asm.reg("p_dst")
+
+    codegen.emit_chunk_bounds(asm, dims.n_words, n_cores, w, w_end, t)
+    asm.slli(t, w, 2)
+    asm.li(p_base, base_addr)
+    asm.add(p_base, p_base, t)
+    asm.li(p_dst, dst_addr)
+    asm.add(p_dst, p_dst, t)
+    asm.li(thresh, k // 2)
+    asm.li(c32, 32)
+
+    if k <= MAX_REGISTER_BUNDLE_ROWS:
+        regs = [asm.reg(f"b{j}") for j in range(k)]
+        use_hw = profile.has_hw_loops and style == "bit-serial"
+
+        def body() -> None:
+            for j in range(n_rows):
+                asm.lw(regs[j], p_base, j * row)
+            if k > n_rows:
+                asm.xor(regs[n_rows], regs[0], regs[1])
+            codegen.emit_majority_word(
+                asm, style, regs, res, cnt, t, bit, thresh, c32, use_hw
+            )
+            if profile.has_postincrement:
+                asm.sw_postinc(res, p_dst, 4)
+            else:
+                asm.sw(res, p_dst, 0)
+
+        def step() -> None:
+            asm.addi(p_base, p_base, 4)
+            if not profile.has_postincrement:
+                asm.addi(p_dst, p_dst, 4)
+
+        codegen.emit_word_loop(asm, profile, w, w_end, t, body, step, "wbun")
+    else:
+        if n_rows % 2 == 0:
+            raise ValueError(
+                "the memory window bundle supports odd row counts only; "
+                "stage a tiebreak row explicitly for even counts"
+            )
+        p_row = asm.reg("p_row")
+        ch = asm.reg("ch")
+        k_reg = asm.reg("k_reg")
+        asm.li(k_reg, n_rows)
+
+        def body() -> None:
+            asm.mv(res, 0)
+            asm.mv(bit, 0)
+            bitloop = codegen.asm_unique(asm, "wbunbit")
+            asm.label(bitloop)
+            asm.mv(cnt, 0)
+            asm.mv(p_row, p_base)
+            asm.mv(ch, 0)
+            rowloop = codegen.asm_unique(asm, "wbunrow")
+            asm.label(rowloop)
+            asm.lw(t, p_row, 0)
+            asm.srl(t, t, bit)
+            asm.andi(t, t, 1)
+            asm.add(cnt, cnt, t)
+            asm.addi(p_row, p_row, row)
+            asm.addi(ch, ch, 1)
+            asm.bltu(ch, k_reg, rowloop)
+            asm.sltu(t, thresh, cnt)
+            asm.sll(t, t, bit)
+            asm.or_(res, res, t)
+            asm.addi(bit, bit, 1)
+            asm.bltu(bit, c32, bitloop)
+            asm.sw(res, p_dst, 0)
+
+        def step() -> None:
+            asm.addi(p_base, p_base, 4)
+            asm.addi(p_dst, p_dst, 4)
+
+        codegen.emit_word_loop(asm, profile, w, w_end, t, body, step, "wbun")
+        asm.free_reg("p_row")
+        asm.free_reg("ch")
+        asm.free_reg("k_reg")
+
+
+def build_encode_program(
+    profile,
+    layout: ChainLayout,
+    n_cores: int,
+    use_builtins: bool = False,
+    uses_dma: bool = True,
+    strategy: str = "auto",
+    literal_fig2: bool = False,
+) -> Program:
+    """The MAP + spatial + temporal encoder program (one window)."""
+    dims = layout.dims
+    row = dims.row_bytes
+    n_ch = dims.n_channels
+    n = dims.ngram
+    n_samples = dims.n_samples
+    style = codegen.majority_style_for(profile, use_builtins, literal_fig2)
+    if strategy == "auto":
+        strategy = choose_strategy(dims.n_bundle_inputs, uses_dma, n_ch)
+
+    asm = Assembler(profile, name=f"encode_{profile.name}")
+
+    if uses_dma:
+        s_src = asm.reg("s_src")
+        s_dst = asm.reg("s_dst")
+        s_size = asm.reg("s_size")
+        skip = codegen.asm_unique(asm, "pro_skip")
+        codegen.emit_core0_guard(asm, skip)
+        # Stage the whole IM (contiguous rows: one transfer).
+        asm.li(s_src, layout.im_l2)
+        asm.li(s_dst, layout.im_l1)
+        asm.li(s_size, n_ch * row)
+        asm.dma_copy(s_src, s_dst, s_size)
+        # Stage sample 0's CIM rows into buffer 0.
+        asm.li(s_size, row)
+        for ch in range(n_ch):
+            asm.li(s_dst, layout.desc_entry(0, ch))
+            asm.lw(s_src, s_dst, 0)
+            asm.li(s_dst, layout.cim_buf_row(0, ch))
+            asm.dma_copy(s_src, s_dst, s_size)
+        asm.dma_wait()
+        asm.label(skip)
+        asm.barrier()
+
+    for s in range(n_samples):
+        if uses_dma and s + 1 < n_samples:
+            # Prefetch the next sample's CIM rows into the other buffer.
+            skip = codegen.asm_unique(asm, f"pf{s}_skip")
+            codegen.emit_core0_guard(asm, skip)
+            asm.li(s_size, row)
+            for ch in range(n_ch):
+                asm.li(s_dst, layout.desc_entry(s + 1, ch))
+                asm.lw(s_src, s_dst, 0)
+                asm.li(s_dst, layout.cim_buf_row((s + 1) % 2, ch))
+                asm.dma_copy(s_src, s_dst, s_size)
+            asm.label(skip)
+
+        if uses_dma:
+            source = SpatialSource(l1_block=layout.cim_buf_row(s % 2, 0))
+        else:
+            source = SpatialSource(
+                desc_addrs=tuple(
+                    layout.desc_entry(s, ch) for ch in range(n_ch)
+                )
+            )
+        if n == 1:
+            spatial_dst = layout.ngram_row(s)
+        else:
+            spatial_dst = layout.spatial_row(s % n)
+        emit_spatial_sample(
+            asm,
+            layout,
+            source,
+            spatial_dst,
+            n_cores,
+            style,
+            strategy,
+            bound_buf=layout.bound_buf,
+        )
+
+        if n > 1 and s >= n - 1:
+            spatial_addrs = [
+                layout.spatial_row((s - n + 1 + i) % n) for i in range(n)
+            ]
+            emit_ngram(
+                asm, layout, spatial_addrs,
+                layout.ngram_row(s - n + 1), n_cores,
+            )
+
+        if uses_dma and s + 1 < n_samples:
+            skip = codegen.asm_unique(asm, f"pfw{s}_skip")
+            codegen.emit_core0_guard(asm, skip)
+            asm.dma_wait()
+            asm.label(skip)
+        asm.barrier()
+
+    emit_bundle_rows(
+        asm,
+        layout,
+        layout.ngram_ring,
+        dims.window,
+        layout.query_l1,
+        n_cores,
+        style,
+    )
+    asm.barrier()
+    asm.halt()
+    return asm.build()
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """One accelerator configuration (machine × build × workload shape)."""
+
+    soc: SoCConfig
+    n_cores: int
+    dims: ChainDims
+    use_builtins: bool = False
+    literal_fig2: bool = False
+    strategy: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.n_cores > self.soc.profile.max_cores:
+            raise ValueError(
+                f"{self.soc.name} supports at most "
+                f"{self.soc.profile.max_cores} cores, got {self.n_cores}"
+            )
+        if self.use_builtins and not self.soc.profile.has_bitmanip:
+            raise ValueError(
+                f"{self.soc.name} has no bit-manipulation builtins"
+            )
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Outcome of classifying one window on the simulated accelerator."""
+
+    label_index: int
+    distances: np.ndarray
+    encode_cycles: int
+    am_cycles: int
+    encode_run: ClusterRunResult
+    am_run: ClusterRunResult
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles of the classification."""
+        return self.encode_cycles + self.am_cycles
+
+    @property
+    def encode_load(self) -> float:
+        """Fraction of total time in MAP+ENCODERS (Table 3's ld column)."""
+        return self.encode_cycles / self.total_cycles
+
+    @property
+    def am_load(self) -> float:
+        """Fraction of total time in the AM kernel."""
+        return self.am_cycles / self.total_cycles
+
+
+class HDChainSimulator:
+    """Runs the HD classification chain on a simulated cluster."""
+
+    def __init__(self, config: ChainConfig):
+        self.config = config
+        strategy = config.strategy
+        if strategy == "auto":
+            strategy = choose_strategy(
+                config.dims.n_bundle_inputs,
+                config.soc.uses_dma,
+                config.dims.n_channels,
+            )
+        self.strategy = strategy
+        self.layout = make_layout(
+            config.dims,
+            config.n_cores,
+            uses_dma=config.soc.uses_dma,
+            with_bound_buf=(strategy == "memory"),
+        )
+        soc = config.soc
+        mem_cfg = soc.memory_config()
+        from ..pulp.memory import L1_BASE, L2_BASE
+
+        if self.layout.l1_end - L1_BASE > mem_cfg.l1_bytes:
+            raise ValueError(
+                f"chain working set ({self.layout.l1_end - L1_BASE} B) "
+                f"exceeds {soc.name} L1 ({mem_cfg.l1_bytes} B)"
+            )
+        if self.layout.l2_end - L2_BASE > mem_cfg.l2_bytes:
+            raise ValueError(
+                f"chain model ({self.layout.l2_end - L2_BASE} B) exceeds "
+                f"{soc.name} L2 ({mem_cfg.l2_bytes} B)"
+            )
+        self.cluster: Cluster = soc.make_cluster(config.n_cores)
+        self.encode_program = build_encode_program(
+            soc.profile,
+            self.layout,
+            config.n_cores,
+            use_builtins=config.use_builtins,
+            uses_dma=soc.uses_dma,
+            strategy=strategy,
+            literal_fig2=config.literal_fig2,
+        )
+        self.am_program = build_am_program(
+            soc.profile,
+            self.layout,
+            config.n_cores,
+            use_builtins=config.use_builtins,
+            uses_dma=soc.uses_dma,
+        )
+        self._model_loaded = False
+
+    # -- model / input staging -------------------------------------------------
+
+    def load_model(
+        self,
+        im_matrix: np.ndarray,
+        cim_matrix: np.ndarray,
+        am_matrix: np.ndarray,
+    ) -> None:
+        """Place the packed CIM/IM/AM matrices in simulated L2."""
+        dims = self.config.dims
+        expected = {
+            "IM": (im_matrix, (dims.n_channels, dims.n_words)),
+            "CIM": (cim_matrix, (dims.n_levels, dims.n_words)),
+            "AM": (am_matrix, (dims.n_classes, dims.n_words)),
+        }
+        for name, (matrix, shape) in expected.items():
+            matrix = np.asarray(matrix)
+            if matrix.shape != shape:
+                raise ValueError(
+                    f"{name} matrix shape {matrix.shape} != expected {shape}"
+                )
+        self.cluster.write_words(self.layout.im_l2, im_matrix.ravel())
+        self.cluster.write_words(self.layout.cim_l2, cim_matrix.ravel())
+        self.cluster.write_words(self.layout.am_l2, am_matrix.ravel())
+        if not self.config.soc.uses_dma:
+            # Flat-memory machines have no DMA prologue: the IM working
+            # copy is part of the program's data section, staged here.
+            self.cluster.write_words(self.layout.im_l1, im_matrix.ravel())
+        self._model_loaded = True
+
+    @classmethod
+    def from_classifier(
+        cls,
+        classifier: HDClassifier,
+        soc: SoCConfig,
+        n_cores: int,
+        use_builtins: bool = False,
+        window: Optional[int] = None,
+        **kwargs,
+    ) -> "HDChainSimulator":
+        """Build a simulator preloaded with a trained classifier's model."""
+        cfg = classifier.config
+        dims = ChainDims(
+            dim=cfg.dim,
+            n_channels=cfg.n_channels,
+            n_levels=cfg.n_levels,
+            n_classes=len(classifier.associative_memory),
+            ngram=cfg.ngram_size,
+            window=window if window is not None else 5,
+        )
+        sim = cls(
+            ChainConfig(
+                soc=soc,
+                n_cores=n_cores,
+                dims=dims,
+                use_builtins=use_builtins,
+                **kwargs,
+            )
+        )
+        spatial = classifier.encoder.spatial
+        sim.load_model(
+            spatial.item_memory.as_matrix(),
+            spatial.continuous_memory.as_matrix(),
+            classifier.associative_memory.as_matrix(),
+        )
+        return sim
+
+    # -- execution --------------------------------------------------------------
+
+    def run_window_levels(self, levels: np.ndarray) -> ChainResult:
+        """Classify one window given pre-quantised integer levels.
+
+        ``levels`` is (n_samples, n_channels) with entries in
+        [0, n_levels).  Returns the chain result with the label read back
+        from simulated memory.
+        """
+        if not self._model_loaded:
+            raise RuntimeError("load_model must be called first")
+        dims = self.config.dims
+        levels = np.asarray(levels)
+        if levels.shape != (dims.n_samples, dims.n_channels):
+            raise ValueError(
+                f"levels shape {levels.shape} != expected "
+                f"({dims.n_samples}, {dims.n_channels})"
+            )
+        if levels.min() < 0 or levels.max() >= dims.n_levels:
+            raise ValueError(
+                f"levels must lie in [0, {dims.n_levels}), got "
+                f"[{levels.min()}, {levels.max()}]"
+            )
+        # Descriptor table: L2 address of each (sample, channel) CIM row.
+        desc = np.array(
+            [
+                self.layout.cim_l2_row(int(level))
+                for level in levels.ravel()
+            ],
+            dtype=np.uint32,
+        )
+        self.cluster.write_words(self.layout.desc_l2, desc)
+        encode_run = self.cluster.run(self.encode_program)
+        am_run = self.cluster.run(self.am_program)
+        label = self.cluster.read_word(self.layout.result_label_addr())
+        distances = np.array(
+            [
+                self.cluster.read_word(self.layout.result_distance_addr(c))
+                for c in range(dims.n_classes)
+            ],
+            dtype=np.int64,
+        )
+        return ChainResult(
+            label_index=int(label),
+            distances=distances,
+            encode_cycles=encode_run.total_cycles,
+            am_cycles=am_run.total_cycles,
+            encode_run=encode_run,
+            am_run=am_run,
+        )
+
+    def run_window(
+        self,
+        window: np.ndarray,
+        signal_lo: float = 0.0,
+        signal_hi: float = 21.0,
+    ) -> ChainResult:
+        """Quantise a raw (n_samples, n_channels) window and classify it."""
+        dims = self.config.dims
+        window = np.asarray(window, dtype=np.float64)
+        if window.shape != (dims.n_samples, dims.n_channels):
+            raise ValueError(
+                f"window shape {window.shape} != expected "
+                f"({dims.n_samples}, {dims.n_channels})"
+            )
+        levels = quantize_samples(
+            window.ravel(), signal_lo, signal_hi, dims.n_levels
+        ).reshape(window.shape)
+        return self.run_window_levels(levels)
+
+    def read_query(self) -> np.ndarray:
+        """The query hypervector left in L1 by the encode program."""
+        return self.cluster.read_words(
+            self.layout.query_l1, self.config.dims.n_words
+        )

@@ -1,0 +1,328 @@
+"""Shared code-generation helpers for the HD kernels.
+
+The generators here emit the recurring instruction patterns of the
+processing chain:
+
+* per-core word-range chunking (the OpenMP ``schedule(static)`` split);
+* the componentwise-majority inner loops, in three flavours:
+
+  - ``bit-serial`` — the plain-C path used on PULPv3, the Cortex M4, and
+    Wolf without builtins: a 32-iteration loop extracting one bit of each
+    bound vector with shift/mask, accumulating a count, and setting the
+    result bit (hardware loops are used where the profile has them);
+  - ``extract-add`` — the xpulp builtin path: the bit loop is fully
+    unrolled so every ``p.extractu`` / ``p.insert`` takes an immediate
+    bit position, and the per-bit count accumulates directly;
+  - ``insert-popcount`` — the literal Fig. 2 structure: the extracted
+    bits are first packed into a temporary word with ``p.insert`` and
+    counted with ``p.cnt``.  Slightly slower than ``extract-add`` (kept
+    for the ablation bench);
+
+* the SWAR software popcount used where ``p.cnt`` is unavailable.
+
+Every emitter works on registers the caller allocates, so sections can
+reuse canonical register names across a program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..pulp.assembler import Assembler, CORE_ID_REG
+
+MAJORITY_STYLES = ("bit-serial", "extract-add", "insert-popcount")
+"""Supported majority implementations (see module docstring)."""
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for chunk sizing."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def emit_chunk_bounds(
+    asm: Assembler,
+    n_items: int,
+    n_cores: int,
+    lo_reg: int,
+    hi_reg: int,
+    tmp_reg: int,
+    first_item: int = 0,
+) -> None:
+    """Compute this core's [lo, hi) item range into two registers.
+
+    Uses ceiling chunks (``chunk = ceil(n / cores)``), clamped to
+    ``n_items``; cores past the end receive an empty range.  ``first_item``
+    offsets the range (used by the rotate pass, which parallelises words
+    1 .. n−1 and leaves word 0 to core 0).
+    """
+    chunk = ceil_div(max(n_items - first_item, 0), n_cores)
+    asm.li(tmp_reg, chunk)
+    asm.mul(lo_reg, CORE_ID_REG, tmp_reg)
+    if first_item:
+        asm.addi(lo_reg, lo_reg, first_item)
+    asm.addi(hi_reg, lo_reg, chunk)
+    asm.li(tmp_reg, n_items)
+    # hi = min(hi, n_items); lo = min(lo, n_items)
+    label_hi = asm_unique(asm, "chunk_hi_ok")
+    asm.bltu(hi_reg, tmp_reg, label_hi)
+    asm.mv(hi_reg, tmp_reg)
+    asm.label(label_hi)
+    label_lo = asm_unique(asm, "chunk_lo_ok")
+    asm.bltu(lo_reg, tmp_reg, label_lo)
+    asm.mv(lo_reg, tmp_reg)
+    asm.label(label_lo)
+
+
+_unique_counter = 0
+
+
+def asm_unique(asm: Assembler, stem: str) -> str:
+    """A program-unique label name derived from ``stem``."""
+    global _unique_counter
+    _unique_counter += 1
+    return f"{stem}_{_unique_counter}"
+
+
+def emit_core0_guard(asm: Assembler, skip_label: str) -> None:
+    """Branch to ``skip_label`` on every core except core 0."""
+    asm.bne(CORE_ID_REG, 0, skip_label)
+
+
+class PopcountConsts:
+    """Registers holding the SWAR popcount constants.
+
+    The constants are loaded once per program (4 instructions) and reused
+    by every software popcount expansion.
+    """
+
+    def __init__(self, asm: Assembler):
+        self.c55 = asm.reg("pc_c55")
+        self.c33 = asm.reg("pc_c33")
+        self.c0f = asm.reg("pc_c0f")
+        self.c01 = asm.reg("pc_c01")
+        asm.li(self.c55, 0x55555555)
+        asm.li(self.c33, 0x33333333)
+        asm.li(self.c0f, 0x0F0F0F0F)
+        asm.li(self.c01, 0x01010101)
+
+
+def emit_software_popcount(
+    asm: Assembler,
+    dst: int,
+    src: int,
+    tmp: int,
+    consts: PopcountConsts,
+) -> None:
+    """SWAR popcount of ``src`` into ``dst`` (12 instructions).
+
+    The classic parallel bit-count: pairwise sums, nibble sums, then a
+    multiply-accumulate across bytes.  ``dst`` may alias ``src``; ``tmp``
+    must be distinct from both.
+    """
+    asm.srli(tmp, src, 1)
+    asm.and_(tmp, tmp, consts.c55)
+    asm.sub(dst, src, tmp)  # dst = pairs of 2-bit counts
+    asm.srli(tmp, dst, 2)
+    asm.and_(tmp, tmp, consts.c33)
+    asm.and_(dst, dst, consts.c33)
+    asm.add(dst, dst, tmp)  # 4-bit counts
+    asm.srli(tmp, dst, 4)
+    asm.add(dst, dst, tmp)
+    asm.and_(dst, dst, consts.c0f)  # byte counts
+    asm.mul(dst, dst, consts.c01)
+    asm.srli(dst, dst, 24)
+
+
+def emit_majority_word(
+    asm: Assembler,
+    style: str,
+    input_regs: List[int],
+    res: int,
+    cnt: int,
+    t: int,
+    bit: int,
+    thresh: int,
+    c32: int,
+    use_hw_loop: bool,
+) -> None:
+    """Componentwise majority of the words in ``input_regs`` into ``res``.
+
+    ``thresh`` must hold ``len(input_regs) // 2`` (the count must strictly
+    exceed it) and, for the bit-serial style, ``c32`` the constant 32.
+    ``len(input_regs)`` must be odd — callers append the XOR tiebreaker
+    for even bundles *before* calling (section 5.1 of the paper).
+    """
+    k = len(input_regs)
+    if k % 2 == 0:
+        raise ValueError(
+            "majority needs an odd input count; append the tiebreaker first"
+        )
+    if style not in MAJORITY_STYLES:
+        raise ValueError(
+            f"unknown majority style {style!r}; known: {MAJORITY_STYLES}"
+        )
+    if style == "bit-serial":
+        _emit_majority_bit_serial(
+            asm, input_regs, res, cnt, t, bit, thresh, c32, use_hw_loop
+        )
+    elif style == "extract-add":
+        _emit_majority_extract_add(asm, input_regs, res, cnt, t, thresh)
+    else:
+        _emit_majority_insert_popcount(
+            asm, input_regs, res, cnt, t, thresh
+        )
+
+
+def _emit_majority_bit_serial(
+    asm: Assembler,
+    input_regs: List[int],
+    res: int,
+    cnt: int,
+    t: int,
+    bit: int,
+    thresh: int,
+    c32: int,
+    use_hw_loop: bool,
+) -> None:
+    """32-iteration shift/mask majority loop (plain-C path)."""
+    asm.mv(res, 0)
+    asm.mv(bit, 0)
+    body = asm_unique(asm, "majbit")
+    if use_hw_loop:
+        end = asm_unique(asm, "majbit_end")
+        asm.hw_loop(c32, end)
+    asm.label(body)
+    first = input_regs[0]
+    asm.srl(cnt, first, bit)
+    asm.andi(cnt, cnt, 1)
+    for reg in input_regs[1:]:
+        asm.srl(t, reg, bit)
+        asm.andi(t, t, 1)
+        asm.add(cnt, cnt, t)
+    asm.sltu(t, thresh, cnt)  # t = (count > threshold)
+    asm.sll(t, t, bit)
+    asm.or_(res, res, t)
+    asm.addi(bit, bit, 1)
+    if use_hw_loop:
+        asm.label(end)
+    else:
+        asm.bltu(bit, c32, body)
+
+
+def _extract_bit(asm: Assembler, rd: int, ra: int, pos: int) -> None:
+    """Single-bit field extract with the profile's instruction."""
+    if asm.profile.has_bitmanip:
+        asm.extractu(rd, ra, pos, 1)
+    else:
+        asm.ubfx(rd, ra, pos, 1)
+
+
+def _insert_bit(asm: Assembler, rd: int, ra: int, pos: int) -> None:
+    """Single-bit field insert with the profile's instruction."""
+    if asm.profile.has_bitmanip:
+        asm.insert(rd, ra, pos, 1)
+    else:
+        asm.bfi(rd, ra, pos, 1)
+
+
+def _emit_majority_extract_add(
+    asm: Assembler,
+    input_regs: List[int],
+    res: int,
+    cnt: int,
+    t: int,
+    thresh: int,
+) -> None:
+    """Fully unrolled bit-field majority: extract + add per input bit.
+
+    Uses ``p.extractu`` / ``p.insert`` on xpulp machines and the ARM
+    ``ubfx`` / ``bfi`` pair on the Cortex M4 (whose compiler emits them
+    for exactly this bit-field idiom).
+    """
+    asm.mv(res, 0)
+    for pos in range(32):
+        _extract_bit(asm, cnt, input_regs[0], pos)
+        for reg in input_regs[1:]:
+            _extract_bit(asm, t, reg, pos)
+            asm.add(cnt, cnt, t)
+        asm.sltu(t, thresh, cnt)
+        _insert_bit(asm, res, t, pos)
+
+
+def _emit_majority_insert_popcount(
+    asm: Assembler,
+    input_regs: List[int],
+    res: int,
+    cnt: int,
+    t: int,
+    thresh: int,
+) -> None:
+    """The literal Fig. 2 path: pack the extracted bits, then p.cnt.
+
+    For every bit position, one bit is extracted from each bound vector
+    and inserted into a temporary word (``cnt`` doubles as that packing
+    word), the ones are counted with the popcount builtin, and the
+    majority bit is inserted into the result.
+    """
+    asm.mv(res, 0)
+    for pos in range(32):
+        asm.mv(cnt, 0)
+        for j, reg in enumerate(input_regs):
+            asm.extractu(t, reg, pos, 1)
+            asm.insert(cnt, t, j, 1)
+        asm.popcount(cnt, cnt)
+        asm.sltu(t, thresh, cnt)
+        asm.insert(res, t, pos, 1)
+
+
+def majority_style_for(profile, use_builtins: bool, literal_fig2: bool = False) -> str:
+    """Select the majority implementation for a (profile, build) pair.
+
+    The xpulp builtin path needs an explicit opt-in (``use_builtins``,
+    the paper's built-in vs plain-C comparison); the ARM bit-field ops
+    are plain ARMv7E-M instructions every compiler emits, so the M4
+    always gets the extract-add form.
+    """
+    if use_builtins and profile.has_bitmanip:
+        return "insert-popcount" if literal_fig2 else "extract-add"
+    if profile.has_bitfield:
+        return "extract-add"
+    return "bit-serial"
+
+
+def emit_word_loop(
+    asm: Assembler,
+    profile,
+    w: int,
+    w_end: int,
+    t: int,
+    body: Callable[[], None],
+    step: Callable[[], None],
+    stem: str = "wloop",
+) -> None:
+    """A [w, w_end) counted loop around ``body`` + ``step``.
+
+    Uses a zero-overhead hardware loop when the profile has one (trip
+    count computed into ``t``), otherwise a branch loop.  ``body`` emits
+    the per-iteration work; ``step`` the pointer/counter advances (kept
+    separate so hardware-loop variants can skip redundant counters).
+    """
+    if profile.has_hw_loops:
+        end = asm_unique(asm, f"{stem}_hwend")
+        asm.sub(t, w_end, w)
+        asm.hw_loop(t, end)
+        body()
+        step()
+        asm.label(end)
+    else:
+        exit_label = asm_unique(asm, f"{stem}_exit")
+        head = asm_unique(asm, f"{stem}_head")
+        asm.bgeu(w, w_end, exit_label)
+        asm.label(head)
+        body()
+        step()
+        asm.addi(w, w, 1)
+        asm.bltu(w, w_end, head)
+        asm.label(exit_label)

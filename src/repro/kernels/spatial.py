@@ -1,0 +1,568 @@
+"""Spatial-encoder kernel: bind channels to levels, majority-bundle.
+
+Implements ``S_t = [(E1 ⊕ V1) + ... + (Ei ⊕ Vi)]`` over packed words,
+parallelised word-wise across the team (each core owns a contiguous word
+chunk).  Two data strategies are generated:
+
+* ``register`` — every bound vector word is held in a register while the
+  majority runs (the paper's structure, Fig. 2); viable up to ~7 bound
+  vectors, i.e. the 4-channel EMG task and similar;
+* ``memory`` — bound vector words are staged in an L1 scratch block and
+  the majority re-reads them bit by bit; linear in the channel count with
+  no register pressure, used for the many-channel scalability study.
+
+The majority itself comes from :mod:`repro.kernels.codegen` in the
+profile-appropriate style (bit-serial plain C vs xpulp builtins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..pulp.assembler import Assembler
+from ..pulp.isa import ArchProfile
+from . import codegen
+from .layout import ChainLayout
+
+MAX_REGISTER_BOUND_VECTORS = 7
+"""Upper bound-vector count for the register strategy."""
+
+STRATEGIES = ("register", "memory", "carry-save")
+"""Spatial-encoder data strategies (see module docstring)."""
+
+
+def choose_strategy(n_bundle_inputs: int, uses_dma: bool, n_channels: int) -> str:
+    """Pick the spatial data strategy for a configuration.
+
+    The register strategy needs one register per bound vector; without a
+    DMA staging buffer it additionally needs one pointer register per
+    channel, which caps the direct-access (Cortex M4) variant at four
+    channels.  Beyond that the bit-sliced carry-save strategy takes
+    over: O(log k) word operations per bound vector instead of O(32).
+    """
+    if n_bundle_inputs <= MAX_REGISTER_BOUND_VECTORS and (
+        uses_dma or n_channels <= 4
+    ):
+        return "register"
+    return "carry-save"
+
+
+@dataclass(frozen=True)
+class SpatialSource:
+    """Where one sample's CIM rows come from.
+
+    With DMA staging, rows for all channels sit contiguously in an L1
+    buffer (``l1_block``); without DMA the kernel dereferences the
+    per-channel descriptor entries (``desc_addrs``) and reads the L2 CIM
+    rows in place.
+    """
+
+    l1_block: Optional[int] = None
+    desc_addrs: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if (self.l1_block is None) == (self.desc_addrs is None):
+            raise ValueError(
+                "exactly one of l1_block / desc_addrs must be given"
+            )
+
+
+def emit_spatial_sample(
+    asm: Assembler,
+    layout: ChainLayout,
+    source: SpatialSource,
+    dst_addr: int,
+    n_cores: int,
+    style: str,
+    strategy: str,
+    bound_buf: Optional[int] = None,
+) -> None:
+    """Emit the spatial encoding of one sample into ``dst_addr``.
+
+    SPMD: every core processes its static word chunk.  The caller is
+    responsible for barriers around the section.
+    """
+    if strategy == "register":
+        _emit_register_strategy(
+            asm, layout, source, dst_addr, n_cores, style
+        )
+    elif strategy == "memory":
+        if bound_buf is None:
+            raise ValueError("memory strategy needs a bound_buf address")
+        _emit_memory_strategy(
+            asm, layout, source, dst_addr, n_cores, style, bound_buf
+        )
+    elif strategy == "carry-save":
+        _emit_carry_save_strategy(asm, layout, source, dst_addr, n_cores)
+    else:
+        raise ValueError(f"unknown spatial strategy {strategy!r}")
+
+
+def _emit_register_strategy(
+    asm: Assembler,
+    layout: ChainLayout,
+    source: SpatialSource,
+    dst_addr: int,
+    n_cores: int,
+    style: str,
+) -> None:
+    dims = layout.dims
+    profile = asm.profile
+    row = dims.row_bytes
+    n_ch = dims.n_channels
+    k = dims.n_bundle_inputs
+    direct = source.desc_addrs is not None
+
+    w = asm.reg("w")
+    w_end = asm.reg("w_end")
+    t = asm.reg("t")
+    cnt = asm.reg("cnt")
+    res = asm.reg("res")
+    bit = asm.reg("bit")
+    thresh = asm.reg("thresh")
+    c32 = asm.reg("c32")
+    p_im = asm.reg("p_im")
+    p_dst = asm.reg("p_dst")
+    bound = [asm.reg(f"b{j}") for j in range(k)]
+
+    codegen.emit_chunk_bounds(asm, dims.n_words, n_cores, w, w_end, t)
+    # Pointers start at this core's first word.
+    asm.slli(t, w, 2)
+    asm.li(p_im, layout.im_l1)
+    asm.add(p_im, p_im, t)
+    asm.li(p_dst, dst_addr)
+    asm.add(p_dst, p_dst, t)
+
+    if direct:
+        # One pointer register per channel, loaded from the descriptor.
+        chan_ptrs = [asm.reg(f"p_c{ch}") for ch in range(n_ch)]
+        for ch in range(n_ch):
+            asm.li(chan_ptrs[ch], source.desc_addrs[ch])
+            asm.lw(chan_ptrs[ch], chan_ptrs[ch], 0)
+            asm.slli(t, w, 2)
+            asm.add(chan_ptrs[ch], chan_ptrs[ch], t)
+    else:
+        p_cim = asm.reg("p_cim")
+        asm.slli(t, w, 2)
+        asm.li(p_cim, source.l1_block)
+        asm.add(p_cim, p_cim, t)
+
+    asm.li(thresh, k // 2)
+    asm.li(c32, 32)
+
+    use_hw_bit_loop = profile.has_hw_loops and style == "bit-serial"
+
+    def body() -> None:
+        for ch in range(n_ch):
+            asm.lw(bound[ch], p_im, ch * row)
+            if direct:
+                asm.lw(t, chan_ptrs[ch], 0)
+            else:
+                asm.lw(t, p_cim, ch * row)
+            asm.xor(bound[ch], bound[ch], t)
+        if k > n_ch:  # even channel count: the paper's XOR tiebreaker
+            asm.xor(bound[n_ch], bound[0], bound[1])
+        codegen.emit_majority_word(
+            asm, style, bound, res, cnt, t, bit, thresh, c32,
+            use_hw_loop=use_hw_bit_loop,
+        )
+        if profile.has_postincrement:
+            asm.sw_postinc(res, p_dst, 4)
+        else:
+            asm.sw(res, p_dst, 0)
+
+    def step() -> None:
+        asm.addi(p_im, p_im, 4)
+        if direct:
+            for ch in range(n_ch):
+                asm.addi(chan_ptrs[ch], chan_ptrs[ch], 4)
+        else:
+            asm.addi(p_cim, p_cim, 4)
+        if not profile.has_postincrement:
+            asm.addi(p_dst, p_dst, 4)
+
+    codegen.emit_word_loop(asm, profile, w, w_end, t, body, step, "spat")
+
+    if direct:
+        for ch in range(n_ch):
+            asm.free_reg(f"p_c{ch}")
+
+
+def _emit_memory_strategy(
+    asm: Assembler,
+    layout: ChainLayout,
+    source: SpatialSource,
+    dst_addr: int,
+    n_cores: int,
+    style: str,
+    bound_buf: int,
+) -> None:
+    """Stage bound vectors in L1, then bit-serial majority over the stage.
+
+    The builtin styles fall back to bit-serial here: with the bound words
+    re-read from memory every bit, immediate-position extracts provide no
+    structural advantage, and this path only serves the many-channel
+    regime the paper evaluates analytically.
+    """
+    dims = layout.dims
+    profile = asm.profile
+    row = dims.row_bytes
+    n_ch = dims.n_channels
+    k = dims.n_bundle_inputs
+    direct = source.desc_addrs is not None
+
+    w = asm.reg("w")
+    w_end = asm.reg("w_end")
+    t = asm.reg("t")
+    u = asm.reg("u")
+    ch = asm.reg("ch")
+    off = asm.reg("off")
+    p_a = asm.reg("p_a")
+    p_b = asm.reg("p_b")
+    p_o = asm.reg("p_o")
+
+    codegen.emit_chunk_bounds(asm, dims.n_words, n_cores, w, w_end, t)
+
+    # Phase A: bound_buf[ch] = IM[ch] ^ CIM_row[ch] over this core's words.
+    # Channel loop in assembly (the channel count may be large).
+    asm.li(ch, 0)
+    ch_loop = codegen.asm_unique(asm, "bindch")
+    ch_exit = codegen.asm_unique(asm, "bindch_exit")
+    nch_reg = asm.reg("nch")
+    asm.li(nch_reg, n_ch)
+    asm.label(ch_loop)
+    asm.bgeu(ch, nch_reg, ch_exit)
+    # off = ch*row + w*4: common offset into the row-major blocks
+    asm.li(t, row)
+    asm.mul(off, ch, t)
+    asm.slli(u, w, 2)
+    asm.add(off, off, u)
+    asm.li(p_a, layout.im_l1)
+    asm.add(p_a, p_a, off)
+    asm.li(p_o, bound_buf)
+    asm.add(p_o, p_o, off)
+    if direct:
+        # CIM row pointer from the descriptor table entry for (s, ch).
+        asm.li(u, source.desc_addrs[0])
+        asm.slli(t, ch, 2)
+        asm.add(u, u, t)
+        asm.lw(p_b, u, 0)
+        asm.slli(u, w, 2)
+        asm.add(p_b, p_b, u)
+    else:
+        asm.li(p_b, source.l1_block)
+        asm.add(p_b, p_b, off)
+
+    wi = asm.reg("wi")
+    asm.mv(wi, w)
+
+    def bind_body() -> None:
+        asm.lw(t, p_a, 0)
+        asm.lw(u, p_b, 0)
+        asm.xor(t, t, u)
+        asm.sw(t, p_o, 0)
+
+    def bind_step() -> None:
+        asm.addi(p_a, p_a, 4)
+        asm.addi(p_b, p_b, 4)
+        asm.addi(p_o, p_o, 4)
+
+    codegen.emit_word_loop(
+        asm, profile, wi, w_end, u, bind_body, bind_step, "bind"
+    )
+    asm.addi(ch, ch, 1)
+    asm.j(ch_loop)
+    asm.label(ch_exit)
+    asm.free_reg("nch")
+    asm.free_reg("wi")
+
+    # Phase B: tiebreak row (bound[0] ^ bound[1]) for even channel counts.
+    if k > n_ch:
+        wi2 = asm.reg("wi2")
+        asm.mv(wi2, w)
+        asm.slli(t, w, 2)
+        asm.li(p_a, bound_buf)
+        asm.add(p_a, p_a, t)
+        asm.addi(p_b, p_a, row)
+        asm.li(u, bound_buf + n_ch * row)
+        asm.add(p_o, u, t)
+
+        def tie_body() -> None:
+            asm.lw(t, p_a, 0)
+            asm.lw(u, p_b, 0)
+            asm.xor(t, t, u)
+            asm.sw(t, p_o, 0)
+
+        def tie_step() -> None:
+            asm.addi(p_a, p_a, 4)
+            asm.addi(p_b, p_b, 4)
+            asm.addi(p_o, p_o, 4)
+
+        codegen.emit_word_loop(
+            asm, profile, wi2, w_end, u, tie_body, tie_step, "tie"
+        )
+        asm.free_reg("wi2")
+
+    # Phase C: bit-serial majority over the k staged rows.
+    cnt = asm.reg("cnt")
+    res = asm.reg("res")
+    bit = asm.reg("bit")
+    thresh = asm.reg("thresh")
+    c32 = asm.reg("c32")
+    k_reg = asm.reg("k_reg")
+    p_dst = asm.reg("p_dst")
+    asm.li(thresh, k // 2)
+    asm.li(c32, 32)
+    asm.li(k_reg, k)
+    asm.slli(t, w, 2)
+    asm.li(p_dst, dst_addr)
+    asm.add(p_dst, p_dst, t)
+    asm.li(p_o, bound_buf)
+    asm.add(p_o, p_o, t)  # p_o walks the word column base
+
+    def maj_body() -> None:
+        asm.mv(res, 0)
+        asm.mv(bit, 0)
+        bitloop = codegen.asm_unique(asm, "membit")
+        asm.label(bitloop)
+        asm.mv(cnt, 0)
+        asm.mv(p_a, p_o)
+        asm.mv(ch, 0)
+        rowloop = codegen.asm_unique(asm, "memrow")
+        asm.label(rowloop)
+        asm.lw(t, p_a, 0)
+        asm.srl(t, t, bit)
+        asm.andi(t, t, 1)
+        asm.add(cnt, cnt, t)
+        asm.addi(p_a, p_a, row)
+        asm.addi(ch, ch, 1)
+        asm.bltu(ch, k_reg, rowloop)
+        asm.sltu(t, thresh, cnt)
+        asm.sll(t, t, bit)
+        asm.or_(res, res, t)
+        asm.addi(bit, bit, 1)
+        asm.bltu(bit, c32, bitloop)
+        asm.sw(res, p_dst, 0)
+
+    def maj_step() -> None:
+        asm.addi(p_o, p_o, 4)
+        asm.addi(p_dst, p_dst, 4)
+
+    codegen.emit_word_loop(asm, profile, w, w_end, u, maj_body, maj_step, "mmaj")
+
+    for name in (
+        "cnt", "res", "bit", "thresh", "c32", "k_reg", "p_dst",
+        "ch", "off", "p_a", "p_b", "p_o",
+    ):
+        asm.free_reg(name)
+
+
+def _emit_carry_save_strategy(
+    asm: Assembler,
+    layout: ChainLayout,
+    source: SpatialSource,
+    dst_addr: int,
+    n_cores: int,
+) -> None:
+    """Bit-sliced carry-save majority: O(log k) word ops per bound vector.
+
+    Instead of extracting individual bits, per packed word the one-counts
+    of all 32 bit positions are accumulated simultaneously in ``P =
+    bit_length(k)`` bit-plane registers: adding a bound word ``v`` is a
+    ripple ``carry = v; for p: t = c_p & carry; c_p ^= carry; carry = t``.
+    The majority mask then falls out of a bitwise magnitude comparison of
+    the plane number against the threshold ``k // 2`` (unrolled, since
+    the threshold is a build-time constant).
+
+    Bound vectors are produced on the fly (``IM[ch] ^ CIM_row[ch]``), so
+    no staging buffer is needed; the first two are kept in registers for
+    the even-count tiebreaker.  This is the strategy that keeps the
+    many-channel sweep of Fig. 5 inside the 10 ms deadline.
+    """
+    dims = layout.dims
+    profile = asm.profile
+    row = dims.row_bytes
+    n_ch = dims.n_channels
+    k = dims.n_bundle_inputs
+    has_tie = k > n_ch
+    n_planes = k.bit_length()
+    thresh = k // 2
+    direct = source.desc_addrs is not None
+
+    w = asm.reg("w")
+    w_end = asm.reg("w_end")
+    t = asm.reg("t")
+    carry = asm.reg("carry")
+    p_i = asm.reg("p_i")
+    p_c = asm.reg("p_c")
+    p_dst = asm.reg("p_dst")
+    b0 = asm.reg("b0")
+    b1 = asm.reg("b1")
+    eq = asm.reg("eq")
+    planes = [asm.reg(f"cs{p}") for p in range(n_planes)]
+    if direct:
+        woff = asm.reg("woff")
+        ch_end = asm.reg("ch_end")
+    else:
+        ch_end = asm.reg("ch_end")
+        woff = None
+
+    codegen.emit_chunk_bounds(asm, dims.n_words, n_cores, w, w_end, t)
+    asm.slli(t, w, 2)
+    asm.li(p_dst, dst_addr)
+    asm.add(p_dst, p_dst, t)
+    if direct:
+        asm.mv(woff, t)
+    else:
+        asm.li(p_i, layout.im_l1)
+        asm.add(p_i, p_i, t)
+        asm.li(p_c, source.l1_block)
+        asm.add(p_c, p_c, t)
+
+    def ripple() -> None:
+        # planes += carry (bit-sliced increment by a 0/1 mask)
+        for idx, plane in enumerate(planes):
+            last = idx == len(planes) - 1
+            if last:
+                asm.xor(plane, plane, carry)
+            else:
+                asm.and_(t, plane, carry)
+                asm.xor(plane, plane, carry)
+                asm.mv(carry, t)
+
+    def body() -> None:
+        for plane in planes:
+            asm.mv(plane, 0)
+        if direct:
+            # Walk the descriptor table; p_i tracks the IM column.
+            asm.li(p_i, layout.im_l1)
+            asm.add(p_i, p_i, woff)
+            asm.li(ch_end, source.desc_addrs[0])
+            row_loop = codegen.asm_unique(asm, "csrow")
+            row_end = codegen.asm_unique(asm, "csrow_end")
+            asm.li(t, source.desc_addrs[0] + n_ch * 4)
+            asm.mv(b1, t)  # b1 temporarily holds the end pointer
+            asm.label(row_loop)
+            asm.bgeu(ch_end, b1, row_end)
+            asm.lw(p_c, ch_end, 0)
+            asm.add(p_c, p_c, woff)
+            asm.lw(carry, p_c, 0)
+            asm.lw(t, p_i, 0)
+            asm.xor(carry, carry, t)
+            # Keep the first two bound words for the tiebreaker: they
+            # are recomputed after the loop instead (cheaper than
+            # branching per row), so just ripple here.
+            ripple()
+            asm.addi(p_i, p_i, row)
+            asm.addi(ch_end, ch_end, 4)
+            asm.j(row_loop)
+            asm.label(row_end)
+            if has_tie:
+                # Recompute bound words 0 and 1 for the tiebreak.
+                for j, breg in ((0, b0), (1, b1)):
+                    asm.li(t, source.desc_addrs[j])
+                    asm.lw(p_c, t, 0)
+                    asm.add(p_c, p_c, woff)
+                    asm.lw(breg, p_c, 0)
+                    asm.li(t, layout.im_l1 + j * row)
+                    asm.add(t, t, woff)
+                    asm.lw(t, t, 0)
+                    asm.xor(breg, breg, t)
+        else:
+            # Rows 0 and 1 unrolled so their bound words stay in b0/b1.
+            unroll = min(2 if has_tie else 0, n_ch)
+            for j in range(unroll):
+                asm.lw(carry, p_c, j * row)
+                asm.lw(t, p_i, j * row)
+                asm.xor(carry, carry, t)
+                asm.mv((b0, b1)[j], carry)
+                ripple()
+            if n_ch > unroll:
+                asm.li(ch_end, n_ch - unroll)
+                row_loop = codegen.asm_unique(asm, "csrow")
+                if profile.has_hw_loops:
+                    row_hw_end = codegen.asm_unique(asm, "csrow_hwend")
+                    asm.hw_loop(ch_end, row_hw_end)
+                asm.label(row_loop)
+                asm.lw(carry, p_c, unroll * row)
+                asm.lw(t, p_i, unroll * row)
+                asm.xor(carry, carry, t)
+                ripple()
+                asm.addi(p_c, p_c, row)
+                asm.addi(p_i, p_i, row)
+                if profile.has_hw_loops:
+                    asm.label(row_hw_end)
+                else:
+                    asm.addi(ch_end, ch_end, -1)
+                    asm.bne(ch_end, 0, row_loop)
+                # Rewind the row walk for the next word iteration.
+                asm.li(t, (n_ch - unroll) * row)
+                asm.sub(p_c, p_c, t)
+                asm.sub(p_i, p_i, t)
+        if has_tie:
+            asm.xor(carry, b0, b1)
+            ripple()
+        # Majority mask: count > thresh, compared bitwise MSB-first.
+        asm.li(eq, -1)
+        asm.mv(carry, 0)  # carry now accumulates the greater-than mask
+        for p in range(n_planes - 1, -1, -1):
+            if (thresh >> p) & 1:
+                asm.and_(eq, eq, planes[p])
+            else:
+                asm.and_(t, eq, planes[p])
+                asm.or_(carry, carry, t)
+                asm.xori(t, planes[p], -1)
+                asm.and_(eq, eq, t)
+        asm.sw(carry, p_dst, 0)
+
+    def step() -> None:
+        asm.addi(p_dst, p_dst, 4)
+        if direct:
+            asm.addi(woff, woff, 4)
+        else:
+            asm.addi(p_i, p_i, 4)
+            asm.addi(p_c, p_c, 4)
+
+    codegen.emit_word_loop(asm, profile, w, w_end, t, body, step, "cs")
+
+    for name in (
+        ["carry", "p_i", "p_c", "b0", "b1", "eq", "ch_end"]
+        + [f"cs{p}" for p in range(n_planes)]
+        + (["woff"] if direct else [])
+    ):
+        asm.free_reg(name)
+
+
+def build_spatial_program(
+    profile: ArchProfile,
+    layout: ChainLayout,
+    n_cores: int,
+    use_builtins: bool = False,
+    strategy: str = "register",
+    literal_fig2: bool = False,
+) -> "Program":
+    """A standalone one-sample spatial kernel (for tests and benches).
+
+    Expects the IM rows at ``layout.im_l1`` and the sample's CIM rows
+    staged contiguously at ``layout.cim_buf0``; writes the spatial vector
+    to ``layout.query_l1``.
+    """
+    from ..pulp.assembler import Program  # noqa: F401 (type for docstring)
+
+    asm = Assembler(profile, name=f"spatial_{profile.name}")
+    style = codegen.majority_style_for(profile, use_builtins, literal_fig2)
+    bound_buf = layout.bound_buf if strategy == "memory" else None
+    emit_spatial_sample(
+        asm,
+        layout,
+        SpatialSource(l1_block=layout.cim_buf0),
+        dst_addr=layout.query_l1,
+        n_cores=n_cores,
+        style=style,
+        strategy=strategy,
+        bound_buf=bound_buf,
+    )
+    asm.barrier()
+    asm.halt()
+    return asm.build()

@@ -1,0 +1,319 @@
+"""Fixed-point SVM inference kernel for the Cortex M4 (Table 1 baseline).
+
+Generates the serial one-vs-one SVM classifier the paper benchmarks
+against HD computing on the ARM Cortex M4: all arithmetic is integer
+(Q-format, matching :mod:`repro.svm.fixed_point` bit for bit), with the
+RBF kernel's ``exp(−x)`` computed by range reduction (k = ⌊x / ln 2⌋ by
+repeated subtraction, capped where the result underflows to zero) and a
+two-term Horner polynomial whose divisors are powers of two.
+
+The class-pair loop is unrolled at build time; the support-vector loop
+runs in assembly.  Votes and margins accumulate in a small L1 scratch
+block, and the final argmax follows the library's lexicographic
+(votes, then margin sum, then lowest index) rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..pulp.assembler import Assembler, Program
+from ..pulp.memory import L1_BASE, L2_BASE
+from ..pulp.soc import CORTEX_M4_SOC, SoCConfig
+from ..svm.fixed_point import FixedPointSVM
+from . import codegen
+
+MAX_FEATURES_IN_REGS = 6
+"""Feature dimensions supported by the register-resident query."""
+
+EXP_ZERO_CAP_MULTIPLE = 32
+"""exp(−x) is treated as zero for x ≥ 32 (in Q-format units of one).
+
+At that point ⌊x / ln 2⌋ ≥ 46, so any polynomial value below 2^46 shifts
+to zero — identical to the library's shift with its k ≤ 62 clamp for the
+fraction widths in use (≤ 15 bits)."""
+
+
+@dataclass(frozen=True)
+class SVMLayout:
+    """Simulated-memory addresses of the quantised SVM model."""
+
+    x_addr: int
+    votes_addr: int
+    margins_addr: int
+    result_addr: int
+    pair_sv: Dict[Tuple[int, int], int]
+    pair_coef: Dict[Tuple[int, int], int]
+    n_features: int
+    n_classes: int
+
+
+def _layout_model(fp_svm: FixedPointSVM) -> SVMLayout:
+    models = fp_svm.pair_models
+    first = next(iter(models.values()))
+    d = first.sv_q.shape[1]
+    n_classes = len(fp_svm.classes)
+
+    cursor = L2_BASE
+    pair_sv: Dict[Tuple[int, int], int] = {}
+    pair_coef: Dict[Tuple[int, int], int] = {}
+    for pair, model in models.items():
+        pair_sv[pair] = cursor
+        cursor += model.n_support * d * 4
+        pair_coef[pair] = cursor
+        cursor += model.n_support * 4
+    x_addr = cursor
+    cursor += d * 4
+    result_addr = cursor
+
+    votes_addr = L1_BASE
+    margins_addr = votes_addr + n_classes * 4
+    return SVMLayout(
+        x_addr=x_addr,
+        votes_addr=votes_addr,
+        margins_addr=margins_addr,
+        result_addr=result_addr,
+        pair_sv=pair_sv,
+        pair_coef=pair_coef,
+        n_features=d,
+        n_classes=n_classes,
+    )
+
+
+def build_svm_program(
+    fp_svm: FixedPointSVM, layout: SVMLayout, profile
+) -> Program:
+    """The serial fixed-point one-vs-one inference program."""
+    cfg = fp_svm.config
+    fbits = cfg.feature_frac_bits
+    if cfg.exp_terms != 2:
+        raise ValueError(
+            "the SVM kernel implements the 2-term Horner expansion; "
+            f"got exp_terms={cfg.exp_terms}"
+        )
+    one = 1 << fbits
+    ln2_q = int(round(np.log(2.0) * one))
+    zero_cap = EXP_ZERO_CAP_MULTIPLE * one
+    d = layout.n_features
+    if d > MAX_FEATURES_IN_REGS:
+        raise ValueError(
+            f"SVM kernel supports up to {MAX_FEATURES_IN_REGS} features, "
+            f"got {d}"
+        )
+
+    asm = Assembler(profile, name=f"svm_{profile.name}")
+    x = [asm.reg(f"x{j}") for j in range(d)]
+    t = asm.reg("t")
+    u = asm.reg("u")
+    acc = asm.reg("acc")
+    dec = asm.reg("dec")
+    result = asm.reg("result")
+    k = asm.reg("k")
+    i = asm.reg("i")
+    n_sv = asm.reg("n_sv")
+    p_sv = asm.reg("p_sv")
+    p_coef = asm.reg("p_coef")
+    gamma = asm.reg("gamma")
+    ln2 = asm.reg("ln2")
+    cap = asm.reg("cap")
+    onereg = asm.reg("one")
+
+    # Preload the query and shared constants.
+    asm.li(t, layout.x_addr)
+    for j in range(d):
+        asm.lw(x[j], t, j * 4)
+    asm.li(ln2, ln2_q)
+    asm.li(cap, zero_cap)
+    asm.li(onereg, one)
+    # Zero the vote/margin scratch.
+    asm.li(t, layout.votes_addr)
+    for c in range(layout.n_classes * 2):
+        asm.sw(0, t, c * 4)
+
+    models = fp_svm.pair_models
+    for pair, model in models.items():
+        a_idx, b_idx = pair
+        kind = model.kernel_kind
+        asm.li(p_sv, layout.pair_sv[pair])
+        asm.li(p_coef, layout.pair_coef[pair])
+        asm.li(n_sv, model.n_support)
+        asm.mv(dec, 0)
+        asm.mv(i, 0)
+        if kind == "rbf":
+            asm.li(gamma, model.gamma_q)
+        loop = codegen.asm_unique(asm, f"sv{a_idx}{b_idx}")
+        done = codegen.asm_unique(asm, f"svdone{a_idx}{b_idx}")
+        asm.label(loop)
+        asm.bgeu(i, n_sv, done)
+        if kind == "rbf":
+            # acc = Σ_j (x_j − sv_j)²   (non-negative)
+            asm.mv(acc, 0)
+            for j in range(d):
+                asm.lw(t, p_sv, j * 4)
+                asm.sub(t, x[j], t)
+                asm.mul(t, t, t)
+                asm.add(acc, acc, t)
+            asm.srli(acc, acc, fbits)  # squared distance, Q(fbits)
+            asm.mul(acc, gamma, acc)
+            asm.srli(acc, acc, fbits)  # exp argument, Q(fbits)
+            # exp(−acc): zero shortcut for large arguments.
+            do_exp = codegen.asm_unique(asm, f"doexp{a_idx}{b_idx}")
+            exp_done = codegen.asm_unique(asm, f"expdone{a_idx}{b_idx}")
+            asm.bltu(acc, cap, do_exp)
+            asm.mv(result, 0)
+            asm.j(exp_done)
+            asm.label(do_exp)
+            # Range reduce: k = acc / ln2 by repeated subtraction.
+            asm.mv(k, 0)
+            red = codegen.asm_unique(asm, f"red{a_idx}{b_idx}")
+            red_done = codegen.asm_unique(asm, f"reddone{a_idx}{b_idx}")
+            asm.label(red)
+            asm.bltu(acc, ln2, red_done)
+            asm.sub(acc, acc, ln2)
+            asm.addi(k, k, 1)
+            asm.j(red)
+            asm.label(red_done)
+            # Two-term Horner: result = 1 − r·(1 − r/2) in Q(fbits).
+            asm.mul(result, acc, onereg)
+            asm.srli(result, result, fbits + 1)  # r/2
+            asm.sub(result, onereg, result
+                    )  # 1 − r/2
+            asm.mul(result, acc, result)
+            asm.srli(result, result, fbits)
+            asm.sub(result, onereg, result)
+            asm.srl(result, result, k)  # apply 2^−k
+            asm.label(exp_done)
+        else:
+            # Linear kernel: result = (x · sv) >> fbits (may be negative).
+            asm.mv(result, 0)
+            for j in range(d):
+                asm.lw(t, p_sv, j * 4)
+                asm.mul(t, x[j], t)
+                asm.add(result, result, t)
+            asm.srai(result, result, fbits)
+        # dec += coef_q · K  (unshifted: the Q-rescale happens once after
+        # the sum, matching the library's rounding order exactly)
+        asm.lw(t, p_coef, 0)
+        asm.mul(t, t, result)
+        asm.add(dec, dec, t)
+        asm.addi(p_sv, p_sv, d * 4)
+        asm.addi(p_coef, p_coef, 4)
+        asm.addi(i, i, 1)
+        asm.j(loop)
+        asm.label(done)
+        asm.srai(dec, dec, fbits)
+        asm.li(t, model.bias_q)
+        asm.add(dec, dec, t)
+
+        # Vote and margin update for the (a, b) pair.
+        neg = codegen.asm_unique(asm, f"neg{a_idx}{b_idx}")
+        vote_done = codegen.asm_unique(asm, f"vdone{a_idx}{b_idx}")
+        asm.slti(t, dec, 0)
+        asm.bne(t, 0, neg)
+        asm.li(u, layout.votes_addr + a_idx * 4)
+        asm.lw(t, u, 0)
+        asm.addi(t, t, 1)
+        asm.sw(t, u, 0)
+        asm.j(vote_done)
+        asm.label(neg)
+        asm.li(u, layout.votes_addr + b_idx * 4)
+        asm.lw(t, u, 0)
+        asm.addi(t, t, 1)
+        asm.sw(t, u, 0)
+        asm.label(vote_done)
+        asm.li(u, layout.margins_addr + a_idx * 4)
+        asm.lw(t, u, 0)
+        asm.add(t, t, dec)
+        asm.sw(t, u, 0)
+        asm.li(u, layout.margins_addr + b_idx * 4)
+        asm.lw(t, u, 0)
+        asm.sub(t, t, dec)
+        asm.sw(t, u, 0)
+
+    # Argmax by (votes, margin), first index wins full ties.
+    best_v = asm.reg("best_v")
+    best_m = asm.reg("best_m")
+    best_i = asm.reg("best_i")
+    asm.li(u, layout.votes_addr)
+    asm.lw(best_v, u, 0)
+    asm.li(u, layout.margins_addr)
+    asm.lw(best_m, u, 0)
+    asm.mv(best_i, 0)
+    for c in range(1, layout.n_classes):
+        take = codegen.asm_unique(asm, f"take{c}")
+        skip = codegen.asm_unique(asm, f"skip{c}")
+        asm.li(u, layout.votes_addr + c * 4)
+        asm.lw(t, u, 0)
+        asm.li(u, layout.margins_addr + c * 4)
+        asm.lw(u, u, 0)
+        # take when votes > best_v, or equal votes and margin > best_m
+        asm.blt(best_v, t, take)
+        asm.bne(t, best_v, skip)
+        asm.bge(best_m, u, skip)
+        asm.label(take)
+        asm.mv(best_v, t)
+        asm.mv(best_m, u)
+        asm.li(best_i, c)
+        asm.label(skip)
+    asm.li(u, layout.result_addr)
+    asm.sw(best_i, u, 0)
+    asm.halt()
+    return asm.build()
+
+
+class SVMKernelSimulator:
+    """Runs the quantised SVM on the simulated Cortex M4."""
+
+    def __init__(self, fp_svm: FixedPointSVM, soc: SoCConfig = CORTEX_M4_SOC):
+        self.fp_svm = fp_svm
+        self.soc = soc
+        self.layout = _layout_model(fp_svm)
+        self.cluster = soc.make_cluster(1)
+        self.program = build_svm_program(fp_svm, self.layout, soc.profile)
+        self._stage_model()
+
+    def _stage_model(self) -> None:
+        for pair, model in self.fp_svm.pair_models.items():
+            sv32 = model.sv_q.astype(np.int64)
+            coef32 = model.coef_q.astype(np.int64)
+            if np.abs(sv32).max(initial=0) >= 2**31 or (
+                np.abs(coef32).max(initial=0) >= 2**31
+            ):
+                raise ValueError(
+                    "quantised model exceeds the 32-bit kernel range"
+                )
+            self.cluster.write_words(
+                self.layout.pair_sv[pair],
+                (sv32.ravel() & 0xFFFFFFFF).astype(np.uint32),
+            )
+            self.cluster.write_words(
+                self.layout.pair_coef[pair],
+                (coef32 & 0xFFFFFFFF).astype(np.uint32),
+            )
+
+    def classify_q(self, x_q: np.ndarray) -> Tuple[int, int]:
+        """Classify one pre-quantised feature vector.
+
+        Returns (class index into ``fp_svm.classes``, cycle count).
+        """
+        x_q = np.asarray(x_q, dtype=np.int64)
+        if x_q.shape != (self.layout.n_features,):
+            raise ValueError(
+                f"expected {self.layout.n_features} features, "
+                f"got shape {x_q.shape}"
+            )
+        self.cluster.write_words(
+            self.layout.x_addr, (x_q & 0xFFFFFFFF).astype(np.uint32)
+        )
+        run = self.cluster.run(self.program)
+        label_idx = self.cluster.read_word(self.layout.result_addr)
+        return int(label_idx), run.total_cycles
+
+    def classify(self, features: np.ndarray) -> Tuple[object, int]:
+        """Quantise raw features, classify, return (label, cycles)."""
+        x_q = self.fp_svm.quantize_features(np.asarray(features))
+        idx, cycles = self.classify_q(x_q)
+        return self.fp_svm.classes[idx], cycles

@@ -1,0 +1,23 @@
+"""ISS-calibrated analytic performance model for the full-scale sweeps
+(Figs. 3–5) and the detection-latency bookkeeping."""
+
+from .calibration import calibrate_chain, calibration_dims, clear_cache
+from .latency import (
+    DETECTION_LATENCY_MS,
+    LatencyCheck,
+    check_latency,
+    required_frequency_mhz,
+)
+from .model import ChainCycleModel, LinearCycleModel
+
+__all__ = [
+    "ChainCycleModel",
+    "DETECTION_LATENCY_MS",
+    "LatencyCheck",
+    "LinearCycleModel",
+    "calibrate_chain",
+    "calibration_dims",
+    "check_latency",
+    "clear_cache",
+    "required_frequency_mhz",
+]

@@ -1,0 +1,180 @@
+"""Fit the analytic cycle model from small-dimension ISS runs.
+
+For a given chain shape (machine, core count, channels, levels, classes,
+N, W, builtins), two full ISS executions at small hypervector dimensions
+pin down the affine cycles-per-chunk model of :mod:`repro.perf.model`.
+Calibration dimensions are chosen so their word counts are exact
+multiples of the core count (no ceil() mismatch between fit points) and
+far enough apart for a stable slope.
+
+A process-wide cache keyed on the shape avoids repeated ISS runs when a
+sweep revisits configurations (Fig. 4's core sweep shares shapes with
+Fig. 3's N sweep, for instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..kernels.chain import ChainConfig, HDChainSimulator
+from ..kernels.layout import ChainDims
+from ..pulp.soc import SoCConfig
+from .model import ChainCycleModel, LinearCycleModel
+
+_CACHE: Dict[tuple, ChainCycleModel] = {}
+
+
+def calibration_dims(
+    n_cores: int,
+    soc: Optional[SoCConfig] = None,
+    dims: Optional[ChainDims] = None,
+) -> Tuple[int, int]:
+    """Two small hypervector dimensions suitable for fitting.
+
+    By default the word counts are ``8 · n_cores`` and ``24 · n_cores``
+    — exact chunk multiples for the team, small enough to simulate in
+    well under a second for every machine.  When the chain's L1 working
+    set at those dimensions would not fit the SoC (many-channel shapes),
+    the points shrink to the largest word counts that do, keeping the
+    two chunk values distinct.
+    """
+    words_a, words_b = 8 * n_cores, 24 * n_cores
+    if soc is not None and dims is not None:
+        max_words = _max_fitting_words(soc, dims, n_cores)
+        if max_words < words_b:
+            words_b = max(max_words, 2)
+            words_a = max(words_b // 3, 1)
+        chunk = lambda w: -(-w // n_cores)  # noqa: E731
+        while chunk(words_a) == chunk(words_b) and words_a > 1:
+            words_a -= 1
+        if chunk(words_a) == chunk(words_b):
+            raise ValueError(
+                f"cannot find two distinct calibration chunks for "
+                f"{soc.name} with {dims.n_channels} channels"
+            )
+    return words_a * 32, words_b * 32
+
+
+def _max_fitting_words(
+    soc: SoCConfig, dims: ChainDims, n_cores: int
+) -> int:
+    """Largest per-vector word count whose layout fits the SoC's L1/L2."""
+    from ..kernels.layout import make_layout
+    from ..kernels.spatial import choose_strategy
+    from ..pulp.memory import L1_BASE, L2_BASE
+
+    strategy = choose_strategy(
+        dims.n_bundle_inputs, soc.uses_dma, dims.n_channels
+    )
+    mem = soc.memory_config()
+    lo, hi = 1, 4096
+    best = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        layout = make_layout(
+            replace(dims, dim=mid * 32),
+            n_cores,
+            uses_dma=soc.uses_dma,
+            with_bound_buf=(strategy == "memory"),
+        )
+        fits = (
+            layout.l1_end - L1_BASE <= mem.l1_bytes
+            and layout.l2_end - L2_BASE <= mem.l2_bytes
+        )
+        if fits:
+            best = mid
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    if best == 0:
+        raise ValueError(
+            f"no dimension of the {dims.n_channels}-channel chain fits "
+            f"{soc.name}"
+        )
+    return best
+
+
+def _run_point(
+    soc: SoCConfig,
+    n_cores: int,
+    dims: ChainDims,
+    use_builtins: bool,
+    strategy: str,
+    rng: np.random.Generator,
+) -> Tuple[int, int]:
+    """One full ISS chain execution; returns (encode, am) cycles."""
+    sim = HDChainSimulator(
+        ChainConfig(
+            soc=soc,
+            n_cores=n_cores,
+            dims=dims,
+            use_builtins=use_builtins,
+            strategy=strategy,
+        )
+    )
+    n_words = dims.n_words
+    sim.load_model(
+        rng.integers(0, 2**32, size=(dims.n_channels, n_words), dtype=np.uint32),
+        rng.integers(0, 2**32, size=(dims.n_levels, n_words), dtype=np.uint32),
+        rng.integers(0, 2**32, size=(dims.n_classes, n_words), dtype=np.uint32),
+    )
+    # Pad bits do not affect timing, but keep the invariant for hygiene.
+    levels = rng.integers(
+        0, dims.n_levels, size=(dims.n_samples, dims.n_channels)
+    )
+    result = sim.run_window_levels(levels)
+    return result.encode_cycles, result.am_cycles
+
+
+def calibrate_chain(
+    soc: SoCConfig,
+    n_cores: int,
+    dims: ChainDims,
+    use_builtins: bool = False,
+    strategy: str = "auto",
+    seed: int = 99,
+) -> ChainCycleModel:
+    """Calibrate (or fetch from cache) the cycle model for one shape.
+
+    ``dims.dim`` is ignored — the model predicts over dimensions; all
+    other shape fields matter.
+    """
+    key = (
+        soc.name,
+        n_cores,
+        dims.n_channels,
+        dims.n_levels,
+        dims.n_classes,
+        dims.ngram,
+        dims.window,
+        use_builtins,
+        strategy,
+    )
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    rng = np.random.default_rng(seed)
+    dim_a, dim_b = calibration_dims(n_cores, soc, dims)
+    enc_a, am_a = _run_point(
+        soc, n_cores, replace(dims, dim=dim_a), use_builtins, strategy, rng
+    )
+    enc_b, am_b = _run_point(
+        soc, n_cores, replace(dims, dim=dim_b), use_builtins, strategy, rng
+    )
+    model = ChainCycleModel(
+        encode=LinearCycleModel.fit(
+            n_cores, "encode", (dim_a, enc_a), (dim_b, enc_b)
+        ),
+        am=LinearCycleModel.fit(n_cores, "am", (dim_a, am_a), (dim_b, am_b)),
+    )
+    _CACHE[key] = model
+    return model
+
+
+def clear_cache() -> None:
+    """Drop all cached calibrations (used by tests)."""
+    _CACHE.clear()

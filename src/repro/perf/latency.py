@@ -1,0 +1,57 @@
+"""Detection-latency arithmetic: frequency targets and deadline checks.
+
+The paper's figure of merit is a 10 ms detection latency (section 4.2):
+each machine is clocked at exactly the frequency that finishes one
+classification window within the deadline, and a configuration "meets"
+the constraint when that frequency is within the machine's range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pulp.soc import SoCConfig
+
+DETECTION_LATENCY_MS = 10.0
+"""The paper's end-to-end classification deadline."""
+
+
+@dataclass(frozen=True)
+class LatencyCheck:
+    """Outcome of fitting a workload under the deadline on one machine."""
+
+    cycles: int
+    required_mhz: float
+    f_max_mhz: float
+    meets_deadline: bool
+
+    @property
+    def headroom(self) -> float:
+        """f_max / f_required — above 1 means the deadline is met."""
+        return self.f_max_mhz / self.required_mhz
+
+
+def required_frequency_mhz(
+    cycles: int, latency_ms: float = DETECTION_LATENCY_MS
+) -> float:
+    """Clock frequency that completes ``cycles`` within the deadline."""
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    if latency_ms <= 0:
+        raise ValueError(f"latency must be positive, got {latency_ms}")
+    return cycles / (latency_ms * 1000.0)
+
+
+def check_latency(
+    cycles: int,
+    soc: SoCConfig,
+    latency_ms: float = DETECTION_LATENCY_MS,
+) -> LatencyCheck:
+    """Whether ``soc`` can meet the deadline for a ``cycles`` workload."""
+    f_req = required_frequency_mhz(cycles, latency_ms)
+    return LatencyCheck(
+        cycles=cycles,
+        required_mhz=f_req,
+        f_max_mhz=soc.f_max_mhz,
+        meets_deadline=f_req <= soc.f_max_mhz,
+    )

@@ -1,0 +1,87 @@
+"""ISS-calibrated analytic cycle model.
+
+The full-scale sweeps of the paper's Figs. 3–5 span up to
+D = 10,000 × N = 10 × 256 channels × 8 cores; running every point through
+the instruction-set simulator would take hours.  Both kernels, however,
+are *affine in the per-core word chunk* by construction: every loop body
+costs a fixed number of cycles per word and everything else (pointer
+setup, chunk-bound computation, DMA management, barriers, the AM
+reduction) is constant for a fixed (machine, cores, channels, N, W,
+classes) shape.  So the model is
+
+    cycles(D) = m · ceil(words(D) / n_cores) + c
+
+with ``(m, c)`` fitted from two ISS runs at small dimensions whose word
+counts are exact multiples of the core count (avoiding ceil mismatch
+between the fit points).  Tests verify the fit predicts held-out ISS
+runs (see ``tests/perf``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdc import bitpack
+
+
+@dataclass(frozen=True)
+class LinearCycleModel:
+    """cycles = slope · chunk_words + intercept for one kernel shape."""
+
+    slope: float
+    intercept: float
+    n_cores: int
+    kernel: str
+
+    def chunk_words(self, dim: int) -> int:
+        """Per-core word chunk for a hypervector dimension."""
+        words = bitpack.words_for_dim(dim)
+        return -(-words // self.n_cores)
+
+    def predict(self, dim: int) -> int:
+        """Predicted cycles at ``dim`` (rounded to whole cycles)."""
+        return int(round(self.slope * self.chunk_words(dim) + self.intercept))
+
+    @classmethod
+    def fit(
+        cls,
+        n_cores: int,
+        kernel: str,
+        point_a: tuple,
+        point_b: tuple,
+    ) -> "LinearCycleModel":
+        """Fit from two (dim, cycles) ISS measurements."""
+        dim_a, cyc_a = point_a
+        dim_b, cyc_b = point_b
+        chunk_a = -(-bitpack.words_for_dim(dim_a) // n_cores)
+        chunk_b = -(-bitpack.words_for_dim(dim_b) // n_cores)
+        if chunk_a == chunk_b:
+            raise ValueError(
+                f"calibration dims {dim_a} and {dim_b} give the same "
+                f"chunk ({chunk_a} words); pick further-apart dims"
+            )
+        slope = (cyc_b - cyc_a) / (chunk_b - chunk_a)
+        intercept = cyc_a - slope * chunk_a
+        return cls(
+            slope=slope, intercept=intercept, n_cores=n_cores, kernel=kernel
+        )
+
+
+@dataclass(frozen=True)
+class ChainCycleModel:
+    """Calibrated cycles of the full chain (encode + AM) for one shape."""
+
+    encode: LinearCycleModel
+    am: LinearCycleModel
+
+    def predict_encode(self, dim: int) -> int:
+        """MAP+ENCODERS cycles at ``dim``."""
+        return self.encode.predict(dim)
+
+    def predict_am(self, dim: int) -> int:
+        """AM-search cycles at ``dim``."""
+        return self.am.predict(dim)
+
+    def predict_total(self, dim: int) -> int:
+        """End-to-end cycles at ``dim``."""
+        return self.predict_encode(dim) + self.predict_am(dim)

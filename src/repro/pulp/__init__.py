@@ -1,0 +1,76 @@
+"""The hardware substrate: a cycle-accounting multi-core ISS of the
+PULPv3 / Wolf clusters and the ARM Cortex M4, with memory hierarchy, DMA,
+OpenMP-like runtime costs, and the Table-2 power model.
+"""
+
+from .assembler import Assembler, Instr, Program
+from .cluster import Cluster, ClusterRunResult
+from .core import Core, ExecutionError
+from .dma import DMAEngine
+from .isa import (
+    ArchProfile,
+    CORTEX_M4,
+    PROFILES,
+    PULPV3,
+    WOLF,
+    profile_by_name,
+)
+from .memory import L1_BASE, L2_BASE, MemoryConfig, MemorySystem
+from .power import (
+    FLL_POWER_MW,
+    OperatingPoint,
+    PowerBreakdown,
+    PULPPowerModel,
+    energy_per_classification_uj,
+    frequency_for_latency_mhz,
+    m4_power_mw,
+    min_cluster_voltage,
+)
+from .runtime import RuntimeCosts, chunk_sizes, runtime_costs, static_chunk
+from .soc import (
+    CORTEX_M4_SOC,
+    PULPV3_SOC,
+    SOCS,
+    SoCConfig,
+    WOLF_SOC,
+    soc_by_name,
+)
+
+__all__ = [
+    "ArchProfile",
+    "Assembler",
+    "CORTEX_M4",
+    "CORTEX_M4_SOC",
+    "Cluster",
+    "ClusterRunResult",
+    "Core",
+    "DMAEngine",
+    "ExecutionError",
+    "FLL_POWER_MW",
+    "Instr",
+    "L1_BASE",
+    "L2_BASE",
+    "MemoryConfig",
+    "MemorySystem",
+    "OperatingPoint",
+    "PROFILES",
+    "PULPPowerModel",
+    "PULPV3",
+    "PULPV3_SOC",
+    "PowerBreakdown",
+    "Program",
+    "RuntimeCosts",
+    "SOCS",
+    "SoCConfig",
+    "WOLF",
+    "WOLF_SOC",
+    "chunk_sizes",
+    "energy_per_classification_uj",
+    "frequency_for_latency_mhz",
+    "m4_power_mw",
+    "min_cluster_voltage",
+    "profile_by_name",
+    "runtime_costs",
+    "soc_by_name",
+    "static_chunk",
+]

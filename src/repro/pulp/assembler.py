@@ -1,0 +1,383 @@
+"""Program representation and assembly for the ISS.
+
+Kernels are built programmatically: an :class:`Assembler` collects
+instructions through mnemonic-named emit helpers, tracks labels, allocates
+symbolic registers, and produces an immutable :class:`Program` with all
+branch targets resolved to instruction indices.
+
+Register convention (by index):
+
+====  =======================================================
+r0    hardwired zero
+r1-r9, r18-r31   general purpose / allocator pool
+r10   core id (preloaded by the cluster before execution)
+r11   number of cores in the current parallel team
+r12-r17          kernel arguments (addresses, counts)
+====  =======================================================
+
+The assembler validates every emitted mnemonic against the target
+:class:`~repro.pulp.isa.ArchProfile`, so a kernel that tries to use
+``p.cnt`` on PULPv3 fails at build time, not at simulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .isa import ALL_OPS, BRANCH_OPS, ArchProfile
+
+N_REGS = 32
+ZERO_REG = 0
+CORE_ID_REG = 10
+N_CORES_REG = 11
+ARG_REGS = (12, 13, 14, 15, 16, 17)
+_ALLOCATABLE = tuple(range(1, 10)) + tuple(range(18, N_REGS))
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction.
+
+    Field use varies by mnemonic; unused fields stay ``None``.  ``target``
+    holds the resolved instruction index for branches, jumps, and the
+    hardware-loop end.
+    """
+
+    op: str
+    rd: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    imm: Optional[int] = None
+    imm2: Optional[int] = None
+    target: Optional[int] = None
+    label: Optional[str] = None  # unresolved target name (pre-assembly)
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        for name in ("rd", "ra", "rb"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}=r{value}")
+        if self.imm is not None:
+            parts.append(f"imm={self.imm}")
+        if self.imm2 is not None:
+            parts.append(f"imm2={self.imm2}")
+        if self.label is not None:
+            parts.append(f"->{self.label}")
+        elif self.target is not None:
+            parts.append(f"->#{self.target}")
+        return f"Instr({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: resolved instructions plus metadata."""
+
+    name: str
+    instrs: tuple
+    labels: Dict[str, int]
+    profile_name: str
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels (for debugging)."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instrs):
+            for label in by_index.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:5d}  {instr!r}")
+        return "\n".join(lines)
+
+
+class Assembler:
+    """Incremental program builder bound to one architecture profile."""
+
+    def __init__(self, profile: ArchProfile, name: str = "kernel"):
+        self._profile = profile
+        self._name = name
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._regs: Dict[str, int] = {}
+        self._free = list(_ALLOCATABLE)
+
+    @property
+    def profile(self) -> ArchProfile:
+        """The target architecture."""
+        return self._profile
+
+    # -- registers ----------------------------------------------------------
+
+    def reg(self, name: str) -> int:
+        """Allocate (or look up) a named register."""
+        if name in self._regs:
+            return self._regs[name]
+        if not self._free:
+            raise RuntimeError(
+                f"out of registers allocating {name!r} "
+                f"(held: {sorted(self._regs)})"
+            )
+        index = self._free.pop(0)
+        self._regs[name] = index
+        return index
+
+    def free_reg(self, name: str) -> None:
+        """Return a named register to the pool."""
+        index = self._regs.pop(name)
+        self._free.insert(0, index)
+
+    def arg(self, position: int) -> int:
+        """Register index of kernel argument ``position`` (0-based)."""
+        if not 0 <= position < len(ARG_REGS):
+            raise ValueError(
+                f"argument position must be 0..{len(ARG_REGS) - 1}, "
+                f"got {position}"
+            )
+        return ARG_REGS[position]
+
+    # -- emission ------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Bind ``name`` to the next emitted instruction."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+
+    def emit(
+        self,
+        op: str,
+        rd: Optional[int] = None,
+        ra: Optional[int] = None,
+        rb: Optional[int] = None,
+        imm: Optional[int] = None,
+        imm2: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """Emit one instruction after validating it against the profile."""
+        self._profile.check_op(op)
+        for reg_field, value in (("rd", rd), ("ra", ra), ("rb", rb)):
+            if value is not None and not 0 <= value < N_REGS:
+                raise ValueError(f"{reg_field}=r{value} out of range")
+        self._instrs.append(
+            Instr(op=op, rd=rd, ra=ra, rb=rb, imm=imm, imm2=imm2, label=label)
+        )
+
+    # Convenience wrappers, grouped as in repro.pulp.isa -----------------
+
+    def li(self, rd: int, imm: int) -> None:
+        """rd ← imm"""
+        self.emit("li", rd=rd, imm=int(imm))
+
+    def mv(self, rd: int, ra: int) -> None:
+        """rd ← ra"""
+        self.emit("mv", rd=rd, ra=ra)
+
+    def nop(self) -> None:
+        """No operation (1 cycle)."""
+        self.emit("nop")
+
+    def add(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra + rb"""
+        self.emit("add", rd=rd, ra=ra, rb=rb)
+
+    def addi(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra + imm"""
+        self.emit("addi", rd=rd, ra=ra, imm=int(imm))
+
+    def sub(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra − rb"""
+        self.emit("sub", rd=rd, ra=ra, rb=rb)
+
+    def and_(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra & rb"""
+        self.emit("and", rd=rd, ra=ra, rb=rb)
+
+    def andi(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra & imm"""
+        self.emit("andi", rd=rd, ra=ra, imm=int(imm))
+
+    def or_(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra | rb"""
+        self.emit("or", rd=rd, ra=ra, rb=rb)
+
+    def ori(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra | imm"""
+        self.emit("ori", rd=rd, ra=ra, imm=int(imm))
+
+    def xor(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra ^ rb"""
+        self.emit("xor", rd=rd, ra=ra, rb=rb)
+
+    def xori(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra ^ imm"""
+        self.emit("xori", rd=rd, ra=ra, imm=int(imm))
+
+    def sll(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra << (rb & 31)"""
+        self.emit("sll", rd=rd, ra=ra, rb=rb)
+
+    def slli(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra << imm"""
+        self.emit("slli", rd=rd, ra=ra, imm=int(imm))
+
+    def srl(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra >> (rb & 31), logical"""
+        self.emit("srl", rd=rd, ra=ra, rb=rb)
+
+    def srli(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra >> imm, logical"""
+        self.emit("srli", rd=rd, ra=ra, imm=int(imm))
+
+    def srai(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← ra >> imm, arithmetic"""
+        self.emit("srai", rd=rd, ra=ra, imm=int(imm))
+
+    def sra(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← ra >> (rb & 31), arithmetic"""
+        self.emit("sra", rd=rd, ra=ra, rb=rb)
+
+    def sltu(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← 1 if ra < rb (unsigned) else 0"""
+        self.emit("sltu", rd=rd, ra=ra, rb=rb)
+
+    def slti(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← 1 if ra < imm (signed) else 0"""
+        self.emit("slti", rd=rd, ra=ra, imm=int(imm))
+
+    def sltiu(self, rd: int, ra: int, imm: int) -> None:
+        """rd ← 1 if ra < imm (unsigned) else 0"""
+        self.emit("sltiu", rd=rd, ra=ra, imm=int(imm))
+
+    def mul(self, rd: int, ra: int, rb: int) -> None:
+        """rd ← (ra × rb) mod 2³²"""
+        self.emit("mul", rd=rd, ra=ra, rb=rb)
+
+    def lw(self, rd: int, ra: int, offset: int = 0) -> None:
+        """rd ← mem32[ra + offset]"""
+        self.emit("lw", rd=rd, ra=ra, imm=int(offset))
+
+    def sw(self, rs: int, ra: int, offset: int = 0) -> None:
+        """mem32[ra + offset] ← rs"""
+        self.emit("sw", rd=rs, ra=ra, imm=int(offset))
+
+    def lw_postinc(self, rd: int, ra: int, step: int) -> None:
+        """rd ← mem32[ra]; ra ← ra + step  (xpulp p.lw!)"""
+        self.emit("p.lw!", rd=rd, ra=ra, imm=int(step))
+
+    def sw_postinc(self, rs: int, ra: int, step: int) -> None:
+        """mem32[ra] ← rs; ra ← ra + step  (xpulp p.sw!)"""
+        self.emit("p.sw!", rd=rs, ra=ra, imm=int(step))
+
+    def beq(self, ra: int, rb: int, label: str) -> None:
+        """Branch to ``label`` when ra == rb."""
+        self.emit("beq", ra=ra, rb=rb, label=label)
+
+    def bne(self, ra: int, rb: int, label: str) -> None:
+        """Branch to ``label`` when ra != rb."""
+        self.emit("bne", ra=ra, rb=rb, label=label)
+
+    def blt(self, ra: int, rb: int, label: str) -> None:
+        """Branch to ``label`` when ra < rb (signed)."""
+        self.emit("blt", ra=ra, rb=rb, label=label)
+
+    def bge(self, ra: int, rb: int, label: str) -> None:
+        """Branch to ``label`` when ra >= rb (signed)."""
+        self.emit("bge", ra=ra, rb=rb, label=label)
+
+    def bltu(self, ra: int, rb: int, label: str) -> None:
+        """Branch to ``label`` when ra < rb (unsigned)."""
+        self.emit("bltu", ra=ra, rb=rb, label=label)
+
+    def bgeu(self, ra: int, rb: int, label: str) -> None:
+        """Branch to ``label`` when ra >= rb (unsigned)."""
+        self.emit("bgeu", ra=ra, rb=rb, label=label)
+
+    def j(self, label: str) -> None:
+        """Unconditional jump."""
+        self.emit("j", label=label)
+
+    def extractu(self, rd: int, ra: int, pos: int, width: int = 1) -> None:
+        """xpulp p.extractu: rd ← (ra >> pos) & ((1 << width) − 1)"""
+        self.emit("p.extractu", rd=rd, ra=ra, imm=int(pos), imm2=int(width))
+
+    def insert(self, rd: int, ra: int, pos: int, width: int = 1) -> None:
+        """xpulp p.insert: rd[pos +: width] ← ra[width−1:0]"""
+        self.emit("p.insert", rd=rd, ra=ra, imm=int(pos), imm2=int(width))
+
+    def popcount(self, rd: int, ra: int) -> None:
+        """xpulp p.cnt: rd ← number of set bits in ra"""
+        self.emit("p.cnt", rd=rd, ra=ra)
+
+    def ubfx(self, rd: int, ra: int, pos: int, width: int = 1) -> None:
+        """ARM UBFX: rd ← (ra >> pos) & ((1 << width) − 1)"""
+        self.emit("ubfx", rd=rd, ra=ra, imm=int(pos), imm2=int(width))
+
+    def bfi(self, rd: int, ra: int, pos: int, width: int = 1) -> None:
+        """ARM BFI: rd[pos +: width] ← ra[width−1:0]"""
+        self.emit("bfi", rd=rd, ra=ra, imm=int(pos), imm2=int(width))
+
+    def hw_loop(self, count_reg: int, end_label: str) -> None:
+        """xpulp lp.setup: repeat the block up to ``end_label`` count times.
+
+        The loop body starts at the next instruction and ends *after* the
+        instruction preceding ``end_label``; back-edges cost zero cycles.
+        A count of zero skips the body entirely.
+        """
+        self.emit("lp.setup", ra=count_reg, label=end_label)
+
+    def barrier(self) -> None:
+        """Cluster-wide synchronization point."""
+        self.emit("barrier")
+
+    def halt(self) -> None:
+        """Terminate this core's execution."""
+        self.emit("halt")
+
+    def dma_copy(self, src_reg: int, dst_reg: int, size_reg: int) -> None:
+        """Enqueue a DMA transfer of size_reg bytes from src to dst."""
+        self.emit("dma.copy", ra=src_reg, rb=dst_reg, rd=size_reg)
+
+    def dma_wait(self) -> None:
+        """Stall until all enqueued DMA transfers have drained."""
+        self.emit("dma.wait")
+
+    # -- finalization ---------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and freeze the program."""
+        resolved = []
+        for instr in self._instrs:
+            if instr.label is not None:
+                if instr.label not in self._labels:
+                    raise ValueError(
+                        f"undefined label {instr.label!r} in {self._name}"
+                    )
+                resolved.append(
+                    Instr(
+                        op=instr.op,
+                        rd=instr.rd,
+                        ra=instr.ra,
+                        rb=instr.rb,
+                        imm=instr.imm,
+                        imm2=instr.imm2,
+                        target=self._labels[instr.label],
+                        label=instr.label,
+                    )
+                )
+            else:
+                resolved.append(instr)
+        if not resolved or resolved[-1].op not in ("halt", "j"):
+            raise ValueError(
+                f"program {self._name!r} must end in halt (or a jump)"
+            )
+        return Program(
+            name=self._name,
+            instrs=tuple(resolved),
+            labels=dict(self._labels),
+            profile_name=self._profile.name,
+        )

@@ -1,0 +1,409 @@
+"""Single-core interpreter with cycle accounting.
+
+Executes an assembled :class:`~repro.pulp.assembler.Program` against a
+:class:`~repro.pulp.memory.MemorySystem`, charging cycles per the core's
+:class:`~repro.pulp.isa.ArchProfile`.  The interpreter models:
+
+* per-class instruction latencies (loads, multiplies, jumps);
+* taken / not-taken conditional-branch penalties (pipeline flush);
+* L2 access stalls and the expected L1 bank-conflict penalty;
+* RI5CY-style zero-overhead hardware loops (two nesting levels);
+* xpulp bit manipulation (``p.extractu`` / ``p.insert`` / ``p.cnt``),
+  post-increment memory accesses, and ARM bit-field ops.
+
+Execution proceeds until a ``barrier``, ``halt``, or the instruction cap;
+the cluster (:mod:`repro.pulp.cluster`) resumes cores across barriers.
+Programs are pre-decoded to integer opcodes once per (program, core) pair
+to keep the Python dispatch loop tight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .assembler import Program
+from .isa import ArchProfile
+from .memory import MemorySystem
+
+_MASK32 = 0xFFFFFFFF
+
+# Integer opcodes for the pre-decoded dispatch loop, ordered roughly by
+# expected dynamic frequency.
+(
+    _OP_ADD, _OP_SUB, _OP_AND, _OP_OR, _OP_XOR, _OP_SLL, _OP_SRL, _OP_SRA,
+    _OP_SLT, _OP_SLTU,
+    _OP_ADDI, _OP_ANDI, _OP_ORI, _OP_XORI, _OP_SLLI, _OP_SRLI, _OP_SRAI,
+    _OP_SLTI, _OP_SLTIU,
+    _OP_LI, _OP_MV, _OP_NOP,
+    _OP_MUL, _OP_MULH,
+    _OP_LW, _OP_LBU, _OP_LHU, _OP_SW, _OP_SB, _OP_SH,
+    _OP_BEQ, _OP_BNE, _OP_BLT, _OP_BGE, _OP_BLTU, _OP_BGEU,
+    _OP_J, _OP_JAL, _OP_JR,
+    _OP_EXTRACTU, _OP_INSERT, _OP_CNT,
+    _OP_UBFX, _OP_BFI,
+    _OP_LW_POST, _OP_SW_POST,
+    _OP_LPSETUP,
+    _OP_BARRIER, _OP_HALT,
+    _OP_DMA_COPY, _OP_DMA_WAIT,
+) = range(51)
+
+_OPCODE_BY_NAME = {
+    "add": _OP_ADD, "sub": _OP_SUB, "and": _OP_AND, "or": _OP_OR,
+    "xor": _OP_XOR, "sll": _OP_SLL, "srl": _OP_SRL, "sra": _OP_SRA,
+    "slt": _OP_SLT, "sltu": _OP_SLTU,
+    "addi": _OP_ADDI, "andi": _OP_ANDI, "ori": _OP_ORI, "xori": _OP_XORI,
+    "slli": _OP_SLLI, "srli": _OP_SRLI, "srai": _OP_SRAI,
+    "slti": _OP_SLTI, "sltiu": _OP_SLTIU,
+    "li": _OP_LI, "mv": _OP_MV, "nop": _OP_NOP,
+    "mul": _OP_MUL, "mulh": _OP_MULH,
+    "lw": _OP_LW, "lbu": _OP_LBU, "lhu": _OP_LHU,
+    "sw": _OP_SW, "sb": _OP_SB, "sh": _OP_SH,
+    "beq": _OP_BEQ, "bne": _OP_BNE, "blt": _OP_BLT, "bge": _OP_BGE,
+    "bltu": _OP_BLTU, "bgeu": _OP_BGEU,
+    "j": _OP_J, "jal": _OP_JAL, "jr": _OP_JR,
+    "p.extractu": _OP_EXTRACTU, "p.insert": _OP_INSERT, "p.cnt": _OP_CNT,
+    "ubfx": _OP_UBFX, "bfi": _OP_BFI,
+    "p.lw!": _OP_LW_POST, "p.sw!": _OP_SW_POST,
+    "lp.setup": _OP_LPSETUP,
+    "barrier": _OP_BARRIER, "halt": _OP_HALT,
+    "dma.copy": _OP_DMA_COPY, "dma.wait": _OP_DMA_WAIT,
+}
+
+STOP_HALT = "halt"
+STOP_BARRIER = "barrier"
+
+
+class ExecutionError(Exception):
+    """Raised on runaway programs or malformed control flow."""
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def predecode(program: Program) -> list:
+    """Convert a Program into the interpreter's tuple form (cached)."""
+    decoded = []
+    for instr in program.instrs:
+        code = _OPCODE_BY_NAME[instr.op]
+        decoded.append(
+            (
+                code,
+                instr.rd if instr.rd is not None else 0,
+                instr.ra if instr.ra is not None else 0,
+                instr.rb if instr.rb is not None else 0,
+                instr.imm if instr.imm is not None else 0,
+                instr.imm2 if instr.imm2 is not None else 0,
+                instr.target if instr.target is not None else 0,
+            )
+        )
+    return decoded
+
+
+class Core:
+    """One processor of the cluster."""
+
+    __slots__ = (
+        "core_id",
+        "profile",
+        "memory",
+        "regs",
+        "cycles",
+        "instr_count",
+        "pc",
+        "dma",
+        "_decoded",
+        "_loop_stack",
+        "max_instructions",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        profile: ArchProfile,
+        memory: MemorySystem,
+        dma=None,
+        max_instructions: int = 200_000_000,
+    ):
+        self.core_id = core_id
+        self.profile = profile
+        self.memory = memory
+        self.regs: List[int] = [0] * 32
+        self.cycles = 0
+        self.instr_count = 0
+        self.pc = 0
+        self.dma = dma
+        self._decoded: Optional[list] = None
+        self._loop_stack: list = []
+        self.max_instructions = max_instructions
+
+    def load_program(self, decoded: list) -> None:
+        """Attach a pre-decoded program and reset control state."""
+        self._decoded = decoded
+        self.pc = 0
+        self._loop_stack = []
+
+    def run(self) -> str:
+        """Execute until barrier or halt; returns the stop reason.
+
+        The core's ``cycles`` and ``instr_count`` accumulate across calls,
+        so resuming after a barrier continues the same timeline.
+        """
+        decoded = self._decoded
+        if decoded is None:
+            raise ExecutionError("no program loaded")
+        regs = self.regs
+        memory = self.memory
+        profile = self.profile
+        load_cost = profile.load_cycles
+        store_cost = profile.store_cycles
+        mul_cost = profile.mul_cycles
+        jump_cost = profile.jump_cycles
+        taken = 1 + profile.branch_taken_penalty
+        not_taken = 1 + profile.branch_not_taken_penalty
+        n_instrs = len(decoded)
+        pc = self.pc
+        cycles = self.cycles
+        count = self.instr_count
+        cap = self.max_instructions
+        loop_stack = self._loop_stack
+
+        while True:
+            if pc >= n_instrs:
+                raise ExecutionError(
+                    f"core {self.core_id} ran off the end of the program"
+                )
+            op, rd, ra, rb, imm, imm2, target = decoded[pc]
+            count += 1
+            if count > cap:
+                raise ExecutionError(
+                    f"core {self.core_id} exceeded {cap} instructions "
+                    f"(infinite loop?)"
+                )
+            next_pc = pc + 1
+
+            if op == _OP_XOR:
+                regs[rd] = regs[ra] ^ regs[rb]
+                cycles += 1
+            elif op == _OP_AND:
+                regs[rd] = regs[ra] & regs[rb]
+                cycles += 1
+            elif op == _OP_OR:
+                regs[rd] = regs[ra] | regs[rb]
+                cycles += 1
+            elif op == _OP_ADD:
+                regs[rd] = (regs[ra] + regs[rb]) & _MASK32
+                cycles += 1
+            elif op == _OP_ADDI:
+                regs[rd] = (regs[ra] + imm) & _MASK32
+                cycles += 1
+            elif op == _OP_SUB:
+                regs[rd] = (regs[ra] - regs[rb]) & _MASK32
+                cycles += 1
+            elif op == _OP_SRLI:
+                regs[rd] = regs[ra] >> (imm & 31)
+                cycles += 1
+            elif op == _OP_SLLI:
+                regs[rd] = (regs[ra] << (imm & 31)) & _MASK32
+                cycles += 1
+            elif op == _OP_SRL:
+                regs[rd] = regs[ra] >> (regs[rb] & 31)
+                cycles += 1
+            elif op == _OP_SLL:
+                regs[rd] = (regs[ra] << (regs[rb] & 31)) & _MASK32
+                cycles += 1
+            elif op == _OP_SRA:
+                regs[rd] = (_signed(regs[ra]) >> (regs[rb] & 31)) & _MASK32
+                cycles += 1
+            elif op == _OP_SRAI:
+                regs[rd] = (_signed(regs[ra]) >> (imm & 31)) & _MASK32
+                cycles += 1
+            elif op == _OP_ANDI:
+                regs[rd] = regs[ra] & (imm & _MASK32)
+                cycles += 1
+            elif op == _OP_ORI:
+                regs[rd] = regs[ra] | (imm & _MASK32)
+                cycles += 1
+            elif op == _OP_XORI:
+                regs[rd] = regs[ra] ^ (imm & _MASK32)
+                cycles += 1
+            elif op == _OP_SLT:
+                regs[rd] = 1 if _signed(regs[ra]) < _signed(regs[rb]) else 0
+                cycles += 1
+            elif op == _OP_SLTU:
+                regs[rd] = 1 if regs[ra] < regs[rb] else 0
+                cycles += 1
+            elif op == _OP_SLTI:
+                regs[rd] = 1 if _signed(regs[ra]) < imm else 0
+                cycles += 1
+            elif op == _OP_SLTIU:
+                regs[rd] = 1 if regs[ra] < (imm & _MASK32) else 0
+                cycles += 1
+            elif op == _OP_LI:
+                regs[rd] = imm & _MASK32
+                cycles += 1
+            elif op == _OP_MV:
+                regs[rd] = regs[ra]
+                cycles += 1
+            elif op == _OP_NOP:
+                cycles += 1
+            elif op == _OP_MUL:
+                regs[rd] = (regs[ra] * regs[rb]) & _MASK32
+                cycles += mul_cost
+            elif op == _OP_MULH:
+                regs[rd] = (
+                    (_signed(regs[ra]) * _signed(regs[rb])) >> 32
+                ) & _MASK32
+                cycles += mul_cost
+            elif op == _OP_LW:
+                value, stall = memory.load_word((regs[ra] + imm) & _MASK32)
+                regs[rd] = value
+                cycles += load_cost + stall
+            elif op == _OP_LW_POST:
+                addr = regs[ra]
+                value, stall = memory.load_word(addr)
+                regs[rd] = value
+                regs[ra] = (addr + imm) & _MASK32
+                cycles += load_cost + stall
+            elif op == _OP_SW:
+                stall = memory.store_word(
+                    (regs[ra] + imm) & _MASK32, regs[rd]
+                )
+                cycles += store_cost + stall
+            elif op == _OP_SW_POST:
+                addr = regs[ra]
+                stall = memory.store_word(addr, regs[rd])
+                regs[ra] = (addr + imm) & _MASK32
+                cycles += store_cost + stall
+            elif op == _OP_LBU:
+                value, stall = memory.load_byte((regs[ra] + imm) & _MASK32)
+                regs[rd] = value
+                cycles += load_cost + stall
+            elif op == _OP_LHU:
+                value, stall = memory.load_half((regs[ra] + imm) & _MASK32)
+                regs[rd] = value
+                cycles += load_cost + stall
+            elif op == _OP_SB:
+                stall = memory.store_byte(
+                    (regs[ra] + imm) & _MASK32, regs[rd]
+                )
+                cycles += store_cost + stall
+            elif op == _OP_SH:
+                stall = memory.store_half(
+                    (regs[ra] + imm) & _MASK32, regs[rd]
+                )
+                cycles += store_cost + stall
+            elif op == _OP_BEQ:
+                if regs[ra] == regs[rb]:
+                    next_pc = target
+                    cycles += taken
+                else:
+                    cycles += not_taken
+            elif op == _OP_BNE:
+                if regs[ra] != regs[rb]:
+                    next_pc = target
+                    cycles += taken
+                else:
+                    cycles += not_taken
+            elif op == _OP_BLT:
+                if _signed(regs[ra]) < _signed(regs[rb]):
+                    next_pc = target
+                    cycles += taken
+                else:
+                    cycles += not_taken
+            elif op == _OP_BGE:
+                if _signed(regs[ra]) >= _signed(regs[rb]):
+                    next_pc = target
+                    cycles += taken
+                else:
+                    cycles += not_taken
+            elif op == _OP_BLTU:
+                if regs[ra] < regs[rb]:
+                    next_pc = target
+                    cycles += taken
+                else:
+                    cycles += not_taken
+            elif op == _OP_BGEU:
+                if regs[ra] >= regs[rb]:
+                    next_pc = target
+                    cycles += taken
+                else:
+                    cycles += not_taken
+            elif op == _OP_J:
+                next_pc = target
+                cycles += jump_cost
+            elif op == _OP_JAL:
+                regs[rd if rd else 1] = next_pc
+                next_pc = target
+                cycles += jump_cost
+            elif op == _OP_JR:
+                next_pc = regs[ra]
+                cycles += jump_cost
+            elif op == _OP_EXTRACTU or op == _OP_UBFX:
+                regs[rd] = (regs[ra] >> imm) & ((1 << imm2) - 1)
+                cycles += 1
+            elif op == _OP_INSERT or op == _OP_BFI:
+                mask = ((1 << imm2) - 1) << imm
+                regs[rd] = (regs[rd] & ~mask & _MASK32) | (
+                    (regs[ra] << imm) & mask
+                )
+                cycles += 1
+            elif op == _OP_CNT:
+                regs[rd] = bin(regs[ra]).count("1")
+                cycles += 1
+            elif op == _OP_LPSETUP:
+                trips = regs[ra]
+                cycles += 1
+                if trips == 0:
+                    next_pc = target
+                else:
+                    if len(loop_stack) >= 2:
+                        raise ExecutionError(
+                            "hardware loops support two nesting levels"
+                        )
+                    # [body_start, body_end (exclusive), remaining trips]
+                    loop_stack.append([pc + 1, target, trips])
+            elif op == _OP_BARRIER:
+                cycles += 1
+                self.pc = next_pc
+                self.cycles = cycles
+                self.instr_count = count
+                return STOP_BARRIER
+            elif op == _OP_HALT:
+                cycles += 1
+                self.pc = pc
+                self.cycles = cycles
+                self.instr_count = count
+                return STOP_HALT
+            elif op == _OP_DMA_COPY:
+                if self.dma is None:
+                    raise ExecutionError(
+                        "dma.copy executed with no DMA engine attached"
+                    )
+                self.dma.enqueue(
+                    src=regs[ra], dst=regs[rb], size=regs[rd],
+                    issue_cycle=cycles,
+                )
+                cycles += profile.dma_setup_cycles
+            elif op == _OP_DMA_WAIT:
+                if self.dma is None:
+                    raise ExecutionError(
+                        "dma.wait executed with no DMA engine attached"
+                    )
+                cycles = max(cycles + 1, self.dma.busy_until)
+            else:  # pragma: no cover - unreachable with a valid assembler
+                raise ExecutionError(f"unimplemented opcode {op}")
+
+            # Zero-overhead hardware loop back-edges: taken when control
+            # falls onto a loop's end boundary from inside the body.
+            if loop_stack and next_pc == loop_stack[-1][1]:
+                top = loop_stack[-1]
+                top[2] -= 1
+                if top[2] > 0:
+                    next_pc = top[0]
+                else:
+                    loop_stack.pop()
+
+            regs[0] = 0  # r0 stays hardwired to zero
+            pc = next_pc

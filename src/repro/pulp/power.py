@@ -1,0 +1,165 @@
+"""Analytic power model reproducing the structure of Table 2.
+
+The paper decomposes PULPv3 power into three parts (section 4.2):
+
+* **FLL** — the clock-generation subsystem: two frequency-locked loops
+  with a constant 1.45 mW draw, "not optimized for low-power operation"
+  and explicitly called the energy-efficiency bottleneck;
+* **SoC** — the always-on domain (L2 + peripherals), scaling with the SoC
+  clock frequency;
+* **Cluster** — the compute domain, scaling with the number of active
+  cores, the cluster frequency, and the cluster voltage.
+
+We model these as::
+
+    P_fll     = P_FLL                                  (constant)
+    P_soc     = k_soc · f
+    P_cluster = (k_shared + n · k_core) · (V / V₀)^α · f
+
+with the constants fitted to the three PULPv3 rows of Table 2 (the fit is
+exact to the published precision; see ``tests/pulp/test_power.py``).  The
+ARM Cortex M4 is a single constant mW/MHz at its fixed supply.  The model
+also captures the paper's forward-looking FLL observation: swapping in a
+low-power FLL [1] divides the clock-generation power by four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+# -- constants fitted to Table 2 ---------------------------------------------
+
+FLL_POWER_MW = 1.45
+"""Clock-generation power of PULPv3 (two FLLs, constant)."""
+
+SOC_MW_PER_MHZ = 0.01625
+"""SoC-domain power slope: 0.87 mW @ 53.3 MHz, 0.23 mW @ 14.3 MHz."""
+
+CLUSTER_SHARED_MW_PER_MHZ = 0.027017
+"""Cluster infrastructure (TCDM, interconnect, DMA) at V₀ = 0.7 V."""
+
+CLUSTER_PER_CORE_MW_PER_MHZ = 0.008631
+"""One active core at V₀ = 0.7 V."""
+
+CLUSTER_V0 = 0.7
+"""Reference cluster voltage of the fitted constants."""
+
+CLUSTER_VOLTAGE_EXPONENT = 2.2
+"""Effective V-scaling exponent (slightly above quadratic: fits the
+0.88 mW → 0.42 mW step of Table 2 when moving from 0.7 V to 0.5 V)."""
+
+M4_MW_PER_MHZ = 0.4745
+"""ARM Cortex M4 at 1.85 V: 20.83 mW @ 43.9 MHz (Table 2)."""
+
+LOW_POWER_FLL_FACTOR = 4.0
+"""Power reduction of the next-generation FLL of [1] (section 4.2)."""
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (voltage, frequency) configuration of the cluster."""
+
+    v_cluster: float
+    f_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.v_cluster <= 0:
+            raise ValueError(f"voltage must be positive, got {self.v_cluster}")
+        if self.f_mhz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.f_mhz}")
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-domain power of one configuration, in mW."""
+
+    fll_mw: float
+    soc_mw: float
+    cluster_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        """FLL + SoC + cluster."""
+        return self.fll_mw + self.soc_mw + self.cluster_mw
+
+
+@dataclass(frozen=True)
+class PULPPowerModel:
+    """The fitted PULP power model; immutable so variants are explicit."""
+
+    fll_mw: float = FLL_POWER_MW
+    soc_mw_per_mhz: float = SOC_MW_PER_MHZ
+    cluster_shared_mw_per_mhz: float = CLUSTER_SHARED_MW_PER_MHZ
+    cluster_per_core_mw_per_mhz: float = CLUSTER_PER_CORE_MW_PER_MHZ
+    v0: float = CLUSTER_V0
+    voltage_exponent: float = CLUSTER_VOLTAGE_EXPONENT
+
+    def with_low_power_fll(self) -> "PULPPowerModel":
+        """The paper's what-if: a 4× lower-power clock subsystem [1]."""
+        return replace(self, fll_mw=self.fll_mw / LOW_POWER_FLL_FACTOR)
+
+    def breakdown(
+        self, n_cores: int, point: OperatingPoint
+    ) -> PowerBreakdown:
+        """Per-domain power at one operating point."""
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        v_scale = (point.v_cluster / self.v0) ** self.voltage_exponent
+        cluster = (
+            self.cluster_shared_mw_per_mhz
+            + n_cores * self.cluster_per_core_mw_per_mhz
+        ) * v_scale * point.f_mhz
+        return PowerBreakdown(
+            fll_mw=self.fll_mw,
+            soc_mw=self.soc_mw_per_mhz * point.f_mhz,
+            cluster_mw=cluster,
+        )
+
+    def total_mw(self, n_cores: int, point: OperatingPoint) -> float:
+        """Total power at one operating point."""
+        return self.breakdown(n_cores, point).total_mw
+
+
+def m4_power_mw(f_mhz: float) -> float:
+    """Cortex M4 total power at ``f_mhz`` (fixed 1.85 V supply)."""
+    if f_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {f_mhz}")
+    return M4_MW_PER_MHZ * f_mhz
+
+
+def frequency_for_latency_mhz(cycles: int, latency_ms: float) -> float:
+    """Clock frequency needed to finish ``cycles`` within ``latency_ms``.
+
+    This is how the paper sets each machine's operating frequency: the
+    workload's cycle count divided by the 10 ms detection deadline.
+    """
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    if latency_ms <= 0:
+        raise ValueError(f"latency must be positive, got {latency_ms}")
+    return cycles / (latency_ms * 1000.0)
+
+
+def min_cluster_voltage(f_mhz: float) -> float:
+    """Lowest cluster voltage able to sustain ``f_mhz``.
+
+    A coarse near-threshold DVFS envelope, linear in (V − V_th):
+    ≈40 MHz at 0.5 V and ≈80 MHz at 0.7 V, consistent with PULPv3
+    sustaining 53.3 MHz at 0.7 V and 14.3 MHz at 0.5 V with PVT
+    compensation [26].  Clamped to the 0.5–0.8 V envelope.
+    """
+    if f_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {f_mhz}")
+    v_th = 0.3
+    mhz_per_volt = 200.0
+    v = v_th + f_mhz / mhz_per_volt
+    return float(min(max(v, 0.5), 0.8))
+
+
+def energy_per_classification_uj(
+    total_mw: float, latency_ms: float
+) -> float:
+    """Energy of one classification event in microjoules."""
+    if total_mw < 0 or latency_ms <= 0:
+        raise ValueError("power must be >= 0 and latency positive")
+    return total_mw * latency_ms

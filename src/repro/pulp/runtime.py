@@ -1,0 +1,92 @@
+"""OpenMP-like runtime cost model.
+
+The paper parallelises every kernel with OpenMP directives on top of "a
+highly optimized bare-metal library" (section 2.2), and attributes the
+Wolf cluster's better scaling to "an hardware synchronization mechanism
+which allows to significantly reduce the programming overheads of the
+OpenMP runtime" (section 5.1).  The AM kernel's saturating speed-up in
+Table 3 is explicitly blamed on this overhead.
+
+This module prices the three runtime events — entering a parallel region
+(fork), synchronising at a barrier, and leaving the region (join) — from
+the per-architecture constants in :class:`~repro.pulp.isa.ArchProfile`,
+and provides the static work-chunking helper every kernel uses to split
+hypervector words across cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .isa import ArchProfile
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Cycle prices of the runtime events for one (arch, team) pair."""
+
+    fork: int
+    barrier: int
+    join: int
+
+    @property
+    def region_overhead(self) -> int:
+        """Fork + join: fixed cost of one parallel region."""
+        return self.fork + self.join
+
+
+def runtime_costs(profile: ArchProfile, n_cores: int) -> RuntimeCosts:
+    """Runtime event costs for an ``n_cores`` team on ``profile``.
+
+    A single-core "team" pays nothing: serial code has no fork, barrier,
+    or join, matching how the paper's single-core numbers are measured.
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    if n_cores > profile.max_cores:
+        raise ValueError(
+            f"{profile.name} supports at most {profile.max_cores} cores, "
+            f"got {n_cores}"
+        )
+    if n_cores == 1:
+        return RuntimeCosts(fork=0, barrier=0, join=0)
+    return RuntimeCosts(
+        fork=profile.fork_base_cycles
+        + profile.fork_per_core_cycles * n_cores,
+        barrier=profile.barrier_base_cycles
+        + profile.barrier_per_core_cycles * n_cores,
+        join=profile.join_cycles,
+    )
+
+
+def static_chunk(n_items: int, n_cores: int, core_id: int) -> Tuple[int, int]:
+    """[start, end) range of items owned by ``core_id`` under static
+    scheduling.
+
+    Matches OpenMP ``schedule(static)`` with the default chunking: the
+    first ``n_items % n_cores`` cores receive one extra item, so the load
+    imbalance is at most one item.
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    if not 0 <= core_id < n_cores:
+        raise ValueError(
+            f"core_id {core_id} out of range for a {n_cores}-core team"
+        )
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    base = n_items // n_cores
+    extra = n_items % n_cores
+    start = core_id * base + min(core_id, extra)
+    size = base + (1 if core_id < extra else 0)
+    return start, start + size
+
+
+def chunk_sizes(n_items: int, n_cores: int) -> List[int]:
+    """Items per core under static scheduling (for load analysis)."""
+    return [
+        static_chunk(n_items, n_cores, core)[1]
+        - static_chunk(n_items, n_cores, core)[0]
+        for core in range(n_cores)
+    ]

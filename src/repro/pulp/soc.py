@@ -1,0 +1,98 @@
+"""SoC-level configurations of the three evaluated machines.
+
+Couples an :class:`~repro.pulp.isa.ArchProfile` (core/ISA timing) with the
+memory sizes and the operating envelope (voltage / frequency range) that
+the power model needs.  Presets match the paper:
+
+* ``PULPV3_SOC`` — 4 cores, 48 kB TCDM, 64 kB L2, 0.5–0.7 V cluster.
+* ``WOLF_SOC`` — 8 cores, 64 kB TCDM, 512 kB L2 (Mr. Wolf class).
+* ``CORTEX_M4_SOC`` — single core, flat 192 kB SRAM (STM32F4 class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cluster import Cluster
+from .isa import ArchProfile, CORTEX_M4, PULPV3, WOLF
+from .memory import MemoryConfig
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """One machine: ISA profile + memory sizes + operating envelope."""
+
+    name: str
+    profile: ArchProfile
+    l1_bytes: int
+    l2_bytes: int
+    v_nominal: float
+    v_min: float
+    f_max_mhz: float
+    #: True when the machine streams L2 data through a cluster DMA
+    #: (single-memory machines like the M4 access data directly)
+    uses_dma: bool
+
+    def memory_config(self) -> MemoryConfig:
+        """Memory parameters for a cluster of this SoC."""
+        return MemoryConfig(
+            l1_bytes=self.l1_bytes,
+            l2_bytes=self.l2_bytes,
+            l2_extra_cycles=self.profile.l2_extra_cycles,
+            n_banks=self.profile.n_tcdm_banks,
+        )
+
+    def make_cluster(self, n_cores: int) -> Cluster:
+        """Instantiate a simulated cluster of this SoC."""
+        return Cluster(self.profile, n_cores, self.memory_config())
+
+
+PULPV3_SOC = SoCConfig(
+    name="pulpv3",
+    profile=PULPV3,
+    l1_bytes=48 * 1024,
+    l2_bytes=64 * 1024,
+    v_nominal=0.7,
+    v_min=0.5,
+    f_max_mhz=168.0,
+    uses_dma=True,
+)
+"""The PULPv3 silicon prototype (28 nm FD-SOI, 1.5 mm², section 2.2)."""
+
+WOLF_SOC = SoCConfig(
+    name="wolf",
+    profile=WOLF,
+    l1_bytes=64 * 1024,
+    l2_bytes=512 * 1024,
+    v_nominal=0.8,
+    v_min=0.6,
+    f_max_mhz=350.0,
+    uses_dma=True,
+)
+"""The next-generation Wolf cluster (8 RI5CY cores, section 5)."""
+
+CORTEX_M4_SOC = SoCConfig(
+    name="cortex_m4",
+    profile=CORTEX_M4,
+    l1_bytes=192 * 1024,
+    l2_bytes=1024 * 1024,
+    v_nominal=1.85,
+    v_min=1.85,
+    f_max_mhz=168.0,
+    uses_dma=False,
+)
+"""An STM32F4-class ARM Cortex M4 board (flat memory, no DMA streaming)."""
+
+SOCS = {soc.name: soc for soc in (PULPV3_SOC, WOLF_SOC, CORTEX_M4_SOC)}
+"""All SoC presets by name."""
+
+
+def soc_by_name(name: str) -> SoCConfig:
+    """Look up a SoC preset; raises with known names on a typo."""
+    try:
+        return SOCS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SoC {name!r}; known: {sorted(SOCS)}"
+        ) from None

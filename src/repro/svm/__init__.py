@@ -1,0 +1,32 @@
+"""SVM baseline built from scratch: SMO trainer, one-vs-one multiclass
+classifier, and the fixed-point inference path used for the embedded
+(Cortex M4) comparison in Table 1.
+"""
+
+from .fixed_point import (
+    FixedPointBinaryModel,
+    FixedPointConfig,
+    FixedPointSVM,
+    dequantize_q,
+    quantize_q,
+)
+from .kernel import LinearKernel, RBFKernel, gamma_scale
+from .smo import BinarySVMModel, SMOConfig, SMOSolver, train_binary_svm
+from .svm import MulticlassSVM, SVMConfig
+
+__all__ = [
+    "BinarySVMModel",
+    "FixedPointBinaryModel",
+    "FixedPointConfig",
+    "FixedPointSVM",
+    "LinearKernel",
+    "MulticlassSVM",
+    "RBFKernel",
+    "SMOConfig",
+    "SMOSolver",
+    "SVMConfig",
+    "dequantize_q",
+    "gamma_scale",
+    "quantize_q",
+    "train_binary_svm",
+]

@@ -1,0 +1,261 @@
+"""Binary soft-margin SVM trained with sequential minimal optimization.
+
+A compact, dependency-free implementation of Platt's SMO with the standard
+working-set heuristics (error-cache driven second-choice selection,
+alternating full and non-bound passes).  It solves the dual
+
+    max Σαᵢ − ½ ΣΣ αᵢαⱼ yᵢyⱼ K(xᵢ, xⱼ)    s.t.  0 ≤ αᵢ ≤ C,  Σ αᵢyᵢ = 0
+
+for labels y ∈ {−1, +1}.  This is the trainer behind the one-vs-one
+multiclass SVC in :mod:`repro.svm.svm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SMOConfig:
+    """Solver parameters.
+
+    ``c`` is the soft-margin penalty; ``tol`` the KKT violation tolerance;
+    ``eps`` the minimum alpha step considered progress; ``max_passes``
+    bounds the number of full sweeps without progress before termination.
+    """
+
+    c: float = 1.0
+    tol: float = 1e-3
+    eps: float = 1e-5
+    max_passes: int = 10
+    max_iter: int = 20_000
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.c <= 0:
+            raise ValueError(f"C must be positive, got {self.c}")
+        if self.tol <= 0 or self.eps <= 0:
+            raise ValueError("tolerances must be positive")
+        if self.max_passes <= 0 or self.max_iter <= 0:
+            raise ValueError("iteration limits must be positive")
+
+
+@dataclass(frozen=True)
+class BinarySVMModel:
+    """A trained binary decision function f(x) = Σ αᵢyᵢK(xᵢ, x) + b.
+
+    Only the support vectors (αᵢ > 0) are retained, matching how the paper
+    counts model size in support vectors.
+    """
+
+    support_vectors: np.ndarray  # (n_sv, d)
+    dual_coef: np.ndarray  # (n_sv,) — αᵢ yᵢ
+    bias: float
+    kernel: object  # callable (n,d),(m,d) -> (n,m)
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors."""
+        return self.support_vectors.shape[0]
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Signed margin for each row of ``x``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if self.n_support == 0:
+            return np.full(x.shape[0], self.bias)
+        gram = self.kernel(x, self.support_vectors)  # (m, n_sv)
+        return gram @ self.dual_coef + self.bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class in {−1, +1} per row of ``x`` (ties go to +1)."""
+        return np.where(self.decision_function(x) >= 0, 1, -1)
+
+
+class SMOSolver:
+    """Platt SMO over a precomputed Gram matrix."""
+
+    def __init__(
+        self,
+        gram: np.ndarray,
+        labels: np.ndarray,
+        config: SMOConfig,
+    ):
+        gram = np.asarray(gram, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+            raise ValueError(f"Gram matrix must be square, got {gram.shape}")
+        if labels.shape != (gram.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match Gram "
+                f"{gram.shape}"
+            )
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise ValueError("labels must be -1 or +1")
+        self._k = gram
+        self._y = labels
+        self._cfg = config
+        n = gram.shape[0]
+        self._alpha = np.zeros(n)
+        self._b = 0.0
+        self._errors = -labels.astype(np.float64)  # f(x)=0 initially
+        self._rng = np.random.default_rng(config.seed)
+
+    # -- public ------------------------------------------------------------
+
+    def solve(self) -> tuple[np.ndarray, float]:
+        """Run SMO to convergence; returns (alpha, bias)."""
+        cfg = self._cfg
+        n = self._y.size
+        iter_count = 0
+        passes_without_progress = 0
+        examine_all = True
+        while passes_without_progress < cfg.max_passes:
+            changed = 0
+            indices = (
+                range(n)
+                if examine_all
+                else np.flatnonzero(
+                    (self._alpha > cfg.eps) & (self._alpha < cfg.c - cfg.eps)
+                )
+            )
+            for i in indices:
+                changed += self._examine(int(i))
+                iter_count += 1
+                if iter_count >= cfg.max_iter:
+                    return self._alpha.copy(), self._b
+            if examine_all:
+                examine_all = False
+            elif changed == 0:
+                examine_all = True
+            if changed == 0:
+                passes_without_progress += 1
+            else:
+                passes_without_progress = 0
+        return self._alpha.copy(), self._b
+
+    # -- internals -----------------------------------------------------------
+
+    def _examine(self, i2: int) -> int:
+        cfg = self._cfg
+        y2 = self._y[i2]
+        alpha2 = self._alpha[i2]
+        e2 = self._errors[i2]
+        r2 = e2 * y2
+        violates = (r2 < -cfg.tol and alpha2 < cfg.c) or (
+            r2 > cfg.tol and alpha2 > 0
+        )
+        if not violates:
+            return 0
+        non_bound = np.flatnonzero(
+            (self._alpha > cfg.eps) & (self._alpha < cfg.c - cfg.eps)
+        )
+        # Heuristic 1: maximize |E1 - E2| over the non-bound set.
+        if non_bound.size > 1:
+            i1 = int(non_bound[np.argmax(np.abs(self._errors[non_bound] - e2))])
+            if i1 != i2 and self._step(i1, i2):
+                return 1
+        # Heuristic 2: loop over non-bound examples from a random start.
+        if non_bound.size:
+            start = self._rng.integers(non_bound.size)
+            for offset in range(non_bound.size):
+                i1 = int(non_bound[(start + offset) % non_bound.size])
+                if i1 != i2 and self._step(i1, i2):
+                    return 1
+        # Heuristic 3: loop over everything from a random start.
+        n = self._y.size
+        start = self._rng.integers(n)
+        for offset in range(n):
+            i1 = int((start + offset) % n)
+            if i1 != i2 and self._step(i1, i2):
+                return 1
+        return 0
+
+    def _step(self, i1: int, i2: int) -> bool:
+        cfg = self._cfg
+        alpha1, alpha2 = self._alpha[i1], self._alpha[i2]
+        y1, y2 = self._y[i1], self._y[i2]
+        e1, e2 = self._errors[i1], self._errors[i2]
+        s = y1 * y2
+        if s > 0:
+            lo = max(0.0, alpha1 + alpha2 - cfg.c)
+            hi = min(cfg.c, alpha1 + alpha2)
+        else:
+            lo = max(0.0, alpha2 - alpha1)
+            hi = min(cfg.c, cfg.c + alpha2 - alpha1)
+        if hi - lo < cfg.eps:
+            return False
+        k11 = self._k[i1, i1]
+        k12 = self._k[i1, i2]
+        k22 = self._k[i2, i2]
+        eta = k11 + k22 - 2.0 * k12
+        if eta <= 0:
+            # Degenerate kernel direction: objective is flat or concave
+            # along this pair; skip (sufficient for PSD kernels in practice).
+            return False
+        a2_new = alpha2 + y2 * (e1 - e2) / eta
+        a2_new = float(np.clip(a2_new, lo, hi))
+        if abs(a2_new - alpha2) < cfg.eps * (a2_new + alpha2 + cfg.eps):
+            return False
+        a1_new = alpha1 + s * (alpha2 - a2_new)
+
+        # Bias update keeping KKT consistency for the two touched points.
+        b1 = (
+            self._b
+            - e1
+            - y1 * (a1_new - alpha1) * k11
+            - y2 * (a2_new - alpha2) * k12
+        )
+        b2 = (
+            self._b
+            - e2
+            - y1 * (a1_new - alpha1) * k12
+            - y2 * (a2_new - alpha2) * k22
+        )
+        if 0 < a1_new < cfg.c:
+            b_new = b1
+        elif 0 < a2_new < cfg.c:
+            b_new = b2
+        else:
+            b_new = 0.5 * (b1 + b2)
+
+        delta1 = y1 * (a1_new - alpha1)
+        delta2 = y2 * (a2_new - alpha2)
+        self._errors += (
+            delta1 * self._k[i1] + delta2 * self._k[i2] + (b_new - self._b)
+        )
+        self._alpha[i1] = a1_new
+        self._alpha[i2] = a2_new
+        self._b = b_new
+        return True
+
+
+def train_binary_svm(
+    features: np.ndarray,
+    labels: np.ndarray,
+    kernel,
+    config: SMOConfig | None = None,
+) -> BinarySVMModel:
+    """Train a binary SVM; ``labels`` must be in {−1, +1}."""
+    config = config or SMOConfig()
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(
+            f"features must be (n_samples, n_features), got {features.shape}"
+        )
+    if labels.shape != (features.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match features "
+            f"{features.shape}"
+        )
+    gram = kernel(features, features)
+    alpha, bias = SMOSolver(gram, labels, config).solve()
+    sv_mask = alpha > config.eps
+    return BinarySVMModel(
+        support_vectors=features[sv_mask].copy(),
+        dual_coef=(alpha[sv_mask] * labels[sv_mask]).copy(),
+        bias=float(bias),
+        kernel=kernel,
+    )

@@ -1,0 +1,168 @@
+"""One-vs-one multiclass SVC built on the SMO binary trainer.
+
+Mirrors the structure of the paper's SVM baseline [3]: a trained model is
+a collection of binary classifiers whose combined support-vector count is
+the "number of SVs" the paper discusses — a quantity that "is not
+determined a priori, and can vary due to several factors" (section 4.1).
+Prediction is by majority vote over all class pairs, with margin-sum
+tie-breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .kernel import LinearKernel, RBFKernel, gamma_scale
+from .smo import BinarySVMModel, SMOConfig, train_binary_svm
+
+
+@dataclass(frozen=True)
+class SVMConfig:
+    """Multiclass SVC parameters (kernel choice + SMO settings)."""
+
+    kernel: str = "rbf"
+    c: float = 10.0
+    gamma: float | None = None  # None = 'scale' heuristic
+    smo: SMOConfig = field(default_factory=SMOConfig)
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("linear", "rbf"):
+            raise ValueError(
+                f"kernel must be 'linear' or 'rbf', got {self.kernel!r}"
+            )
+        if self.c <= 0:
+            raise ValueError(f"C must be positive, got {self.c}")
+        if self.gamma is not None and self.gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+
+
+class MulticlassSVM:
+    """One-vs-one SVC with fit / predict / score."""
+
+    def __init__(self, config: SVMConfig | None = None):
+        self._config = config or SVMConfig()
+        self._classes: List = []
+        self._models: Dict[Tuple[int, int], BinarySVMModel] = {}
+
+    @property
+    def config(self) -> SVMConfig:
+        """The classifier's configuration."""
+        return self._config
+
+    @property
+    def classes(self) -> tuple:
+        """Sorted class labels seen at fit time."""
+        return tuple(self._classes)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return bool(self._models)
+
+    @property
+    def pair_models(self) -> Dict[Tuple[int, int], BinarySVMModel]:
+        """The trained binary models, keyed by class-index pair."""
+        return dict(self._models)
+
+    def total_support_vectors(self) -> int:
+        """Combined SV count across all binary models (paper's model size).
+
+        Shared training points that are support vectors in several pairwise
+        models are counted once, matching how a deployed model stores them.
+        """
+        if not self._models:
+            raise RuntimeError("SVM has not been fitted")
+        seen = set()
+        for model in self._models.values():
+            for sv in model.support_vectors:
+                seen.add(sv.tobytes())
+        return len(seen)
+
+    def _make_kernel(self, features: np.ndarray):
+        if self._config.kernel == "linear":
+            return LinearKernel()
+        gamma = self._config.gamma
+        if gamma is None:
+            gamma = gamma_scale(features)
+        return RBFKernel(gamma=gamma)
+
+    def fit(
+        self, features: np.ndarray, labels: Sequence
+    ) -> "MulticlassSVM":
+        """Train one binary SVM per unordered class pair."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError(
+                f"features must be (n_samples, n_features), "
+                f"got {features.shape}"
+            )
+        if labels.shape != (features.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match features "
+                f"{features.shape}"
+            )
+        self._classes = sorted(set(labels.tolist()))
+        if len(self._classes) < 2:
+            raise ValueError("need at least two classes to train an SVM")
+        kernel = self._make_kernel(features)
+        smo_cfg = SMOConfig(
+            c=self._config.c,
+            tol=self._config.smo.tol,
+            eps=self._config.smo.eps,
+            max_passes=self._config.smo.max_passes,
+            max_iter=self._config.smo.max_iter,
+            seed=self._config.smo.seed,
+        )
+        self._models = {}
+        for a_idx in range(len(self._classes)):
+            for b_idx in range(a_idx + 1, len(self._classes)):
+                cls_a, cls_b = self._classes[a_idx], self._classes[b_idx]
+                mask = (labels == cls_a) | (labels == cls_b)
+                pair_x = features[mask]
+                pair_y = np.where(labels[mask] == cls_a, 1.0, -1.0)
+                self._models[(a_idx, b_idx)] = train_binary_svm(
+                    pair_x, pair_y, kernel, smo_cfg
+                )
+        return self
+
+    def decision_votes(self, features: np.ndarray) -> np.ndarray:
+        """(n_samples, n_classes) vote counts from all pairwise models."""
+        if not self._models:
+            raise RuntimeError("SVM has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        votes = np.zeros((features.shape[0], len(self._classes)))
+        margins = np.zeros_like(votes)
+        for (a_idx, b_idx), model in self._models.items():
+            decision = model.decision_function(features)
+            winner_a = decision >= 0
+            votes[winner_a, a_idx] += 1
+            votes[~winner_a, b_idx] += 1
+            margins[:, a_idx] += decision
+            margins[:, b_idx] -= decision
+        # Nudge votes by a sub-vote margin term so argmax breaks vote ties
+        # by total margin, as conventional OvO implementations do.
+        max_abs = np.abs(margins).max()
+        if max_abs > 0:
+            votes = votes + margins / (max_abs * (2 * len(self._classes)))
+        return votes
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Majority-vote class label per row of ``features``."""
+        votes = self.decision_votes(features)
+        indices = np.argmax(votes, axis=1)
+        return np.array([self._classes[i] for i in indices])
+
+    def score(self, features: np.ndarray, labels: Sequence) -> float:
+        """Mean accuracy on a labelled feature set."""
+        labels = np.asarray(labels)
+        predictions = self.predict(features)
+        if predictions.shape != labels.shape:
+            raise ValueError(
+                f"labels shape {labels.shape} does not match "
+                f"{predictions.shape} predictions"
+            )
+        return float(np.mean(predictions == labels))

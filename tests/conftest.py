@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def tiny_emg_dataset():
+    """A two-subject, low-repetition EMG dataset (session-cached)."""
+    from repro.emg import EMGDatasetConfig, generate_dataset
+
+    config = EMGDatasetConfig(n_subjects=2, n_repetitions=3, seed=7)
+    return config, generate_dataset(config)

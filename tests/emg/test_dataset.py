@@ -1,0 +1,78 @@
+"""Tests for dataset generation and the trial containers."""
+
+import numpy as np
+import pytest
+
+from repro.emg import EMGDatasetConfig, generate_subject
+from repro.emg.signal_model import EMGModelConfig
+from repro.emg.preprocess import PreprocessConfig
+
+
+class TestConfig:
+    def test_paper_protocol_defaults(self):
+        config = EMGDatasetConfig()
+        assert config.n_subjects == 5
+        assert config.n_repetitions == 10
+        assert config.n_gestures == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EMGDatasetConfig(n_subjects=0)
+        with pytest.raises(ValueError):
+            EMGDatasetConfig(n_repetitions=0)
+
+    def test_sample_rate_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            EMGDatasetConfig(
+                model=EMGModelConfig(sample_rate_hz=500),
+                preprocess=PreprocessConfig(sample_rate_hz=1000),
+            )
+
+
+class TestGeneration:
+    def test_trial_counts(self, tiny_emg_dataset):
+        config, dataset = tiny_emg_dataset
+        assert len(dataset) == 2
+        for subject in dataset:
+            assert len(subject.trials) == 5 * 3  # gestures x repetitions
+
+    def test_trial_metadata(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        trial = dataset[0].trials[0]
+        assert trial.subject_id == 0
+        assert trial.gesture == 0
+        assert trial.gesture_name == "rest"
+        assert trial.n_channels == 4
+        assert trial.n_samples == 1500
+
+    def test_envelopes_non_negative(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        for subject in dataset:
+            for trial in subject.trials[:5]:
+                assert (trial.envelope >= 0).all()
+
+    def test_deterministic_per_subject(self, tiny_emg_dataset):
+        config, dataset = tiny_emg_dataset
+        regenerated = generate_subject(config, 1)
+        np.testing.assert_array_equal(
+            regenerated.trials[3].envelope, dataset[1].trials[3].envelope
+        )
+
+    def test_subjects_differ(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        assert not np.array_equal(
+            dataset[0].trials[0].envelope, dataset[1].trials[0].envelope
+        )
+
+    def test_trials_for_gesture(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        closed = dataset[0].trials_for_gesture(1)
+        assert len(closed) == 3
+        assert all(t.gesture == 1 for t in closed)
+
+    def test_envelope_within_quantization_range(self, tiny_emg_dataset):
+        """Envelopes should exercise, but mostly stay within, the CIM's
+        0-21 mV range."""
+        _, dataset = tiny_emg_dataset
+        peak = max(t.envelope.max() for t in dataset[0].trials)
+        assert 5.0 < peak < 40.0

@@ -1,0 +1,59 @@
+"""Tests for the SVM feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.emg import feature_matrix, scale_features, window_features
+
+
+class TestWindowFeatures:
+    def test_mean_per_channel(self):
+        window = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(window_features(window), [2.0, 3.0])
+
+    def test_dimension_is_channel_count(self, rng):
+        """The paper fixes the SV dimension to the channel count."""
+        window = rng.uniform(0, 21, size=(5, 4))
+        assert window_features(window).shape == (4,)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            window_features(np.zeros(5))
+
+
+class TestFeatureMatrix:
+    def test_stacks_windows(self, rng):
+        windows = [rng.uniform(0, 21, size=(5, 4)) for _ in range(7)]
+        matrix = feature_matrix(windows)
+        assert matrix.shape == (7, 4)
+        np.testing.assert_allclose(matrix[3], windows[3].mean(axis=0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            feature_matrix([])
+
+
+class TestScaling:
+    def test_train_standardised(self, rng):
+        train = rng.normal(5.0, 2.0, size=(200, 4))
+        test = rng.normal(5.0, 2.0, size=(50, 4))
+        train_s, test_s, mean, std = scale_features(train, test)
+        np.testing.assert_allclose(train_s.mean(axis=0), 0, atol=1e-10)
+        np.testing.assert_allclose(train_s.std(axis=0), 1, atol=1e-10)
+
+    def test_test_uses_train_statistics(self, rng):
+        train = rng.normal(0.0, 1.0, size=(100, 2))
+        test = train[:10] + 100.0
+        _, test_s, mean, std = scale_features(train, test)
+        np.testing.assert_allclose(
+            test_s, (test - mean) / std, atol=1e-12
+        )
+
+    def test_zero_variance_channel_safe(self):
+        train = np.zeros((10, 2))
+        train[:, 1] = np.arange(10)
+        test = np.ones((3, 2))
+        train_s, test_s, _, std = scale_features(train, test)
+        assert np.isfinite(train_s).all()
+        assert np.isfinite(test_s).all()
+        assert std[0] == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the EMG preprocessing chain."""
+
+import numpy as np
+import pytest
+
+from repro.emg import PreprocessConfig, notch_filter, preprocess_trial
+from repro.emg.preprocess import envelope
+
+
+@pytest.fixture
+def config():
+    return PreprocessConfig()
+
+
+class TestConfig:
+    def test_defaults(self, config):
+        assert config.sample_rate_hz == 500
+        assert config.mains_hz == 50.0
+        assert config.envelope_window_samples == 25  # 50 ms at 500 Hz
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sample_rate_hz=0),
+            dict(mains_hz=0),
+            dict(mains_hz=300.0),  # above Nyquist for 500 Hz
+            dict(envelope_window_s=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PreprocessConfig(**kwargs)
+
+
+class TestNotch:
+    def test_removes_mains_tone(self, config):
+        t = np.arange(2000) / 500.0
+        mains = np.sin(2 * np.pi * 50.0 * t)[:, None]
+        filtered = notch_filter(mains, config)
+        assert np.abs(filtered[200:-200]).max() < 0.1
+
+    def test_passes_out_of_band(self, config):
+        t = np.arange(2000) / 500.0
+        tone = np.sin(2 * np.pi * 10.0 * t)[:, None]
+        filtered = notch_filter(tone, config)
+        ratio = filtered[200:-200].std() / tone[200:-200].std()
+        assert ratio > 0.9
+
+    def test_shape_validation(self, config):
+        with pytest.raises(ValueError):
+            notch_filter(np.zeros(100), config)
+
+
+class TestEnvelope:
+    def test_non_negative(self, config, rng):
+        signal = rng.normal(0, 1, size=(500, 4))
+        env = envelope(signal, config)
+        assert (env >= 0).all()
+
+    def test_tracks_amplitude(self, config, rng):
+        amp = np.concatenate([np.full(500, 1.0), np.full(500, 5.0)])
+        signal = (rng.normal(0, 1, size=1000) * amp)[:, None]
+        env = envelope(signal, config)
+        assert env[700:900].mean() > 3.0 * env[100:300].mean()
+
+    def test_shape_validation(self, config):
+        with pytest.raises(ValueError):
+            envelope(np.zeros(100), config)
+
+
+class TestFullChain:
+    def test_preprocess_removes_mains_keeps_level(self, config, rng):
+        t = np.arange(1500) / 500.0
+        muscle = rng.normal(0, 3.0, size=(1500, 2))
+        mains = 2.0 * np.sin(2 * np.pi * 50.0 * t)[:, None]
+        env_clean = preprocess_trial(muscle, config)
+        env_noisy = preprocess_trial(muscle + mains, config)
+        # The mains tone must barely affect the extracted envelope.
+        mid = slice(300, 1200)
+        np.testing.assert_allclose(
+            env_noisy[mid].mean(axis=0),
+            env_clean[mid].mean(axis=0),
+            rtol=0.15,
+        )
+
+    def test_envelope_scales_with_sigma(self, config, rng):
+        quiet = preprocess_trial(
+            rng.normal(0, 1.0, size=(1500, 1)), config
+        )
+        loud = preprocess_trial(
+            rng.normal(0, 4.0, size=(1500, 1)), config
+        )
+        ratio = loud[300:1200].mean() / quiet[300:1200].mean()
+        assert 3.0 < ratio < 5.0

@@ -1,0 +1,161 @@
+"""Tests for the synthetic EMG signal model."""
+
+import numpy as np
+import pytest
+
+from repro.emg import (
+    EMGModelConfig,
+    GESTURE_NAMES,
+    make_subject,
+    synthesize_trial,
+)
+
+
+@pytest.fixture
+def config():
+    return EMGModelConfig()
+
+
+class TestConfig:
+    def test_defaults_match_paper_protocol(self, config):
+        assert config.n_channels == 4
+        assert config.sample_rate_hz == 500
+        assert config.gesture_duration_s == 3.0
+        assert config.samples_per_trial == 1500
+        assert config.max_amplitude_mv == 21.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_channels=0),
+            dict(sample_rate_hz=0),
+            dict(gesture_duration_s=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EMGModelConfig(**kwargs)
+
+    def test_five_classes(self):
+        assert len(GESTURE_NAMES) == 5
+        assert GESTURE_NAMES[0] == "rest"
+
+
+class TestSubject:
+    def test_deterministic(self, config):
+        a = make_subject(config, 0, np.random.default_rng(1))
+        b = make_subject(config, 0, np.random.default_rng(1))
+        np.testing.assert_array_equal(a.patterns, b.patterns)
+        assert a.gain == b.gain
+
+    def test_patterns_shape_and_range(self, config, rng):
+        subject = make_subject(config, 0, rng)
+        assert subject.patterns.shape == (5, 4)
+        assert subject.patterns.min() >= 0
+        assert subject.patterns.max() <= 1
+
+    def test_crosstalk_rows_normalised(self, config, rng):
+        subject = make_subject(config, 0, rng)
+        np.testing.assert_allclose(
+            subject.crosstalk.sum(axis=1), np.ones(4), atol=1e-12
+        )
+
+    def test_many_channels_interpolated(self, rng):
+        config = EMGModelConfig(n_channels=16)
+        subject = make_subject(config, 0, rng)
+        assert subject.patterns.shape == (5, 16)
+        assert subject.n_channels == 16
+
+
+class TestTrialSynthesis:
+    def test_shape(self, config, rng):
+        subject = make_subject(config, 0, rng)
+        raw = synthesize_trial(config, subject, 1, rng)
+        assert raw.shape == (1500, 4)
+
+    def test_invalid_gesture(self, config, rng):
+        subject = make_subject(config, 0, rng)
+        with pytest.raises(ValueError):
+            synthesize_trial(config, subject, 9, rng)
+
+    def test_rest_much_weaker_than_gesture(self, config, rng):
+        subject = make_subject(config, 0, rng)
+        rest = synthesize_trial(config, subject, 0, rng)
+        closed = synthesize_trial(config, subject, 1, rng)
+        # Compare RMS past the onset ramp.
+        assert (
+            np.abs(closed[500:]).mean() > 2.0 * np.abs(rest[500:]).mean()
+        )
+
+    def test_flexor_channels_dominate_closed_hand(self, rng):
+        config = EMGModelConfig(
+            crosstalk=0.0, noise_mv=0.1, trial_pattern_jitter=0.0,
+            trial_gain_spread=0.0, performance_error_rate=0.0,
+            pattern_jitter=0.0,
+        )
+        subject = make_subject(config, 0, rng)
+        closed = synthesize_trial(config, subject, 1, rng)
+        rms = np.abs(closed[500:]).mean(axis=0)
+        assert rms[0] > rms[2] and rms[1] > rms[3]
+
+    def test_mains_interference_present(self, rng):
+        config = EMGModelConfig(noise_mv=0.01, mains_mv=2.0)
+        subject = make_subject(config, 0, rng)
+        rest = synthesize_trial(config, subject, 0, rng)
+        spectrum = np.abs(np.fft.rfft(rest[:, 0]))
+        freqs = np.fft.rfftfreq(rest.shape[0], 1 / 500)
+        peak_bin = np.argmax(spectrum[1:]) + 1
+        assert abs(freqs[peak_bin] - 50.0) < 1.0
+
+    def test_artifacts_add_energy(self, rng):
+        base_cfg = EMGModelConfig(artifact_rate=0.0)
+        art_cfg = EMGModelConfig(artifact_rate=20.0, artifact_mv=30.0)
+        subject = make_subject(base_cfg, 0, np.random.default_rng(0))
+        base = synthesize_trial(
+            base_cfg, subject, 1, np.random.default_rng(2)
+        )
+        loud = synthesize_trial(
+            art_cfg, subject, 1, np.random.default_rng(2)
+        )
+        assert np.abs(loud).max() > np.abs(base).max()
+
+    def test_reaction_delay_keeps_start_quiet(self, rng):
+        config = EMGModelConfig(
+            reaction_delay_max_s=1.0, noise_mv=0.05, mains_mv=0.0,
+            performance_error_rate=0.0,
+        )
+        subject = make_subject(config, 0, rng)
+        # Draw until the sampled delay is large enough to observe.
+        for _ in range(20):
+            trial_rng = np.random.default_rng(rng.integers(2**32))
+            probe = trial_rng.uniform(0.0, 1.0)  # consumed as the delay
+            trial_rng = np.random.default_rng(0)
+            break
+        trial = synthesize_trial(
+            config, subject, 1, np.random.default_rng(12)
+        )
+        early = np.abs(trial[:50]).mean()
+        late = np.abs(trial[-500:]).mean()
+        assert late > early
+
+    def test_performance_error_changes_signal(self):
+        config = EMGModelConfig(
+            performance_error_rate=1.0, noise_mv=0.05,
+            trial_pattern_jitter=0.0, trial_gain_spread=0.0,
+        )
+        subject = make_subject(config, 0, np.random.default_rng(4))
+        # With rate 1.0 the executed gesture always differs from the cue;
+        # two different rngs must still produce non-cue-like signals.
+        honest_cfg = EMGModelConfig(
+            performance_error_rate=0.0, noise_mv=0.05,
+            trial_pattern_jitter=0.0, trial_gain_spread=0.0,
+        )
+        cue = synthesize_trial(
+            honest_cfg, subject, 1, np.random.default_rng(8)
+        )
+        erred = synthesize_trial(
+            config, subject, 1, np.random.default_rng(8)
+        )
+        cue_rms = np.abs(cue[500:]).mean(axis=0)
+        err_rms = np.abs(erred[500:]).mean(axis=0)
+        assert not np.allclose(cue_rms, err_rms, rtol=0.2)

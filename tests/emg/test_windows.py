@@ -1,0 +1,104 @@
+"""Tests for windowing and the paper's train/test split."""
+
+import numpy as np
+import pytest
+
+from repro.emg import WindowConfig, paper_split, subject_windows
+from repro.emg.windows import windows_from_trial, windows_from_trials
+
+
+class TestWindowConfig:
+    def test_defaults_give_10ms_latency(self):
+        wc = WindowConfig()
+        assert wc.window_samples == 5
+        assert wc.detection_latency_ms(500) == 10.0
+
+    def test_stride_defaults_to_window(self):
+        assert WindowConfig(window_samples=5).stride == 5
+        assert WindowConfig(window_samples=5, stride_samples=3).stride == 3
+
+    def test_slice_includes_ngram_margin(self):
+        wc = WindowConfig(window_samples=5, extra_samples=2)
+        assert wc.slice_samples == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window_samples=0),
+            dict(stride_samples=0),
+            dict(extra_samples=-1),
+            dict(skip_onset_s=-0.1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowConfig(**kwargs)
+
+
+class TestWindowExtraction:
+    def test_counts_and_shapes(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        trial = dataset[0].trials[0]
+        wc = WindowConfig(window_samples=5, skip_onset_s=0.25)
+        windows = windows_from_trial(trial, wc)
+        # (1500 - 125) // 5 = 275 windows
+        assert len(windows) == 275
+        assert windows[0].shape == (5, 4)
+
+    def test_onset_skipped(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        trial = dataset[0].trials[0]
+        wc = WindowConfig(window_samples=5, skip_onset_s=0.25)
+        first = windows_from_trial(trial, wc)[0]
+        np.testing.assert_array_equal(first, trial.envelope[125:130])
+
+    def test_stride_controls_overlap(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        trial = dataset[0].trials[0]
+        dense = windows_from_trial(
+            trial, WindowConfig(window_samples=5, stride_samples=1)
+        )
+        sparse = windows_from_trial(
+            trial, WindowConfig(window_samples=5, stride_samples=50)
+        )
+        assert len(dense) > 5 * len(sparse)
+
+    def test_labels_follow_trials(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        trials = dataset[0].trials[:6]
+        windows, labels = windows_from_trials(
+            trials, WindowConfig(stride_samples=200)
+        )
+        assert len(windows) == len(labels)
+        assert set(labels) <= {t.gesture for t in trials}
+
+
+class TestPaperSplit:
+    def test_quarter_train_full_test(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        train, test = paper_split(dataset[0], 0.25)
+        # ceil(0.25 * 3) = 1 repetition per gesture
+        assert len(train) == 5
+        assert len(test) == len(dataset[0].trials)
+
+    def test_train_stratified(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        train, _ = paper_split(dataset[0], 0.25)
+        assert sorted({t.gesture for t in train}) == [0, 1, 2, 3, 4]
+
+    def test_fraction_validation(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        with pytest.raises(ValueError):
+            paper_split(dataset[0], 0.0)
+        with pytest.raises(ValueError):
+            paper_split(dataset[0], 1.5)
+
+    def test_subject_windows_end_to_end(self, tiny_emg_dataset):
+        _, dataset = tiny_emg_dataset
+        wc = WindowConfig(window_samples=5, stride_samples=100)
+        (train_w, train_l), (test_w, test_l) = subject_windows(
+            dataset[0], wc
+        )
+        assert len(train_w) == len(train_l) > 0
+        assert len(test_w) == len(test_l) > len(train_w)
+        assert all(w.shape == (5, 4) for w in train_w)

@@ -1,0 +1,60 @@
+"""Tests for the table/series formatting helpers."""
+
+import pytest
+
+from repro.experiments import Series, Table, render_series_table
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ["a", "long_header"])
+        table.add_row("1", "2")
+        table.add_row("100", "20000")
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len({len(l) for l in lines[2:5]}) == 1  # equal widths
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_notes_rendered(self):
+        table = Table("T", ["a"])
+        table.add_row("1")
+        table.add_note("footnote")
+        assert "* footnote" in table.render()
+
+    def test_cells_stringified(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        assert "2.5" in table.render()
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1.0])
+
+    def test_render_series_table(self):
+        out = render_series_table(
+            "Fig", "x",
+            [Series("a", [1, 2], [10.0, 20.0]),
+             Series("b", [1, 2], [30.0, 40.0])],
+        )
+        assert "Fig" in out
+        assert "a" in out and "b" in out
+        assert "40" in out
+
+    def test_mismatched_x_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_table(
+                "Fig", "x",
+                [Series("a", [1, 2], [1, 2]),
+                 Series("b", [1, 3], [1, 2])],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_table("Fig", "x", [])

@@ -1,0 +1,156 @@
+"""Tests for the associative memory and prototype accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    AssociativeMemory,
+    BinaryHypervector,
+    PrototypeAccumulator,
+    bulk_distances,
+    bundle,
+)
+
+
+def from_bits(bits):
+    return BinaryHypervector.from_bits(np.asarray(bits, dtype=np.uint8))
+
+
+class TestAssociativeMemory:
+    def test_store_and_classify(self, rng):
+        am = AssociativeMemory(10_000)
+        protos = {
+            label: BinaryHypervector.random(10_000, rng)
+            for label in ("a", "b", "c")
+        }
+        for label, proto in protos.items():
+            am.store(label, proto)
+        for label, proto in protos.items():
+            assert am.classify(proto) == label
+
+    def test_noisy_query_recovers_label(self, rng):
+        am = AssociativeMemory(10_000)
+        proto = BinaryHypervector.random(10_000, rng)
+        am.store("x", proto)
+        am.store("y", BinaryHypervector.random(10_000, rng))
+        # Flip 20% of the bits: still far closer to the true prototype.
+        bits = proto.to_bits()
+        flips = rng.choice(10_000, size=2000, replace=False)
+        bits[flips] ^= 1
+        assert am.classify(BinaryHypervector.from_bits(bits)) == "x"
+
+    def test_tie_goes_to_first_stored(self):
+        am = AssociativeMemory(4)
+        am.store("first", from_bits([1, 1, 0, 0]))
+        am.store("second", from_bits([0, 0, 1, 1]))
+        # Query equidistant (distance 2) from both prototypes.
+        assert am.classify(from_bits([1, 0, 1, 0])) == "first"
+
+    def test_distances_map(self, rng):
+        am = AssociativeMemory(64)
+        a = BinaryHypervector.random(64, rng)
+        b = BinaryHypervector.random(64, rng)
+        am.store(0, a)
+        am.store(1, b)
+        dists = am.distances(a)
+        assert dists[0] == 0
+        assert dists[1] == a.hamming(b)
+
+    def test_classify_with_distances(self, rng):
+        am = AssociativeMemory(64)
+        am.store(0, BinaryHypervector.random(64, rng))
+        label, dists = am.classify_with_distances(
+            BinaryHypervector.random(64, rng)
+        )
+        assert label == 0
+        assert set(dists) == {0}
+
+    def test_empty_memory_errors(self, rng):
+        am = AssociativeMemory(64)
+        with pytest.raises(ValueError):
+            am.classify(BinaryHypervector.random(64, rng))
+        with pytest.raises(ValueError):
+            am.as_matrix()
+
+    def test_dimension_mismatch(self, rng):
+        am = AssociativeMemory(64)
+        with pytest.raises(ValueError):
+            am.store("a", BinaryHypervector.random(65, rng))
+
+    def test_overwrite_keeps_order(self, rng):
+        am = AssociativeMemory(64)
+        am.store("a", BinaryHypervector.random(64, rng))
+        am.store("b", BinaryHypervector.random(64, rng))
+        am.store("a", BinaryHypervector.random(64, rng))
+        assert am.labels == ("a", "b")
+        assert len(am) == 2
+
+    def test_from_prototypes(self, rng):
+        protos = {i: BinaryHypervector.random(32, rng) for i in range(3)}
+        am = AssociativeMemory.from_prototypes(protos)
+        assert am.labels == (0, 1, 2)
+
+    def test_matrix_and_memory_bytes(self, rng):
+        am = AssociativeMemory(10_000)
+        for i in range(5):
+            am.store(i, BinaryHypervector.random(10_000, rng))
+        assert am.as_matrix().shape == (5, 313)
+        # The paper's AM estimate: 5 x 313 words ~ 7 kB (sec. 3).
+        assert am.memory_bytes() == 5 * 313 * 4
+
+    def test_missing_label(self, rng):
+        am = AssociativeMemory(32)
+        am.store("a", BinaryHypervector.random(32, rng))
+        with pytest.raises(KeyError):
+            am["b"]
+
+
+class TestPrototypeAccumulator:
+    def test_single_vector_passthrough(self, rng):
+        acc = PrototypeAccumulator(64)
+        v = BinaryHypervector.random(64, rng)
+        acc.add(v)
+        assert acc.finalize() == v
+
+    def test_matches_bundle(self, rng):
+        for count in (2, 3, 4, 5, 8):
+            vectors = [
+                BinaryHypervector.random(128, rng) for _ in range(count)
+            ]
+            acc = PrototypeAccumulator(128)
+            for v in vectors:
+                acc.add(v)
+            assert acc.finalize() == bundle(vectors), f"count={count}"
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ValueError):
+            PrototypeAccumulator(64).finalize()
+
+    def test_dimension_checked(self, rng):
+        acc = PrototypeAccumulator(64)
+        with pytest.raises(ValueError):
+            acc.add(BinaryHypervector.random(65, rng))
+
+    def test_total_counts(self, rng):
+        acc = PrototypeAccumulator(32)
+        assert acc.total == 0
+        acc.add(BinaryHypervector.random(32, rng))
+        acc.add(BinaryHypervector.random(32, rng))
+        assert acc.total == 2
+
+
+class TestBulkDistances:
+    def test_matches_pairwise(self, rng):
+        protos = [BinaryHypervector.random(500, rng) for _ in range(6)]
+        query = BinaryHypervector.random(500, rng)
+        matrix = np.stack([p.words for p in protos])
+        bulk = bulk_distances(query.words, matrix)
+        expected = [query.hamming(p) for p in protos]
+        np.testing.assert_array_equal(bulk, expected)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            bulk_distances(
+                np.zeros(3, dtype=np.uint32),
+                np.zeros((2, 4), dtype=np.uint32),
+            )

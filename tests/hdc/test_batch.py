@@ -1,0 +1,111 @@
+"""Bit-exact equivalence of the vectorised batch classifier."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import BatchHDClassifier, HDClassifier, HDClassifierConfig
+
+
+def windows_and_labels(rng, n, timestamps, channels, n_classes=4):
+    windows = rng.uniform(0, 21, size=(n, timestamps, channels))
+    labels = [i % n_classes for i in range(n)]
+    return windows, labels
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "ngram,channels",
+        [(1, 4), (1, 3), (2, 4), (3, 5), (4, 2)],
+    )
+    def test_predictions_bit_exact(self, rng, ngram, channels):
+        cfg = HDClassifierConfig(
+            dim=320, n_channels=channels, n_levels=7,
+            ngram_size=ngram, seed=17,
+        )
+        obj = HDClassifier(cfg)
+        bat = BatchHDClassifier(cfg)
+        t = 5 + ngram - 1
+        train_w, train_l = windows_and_labels(rng, 20, t, channels)
+        obj.fit(list(train_w), train_l)
+        bat.fit(train_w, train_l)
+        test_w, _ = windows_and_labels(rng, 15, t, channels)
+        assert obj.predict(list(test_w)) == bat.predict(test_w)
+
+    def test_prototypes_bit_exact(self, rng):
+        cfg = HDClassifierConfig(dim=256, n_levels=9, seed=3)
+        obj = HDClassifier(cfg)
+        bat = BatchHDClassifier(cfg)
+        train_w, train_l = windows_and_labels(rng, 18, 5, 4)
+        obj.fit(list(train_w), train_l)
+        bat.fit(train_w, train_l)
+        assert bat.labels == obj.associative_memory.labels
+        for i, label in enumerate(bat.labels):
+            np.testing.assert_array_equal(
+                bat.prototypes[i],
+                obj.associative_memory[label].to_bits(),
+            )
+
+    def test_im_cim_bit_exact(self):
+        cfg = HDClassifierConfig(dim=192, n_levels=6, seed=55)
+        obj = HDClassifier(cfg)
+        bat = BatchHDClassifier(cfg)
+        spatial = obj.encoder.spatial
+        for ch in range(cfg.n_channels):
+            np.testing.assert_array_equal(
+                bat.im_bits[ch], spatial.item_memory[ch].to_bits()
+            )
+        for level in range(cfg.n_levels):
+            np.testing.assert_array_equal(
+                bat.cim_bits[level],
+                spatial.continuous_memory[level].to_bits(),
+            )
+
+    def test_distances_match_hamming(self, rng):
+        cfg = HDClassifierConfig(dim=256, seed=21)
+        bat = BatchHDClassifier(cfg)
+        train_w, train_l = windows_and_labels(rng, 12, 5, 4)
+        bat.fit(train_w, train_l)
+        test_w = train_w[:3]
+        dists = bat.distances(test_w)
+        queries = bat.encode_windows(test_w)
+        for i in range(3):
+            for j in range(len(bat.labels)):
+                expected = int(
+                    np.count_nonzero(queries[i] != bat.prototypes[j])
+                )
+                assert dists[i, j] == expected
+
+
+class TestValidation:
+    def test_fit_mismatched(self, rng):
+        bat = BatchHDClassifier(HDClassifierConfig(dim=64))
+        with pytest.raises(ValueError):
+            bat.fit(np.zeros((2, 5, 4)), [0])
+        with pytest.raises(ValueError):
+            bat.fit(np.zeros((0, 5, 4)), [])
+
+    def test_window_too_short_for_ngram(self, rng):
+        bat = BatchHDClassifier(HDClassifierConfig(dim=64, ngram_size=5))
+        with pytest.raises(ValueError):
+            bat.encode_windows(np.zeros((1, 3, 4)))
+
+    def test_bad_shapes(self):
+        bat = BatchHDClassifier(HDClassifierConfig(dim=64))
+        with pytest.raises(ValueError):
+            bat.encode_samples(np.zeros((5, 3)))  # wrong channel count
+        with pytest.raises(ValueError):
+            bat.encode_windows(np.zeros((5, 4)))  # missing axis
+
+    def test_unfitted(self):
+        bat = BatchHDClassifier(HDClassifierConfig(dim=64))
+        with pytest.raises(RuntimeError):
+            bat.predict(np.zeros((1, 5, 4)))
+        with pytest.raises(RuntimeError):
+            bat.prototypes
+
+    def test_score_mismatch(self, rng):
+        bat = BatchHDClassifier(HDClassifierConfig(dim=64))
+        train_w, train_l = windows_and_labels(rng, 8, 5, 4)
+        bat.fit(train_w, train_l)
+        with pytest.raises(ValueError):
+            bat.score(train_w, train_l[:-1])

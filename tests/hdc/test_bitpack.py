@@ -1,0 +1,194 @@
+"""Unit and property tests for the packed hypervector layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import bitpack
+
+
+class TestWordsForDim:
+    def test_paper_dimension(self):
+        assert bitpack.words_for_dim(10_000) == 313
+
+    def test_exact_multiples(self):
+        assert bitpack.words_for_dim(32) == 1
+        assert bitpack.words_for_dim(64) == 2
+
+    def test_rounding_up(self):
+        assert bitpack.words_for_dim(1) == 1
+        assert bitpack.words_for_dim(33) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, -32])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            bitpack.words_for_dim(bad)
+
+
+class TestPadMask:
+    def test_full_word(self):
+        assert bitpack.pad_mask(32) == 0xFFFFFFFF
+        assert bitpack.pad_mask(64) == 0xFFFFFFFF
+
+    def test_partial_word(self):
+        assert bitpack.pad_mask(1) == 0x1
+        assert bitpack.pad_mask(10_000) == (1 << 16) - 1  # 10000 % 32 == 16
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        packed = bitpack.pack_bits(bits)
+        assert packed.dtype == np.uint32
+        np.testing.assert_array_equal(bitpack.unpack_bits(packed, 5), bits)
+
+    def test_lsb_first_layout(self):
+        bits = np.zeros(40, dtype=np.uint8)
+        bits[0] = 1
+        bits[33] = 1
+        packed = bitpack.pack_bits(bits)
+        assert packed[0] == 1
+        assert packed[1] == 2  # bit 33 -> word 1, position 1
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bitpack.pack_bits(np.array([0, 1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bitpack.pack_bits(np.array([], dtype=np.uint8))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            bitpack.pack_bits(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_unpack_word_count_mismatch(self):
+        with pytest.raises(ValueError):
+            bitpack.unpack_bits(np.zeros(2, dtype=np.uint32), 100)
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=400)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        packed = bitpack.pack_bits(arr)
+        np.testing.assert_array_equal(
+            bitpack.unpack_bits(packed, arr.size), arr
+        )
+        assert bitpack.pad_bits_are_zero(packed, arr.size)
+
+    @given(dim=st.integers(1, 300), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_popcount_matches_unpacked(self, dim, data):
+        bits = np.array(
+            data.draw(
+                st.lists(st.integers(0, 1), min_size=dim, max_size=dim)
+            ),
+            dtype=np.uint8,
+        )
+        packed = bitpack.pack_bits(bits)
+        assert bitpack.popcount_words(packed) == int(bits.sum())
+
+
+class TestPopcount:
+    def test_per_word(self):
+        words = np.array([0xFFFFFFFF, 0, 0x1], dtype=np.uint32)
+        np.testing.assert_array_equal(
+            bitpack.popcount_per_word(words), [32, 0, 1]
+        )
+
+    def test_total(self):
+        words = np.array([0xF0F0F0F0, 0x0F0F0F0F], dtype=np.uint32)
+        assert bitpack.popcount_words(words) == 32
+
+
+class TestRotate:
+    def test_identity(self):
+        rng = np.random.default_rng(1)
+        packed = bitpack.random_packed(100, rng)
+        np.testing.assert_array_equal(
+            bitpack.rotate_bits(packed, 100, 0), packed
+        )
+
+    def test_full_rotation_is_identity(self):
+        rng = np.random.default_rng(2)
+        packed = bitpack.random_packed(77, rng)
+        np.testing.assert_array_equal(
+            bitpack.rotate_bits(packed, 77, 77), packed
+        )
+
+    def test_single_bit_moves(self):
+        bits = np.zeros(50, dtype=np.uint8)
+        bits[0] = 1
+        packed = bitpack.pack_bits(bits)
+        rotated = bitpack.rotate_bits(packed, 50, 3)
+        expected = np.zeros(50, dtype=np.uint8)
+        expected[3] = 1
+        np.testing.assert_array_equal(
+            bitpack.unpack_bits(rotated, 50), expected
+        )
+
+    def test_wraparound(self):
+        bits = np.zeros(33, dtype=np.uint8)
+        bits[32] = 1
+        packed = bitpack.pack_bits(bits)
+        rotated = bitpack.rotate_bits(packed, 33, 1)
+        assert bitpack.unpack_bits(rotated, 33)[0] == 1
+
+    def test_matches_numpy_roll(self):
+        rng = np.random.default_rng(3)
+        for dim in (5, 32, 33, 100, 313):
+            bits = rng.integers(0, 2, size=dim, dtype=np.uint8)
+            packed = bitpack.pack_bits(bits)
+            for k in (1, 2, 7, dim - 1):
+                rotated = bitpack.rotate_bits(packed, dim, k)
+                np.testing.assert_array_equal(
+                    bitpack.unpack_bits(rotated, dim), np.roll(bits, k)
+                )
+
+    @given(
+        dim=st.integers(2, 200),
+        k=st.integers(-50, 400),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_preserves_popcount(self, dim, k, data):
+        bits = np.array(
+            data.draw(
+                st.lists(st.integers(0, 1), min_size=dim, max_size=dim)
+            ),
+            dtype=np.uint8,
+        )
+        packed = bitpack.pack_bits(bits)
+        rotated = bitpack.rotate_bits(packed, dim, k)
+        assert bitpack.popcount_words(rotated) == int(bits.sum())
+        assert bitpack.pad_bits_are_zero(rotated, dim)
+
+
+class TestIntConversion:
+    def test_roundtrip(self):
+        value = 0b1011001110001
+        packed = bitpack.packed_from_int(value, 20)
+        assert bitpack.packed_to_int(packed) == value
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bitpack.packed_from_int(1 << 10, 10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitpack.packed_from_int(-1, 10)
+
+
+class TestRandomPacked:
+    def test_balanced_ones(self, rng):
+        packed = bitpack.random_packed(10_000, rng)
+        ones = bitpack.popcount_words(packed)
+        # i.i.d. Bernoulli(1/2): 4-sigma band around 5000
+        assert abs(ones - 5000) < 4 * 50
+
+    def test_pad_invariant(self, rng):
+        packed = bitpack.random_packed(100, rng)
+        assert bitpack.pad_bits_are_zero(packed, 100)

@@ -1,0 +1,139 @@
+"""Tests for the BinaryHypervector value type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc import BinaryHypervector, bitpack
+
+
+def hv(bits):
+    return BinaryHypervector.from_bits(np.array(bits, dtype=np.uint8))
+
+
+class TestConstruction:
+    def test_from_bits(self):
+        v = hv([1, 0, 1])
+        assert v.dim == 3
+        assert v.popcount() == 2
+
+    def test_zeros(self):
+        v = BinaryHypervector.zeros(70)
+        assert v.popcount() == 0
+        assert v.n_words == 3
+
+    def test_random_respects_dim(self, rng):
+        v = BinaryHypervector.random(123, rng)
+        assert v.dim == 123
+        assert bitpack.pad_bits_are_zero(v.words, 123)
+
+    def test_rejects_wrong_word_count(self):
+        with pytest.raises(ValueError):
+            BinaryHypervector(np.zeros(2, dtype=np.uint32), 100)
+
+    def test_rejects_dirty_pad_bits(self):
+        words = np.array([0xFFFFFFFF], dtype=np.uint32)
+        with pytest.raises(ValueError):
+            BinaryHypervector(words, 10)
+
+    def test_words_read_only(self, rng):
+        v = BinaryHypervector.random(64, rng)
+        with pytest.raises(ValueError):
+            v.words[0] = 1
+
+
+class TestAlgebra:
+    def test_xor_self_is_zero(self, rng):
+        v = BinaryHypervector.random(200, rng)
+        assert (v ^ v).popcount() == 0
+
+    def test_xor_identity(self, rng):
+        v = BinaryHypervector.random(200, rng)
+        zero = BinaryHypervector.zeros(200)
+        assert (v ^ zero) == v
+
+    def test_xor_dimension_mismatch(self, rng):
+        a = BinaryHypervector.random(64, rng)
+        b = BinaryHypervector.random(65, rng)
+        with pytest.raises(ValueError):
+            a ^ b
+
+    def test_xor_type_error(self, rng):
+        with pytest.raises(TypeError):
+            BinaryHypervector.random(64, rng) ^ "not a hypervector"
+
+    def test_hamming_zero_to_self(self, rng):
+        v = BinaryHypervector.random(500, rng)
+        assert v.hamming(v) == 0
+
+    def test_hamming_symmetric(self, rng):
+        a = BinaryHypervector.random(500, rng)
+        b = BinaryHypervector.random(500, rng)
+        assert a.hamming(b) == b.hamming(a)
+
+    def test_random_vectors_quasi_orthogonal(self, rng):
+        a = BinaryHypervector.random(10_000, rng)
+        b = BinaryHypervector.random(10_000, rng)
+        assert abs(a.hamming(b) - 5000) < 4 * 50
+
+    def test_normalized_hamming(self):
+        a = hv([0, 0, 0, 0])
+        b = hv([1, 1, 0, 0])
+        assert a.normalized_hamming(b) == 0.5
+
+    def test_rotate_roundtrip(self, rng):
+        v = BinaryHypervector.random(99, rng)
+        assert v.rotate(13).rotate(99 - 13) == v
+
+    def test_rotate_composition(self, rng):
+        v = BinaryHypervector.random(77, rng)
+        assert v.rotate(3).rotate(4) == v.rotate(7)
+
+    def test_get_bit(self):
+        v = hv([0, 1, 0, 1])
+        assert [v.get_bit(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_get_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            hv([1, 0]).get_bit(2)
+
+
+class TestDunder:
+    def test_equality_and_hash(self, rng):
+        a = BinaryHypervector.random(64, rng)
+        b = BinaryHypervector(a.words, 64)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_dim(self):
+        assert hv([1, 0]) != hv([1, 0, 0])
+
+    def test_len(self):
+        assert len(hv([1, 0, 1])) == 3
+
+    def test_repr_mentions_shape(self, rng):
+        v = BinaryHypervector.random(64, rng)
+        assert "dim=64" in repr(v)
+
+    def test_eq_non_hypervector(self):
+        assert (hv([1]) == 42) is False
+
+
+@given(dim=st.integers(1, 256), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_bits_roundtrip_property(dim, seed):
+    rng = np.random.default_rng(seed)
+    v = BinaryHypervector.random(dim, rng)
+    assert BinaryHypervector.from_bits(v.to_bits()) == v
+
+
+@given(dim=st.integers(2, 200), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_xor_preserves_hamming_distances(dim, seed):
+    """Binding by a fixed vector is an isometry of Hamming space."""
+    rng = np.random.default_rng(seed)
+    a = BinaryHypervector.random(dim, rng)
+    b = BinaryHypervector.random(dim, rng)
+    c = BinaryHypervector.random(dim, rng)
+    assert (a ^ c).hamming(b ^ c) == a.hamming(b)

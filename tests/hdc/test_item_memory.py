@@ -1,0 +1,123 @@
+"""Tests for the item memory and continuous item memory."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import ContinuousItemMemory, ItemMemory, quantize_samples
+
+
+class TestItemMemory:
+    def test_for_channels(self, rng):
+        im = ItemMemory.for_channels(4, 256, rng)
+        assert len(im) == 4
+        assert im.symbols == (0, 1, 2, 3)
+        assert im.dim == 256
+
+    def test_symbols_quasi_orthogonal(self, rng):
+        im = ItemMemory.for_channels(4, 10_000, rng)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert abs(im[i].hamming(im[j]) - 5000) < 4 * 50
+
+    def test_arbitrary_symbols(self, rng):
+        im = ItemMemory(["flexor", "extensor"], 64, rng)
+        assert "flexor" in im
+        assert "missing" not in im
+
+    def test_duplicate_symbol_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ItemMemory(["a", "a"], 64, rng)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ItemMemory([], 64, rng)
+
+    def test_missing_lookup(self, rng):
+        im = ItemMemory(["a"], 64, rng)
+        with pytest.raises(KeyError):
+            im["b"]
+
+    def test_matrix_shape_and_rows(self, rng):
+        im = ItemMemory.for_channels(3, 100, rng)
+        matrix = im.as_matrix()
+        assert matrix.shape == (3, 4)
+        np.testing.assert_array_equal(matrix[1], im[1].words)
+
+    def test_zero_channels_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ItemMemory.for_channels(0, 64, rng)
+
+
+class TestContinuousItemMemory:
+    def test_endpoints_quasi_orthogonal(self, rng):
+        cim = ContinuousItemMemory(22, 10_000, rng)
+        dist = cim[0].hamming(cim[21])
+        assert abs(dist - 5000) < 4 * 50
+
+    def test_distances_monotone_in_level(self, rng):
+        cim = ContinuousItemMemory(22, 10_000, rng)
+        dists = cim.level_distances()
+        assert dists[0] == 0
+        assert all(np.diff(dists) >= 0)
+
+    def test_distances_approximately_linear(self, rng):
+        cim = ContinuousItemMemory(11, 10_000, rng)
+        dists = cim.level_distances().astype(float)
+        steps = np.diff(dists)
+        assert steps.std() < 0.3 * steps.mean()
+
+    def test_adjacent_levels_similar(self, rng):
+        cim = ContinuousItemMemory(22, 10_000, rng)
+        assert cim[10].hamming(cim[11]) < 600  # ~ dim/(2*21) + margin
+
+    def test_min_levels(self, rng):
+        with pytest.raises(ValueError):
+            ContinuousItemMemory(1, 64, rng)
+
+    def test_quantize_endpoints(self, rng):
+        cim = ContinuousItemMemory(22, 64, rng)
+        assert cim.quantize(0.0, 0.0, 21.0) == 0
+        assert cim.quantize(21.0, 0.0, 21.0) == 21
+
+    def test_quantize_saturates(self, rng):
+        cim = ContinuousItemMemory(22, 64, rng)
+        assert cim.quantize(-5.0, 0.0, 21.0) == 0
+        assert cim.quantize(100.0, 0.0, 21.0) == 21
+
+    def test_quantize_rounds_to_nearest(self, rng):
+        cim = ContinuousItemMemory(22, 64, rng)
+        assert cim.quantize(1.4, 0.0, 21.0) == 1
+        assert cim.quantize(1.6, 0.0, 21.0) == 2
+
+    def test_quantize_bad_range(self, rng):
+        cim = ContinuousItemMemory(22, 64, rng)
+        with pytest.raises(ValueError):
+            cim.quantize(1.0, 5.0, 5.0)
+
+    def test_lookup_returns_level_vector(self, rng):
+        cim = ContinuousItemMemory(5, 64, rng)
+        assert cim.lookup(0.0, 0.0, 4.0) == cim[0]
+
+    def test_index_bounds(self, rng):
+        cim = ContinuousItemMemory(5, 64, rng)
+        with pytest.raises(IndexError):
+            cim[5]
+
+    def test_matrix_shape(self, rng):
+        cim = ContinuousItemMemory(22, 10_000, rng)
+        assert cim.as_matrix().shape == (22, 313)
+
+
+class TestQuantizeSamples:
+    def test_matches_scalar_quantize(self, rng):
+        cim = ContinuousItemMemory(22, 64, rng)
+        values = rng.uniform(-2, 25, size=100)
+        batch = quantize_samples(values, 0.0, 21.0, 22)
+        scalar = [cim.quantize(v, 0.0, 21.0) for v in values]
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_samples([1.0], 0.0, 21.0, 1)
+        with pytest.raises(ValueError):
+            quantize_samples([1.0], 5.0, 5.0, 22)

@@ -1,0 +1,112 @@
+"""Tests for the on-line learning mode (paper section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import HDClassifier, HDClassifierConfig, OnlineHDClassifier
+
+
+def make_windows(rng, n, centers=(4.0, 11.0, 18.0)):
+    windows, labels = [], []
+    for i in range(n):
+        label = i % len(centers)
+        windows.append(
+            np.clip(rng.normal(centers[label], 1.0, size=(5, 4)), 0, 21)
+        )
+        labels.append(label)
+    return windows, labels
+
+
+class TestIncrementalEquivalence:
+    def test_matches_offline_training(self, rng):
+        """Streaming the training set equals one-shot fit, bit for bit."""
+        cfg = HDClassifierConfig(dim=512, seed=13)
+        offline = HDClassifier(cfg)
+        online = OnlineHDClassifier(cfg)
+        windows, labels = make_windows(rng, 18)
+        offline.fit(windows, labels)
+        online.update_batch(windows, labels)
+        for label in offline.associative_memory.labels:
+            assert (
+                online.associative_memory[label]
+                == offline.associative_memory[label]
+            )
+
+    def test_one_by_one_matches_batch(self, rng):
+        cfg = HDClassifierConfig(dim=256, seed=7)
+        a = OnlineHDClassifier(cfg)
+        b = OnlineHDClassifier(cfg)
+        windows, labels = make_windows(rng, 12)
+        for window, label in zip(windows, labels):
+            a.update(window, label)
+        b.update_batch(windows, labels)
+        for label in a.classes:
+            assert a.associative_memory[label] == b.associative_memory[label]
+
+
+class TestOnlineBehaviour:
+    def test_learns_new_class_on_the_fly(self, rng):
+        cfg = HDClassifierConfig(dim=1024)
+        online = OnlineHDClassifier(cfg)
+        windows, labels = make_windows(rng, 12, centers=(4.0, 18.0))
+        online.update_batch(windows, labels)
+        assert online.classes == (0, 1)
+        # A third activity appears mid-stream.
+        new_windows = [
+            np.clip(rng.normal(11.0, 1.0, size=(5, 4)), 0, 21)
+            for _ in range(6)
+        ]
+        for window in new_windows:
+            online.update(window, 2)
+        assert 2 in online.classes
+        probe = np.clip(rng.normal(11.0, 1.0, size=(5, 4)), 0, 21)
+        assert online.predict_window(probe) == 2
+
+    def test_adaptation_improves_on_drifted_data(self, rng):
+        """On-line updates recover accuracy after a signal shift."""
+        cfg = HDClassifierConfig(dim=1024)
+        online = OnlineHDClassifier(cfg)
+        windows, labels = make_windows(rng, 24, centers=(3.0, 16.0))
+        online.update_batch(windows, labels)
+        # Drift: both classes shift up by 3 mV.
+        drift_w, drift_l = make_windows(rng, 40, centers=(6.0, 19.0))
+        before = online.score(drift_w, drift_l)
+        online.update_batch(drift_w[:20], drift_l[:20])
+        after = online.score(drift_w[20:], drift_l[20:])
+        assert after >= before
+
+    def test_mistake_driven_skips_correct(self, rng):
+        cfg = HDClassifierConfig(dim=1024)
+        online = OnlineHDClassifier(cfg)
+        windows, labels = make_windows(rng, 15)
+        online.update_batch(windows, labels)
+        more_w, more_l = make_windows(rng, 30)
+        applied = online.update_batch(more_w, more_l, mistake_driven=True)
+        # A trained separable model rejects most redundant updates.
+        assert applied < len(more_w)
+
+    def test_mistake_driven_always_applies_new_class(self, rng):
+        online = OnlineHDClassifier(HDClassifierConfig(dim=256))
+        window = np.clip(rng.normal(5, 1, size=(5, 4)), 0, 21)
+        assert online.update(window, "fresh", mistake_driven=True)
+
+
+class TestValidation:
+    def test_unfitted_rejected(self, rng):
+        online = OnlineHDClassifier(HDClassifierConfig(dim=64))
+        with pytest.raises(RuntimeError):
+            online.predict_window(np.zeros((5, 4)))
+
+    def test_batch_length_mismatch(self, rng):
+        online = OnlineHDClassifier(HDClassifierConfig(dim=64))
+        with pytest.raises(ValueError):
+            online.update_batch([np.zeros((5, 4))], [0, 1])
+
+    def test_am_matrix_deployable(self, rng):
+        """The online AM drops straight into the chain simulator."""
+        online = OnlineHDClassifier(HDClassifierConfig(dim=128))
+        windows, labels = make_windows(rng, 9)
+        online.update_batch(windows, labels)
+        matrix = online.am_matrix()
+        assert matrix.shape == (3, 4)
+        assert matrix.dtype == np.uint32

@@ -1,0 +1,138 @@
+"""Tests for the unpacked golden model itself."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import reference
+
+
+class TestPrimitives:
+    def test_bind_self_inverse(self, rng):
+        a = reference.random_hv(100, rng)
+        b = reference.random_hv(100, rng)
+        np.testing.assert_array_equal(
+            reference.bind(reference.bind(a, b), b), a
+        )
+
+    def test_bind_validation(self, rng):
+        with pytest.raises(ValueError):
+            reference.bind(
+                reference.random_hv(4, rng), reference.random_hv(5, rng)
+            )
+        with pytest.raises(ValueError):
+            reference.bind(np.array([0, 2]), np.array([0, 1]))
+
+    def test_permute_is_roll(self, rng):
+        v = reference.random_hv(50, rng)
+        np.testing.assert_array_equal(
+            reference.permute(v, 3), np.roll(v, 3)
+        )
+
+    def test_bundle_majority(self):
+        out = reference.bundle(
+            [np.array([1, 1, 0]), np.array([1, 0, 0]), np.array([0, 1, 0])]
+        )
+        np.testing.assert_array_equal(out, [1, 1, 0])
+
+    def test_bundle_even_tiebreak(self):
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([0, 1, 1, 0], dtype=np.uint8)
+        np.testing.assert_array_equal(reference.bundle([a, b]), [1, 1, 1, 0])
+
+    def test_bundle_empty(self):
+        with pytest.raises(ValueError):
+            reference.bundle([])
+
+    def test_hamming(self):
+        assert reference.hamming(np.array([1, 0, 1]), np.array([0, 0, 1])) == 1
+
+    def test_quantize(self):
+        assert reference.quantize(0.0, 0.0, 21.0, 22) == 0
+        assert reference.quantize(21.0, 0.0, 21.0, 22) == 21
+        assert reference.quantize(50.0, 0.0, 21.0, 22) == 21
+
+    def test_temporal_encode_empty(self):
+        with pytest.raises(ValueError):
+            reference.temporal_encode([])
+
+
+class TestCIM:
+    def test_monotone_distance(self, rng):
+        levels = reference.make_cim(10, 2000, rng)
+        dists = [reference.hamming(levels[0], v) for v in levels]
+        assert dists[0] == 0
+        assert all(np.diff(dists) >= 0)
+
+    def test_min_levels(self, rng):
+        with pytest.raises(ValueError):
+            reference.make_cim(1, 64, rng)
+
+    def test_matches_packed_cim(self):
+        """Same generator state -> identical contents as the packed CIM."""
+        from repro.hdc import ContinuousItemMemory
+
+        rng_a = np.random.default_rng(123)
+        rng_b = np.random.default_rng(123)
+        packed = ContinuousItemMemory(7, 300, rng_a)
+        unpacked = reference.make_cim(7, 300, rng_b)
+        for level in range(7):
+            np.testing.assert_array_equal(
+                packed[level].to_bits(), unpacked[level]
+            )
+
+
+class TestAMClassify:
+    def test_nearest(self, rng):
+        protos = {
+            "a": reference.random_hv(1000, rng),
+            "b": reference.random_hv(1000, rng),
+        }
+        noisy = protos["b"].copy()
+        noisy[:100] ^= 1
+        assert reference.am_classify(noisy, protos) == "b"
+
+    def test_first_wins_ties(self):
+        protos = {
+            "first": np.array([1, 1, 0, 0], dtype=np.uint8),
+            "second": np.array([0, 0, 1, 1], dtype=np.uint8),
+        }
+        query = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert reference.am_classify(query, protos) == "first"
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            reference.am_classify(np.array([1, 0]), {})
+
+
+class TestReferenceClassifier:
+    def test_window_validation(self, rng):
+        ref = reference.ReferenceHDClassifier(
+            dim=64, n_channels=4, n_levels=4, ngram_size=3,
+            signal_lo=0, signal_hi=21, seed=1,
+        )
+        with pytest.raises(ValueError):
+            ref.encode_window(np.zeros((2, 4)))  # too short for 3-grams
+        with pytest.raises(ValueError):
+            ref.encode_window(np.zeros((5, 3)))  # wrong channel count
+
+    def test_unfitted_predict(self, rng):
+        ref = reference.ReferenceHDClassifier(
+            dim=64, n_channels=4, n_levels=4, ngram_size=1,
+            signal_lo=0, signal_hi=21, seed=1,
+        )
+        with pytest.raises(RuntimeError):
+            ref.predict_window(np.zeros((5, 4)))
+
+    def test_learns(self, rng):
+        ref = reference.ReferenceHDClassifier(
+            dim=512, n_channels=4, n_levels=16, ngram_size=1,
+            signal_lo=0, signal_hi=21, seed=1,
+        )
+        windows = [
+            np.clip(rng.normal(c, 1.0, size=(5, 4)), 0, 21)
+            for c in (4, 4, 4, 17, 17, 17)
+        ]
+        labels = [0, 0, 0, 1, 1, 1]
+        ref.fit(windows, labels)
+        assert ref.predict_window(np.full((5, 4), 4.0)) == 0
+        assert ref.predict_window(np.full((5, 4), 17.0)) == 1

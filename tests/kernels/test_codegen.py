@@ -1,0 +1,170 @@
+"""Tests for the shared code-generation helpers, executed on the ISS."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import codegen
+from repro.pulp import (
+    Assembler,
+    Cluster,
+    CORTEX_M4,
+    L1_BASE,
+    PULPV3,
+    WOLF,
+)
+from repro.pulp.assembler import CORE_ID_REG
+
+
+class TestChunkBounds:
+    @pytest.mark.parametrize("n_items,n_cores", [(313, 4), (313, 8), (5, 8), (16, 2), (1, 1)])
+    def test_cover_and_clamp(self, n_items, n_cores):
+        covered = []
+        for core in range(n_cores):
+            asm = Assembler(WOLF)
+            lo, hi, t = asm.reg("lo"), asm.reg("hi"), asm.reg("t")
+            # Pose as the target core.
+            asm.li(CORE_ID_REG, core)
+            codegen.emit_chunk_bounds(asm, n_items, n_cores, lo, hi, t)
+            asm.sw(lo, asm.arg(0), 0)
+            asm.sw(hi, asm.arg(0), 4)
+            asm.halt()
+            cluster = Cluster(WOLF, 1)
+            cluster.run(asm.build(), args=[L1_BASE])
+            lo_v = cluster.read_word(L1_BASE)
+            hi_v = cluster.read_word(L1_BASE + 4)
+            assert 0 <= lo_v <= hi_v <= n_items
+            covered.extend(range(lo_v, hi_v))
+        assert sorted(covered) == list(range(n_items))
+
+    def test_first_item_offset(self):
+        asm = Assembler(WOLF)
+        lo, hi, t = asm.reg("lo"), asm.reg("hi"), asm.reg("t")
+        codegen.emit_chunk_bounds(
+            asm, 10, 1, lo, hi, t, first_item=1
+        )
+        asm.sw(lo, asm.arg(0), 0)
+        asm.sw(hi, asm.arg(0), 4)
+        asm.halt()
+        cluster = Cluster(WOLF, 1)
+        cluster.run(asm.build(), args=[L1_BASE])
+        assert cluster.read_word(L1_BASE) == 1
+        assert cluster.read_word(L1_BASE + 4) == 10
+
+
+class TestSoftwarePopcount:
+    @pytest.mark.parametrize("profile", [PULPV3, CORTEX_M4, WOLF])
+    def test_matches_python(self, profile, rng):
+        values = list(rng.integers(0, 2**32, size=20, dtype=np.uint64))
+        values += [0, 1, 0xFFFFFFFF, 0x80000000, 0x55555555]
+        asm = Assembler(profile)
+        consts = codegen.PopcountConsts(asm)
+        v, out, t, p = asm.reg("v"), asm.reg("o"), asm.reg("t"), asm.reg("p")
+        asm.mv(p, asm.arg(0))
+        for value in values:
+            asm.li(v, int(value))
+            codegen.emit_software_popcount(asm, out, v, t, consts)
+            asm.emit("sw", rd=out, ra=p, imm=0)
+            asm.addi(p, p, 4)
+        asm.halt()
+        cluster = Cluster(profile, 1)
+        cluster.run(asm.build(), args=[L1_BASE])
+        for i, value in enumerate(values):
+            expected = bin(int(value)).count("1")
+            assert cluster.read_word(L1_BASE + 4 * i) == expected
+
+
+def run_majority(profile, style, words, use_hw_loop=False):
+    """Run one majority over k input words on the ISS."""
+    k = len(words)
+    asm = Assembler(profile)
+    regs = [asm.reg(f"b{j}") for j in range(k)]
+    res, cnt, t = asm.reg("res"), asm.reg("cnt"), asm.reg("t")
+    bit, thresh, c32 = asm.reg("bit"), asm.reg("th"), asm.reg("c32")
+    for reg, value in zip(regs, words):
+        asm.li(reg, int(value))
+    asm.li(thresh, k // 2)
+    asm.li(c32, 32)
+    codegen.emit_majority_word(
+        asm, style, regs, res, cnt, t, bit, thresh, c32, use_hw_loop
+    )
+    asm.sw(res, asm.arg(0), 0)
+    asm.halt()
+    cluster = Cluster(profile, 1)
+    cluster.run(asm.build(), args=[L1_BASE])
+    return cluster.read_word(L1_BASE)
+
+
+def python_majority(words):
+    k = len(words)
+    out = 0
+    for bit in range(32):
+        count = sum((int(w) >> bit) & 1 for w in words)
+        if count > k // 2:
+            out |= 1 << bit
+    return out
+
+
+class TestMajorityStyles:
+    @pytest.mark.parametrize(
+        "profile,style,hw",
+        [
+            (PULPV3, "bit-serial", False),
+            (WOLF, "bit-serial", True),
+            (WOLF, "extract-add", False),
+            (WOLF, "insert-popcount", False),
+            (CORTEX_M4, "extract-add", False),
+        ],
+    )
+    @pytest.mark.parametrize("k", [1, 3, 5, 7])
+    def test_matches_python(self, profile, style, hw, k, rng):
+        words = rng.integers(0, 2**32, size=k, dtype=np.uint64)
+        assert run_majority(profile, style, words, hw) == python_majority(
+            words
+        )
+
+    def test_even_count_rejected(self, rng):
+        words = rng.integers(0, 2**32, size=4, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            run_majority(WOLF, "extract-add", words)
+
+    def test_unknown_style_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_majority(WOLF, "quantum", [1, 2, 3])
+
+    def test_builtin_cheaper_than_bit_serial(self, rng):
+        """The builtins' whole point: same result, fewer cycles."""
+        words = rng.integers(0, 2**32, size=5, dtype=np.uint64)
+
+        def cycles(style, hw):
+            asm = Assembler(WOLF)
+            regs = [asm.reg(f"b{j}") for j in range(5)]
+            res, cnt, t = asm.reg("res"), asm.reg("cnt"), asm.reg("t")
+            bit, th, c32 = asm.reg("bit"), asm.reg("th"), asm.reg("c32")
+            for reg, value in zip(regs, words):
+                asm.li(reg, int(value))
+            asm.li(th, 2)
+            asm.li(c32, 32)
+            codegen.emit_majority_word(
+                asm, style, regs, res, cnt, t, bit, th, c32, hw
+            )
+            asm.halt()
+            return Cluster(WOLF, 1).run(asm.build()).total_cycles
+
+        assert cycles("extract-add", False) < cycles("bit-serial", True)
+
+
+class TestStyleSelection:
+    def test_wolf_builtin_opt_in(self):
+        assert codegen.majority_style_for(WOLF, False) == "bit-serial"
+        assert codegen.majority_style_for(WOLF, True) == "extract-add"
+        assert (
+            codegen.majority_style_for(WOLF, True, literal_fig2=True)
+            == "insert-popcount"
+        )
+
+    def test_m4_always_bitfield(self):
+        assert codegen.majority_style_for(CORTEX_M4, False) == "extract-add"
+
+    def test_pulpv3_plain(self):
+        assert codegen.majority_style_for(PULPV3, False) == "bit-serial"
+        assert codegen.majority_style_for(PULPV3, True) == "bit-serial"

@@ -1,0 +1,130 @@
+"""Tests for the chain memory layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import ChainDims, make_layout
+from repro.pulp import L1_BASE, L2_BASE
+
+
+class TestChainDims:
+    def test_paper_defaults(self):
+        dims = ChainDims()
+        assert dims.n_words == 313
+        assert dims.row_bytes == 1252
+        assert dims.n_samples == 5  # W=5, N=1
+        assert dims.n_bundle_inputs == 5  # 4 channels + tiebreak
+
+    def test_ngram_extends_samples(self):
+        dims = ChainDims(ngram=3, window=5)
+        assert dims.n_samples == 7
+
+    def test_odd_channels_no_tiebreak(self):
+        assert ChainDims(n_channels=5).n_bundle_inputs == 5
+
+    def test_window_inputs(self):
+        assert ChainDims(window=5).n_window_inputs == 5
+        assert ChainDims(window=4).n_window_inputs == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dim=0),
+            dict(n_channels=0),
+            dict(n_levels=1),
+            dict(n_classes=0),
+            dict(ngram=0),
+            dict(window=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChainDims(**kwargs)
+
+
+class TestLayout:
+    def test_paper_memory_estimates(self):
+        """Section 3: CIM 27 kB, IM 5 kB, AM 7 kB, total ~50 kB."""
+        layout = make_layout(ChainDims(), n_cores=4)
+        dims = layout.dims
+        cim_kb = dims.n_levels * dims.row_bytes / 1024
+        im_kb = dims.n_channels * dims.row_bytes / 1024
+        am_kb = dims.n_classes * dims.row_bytes / 1024
+        assert 26 < cim_kb < 28
+        assert 4.5 < im_kb < 5.5
+        assert 5.5 < am_kb < 6.5
+        assert layout.total_bytes() < 85 * 1024
+
+    def test_row_accessors(self):
+        layout = make_layout(ChainDims(), n_cores=4)
+        row = layout.dims.row_bytes
+        assert layout.im_l2_row(1) - layout.im_l2_row(0) == row
+        assert layout.cim_l2_row(2) - layout.cim_l2 == 2 * row
+        assert layout.am_l2_row(4) - layout.am_l2 == 4 * row
+        assert layout.desc_entry(1, 0) - layout.desc_entry(0, 0) == 16
+
+    def test_spatial_ring_wraps(self):
+        layout = make_layout(ChainDims(ngram=3), n_cores=2)
+        assert layout.spatial_row(0) == layout.spatial_row(3)
+
+    def test_regions_disjoint(self):
+        dims = ChainDims(dim=512, n_channels=4, n_levels=6, ngram=2)
+        layout = make_layout(dims, n_cores=4)
+        row = dims.row_bytes
+        spans = [
+            (layout.im_l2, dims.n_channels * row),
+            (layout.cim_l2, dims.n_levels * row),
+            (layout.am_l2, dims.n_classes * row),
+            (layout.desc_l2, dims.n_samples * dims.n_channels * 4),
+            (layout.result_l2, 4 + dims.n_classes * 4),
+        ]
+        spans.sort()
+        for (a_start, a_len), (b_start, _) in zip(spans, spans[1:]):
+            assert a_start + a_len <= b_start
+
+    def test_no_dma_drops_staging(self):
+        dims = ChainDims(dim=512)
+        with_dma = make_layout(dims, 4, uses_dma=True)
+        without = make_layout(dims, 4, uses_dma=False)
+        assert without.l1_bytes() < with_dma.l1_bytes()
+
+    def test_bound_buf_optional(self):
+        dims = ChainDims(dim=512, n_channels=16)
+        big = make_layout(dims, 4, with_bound_buf=True)
+        small = make_layout(dims, 4, with_bound_buf=False)
+        assert big.l1_bytes() - small.l1_bytes() == (
+            dims.n_bundle_inputs * dims.row_bytes
+        )
+
+    def test_partials_indexed_per_core(self):
+        layout = make_layout(ChainDims(dim=64), n_cores=8)
+        a = layout.partial_addr(0, 0, 8)
+        b = layout.partial_addr(0, 7, 8)
+        c = layout.partial_addr(1, 0, 8)
+        assert b - a == 28
+        assert c - a == 32
+
+    @given(
+        dim=st.integers(32, 4096),
+        channels=st.integers(1, 16),
+        ngram=st.integers(1, 6),
+        cores=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_positive_and_ordered(self, dim, channels, ngram, cores):
+        dims = ChainDims(
+            dim=dim, n_channels=channels, n_levels=4, ngram=ngram
+        )
+        layout = make_layout(dims, n_cores=cores)
+        assert layout.l2_end > L2_BASE
+        assert layout.l1_end > L1_BASE
+        assert layout.model_bytes() > 0
+
+    def test_footprint_linear_in_channels(self):
+        """Fig. 5's red line: model bytes grow linearly in channels."""
+        sizes = [
+            make_layout(ChainDims(n_channels=c), 8).model_bytes()
+            for c in (4, 8, 16)
+        ]
+        assert sizes[2] - sizes[1] == 2 * (sizes[1] - sizes[0])

@@ -1,0 +1,218 @@
+"""Shape assertions on kernel cycle counts — the paper's performance
+claims as tests.
+
+These run the full ISS at a reduced dimension (2048: large enough for
+per-word costs to dominate the fixed overheads, small enough to stay
+fast) and assert the *orderings and rough factors* of Tables 1–3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
+from repro.pulp import CORTEX_M4_SOC, PULPV3_SOC, WOLF_SOC
+
+DIM = 2048
+
+
+@pytest.fixture(scope="module")
+def chain_cycles():
+    """Encode/AM cycles for every Table-3 configuration at DIM."""
+    rng = np.random.default_rng(5)
+    dims = ChainDims(
+        dim=DIM, n_channels=4, n_levels=22, n_classes=5, ngram=1, window=5
+    )
+    n_words = dims.n_words
+    im = rng.integers(0, 2**32, size=(4, n_words), dtype=np.uint32)
+    cim = rng.integers(0, 2**32, size=(22, n_words), dtype=np.uint32)
+    am = rng.integers(0, 2**32, size=(5, n_words), dtype=np.uint32)
+    levels = rng.integers(0, 22, size=(5, 4))
+    out = {}
+    for key, soc, cores, builtins in [
+        ("pulpv3_1", PULPV3_SOC, 1, False),
+        ("pulpv3_4", PULPV3_SOC, 4, False),
+        ("wolf_1", WOLF_SOC, 1, False),
+        ("wolf_1_bi", WOLF_SOC, 1, True),
+        ("wolf_8_bi", WOLF_SOC, 8, True),
+        ("m4", CORTEX_M4_SOC, 1, False),
+    ]:
+        sim = HDChainSimulator(
+            ChainConfig(
+                soc=soc, n_cores=cores, dims=dims, use_builtins=builtins
+            )
+        )
+        sim.load_model(im, cim, am)
+        out[key] = sim.run_window_levels(levels)
+    return out
+
+
+class TestTable3Shapes:
+    def test_four_core_speedup_near_ideal(self, chain_cycles):
+        """Paper: 3.73x end-to-end on 4 PULPv3 cores."""
+        sp = (
+            chain_cycles["pulpv3_1"].total_cycles
+            / chain_cycles["pulpv3_4"].total_cycles
+        )
+        assert 3.2 <= sp <= 4.0
+
+    def test_wolf_isa_gain(self, chain_cycles):
+        """Paper: 1.23x from the RISC-V ISA alone."""
+        sp = (
+            chain_cycles["pulpv3_1"].total_cycles
+            / chain_cycles["wolf_1"].total_cycles
+        )
+        assert 1.1 <= sp <= 1.5
+
+    def test_builtin_gain(self, chain_cycles):
+        """Paper: further 2.3x from the xpulp builtins (we measure a
+        smaller but clearly >1.4x gain; see EXPERIMENTS.md)."""
+        sp = (
+            chain_cycles["wolf_1"].total_cycles
+            / chain_cycles["wolf_1_bi"].total_cycles
+        )
+        assert sp >= 1.4
+
+    def test_eight_core_wolf_speedup(self, chain_cycles):
+        """Paper: 18.4x over single-core PULPv3; ours lands >12x."""
+        sp = (
+            chain_cycles["pulpv3_1"].total_cycles
+            / chain_cycles["wolf_8_bi"].total_cycles
+        )
+        assert sp >= 12.0
+
+    def test_wolf_8core_scaling_near_ideal(self, chain_cycles):
+        """Paper: 176k -> 25k (7.04x) from 1 to 8 cores on Wolf."""
+        sp = (
+            chain_cycles["wolf_1_bi"].encode_cycles
+            / chain_cycles["wolf_8_bi"].encode_cycles
+        )
+        assert sp >= 6.0
+
+    def test_am_speedup_saturates(self, chain_cycles):
+        """Paper: the AM kernel scales worse than MAP+ENC (2.93 vs 3.81
+        on 4 cores) because its load is small."""
+        enc_sp = (
+            chain_cycles["pulpv3_1"].encode_cycles
+            / chain_cycles["pulpv3_4"].encode_cycles
+        )
+        am_sp = (
+            chain_cycles["pulpv3_1"].am_cycles
+            / chain_cycles["pulpv3_4"].am_cycles
+        )
+        assert am_sp < enc_sp
+
+    def test_encode_dominates_load(self, chain_cycles):
+        """Paper: MAP+ENCODERS takes >90% of the single-core time."""
+        assert chain_cycles["pulpv3_1"].encode_load > 0.9
+
+    def test_m4_serial_faster_than_pulpv3_serial(self, chain_cycles):
+        """Paper: the M4 needs fewer cycles than single-core PULPv3."""
+        assert (
+            chain_cycles["m4"].total_cycles
+            < chain_cycles["pulpv3_1"].total_cycles
+        )
+
+
+class TestWorkloadScaling:
+    def test_cycles_grow_linearly_with_ngram(self):
+        """Fig. 4: each extra N-gram step adds a constant cost."""
+        rng = np.random.default_rng(6)
+        totals = []
+        for n in (1, 2, 3):
+            dims = ChainDims(
+                dim=DIM, n_channels=4, n_levels=6, n_classes=3,
+                ngram=n, window=5,
+            )
+            sim = HDChainSimulator(
+                ChainConfig(
+                    soc=WOLF_SOC, n_cores=8, dims=dims, use_builtins=True
+                )
+            )
+            nw = dims.n_words
+            sim.load_model(
+                rng.integers(0, 2**32, size=(4, nw), dtype=np.uint32),
+                rng.integers(0, 2**32, size=(6, nw), dtype=np.uint32),
+                rng.integers(0, 2**32, size=(3, nw), dtype=np.uint32),
+            )
+            levels = rng.integers(0, 6, size=(dims.n_samples, 4))
+            totals.append(sim.run_window_levels(levels).total_cycles)
+        step1 = totals[1] - totals[0]
+        step2 = totals[2] - totals[1]
+        assert step1 > 0
+        assert abs(step2 - step1) < 0.25 * step1
+
+    def test_carry_save_linear_in_channels(self):
+        """Fig. 5: carry-save cycles grow ~linearly with channels."""
+        rng = np.random.default_rng(7)
+        totals = []
+        for n_ch in (8, 16, 32):
+            dims = ChainDims(
+                dim=512, n_channels=n_ch, n_levels=6, n_classes=3,
+                ngram=1, window=5,
+            )
+            sim = HDChainSimulator(
+                ChainConfig(
+                    soc=WOLF_SOC, n_cores=8, dims=dims,
+                    strategy="carry-save",
+                )
+            )
+            nw = dims.n_words
+            sim.load_model(
+                rng.integers(0, 2**32, size=(n_ch, nw), dtype=np.uint32),
+                rng.integers(0, 2**32, size=(6, nw), dtype=np.uint32),
+                rng.integers(0, 2**32, size=(3, nw), dtype=np.uint32),
+            )
+            levels = rng.integers(0, 6, size=(5, n_ch))
+            totals.append(sim.run_window_levels(levels).total_cycles)
+        # doubling channels should roughly double the encode-heavy total
+        ratio_a = totals[1] / totals[0]
+        ratio_b = totals[2] / totals[1]
+        assert 1.5 < ratio_a < 2.5
+        assert 1.5 < ratio_b < 2.5
+
+    def test_carry_save_beats_naive_memory(self):
+        """The bit-sliced counter is the ablation winner at 16 channels."""
+        rng = np.random.default_rng(8)
+        cycles = {}
+        for strategy in ("memory", "carry-save"):
+            dims = ChainDims(
+                dim=512, n_channels=16, n_levels=6, n_classes=3,
+                ngram=1, window=5,
+            )
+            sim = HDChainSimulator(
+                ChainConfig(
+                    soc=WOLF_SOC, n_cores=4, dims=dims, strategy=strategy
+                )
+            )
+            nw = dims.n_words
+            sim.load_model(
+                rng.integers(0, 2**32, size=(16, nw), dtype=np.uint32),
+                rng.integers(0, 2**32, size=(6, nw), dtype=np.uint32),
+                rng.integers(0, 2**32, size=(3, nw), dtype=np.uint32),
+            )
+            levels = rng.integers(0, 6, size=(5, 16))
+            cycles[strategy] = sim.run_window_levels(levels).encode_cycles
+        assert cycles["carry-save"] < 0.5 * cycles["memory"]
+
+    def test_dma_double_buffering_hides_transfers(self):
+        """Per-sample CIM transfers overlap compute: total DMA stall is
+        a tiny fraction of the encode time."""
+        rng = np.random.default_rng(9)
+        dims = ChainDims(
+            dim=DIM, n_channels=4, n_levels=6, n_classes=3,
+            ngram=1, window=5,
+        )
+        sim = HDChainSimulator(
+            ChainConfig(soc=PULPV3_SOC, n_cores=1, dims=dims)
+        )
+        nw = dims.n_words
+        sim.load_model(
+            rng.integers(0, 2**32, size=(4, nw), dtype=np.uint32),
+            rng.integers(0, 2**32, size=(6, nw), dtype=np.uint32),
+            rng.integers(0, 2**32, size=(3, nw), dtype=np.uint32),
+        )
+        levels = rng.integers(0, 6, size=(5, 4))
+        result = sim.run_window_levels(levels)
+        payload_cycles = result.encode_run.dma_bytes / 8
+        assert payload_cycles > 0
+        assert payload_cycles < 0.05 * result.encode_cycles

@@ -1,0 +1,87 @@
+"""Tests for the fixed-point SVM kernel on the simulated Cortex M4."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.svm_kernel import SVMKernelSimulator, build_svm_program
+from repro.svm import (
+    FixedPointConfig,
+    FixedPointSVM,
+    MulticlassSVM,
+    SVMConfig,
+)
+
+
+def trained_fp(rng, kernel="rbf", n_classes=4, exp_terms=2):
+    centers = rng.normal(0, 2.0, size=(n_classes, 4))
+    x = np.vstack(
+        [c + rng.normal(0, 0.6, size=(20, 4)) for c in centers]
+    )
+    y = np.repeat(np.arange(n_classes), 20)
+    svm = MulticlassSVM(SVMConfig(kernel=kernel, c=10.0)).fit(x, y)
+    fp = FixedPointSVM.from_float(svm, FixedPointConfig(exp_terms=exp_terms))
+    return fp, x, y
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("kernel", ["rbf", "linear"])
+    def test_matches_fixed_point_library(self, rng, kernel):
+        fp, x, _ = trained_fp(rng, kernel)
+        sim = SVMKernelSimulator(fp)
+        for xi in x[::5]:
+            label, _ = sim.classify(xi)
+            assert label == fp.predict(xi.reshape(1, -1))[0]
+
+    def test_matches_on_prequantised(self, rng):
+        fp, x, _ = trained_fp(rng)
+        sim = SVMKernelSimulator(fp)
+        x_q = fp.quantize_features(x[0])
+        idx, _ = sim.classify_q(x_q)
+        assert fp.classes[idx] == fp.predict_q(x_q.reshape(1, -1))[0]
+
+    def test_extreme_features_underflow_path(self, rng):
+        """Far-away queries exercise the exp zero-shortcut."""
+        fp, x, _ = trained_fp(rng)
+        sim = SVMKernelSimulator(fp)
+        far = x[0] + 50.0
+        label, _ = sim.classify(far)
+        assert label == fp.predict(far.reshape(1, -1))[0]
+
+
+class TestTiming:
+    def test_cycles_scale_with_sv_count(self, rng):
+        """More support vectors, more cycles — the paper's Table 1
+        variability argument."""
+        fp_few, x, y = trained_fp(rng)
+        centers = rng.normal(0, 1.0, size=(4, 4))
+        x2 = np.vstack(
+            [c + rng.normal(0, 1.4, size=(40, 4)) for c in centers]
+        )
+        y2 = np.repeat(np.arange(4), 40)
+        svm_many = MulticlassSVM(SVMConfig(kernel="rbf", c=0.5)).fit(x2, y2)
+        fp_many = FixedPointSVM.from_float(
+            svm_many, FixedPointConfig(exp_terms=2)
+        )
+        if fp_many.total_support_vectors() <= fp_few.total_support_vectors():
+            pytest.skip("overlap did not increase the SV count")
+        few_cycles = SVMKernelSimulator(fp_few).classify(x[0])[1]
+        many_cycles = SVMKernelSimulator(fp_many).classify(x2[0])[1]
+        assert many_cycles > few_cycles
+
+    def test_cycles_deterministic(self, rng):
+        fp, x, _ = trained_fp(rng)
+        sim = SVMKernelSimulator(fp)
+        assert sim.classify(x[0])[1] == sim.classify(x[0])[1]
+
+
+class TestValidation:
+    def test_exp_terms_must_be_two(self, rng):
+        fp, _, _ = trained_fp(rng, exp_terms=3)
+        with pytest.raises(ValueError):
+            SVMKernelSimulator(fp)
+
+    def test_feature_count_checked(self, rng):
+        fp, x, _ = trained_fp(rng)
+        sim = SVMKernelSimulator(fp)
+        with pytest.raises(ValueError):
+            sim.classify_q(np.zeros(3, dtype=np.int64))

@@ -1,0 +1,111 @@
+"""Tests for the program builder."""
+
+import pytest
+
+from repro.pulp import Assembler, PULPV3, WOLF, CORTEX_M4
+
+
+class TestRegisterAllocation:
+    def test_named_registers_stable(self):
+        asm = Assembler(PULPV3)
+        assert asm.reg("x") == asm.reg("x")
+        assert asm.reg("x") != asm.reg("y")
+
+    def test_free_and_reuse(self):
+        asm = Assembler(PULPV3)
+        first = asm.reg("a")
+        asm.free_reg("a")
+        assert asm.reg("b") == first
+
+    def test_exhaustion(self):
+        asm = Assembler(PULPV3)
+        with pytest.raises(RuntimeError):
+            for i in range(40):
+                asm.reg(f"r{i}")
+
+    def test_arg_registers(self):
+        asm = Assembler(PULPV3)
+        assert asm.arg(0) == 12
+        with pytest.raises(ValueError):
+            asm.arg(6)
+
+
+class TestValidation:
+    def test_profile_gates_builtins(self):
+        asm = Assembler(PULPV3)
+        with pytest.raises(ValueError):
+            asm.popcount(1, 2)
+
+    def test_wolf_allows_builtins(self):
+        asm = Assembler(WOLF)
+        asm.popcount(1, 2)
+        asm.extractu(1, 2, 3, 1)
+        asm.insert(1, 2, 3, 1)
+
+    def test_m4_bitfield_only(self):
+        asm = Assembler(CORTEX_M4)
+        asm.ubfx(1, 2, 3, 1)
+        asm.bfi(1, 2, 3, 1)
+        with pytest.raises(ValueError):
+            asm.extractu(1, 2, 3, 1)
+
+    def test_hw_loop_gated(self):
+        with pytest.raises(ValueError):
+            Assembler(PULPV3).hw_loop(1, "end")
+        with pytest.raises(ValueError):
+            Assembler(CORTEX_M4).lw_postinc(1, 2, 4)
+
+    def test_unknown_op(self):
+        asm = Assembler(PULPV3)
+        with pytest.raises(ValueError):
+            asm.emit("frobnicate")
+
+    def test_register_range_checked(self):
+        asm = Assembler(PULPV3)
+        with pytest.raises(ValueError):
+            asm.emit("add", rd=32, ra=0, rb=0)
+
+
+class TestLabels:
+    def test_duplicate_rejected(self):
+        asm = Assembler(PULPV3)
+        asm.label("x")
+        with pytest.raises(ValueError):
+            asm.label("x")
+
+    def test_undefined_target_rejected(self):
+        asm = Assembler(PULPV3)
+        asm.j("nowhere")
+        asm.halt()
+        with pytest.raises(ValueError):
+            asm.build()
+
+    def test_targets_resolved(self):
+        asm = Assembler(PULPV3)
+        asm.label("start")
+        asm.nop()
+        asm.j("start")
+        prog = asm.build()
+        assert prog.instrs[1].target == 0
+
+
+class TestBuild:
+    def test_must_end_in_halt(self):
+        asm = Assembler(PULPV3)
+        asm.nop()
+        with pytest.raises(ValueError):
+            asm.build()
+
+    def test_listing_readable(self):
+        asm = Assembler(PULPV3)
+        asm.label("entry")
+        asm.li(asm.reg("t"), 42)
+        asm.halt()
+        listing = asm.build().listing()
+        assert "entry:" in listing
+        assert "imm=42" in listing
+
+    def test_profile_recorded(self):
+        asm = Assembler(WOLF)
+        asm.halt()
+        assert asm.build().profile_name == "wolf"

@@ -1,0 +1,322 @@
+"""Instruction-level tests for the core interpreter.
+
+Each test assembles a miniature program, runs it on a single-core
+cluster, and checks the architectural result (and, where it matters,
+the cycle count).
+"""
+
+import pytest
+
+from repro.pulp import (
+    Assembler,
+    Cluster,
+    CORTEX_M4,
+    ExecutionError,
+    L1_BASE,
+    PULPV3,
+    WOLF,
+)
+
+
+def run_program(profile, build, n_cores=1, args=()):
+    """Assemble with ``build(asm)`` and run; returns (cluster, result)."""
+    asm = Assembler(profile)
+    build(asm)
+    cluster = Cluster(profile, n_cores)
+    result = cluster.run(asm.build(), args=args)
+    return cluster, result
+
+
+def result_word(cluster):
+    return cluster.read_word(L1_BASE)
+
+
+class TestALU:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, 0xFFFFFFFF),  # wraps
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("sll", 1, 5, 32),
+            ("srl", 0x80000000, 4, 0x08000000),
+            ("sltu", 3, 4, 1),
+            ("sltu", 4, 3, 0),
+        ],
+    )
+    def test_register_ops(self, op, a, b, expected):
+        def build(asm):
+            ra, rb, rd = asm.reg("a"), asm.reg("b"), asm.reg("d")
+            asm.li(ra, a)
+            asm.li(rb, b)
+            asm.emit(op, rd=rd, ra=ra, rb=rb)
+            asm.sw(rd, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == expected
+
+    def test_sra_sign_extends(self):
+        def build(asm):
+            ra, rb, rd = asm.reg("a"), asm.reg("b"), asm.reg("d")
+            asm.li(ra, 0x80000000)
+            asm.li(rb, 4)
+            asm.sra(rd, ra, rb)
+            asm.sw(rd, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 0xF8000000
+
+    def test_slt_signed(self):
+        def build(asm):
+            ra, rb, rd = asm.reg("a"), asm.reg("b"), asm.reg("d")
+            asm.li(ra, 0xFFFFFFFF)  # -1
+            asm.li(rb, 1)
+            asm.emit("slt", rd=rd, ra=ra, rb=rb)
+            asm.sw(rd, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 1
+
+    def test_immediates(self):
+        def build(asm):
+            r = asm.reg("r")
+            asm.li(r, 10)
+            asm.addi(r, r, -3)
+            asm.slli(r, r, 2)  # 28
+            asm.xori(r, r, 0xF)  # 19
+            asm.sw(r, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 19
+
+    def test_mul_wraps(self):
+        def build(asm):
+            ra, rb = asm.reg("a"), asm.reg("b")
+            asm.li(ra, 0x10000)
+            asm.li(rb, 0x10001)
+            asm.mul(ra, ra, rb)
+            asm.sw(ra, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 0x10000  # low 32 bits
+
+    def test_r0_hardwired_zero(self):
+        def build(asm):
+            asm.emit("addi", rd=0, ra=0, imm=99)
+            asm.sw(0, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 0
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        def build(asm):
+            r = asm.reg("r")
+            asm.li(r, 0xDEADBEEF)
+            asm.sw(r, asm.arg(0), 8)
+            asm.lw(r, asm.arg(0), 8)
+            asm.sw(r, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 0xDEADBEEF
+
+    def test_byte_and_half_access(self):
+        def build(asm):
+            r = asm.reg("r")
+            asm.li(r, 0x1234)
+            asm.emit("sh", rd=r, ra=asm.arg(0), imm=4)
+            asm.emit("lhu", rd=r, ra=asm.arg(0), imm=4)
+            asm.emit("sb", rd=r, ra=asm.arg(0), imm=0)
+            asm.emit("lbu", rd=r, ra=asm.arg(0), imm=0)
+            asm.sw(r, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 0x34
+
+    def test_postincrement_load(self):
+        def build(asm):
+            p, acc, t = asm.reg("p"), asm.reg("acc"), asm.reg("t")
+            asm.mv(p, asm.arg(0))
+            asm.lw_postinc(t, p, 4)
+            asm.lw_postinc(acc, p, 4)
+            asm.add(acc, acc, t)
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        cluster = Cluster(WOLF, 1)
+        cluster.write_word(L1_BASE, 11)
+        cluster.write_word(L1_BASE + 4, 31)
+        asm = Assembler(WOLF)
+        build(asm)
+        cluster.run(asm.build(), args=[L1_BASE])
+        assert cluster.read_word(L1_BASE) == 42
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        def build(asm):
+            i, acc, n = asm.reg("i"), asm.reg("acc"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(acc, 0)
+            asm.li(n, 10)
+            asm.label("loop")
+            asm.add(acc, acc, i)
+            asm.addi(i, i, 1)
+            asm.blt(i, n, "loop")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 45
+
+    def test_branch_flavours(self):
+        def build(asm):
+            a, b, out = asm.reg("a"), asm.reg("b"), asm.reg("out")
+            asm.li(a, 0xFFFFFFFF)  # -1 signed, big unsigned
+            asm.li(b, 1)
+            asm.li(out, 0)
+            asm.blt(a, b, "signed_lt")  # -1 < 1 signed: taken
+            asm.halt()
+            asm.label("signed_lt")
+            asm.bltu(b, a, "unsigned_lt")  # 1 < 0xffffffff: taken
+            asm.halt()
+            asm.label("unsigned_lt")
+            asm.li(out, 1)
+            asm.sw(out, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(PULPV3, build, args=[L1_BASE])
+        assert result_word(cluster) == 1
+
+    def test_taken_branch_costs_more(self):
+        def taken(asm):
+            asm.beq(0, 0, "t")
+            asm.label("t")
+            asm.halt()
+
+        def not_taken(asm):
+            r = asm.reg("r")
+            asm.li(r, 1)
+            asm.bne(r, r, "t")
+            asm.label("t")
+            asm.halt()
+
+        _, res_taken = run_program(PULPV3, taken)
+        _, res_not = run_program(PULPV3, not_taken)
+        # taken: beq(1+3) + halt; not taken: li + bne(1+1) + halt
+        assert res_taken.total_cycles == 1 + 3 + 1
+        assert res_not.total_cycles == 1 + 1 + 1 + 1
+
+    def test_runaway_program_detected(self):
+        def build(asm):
+            asm.label("spin")
+            asm.j("spin")
+
+        asm = Assembler(PULPV3)
+        build(asm)
+        cluster = Cluster(PULPV3, 1)
+        cluster.cores[0].max_instructions = 1000
+        with pytest.raises(ExecutionError):
+            cluster.run(asm.build())
+
+
+class TestHardwareLoops:
+    def test_zero_overhead(self):
+        def build(asm):
+            n, acc = asm.reg("n"), asm.reg("acc")
+            asm.li(n, 100)
+            asm.li(acc, 0)
+            asm.hw_loop(n, "end")
+            asm.addi(acc, acc, 1)
+            asm.label("end")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, result = run_program(WOLF, build, args=[L1_BASE])
+        assert result_word(cluster) == 100
+        # li + li + lp.setup + 100x addi + sw + halt = 105 cycles
+        assert result.total_cycles == 105
+
+    def test_zero_trip_count_skips_body(self):
+        def build(asm):
+            n, acc = asm.reg("n"), asm.reg("acc")
+            asm.li(n, 0)
+            asm.li(acc, 7)
+            asm.hw_loop(n, "end")
+            asm.li(acc, 99)
+            asm.label("end")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(WOLF, build, args=[L1_BASE])
+        assert result_word(cluster) == 7
+
+    def test_nested_loops(self):
+        def build(asm):
+            n, m, acc = asm.reg("n"), asm.reg("m"), asm.reg("acc")
+            asm.li(acc, 0)
+            asm.li(n, 5)
+            asm.hw_loop(n, "outer_end")
+            asm.li(m, 3)
+            asm.hw_loop(m, "inner_end")
+            asm.addi(acc, acc, 1)
+            asm.label("inner_end")
+            asm.nop()
+            asm.label("outer_end")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(WOLF, build, args=[L1_BASE])
+        assert result_word(cluster) == 15
+
+
+class TestBitManipulation:
+    def test_extract_insert_cnt(self):
+        def build(asm):
+            v, t, out = asm.reg("v"), asm.reg("t"), asm.reg("out")
+            asm.li(v, 0b1011_0100)
+            asm.extractu(t, v, 2, 3)  # bits 2..4 = 0b101
+            asm.mv(out, 0)
+            asm.insert(out, t, 4, 3)  # out = 0b101_0000
+            asm.popcount(t, out)
+            asm.add(out, out, t)
+            asm.sw(out, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(WOLF, build, args=[L1_BASE])
+        assert result_word(cluster) == 0b1010000 + 2
+
+    def test_m4_ubfx_bfi(self):
+        def build(asm):
+            v, t, out = asm.reg("v"), asm.reg("t"), asm.reg("out")
+            asm.li(v, 0xF0)
+            asm.ubfx(t, v, 4, 4)  # 0xF
+            asm.mv(out, 0)
+            asm.bfi(out, t, 0, 4)
+            asm.sw(out, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(CORTEX_M4, build, args=[L1_BASE])
+        assert result_word(cluster) == 0xF
+
+    def test_popcount_full_word(self):
+        def build(asm):
+            v = asm.reg("v")
+            asm.li(v, 0xFFFFFFFF)
+            asm.popcount(v, v)
+            asm.sw(v, asm.arg(0), 0)
+            asm.halt()
+
+        cluster, _ = run_program(WOLF, build, args=[L1_BASE])
+        assert result_word(cluster) == 32

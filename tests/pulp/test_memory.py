@@ -1,0 +1,87 @@
+"""Tests for the two-level memory system."""
+
+import pytest
+
+from repro.pulp import L1_BASE, L2_BASE, MemoryConfig, MemorySystem
+from repro.pulp.memory import MemoryError_
+
+
+@pytest.fixture
+def memory():
+    return MemorySystem(MemoryConfig(l2_extra_cycles=8, n_banks=8))
+
+
+class TestRegions:
+    def test_l1_and_l2_distinct(self, memory):
+        memory.write_word(L1_BASE, 1)
+        memory.write_word(L2_BASE, 2)
+        assert memory.read_word(L1_BASE) == 1
+        assert memory.read_word(L2_BASE) == 2
+
+    def test_region_predicates(self, memory):
+        assert memory.in_l1(L1_BASE)
+        assert not memory.in_l1(L2_BASE)
+        assert memory.in_l2(L2_BASE)
+
+    def test_out_of_range_rejected(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.read_word(0x0000_1000)
+        with pytest.raises(MemoryError_):
+            memory.read_bytes(L1_BASE + 48 * 1024 - 2, 4)
+
+    def test_misaligned_word_rejected(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.read_word(L1_BASE + 2)
+        with pytest.raises(MemoryError_):
+            memory.store_word(L1_BASE + 1, 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(l1_bytes=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(n_banks=0)
+
+
+class TestTiming:
+    def test_l1_word_no_stall(self, memory):
+        memory.write_word(L1_BASE, 42)
+        value, stall = memory.load_word(L1_BASE)
+        assert (value, stall) == (42, 0)
+
+    def test_l2_word_stalls(self, memory):
+        memory.write_word(L2_BASE, 7)
+        value, stall = memory.load_word(L2_BASE)
+        assert (value, stall) == (7, 8)
+        assert memory.store_word(L2_BASE, 9) == 8
+
+    def test_bank_conflict_accrual(self):
+        memory = MemorySystem(MemoryConfig(n_banks=8))
+        memory.set_team_size(8)
+        # expected penalty (8-1)/(2*8) = 0.4375 cycles/access
+        stalls = sum(memory.load_word(L1_BASE)[1] for _ in range(1000))
+        assert 400 <= stalls <= 475
+
+    def test_single_core_no_conflicts(self, memory):
+        memory.set_team_size(1)
+        stalls = sum(memory.load_word(L1_BASE)[1] for _ in range(100))
+        assert stalls == 0
+
+
+class TestByteAccess:
+    def test_little_endian_layout(self, memory):
+        memory.write_word(L1_BASE, 0x0403_0201)
+        assert memory.load_byte(L1_BASE)[0] == 0x01
+        assert memory.load_byte(L1_BASE + 3)[0] == 0x04
+
+    def test_half_access(self, memory):
+        memory.store_half(L1_BASE, 0xBEEF)
+        assert memory.load_half(L1_BASE)[0] == 0xBEEF
+
+    def test_misaligned_half_rejected(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.load_half(L1_BASE + 1)
+
+    def test_bulk_bytes_roundtrip(self, memory):
+        payload = bytes(range(64))
+        memory.write_bytes(L2_BASE + 16, payload)
+        assert memory.read_bytes(L2_BASE + 16, 64) == payload

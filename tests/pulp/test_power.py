@@ -1,0 +1,112 @@
+"""Tests for the Table-2 power model."""
+
+import pytest
+
+from repro.pulp import (
+    OperatingPoint,
+    PULPPowerModel,
+    energy_per_classification_uj,
+    frequency_for_latency_mhz,
+    m4_power_mw,
+    min_cluster_voltage,
+)
+
+
+@pytest.fixture
+def model():
+    return PULPPowerModel()
+
+
+class TestTable2Fit:
+    """The fitted constants must reproduce the published PULPv3 rows."""
+
+    def test_one_core_07v(self, model):
+        b = model.breakdown(1, OperatingPoint(0.7, 53.3))
+        assert b.fll_mw == pytest.approx(1.45)
+        assert b.soc_mw == pytest.approx(0.87, abs=0.02)
+        assert b.cluster_mw == pytest.approx(1.90, abs=0.02)
+        assert b.total_mw == pytest.approx(4.22, abs=0.04)
+
+    def test_four_cores_07v(self, model):
+        b = model.breakdown(4, OperatingPoint(0.7, 14.3))
+        assert b.soc_mw == pytest.approx(0.23, abs=0.01)
+        assert b.cluster_mw == pytest.approx(0.88, abs=0.01)
+        assert b.total_mw == pytest.approx(2.56, abs=0.03)
+
+    def test_four_cores_05v(self, model):
+        b = model.breakdown(4, OperatingPoint(0.5, 14.3))
+        assert b.cluster_mw == pytest.approx(0.42, abs=0.01)
+        assert b.total_mw == pytest.approx(2.10, abs=0.03)
+
+    def test_m4_reference_point(self):
+        assert m4_power_mw(43.9) == pytest.approx(20.83, abs=0.05)
+
+    def test_published_boosts_recovered(self, model):
+        m4 = m4_power_mw(43.9)
+        boost_1c = m4 / model.total_mw(1, OperatingPoint(0.7, 53.3))
+        boost_4c = m4 / model.total_mw(4, OperatingPoint(0.7, 14.3))
+        boost_lv = m4 / model.total_mw(4, OperatingPoint(0.5, 14.3))
+        assert boost_1c == pytest.approx(4.9, abs=0.1)
+        assert boost_4c == pytest.approx(8.1, abs=0.15)
+        assert boost_lv == pytest.approx(9.9, abs=0.2)
+
+
+class TestModelProperties:
+    def test_power_monotone_in_frequency(self, model):
+        low = model.total_mw(4, OperatingPoint(0.7, 10.0))
+        high = model.total_mw(4, OperatingPoint(0.7, 50.0))
+        assert high > low
+
+    def test_power_monotone_in_voltage(self, model):
+        low = model.total_mw(4, OperatingPoint(0.5, 14.3))
+        high = model.total_mw(4, OperatingPoint(0.7, 14.3))
+        assert high > low
+
+    def test_more_cores_draw_more(self, model):
+        point = OperatingPoint(0.7, 20.0)
+        assert model.total_mw(4, point) > model.total_mw(1, point)
+
+    def test_fll_dominates_at_low_voltage(self, model):
+        """The paper: clock generation bottlenecks low-voltage operation."""
+        b = model.breakdown(4, OperatingPoint(0.5, 14.3))
+        assert b.fll_mw > b.soc_mw + b.cluster_mw / 2
+
+    def test_low_power_fll_variant(self, model):
+        lp = model.with_low_power_fll()
+        assert lp.fll_mw == pytest.approx(model.fll_mw / 4)
+        point = OperatingPoint(0.5, 14.3)
+        assert lp.total_mw(4, point) < model.total_mw(4, point)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, 10.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(0.7, 0.0)
+        with pytest.raises(ValueError):
+            model.breakdown(0, OperatingPoint(0.7, 10.0))
+
+
+class TestFrequencyHelpers:
+    def test_frequency_for_latency(self):
+        # 533k cycles in 10 ms -> 53.3 MHz (the paper's configuration)
+        assert frequency_for_latency_mhz(533_000, 10.0) == pytest.approx(
+            53.3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            frequency_for_latency_mhz(0, 10.0)
+        with pytest.raises(ValueError):
+            frequency_for_latency_mhz(1000, 0.0)
+
+    def test_min_voltage_monotone(self):
+        assert min_cluster_voltage(10.0) <= min_cluster_voltage(100.0)
+
+    def test_min_voltage_clamped(self):
+        assert min_cluster_voltage(1.0) == 0.5
+        assert min_cluster_voltage(10_000.0) == 0.8
+
+    def test_energy_helper(self):
+        assert energy_per_classification_uj(2.0, 10.0) == 20.0
+        with pytest.raises(ValueError):
+            energy_per_classification_uj(2.0, 0.0)

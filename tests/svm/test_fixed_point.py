@@ -1,0 +1,115 @@
+"""Tests for the fixed-point SVM inference path."""
+
+import numpy as np
+import pytest
+
+from repro.svm import (
+    FixedPointConfig,
+    FixedPointSVM,
+    MulticlassSVM,
+    SVMConfig,
+    dequantize_q,
+    quantize_q,
+)
+from repro.svm.fixed_point import _fixed_exp_neg
+
+
+def blobs(rng, n_classes=4, per_class=25, spread=0.5):
+    centers = rng.normal(0, 3.0, size=(n_classes, 4))
+    x = np.vstack(
+        [c + rng.normal(0, spread, size=(per_class, 4)) for c in centers]
+    )
+    y = np.repeat(np.arange(n_classes), per_class)
+    return x, y
+
+
+class TestQFormat:
+    def test_roundtrip_error_bounded(self, rng):
+        values = rng.normal(0, 3.0, size=100)
+        q = quantize_q(values, 8)
+        back = dequantize_q(q, 8)
+        assert np.abs(back - values).max() <= 0.5 / 256
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointConfig(feature_frac_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointConfig(coef_frac_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointConfig(exp_terms=0)
+
+
+class TestFixedExp:
+    @pytest.mark.parametrize("fbits", [8, 10, 12])
+    def test_tracks_float_exp(self, fbits):
+        one = 1 << fbits
+        xs = np.arange(0, 6 * one, max(one // 16, 1), dtype=np.int64)
+        approx = _fixed_exp_neg(xs, fbits, terms=3) / one
+        exact = np.exp(-xs / one)
+        assert np.abs(approx - exact).max() < 0.05
+
+    def test_large_arguments_underflow_to_zero(self):
+        out = _fixed_exp_neg(np.array([100 * 256], dtype=np.int64), 8, 2)
+        assert out[0] == 0
+
+    def test_zero_is_one(self):
+        out = _fixed_exp_neg(np.array([0], dtype=np.int64), 8, 3)
+        assert out[0] == 256
+
+    def test_monotone_decreasing(self):
+        xs = np.arange(0, 2048, 16, dtype=np.int64)
+        out = _fixed_exp_neg(xs, 8, 3)
+        assert (np.diff(out) <= 0).all()
+
+
+class TestFixedPointSVM:
+    @pytest.mark.parametrize("kernel", ["rbf", "linear"])
+    def test_accuracy_close_to_float(self, rng, kernel):
+        x, y = blobs(rng)
+        svm = MulticlassSVM(SVMConfig(kernel=kernel, c=10.0)).fit(x, y)
+        fp = FixedPointSVM.from_float(svm)
+        assert fp.score(x, y) >= svm.score(x, y) - 0.05
+
+    def test_prediction_agreement_high(self, rng):
+        x, y = blobs(rng)
+        svm = MulticlassSVM(SVMConfig(kernel="rbf", c=10.0)).fit(x, y)
+        fp = FixedPointSVM.from_float(svm)
+        agreement = np.mean(fp.predict(x) == svm.predict(x))
+        assert agreement > 0.95
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            FixedPointSVM.from_float(MulticlassSVM())
+
+    def test_classes_preserved(self, rng):
+        x, y = blobs(rng, n_classes=3)
+        svm = MulticlassSVM().fit(x, y)
+        fp = FixedPointSVM.from_float(svm)
+        assert fp.classes == svm.classes
+
+    def test_quantize_features_format(self, rng):
+        x, y = blobs(rng, n_classes=2)
+        svm = MulticlassSVM().fit(x, y)
+        fp = FixedPointSVM.from_float(svm)
+        q = fp.quantize_features(np.ones(4))
+        np.testing.assert_array_equal(q, 256)
+
+    def test_sv_counting(self, rng):
+        x, y = blobs(rng)
+        svm = MulticlassSVM(SVMConfig(c=1.0)).fit(x, y)
+        fp = FixedPointSVM.from_float(svm)
+        assert fp.total_support_vectors() > 0
+
+    def test_higher_precision_closer_to_float(self, rng):
+        x, y = blobs(rng, spread=1.2)
+        svm = MulticlassSVM(SVMConfig(kernel="rbf", c=10.0)).fit(x, y)
+        coarse = FixedPointSVM.from_float(
+            svm, FixedPointConfig(feature_frac_bits=4, coef_frac_bits=6)
+        )
+        fine = FixedPointSVM.from_float(
+            svm, FixedPointConfig(feature_frac_bits=12, coef_frac_bits=14)
+        )
+        float_preds = svm.predict(x)
+        agree_coarse = np.mean(coarse.predict(x) == float_preds)
+        agree_fine = np.mean(fine.predict(x) == float_preds)
+        assert agree_fine >= agree_coarse

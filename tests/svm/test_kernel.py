@@ -1,0 +1,65 @@
+"""Tests for the SVM kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.svm import LinearKernel, RBFKernel, gamma_scale
+
+
+class TestLinearKernel:
+    def test_matches_dot(self, rng):
+        x = rng.normal(size=(5, 3))
+        y = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(LinearKernel()(x, y), x @ y.T)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LinearKernel()(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_1d_promoted(self):
+        out = LinearKernel()(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert out.shape == (1, 1)
+        assert out[0, 0] == 11.0
+
+
+class TestRBFKernel:
+    def test_diagonal_is_one(self, rng):
+        x = rng.normal(size=(6, 4))
+        gram = RBFKernel(gamma=0.5)(x, x)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+
+    def test_symmetric(self, rng):
+        x = rng.normal(size=(6, 4))
+        gram = RBFKernel(gamma=0.5)(x, x)
+        np.testing.assert_allclose(gram, gram.T)
+
+    def test_values_in_unit_interval(self, rng):
+        x = rng.normal(size=(10, 4))
+        gram = RBFKernel(gamma=1.0)(x, x)
+        assert (gram > 0).all() and (gram <= 1).all()
+
+    def test_positive_semidefinite(self, rng):
+        x = rng.normal(size=(15, 3))
+        gram = RBFKernel(gamma=0.7)(x, x)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-10
+
+    def test_explicit_value(self):
+        x = np.array([[0.0, 0.0]])
+        y = np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(
+            RBFKernel(gamma=2.0)(x, y), np.exp(-2.0)
+        )
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            RBFKernel(gamma=0.0)
+
+
+class TestGammaScale:
+    def test_matches_definition(self, rng):
+        x = rng.normal(size=(100, 4))
+        assert gamma_scale(x) == pytest.approx(1.0 / (4 * x.var()))
+
+    def test_degenerate_variance(self):
+        assert gamma_scale(np.ones((10, 3))) == 1.0

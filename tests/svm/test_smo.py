@@ -1,0 +1,93 @@
+"""Tests for the SMO trainer and binary SVM model."""
+
+import numpy as np
+import pytest
+
+from repro.svm import LinearKernel, RBFKernel, SMOConfig, train_binary_svm
+
+
+def separable_problem(rng, n=40, margin=2.0):
+    x_pos = rng.normal(loc=(margin, margin), scale=0.4, size=(n, 2))
+    x_neg = rng.normal(loc=(-margin, -margin), scale=0.4, size=(n, 2))
+    x = np.vstack([x_pos, x_neg])
+    y = np.concatenate([np.ones(n), -np.ones(n)])
+    return x, y
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(c=0.0), dict(tol=0.0), dict(eps=0.0), dict(max_passes=0)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SMOConfig(**kwargs)
+
+
+class TestBinaryTraining:
+    def test_perfect_on_separable_linear(self, rng):
+        x, y = separable_problem(rng)
+        model = train_binary_svm(x, y, LinearKernel())
+        np.testing.assert_array_equal(model.predict(x), y)
+
+    def test_perfect_on_separable_rbf(self, rng):
+        x, y = separable_problem(rng)
+        model = train_binary_svm(x, y, RBFKernel(gamma=0.5))
+        np.testing.assert_array_equal(model.predict(x), y)
+
+    def test_xor_needs_rbf(self, rng):
+        """The classic non-linear benchmark: RBF solves, linear cannot."""
+        centers = np.array([[1, 1], [-1, -1], [1, -1], [-1, 1]], float)
+        labels = np.array([1.0, 1.0, -1.0, -1.0])
+        x = np.vstack(
+            [c + rng.normal(0, 0.15, size=(25, 2)) for c in centers]
+        )
+        y = np.repeat(labels, 25)
+        rbf = train_binary_svm(x, y, RBFKernel(gamma=2.0))
+        linear = train_binary_svm(x, y, LinearKernel())
+        assert np.mean(rbf.predict(x) == y) > 0.95
+        assert np.mean(linear.predict(x) == y) <= 0.8
+
+    def test_support_vector_subset(self, rng):
+        x, y = separable_problem(rng)
+        model = train_binary_svm(x, y, LinearKernel())
+        assert 0 < model.n_support < len(x)
+        # Support vectors must be training points.
+        train_set = {row.tobytes() for row in x}
+        for sv in model.support_vectors:
+            assert sv.tobytes() in train_set
+
+    def test_margin_signs(self, rng):
+        x, y = separable_problem(rng, margin=3.0)
+        model = train_binary_svm(x, y, RBFKernel(gamma=0.3))
+        decisions = model.decision_function(x)
+        assert (np.sign(decisions) == y).mean() > 0.99
+
+    def test_dual_constraint_box(self, rng):
+        """All retained dual coefficients satisfy |alpha_i y_i| <= C."""
+        x, y = separable_problem(rng, margin=0.5)  # overlapping
+        config = SMOConfig(c=2.0)
+        model = train_binary_svm(x, y, RBFKernel(gamma=0.5), config)
+        assert np.all(np.abs(model.dual_coef) <= config.c + 1e-9)
+
+    def test_label_validation(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            train_binary_svm(x, np.zeros(10), LinearKernel())
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            train_binary_svm(
+                np.zeros(10), np.ones(10), LinearKernel()
+            )
+        with pytest.raises(ValueError):
+            train_binary_svm(
+                np.zeros((10, 2)), np.ones(9), LinearKernel()
+            )
+
+    def test_deterministic(self, rng):
+        x, y = separable_problem(rng, margin=0.8)
+        a = train_binary_svm(x, y, RBFKernel(gamma=0.5))
+        b = train_binary_svm(x, y, RBFKernel(gamma=0.5))
+        np.testing.assert_array_equal(a.dual_coef, b.dual_coef)
+        assert a.bias == b.bias

@@ -1,0 +1,93 @@
+"""Tests for the one-vs-one multiclass SVM."""
+
+import numpy as np
+import pytest
+
+from repro.svm import MulticlassSVM, SVMConfig
+
+
+def blobs(rng, n_classes=4, per_class=25, spread=0.5):
+    centers = rng.normal(0, 3.0, size=(n_classes, 3))
+    x = np.vstack(
+        [c + rng.normal(0, spread, size=(per_class, 3)) for c in centers]
+    )
+    y = np.repeat(np.arange(n_classes), per_class)
+    return x, y
+
+
+class TestConfig:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            SVMConfig(kernel="poly")
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            SVMConfig(c=0)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            SVMConfig(gamma=-1.0)
+
+
+class TestMulticlass:
+    def test_learns_blobs(self, rng):
+        x, y = blobs(rng)
+        svm = MulticlassSVM(SVMConfig(kernel="rbf", c=10.0)).fit(x, y)
+        assert svm.score(x, y) > 0.95
+
+    def test_pair_model_count(self, rng):
+        x, y = blobs(rng, n_classes=5)
+        svm = MulticlassSVM().fit(x, y)
+        assert len(svm.pair_models) == 10  # C(5, 2)
+
+    def test_string_labels(self, rng):
+        x, _ = blobs(rng, n_classes=2)
+        y = np.array(["open"] * 25 + ["closed"] * 25)
+        svm = MulticlassSVM().fit(x, y)
+        assert set(svm.predict(x)) <= {"open", "closed"}
+        assert svm.classes == ("closed", "open")  # sorted
+
+    def test_needs_two_classes(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            MulticlassSVM().fit(x, np.zeros(10))
+
+    def test_unfitted_predict(self, rng):
+        with pytest.raises(RuntimeError):
+            MulticlassSVM().predict(np.zeros((2, 3)))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            MulticlassSVM().fit(np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            MulticlassSVM().fit(np.zeros((10, 2)), np.zeros(9))
+
+    def test_sv_count_reported_once_per_point(self, rng):
+        """Shared support vectors across pair models count once."""
+        x, y = blobs(rng, n_classes=3, spread=1.5)
+        svm = MulticlassSVM(SVMConfig(c=1.0)).fit(x, y)
+        total = svm.total_support_vectors()
+        naive = sum(m.n_support for m in svm.pair_models.values())
+        assert 0 < total <= naive
+
+    def test_votes_shape(self, rng):
+        x, y = blobs(rng, n_classes=3)
+        svm = MulticlassSVM().fit(x, y)
+        votes = svm.decision_votes(x[:7])
+        assert votes.shape == (7, 3)
+
+    def test_linear_kernel_path(self, rng):
+        x, y = blobs(rng, n_classes=3)
+        svm = MulticlassSVM(SVMConfig(kernel="linear", c=5.0)).fit(x, y)
+        assert svm.score(x, y) > 0.9
+
+    def test_explicit_gamma(self, rng):
+        x, y = blobs(rng, n_classes=2)
+        svm = MulticlassSVM(SVMConfig(kernel="rbf", gamma=0.3)).fit(x, y)
+        assert svm.score(x, y) > 0.9
+
+    def test_deterministic(self, rng):
+        x, y = blobs(rng)
+        a = MulticlassSVM().fit(x, y).predict(x)
+        b = MulticlassSVM().fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
