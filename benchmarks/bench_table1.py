@@ -25,20 +25,17 @@ def test_bench_table1_hd_kernel(benchmark, table1_result, emg_models):
     """Wall time of one 200-D HD classification on the simulated M4."""
     import numpy as np
 
-    from repro.hdc import HDClassifier, HDClassifierConfig, bitpack
+    from repro.hdc import BatchHDClassifier, HDClassifierConfig
     from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
     from repro.pulp import CORTEX_M4_SOC
 
-    batch_10k = emg_models["batch"]
     test_w, _, _ = emg_models["test"]
-    from repro.hdc import BatchHDClassifier
 
     batch = BatchHDClassifier(HDClassifierConfig(dim=200))
     train_w, train_l, _ = emg_models["train"]
     batch.fit(train_w, train_l)
-    reference = HDClassifier(HDClassifierConfig(dim=200))
-    spatial = reference.encoder.spatial
-    am = np.stack([bitpack.pack_bits(p) for p in batch.prototypes])
+    spatial = batch.encoder.spatial
+    am = batch.am_matrix()
     sim = HDChainSimulator(
         ChainConfig(
             soc=CORTEX_M4_SOC,

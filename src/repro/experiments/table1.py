@@ -22,7 +22,7 @@ from ..emg import (
     scale_features,
     subject_windows,
 )
-from ..hdc import BatchHDClassifier, HDClassifier, HDClassifierConfig, bitpack
+from ..hdc import BatchHDClassifier, HDClassifierConfig
 from ..kernels import ChainConfig, ChainDims, HDChainSimulator
 from ..kernels.svm_kernel import SVMKernelSimulator
 from ..pulp.soc import CORTEX_M4_SOC
@@ -97,10 +97,10 @@ def run_table1(
             first_models = (batch, fp, test_w, test_f)
 
     batch, fp, test_w, test_f = first_models
-    # HD cycles: one representative window through the M4 chain ISS.
-    reference = HDClassifier(HDClassifierConfig(dim=TABLE1_DIM))
-    spatial = reference.encoder.spatial
-    am_matrix = np.stack([bitpack.pack_bits(p) for p in batch.prototypes])
+    # HD cycles: one representative window through the M4 chain ISS; the
+    # batch classifier's own encoder supplies the packed model matrices.
+    spatial = batch.encoder.spatial
+    am_matrix = batch.am_matrix()
     dims = ChainDims(
         dim=TABLE1_DIM, n_channels=4, n_levels=22, n_classes=5,
         ngram=1, window=5,

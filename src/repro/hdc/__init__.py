@@ -2,9 +2,13 @@
 
 Public surface:
 
-* :mod:`~repro.hdc.bitpack` — packed uint32 representation of binary
-  hypervectors (the paper's 32-components-per-word layout).
-* :class:`~repro.hdc.hypervector.BinaryHypervector` — the value type.
+* :mod:`~repro.hdc.bitpack` — packed word layouts of binary hypervectors:
+  the paper's 32-components-per-word uint32 ABI plus its uint64 widening.
+* :mod:`~repro.hdc.engine` — the unified batched engine:
+  :class:`~repro.hdc.engine.HypervectorArray` and the packed kernels
+  (bind / rotate / bit-plane majority / Hamming search) every layer runs on.
+* :class:`~repro.hdc.hypervector.BinaryHypervector` — the value type
+  (a one-row view of the engine representation).
 * :mod:`~repro.hdc.ops` — the MAP operations (bind / bundle / permute)
   and Hamming distance.
 * :class:`~repro.hdc.item_memory.ItemMemory` /
@@ -28,6 +32,7 @@ from .associative_memory import (
 from .batch import BatchHDClassifier
 from .classifier import HDClassifier, HDClassifierConfig
 from .encoder import SpatialEncoder, TemporalEncoder, WindowEncoder
+from .engine import HypervectorArray
 from .hypervector import BinaryHypervector
 from .item_memory import ContinuousItemMemory, ItemMemory, quantize_samples
 from .online import OnlineHDClassifier
@@ -50,6 +55,7 @@ __all__ = [
     "DegradationPoint",
     "HDClassifier",
     "HDClassifierConfig",
+    "HypervectorArray",
     "ItemMemory",
     "OnlineHDClassifier",
     "PrototypeAccumulator",

@@ -8,6 +8,9 @@ and returns the label with the minimum Hamming distance (section 2.1.1).
 The AM supports both one-shot construction from a finished set of
 prototypes and the streaming accumulation used during training ("the AM
 matrix can be continuously updated for on-line learning", section 3).
+Prototypes are held as a packed uint64 matrix and every search — single
+query or whole batch — runs through the engine's packed Hamming kernel
+(:func:`repro.hdc.engine.hamming_matrix`).
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
-from . import bitpack, ops
+from . import bitpack, engine, ops
 from .hypervector import BinaryHypervector
 
 
@@ -27,7 +30,9 @@ class PrototypeAccumulator:
     bundle at the end would be O(trials × dim).  Instead we keep the
     per-component count of ones and the number of added vectors, exactly
     reproducing :func:`repro.hdc.ops.bundle` semantics at finalization
-    (including the XOR-of-first-two tiebreaker for even counts).
+    (including the XOR-of-first-two tiebreaker for even counts).  Counts
+    are maintained by the engine's bit-plane kernel directly from the
+    packed words — added vectors are never unpacked.
     """
 
     def __init__(self, dim: int):
@@ -56,7 +61,9 @@ class PrototypeAccumulator:
                 f"dimension mismatch: accumulator {self._dim}, "
                 f"vector {vector.dim}"
             )
-        self._counts += vector.to_bits()
+        self._counts += engine.bit_counts(
+            vector.words64[None, :], self._dim
+        )
         self._total += 1
         if self._first is None:
             self._first = vector
@@ -83,6 +90,7 @@ class AssociativeMemory:
         self._dim = int(dim)
         self._labels: List[Hashable] = []
         self._prototypes: Dict[Hashable, BinaryHypervector] = {}
+        self._matrix64: np.ndarray | None = None
 
     @classmethod
     def from_prototypes(
@@ -129,18 +137,38 @@ class AssociativeMemory:
         if label not in self._prototypes:
             self._labels.append(label)
         self._prototypes[label] = prototype
+        self._matrix64 = None
 
-    def distances(self, query: BinaryHypervector) -> Dict[Hashable, int]:
-        """Hamming distance of ``query`` to every stored prototype."""
+    def as_words64(self) -> np.ndarray:
+        """All prototypes as a packed ``(n_classes, n_words)`` uint64 matrix.
+
+        Row order matches :attr:`labels`; cached between stores.  This is
+        the matrix every search kernel runs against.
+        """
         if not self._labels:
             raise ValueError("associative memory is empty")
+        if self._matrix64 is None:
+            matrix = np.stack(
+                [self._prototypes[label].words64 for label in self._labels]
+            )
+            matrix.flags.writeable = False
+            self._matrix64 = matrix
+        return self._matrix64
+
+    def _distance_row(self, query: BinaryHypervector) -> np.ndarray:
         if query.dim != self._dim:
             raise ValueError(
                 f"dimension mismatch: AM {self._dim}, query {query.dim}"
             )
+        return engine.hamming_matrix(
+            query.words64[None, :], self.as_words64()
+        )[0]
+
+    def distances(self, query: BinaryHypervector) -> Dict[Hashable, int]:
+        """Hamming distance of ``query`` to every stored prototype."""
+        row = self._distance_row(query)
         return {
-            label: query.hamming(self._prototypes[label])
-            for label in self._labels
+            label: int(row[i]) for i, label in enumerate(self._labels)
         }
 
     def classify(self, query: BinaryHypervector) -> Hashable:
@@ -150,25 +178,42 @@ class AssociativeMemory:
         the behaviour of a linear scan keeping the first strict minimum —
         the same rule the ISS AM-search kernel implements.
         """
-        dists = self.distances(query)
-        best_label = self._labels[0]
-        best_dist = dists[best_label]
-        for label in self._labels[1:]:
-            if dists[label] < best_dist:
-                best_label, best_dist = label, dists[label]
-        return best_label
+        row = self._distance_row(query)
+        return self._labels[int(np.argmin(row))]
 
     def classify_with_distances(
         self, query: BinaryHypervector
     ) -> Tuple[Hashable, Dict[Hashable, int]]:
         """Like :meth:`classify` but also returns the full distance map."""
-        dists = self.distances(query)
-        best_label = self._labels[0]
-        best_dist = dists[best_label]
-        for label in self._labels[1:]:
-            if dists[label] < best_dist:
-                best_label, best_dist = label, dists[label]
-        return best_label, dists
+        row = self._distance_row(query)
+        best_label = self._labels[int(np.argmin(row))]
+        return best_label, {
+            label: int(row[i]) for i, label in enumerate(self._labels)
+        }
+
+    def search_words(self, queries: np.ndarray) -> list:
+        """Batched classification of packed ``(n, n_words)`` uint64 queries.
+
+        Returns one label per row; ties resolve to the earliest-stored
+        label exactly as :meth:`classify` (``argmin`` keeps the first
+        minimum).
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.uint64)
+        if queries.ndim != 2 or queries.shape[1] != engine.words_for_dim(
+            self._dim
+        ):
+            raise ValueError(
+                f"queries shape {queries.shape} does not match AM "
+                f"dimension {self._dim}"
+            )
+        if not bitpack.pad_bits_are_zero(
+            queries, self._dim, engine.WORD_BITS
+        ):
+            raise ValueError(
+                f"query pad bits above dimension {self._dim} must be zero"
+            )
+        indices, _ = engine.am_search(queries, self.as_words64())
+        return [self._labels[i] for i in indices]
 
     def as_matrix(self) -> np.ndarray:
         """All prototypes as a (n_classes, n_words) uint32 matrix.
@@ -204,6 +249,6 @@ def bulk_distances(
             f"prototype matrix shape {prototype_matrix.shape} does not match "
             f"query of {query_words.size} words"
         )
-    xored = np.bitwise_xor(prototype_matrix, query_words[None, :])
-    as_bytes = xored.view(np.uint8).reshape(prototype_matrix.shape[0], -1)
-    return bitpack._BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.int64)
+    return bitpack.popcount_rows(
+        np.bitwise_xor(prototype_matrix, query_words[None, :])
+    )

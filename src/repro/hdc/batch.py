@@ -3,12 +3,17 @@
 The §4.1 accuracy experiment trains and tests per-subject classifiers at
 many hypervector dimensions over thousands of windows; encoding each
 window through the object-per-vector API would dominate the runtime.
-This module re-implements the identical pipeline on unpacked uint8
-component matrices with numpy batch operations — and is validated
-bit-for-bit against :class:`repro.hdc.classifier.HDClassifier` (same
-seeds → same predictions; see ``tests/hdc/test_batch.py``).
+This class is the batched frontend over the shared packed engine: it
+owns the same :class:`~repro.hdc.encoder.WindowEncoder` (seeded
+identically to :class:`~repro.hdc.classifier.HDClassifier`, drawing the
+same generator sequence) and keeps every intermediate — spatial vectors,
+N-grams, queries, class prototypes — in packed uint64 words.  Distances
+run through the engine's packed Hamming kernel rather than a dense int64
+matmul.
 
-Semantics preserved exactly:
+Because both frontends call the identical kernels, bit-exactness with
+the object-per-vector classifier holds by construction (same seeds →
+same predictions; locked by ``tests/hdc/test_batch.py``):
 
 * IM/CIM construction draws from the same generator sequence;
 * channel-majority tiebreak = XOR of the first two bound vectors;
@@ -20,113 +25,83 @@ Semantics preserved exactly:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence
+from typing import Hashable, List, Sequence
 
 import numpy as np
 
+from . import engine
 from .classifier import HDClassifierConfig
-from .item_memory import quantize_samples
+from .encoder import SpatialEncoder, TemporalEncoder, WindowEncoder
+from .engine import HypervectorArray
+from .item_memory import ContinuousItemMemory, ItemMemory
 
 
 class BatchHDClassifier:
-    """Numpy-vectorised twin of :class:`~repro.hdc.classifier.HDClassifier`."""
+    """Batched twin of :class:`~repro.hdc.classifier.HDClassifier`."""
 
     def __init__(self, config: HDClassifierConfig):
         self.config = config
         rng = np.random.default_rng(config.seed)
-        dim = config.dim
         # Draw order matches HDClassifier: IM rows first, then the CIM
         # (low endpoint, high endpoint, flip permutation).
-        self.im_bits = np.stack(
-            [
-                rng.integers(0, 2, size=dim, dtype=np.uint8)
-                for _ in range(config.n_channels)
-            ]
+        im = ItemMemory.for_channels(config.n_channels, config.dim, rng)
+        cim = ContinuousItemMemory(config.n_levels, config.dim, rng)
+        self._encoder = WindowEncoder(
+            SpatialEncoder(im, cim, config.signal_lo, config.signal_hi),
+            TemporalEncoder(config.ngram_size),
         )
-        low = rng.integers(0, 2, size=dim, dtype=np.uint8)
-        high = rng.integers(0, 2, size=dim, dtype=np.uint8)
-        flip_order = rng.permutation(dim)
-        cim = np.empty((config.n_levels, dim), dtype=np.uint8)
-        for level in range(config.n_levels):
-            n_flips = round(level * dim / (config.n_levels - 1))
-            bits = low.copy()
-            taken = flip_order[:n_flips]
-            bits[taken] = high[taken]
-            cim[level] = bits
-        self.cim_bits = cim
         self._labels: List[Hashable] = []
-        self._prototypes: np.ndarray | None = None
+        self._proto_words: np.ndarray | None = None
+
+    @property
+    def encoder(self) -> WindowEncoder:
+        """The shared window encoder (same seeds as HDClassifier)."""
+        return self._encoder
+
+    @property
+    def im_bits(self) -> np.ndarray:
+        """The item memory as an unpacked (n_channels, dim) uint8 matrix."""
+        return engine.unpack_bits(
+            self._encoder.spatial.item_memory.as_matrix64(), self.config.dim
+        )
+
+    @property
+    def cim_bits(self) -> np.ndarray:
+        """The CIM as an unpacked (n_levels, dim) uint8 matrix."""
+        return engine.unpack_bits(
+            self._encoder.spatial.continuous_memory.as_matrix64(),
+            self.config.dim,
+        )
 
     # -- encoding ---------------------------------------------------------------
 
+    def encode_samples_packed(self, samples: np.ndarray) -> HypervectorArray:
+        """Spatial-encode (T, n_channels) raw samples, packed."""
+        return self._encoder.spatial.encode_batch(samples)
+
     def encode_samples(self, samples: np.ndarray) -> np.ndarray:
         """Spatial-encode (T, n_channels) raw samples → (T, dim) uint8."""
-        cfg = self.config
-        samples = np.asarray(samples, dtype=np.float64)
-        if samples.ndim != 2 or samples.shape[1] != cfg.n_channels:
-            raise ValueError(
-                f"samples must be (T, {cfg.n_channels}), got {samples.shape}"
-            )
-        levels = quantize_samples(
-            samples.ravel(), cfg.signal_lo, cfg.signal_hi, cfg.n_levels
-        ).reshape(samples.shape)
-        # bound[t, ch, :] = CIM[level] ^ IM[ch]
-        bound = np.bitwise_xor(
-            self.cim_bits[levels], self.im_bits[None, :, :]
-        )
-        counts = bound.sum(axis=1, dtype=np.int32)
-        k = cfg.n_channels
-        if k == 1:
-            return bound[:, 0, :]
-        if k % 2 == 0:
-            tie = np.bitwise_xor(bound[:, 0, :], bound[:, 1, :])
-            counts = counts + tie
-            k += 1
-        return (counts > k // 2).astype(np.uint8)
+        return self.encode_samples_packed(samples).to_bits()
 
-    def encode_windows(self, windows: np.ndarray) -> np.ndarray:
-        """Encode (n_windows, T, n_channels) windows → (n_windows, dim).
+    def encode_windows_packed(self, windows: np.ndarray) -> HypervectorArray:
+        """Encode (n_windows, T, n_channels) windows into packed queries.
 
         All windows must share the same timestamp count T >= N; each
         yields ``T − N + 1`` N-grams which are majority-bundled into the
         query.
         """
-        cfg = self.config
-        windows = np.asarray(windows, dtype=np.float64)
-        if windows.ndim != 3:
-            raise ValueError(
-                f"windows must be (n, T, channels), got {windows.shape}"
-            )
-        n_win, t_len, _ = windows.shape
-        n = cfg.ngram_size
-        if t_len < n:
-            raise ValueError(
-                f"windows of {t_len} timestamps cannot form {n}-grams"
-            )
-        flat = windows.reshape(n_win * t_len, -1)
-        spatial = self.encode_samples(flat).reshape(n_win, t_len, -1)
-        n_grams = t_len - n + 1
-        # G[w, i] = XOR_k rot_k(spatial[w, i+k]); np.roll matches the
-        # reference permutation exactly.
-        grams = spatial[:, :n_grams, :].copy()
-        for k in range(1, n):
-            grams ^= np.roll(spatial[:, k : k + n_grams, :], k, axis=2)
-        counts = grams.sum(axis=1, dtype=np.int32)
-        k_win = n_grams
-        if k_win == 1:
-            return grams[:, 0, :]
-        if k_win % 2 == 0:
-            tie = np.bitwise_xor(grams[:, 0, :], grams[:, 1, :])
-            counts = counts + tie
-            k_win += 1
-        return (counts > k_win // 2).astype(np.uint8)
+        return self._encoder.encode_batch(windows)
+
+    def encode_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Encode (n_windows, T, n_channels) windows → (n_windows, dim)."""
+        return self.encode_windows_packed(windows).to_bits()
 
     # -- train / predict ----------------------------------------------------------
 
     def fit(
         self, windows: np.ndarray, labels: Sequence[Hashable]
     ) -> "BatchHDClassifier":
-        """Accumulate one majority prototype per class."""
+        """Accumulate one majority prototype per class (packed throughout)."""
         labels = list(labels)
         windows = np.asarray(windows, dtype=np.float64)
         if len(labels) != windows.shape[0]:
@@ -135,7 +110,7 @@ class BatchHDClassifier:
             )
         if not labels:
             raise ValueError("cannot fit on an empty training set")
-        queries = self.encode_windows(windows)
+        queries = self.encode_windows_packed(windows).words
         order: List[Hashable] = []
         for label in labels:
             if label not in order:
@@ -143,20 +118,11 @@ class BatchHDClassifier:
         protos = []
         for label in order:
             idx = [i for i, l in enumerate(labels) if l == label]
-            group = queries[idx]
-            total = group.shape[0]
-            if total == 1:
-                protos.append(group[0])
-                continue
-            counts = group.sum(axis=0, dtype=np.int64)
-            if total % 2 == 0:
-                tie = np.bitwise_xor(group[0], group[1])
-                majority = (2 * counts + tie > total).astype(np.uint8)
-            else:
-                majority = (counts > total // 2).astype(np.uint8)
-            protos.append(majority)
+            protos.append(
+                engine.majority_default_tie(queries[idx], self.config.dim)
+            )
         self._labels = order
-        self._prototypes = np.stack(protos)
+        self._proto_words = np.stack(protos)
         return self
 
     @property
@@ -165,29 +131,42 @@ class BatchHDClassifier:
         return tuple(self._labels)
 
     @property
-    def prototypes(self) -> np.ndarray:
-        """The (n_classes, dim) uint8 prototype matrix."""
-        if self._prototypes is None:
+    def prototype_words(self) -> np.ndarray:
+        """The packed (n_classes, n_words) uint64 prototype matrix."""
+        if self._proto_words is None:
             raise RuntimeError("classifier has not been fitted")
-        return self._prototypes
+        return self._proto_words
+
+    @property
+    def prototypes(self) -> np.ndarray:
+        """The prototypes as an unpacked (n_classes, dim) uint8 matrix."""
+        return engine.unpack_bits(self.prototype_words, self.config.dim)
+
+    def am_matrix(self) -> np.ndarray:
+        """The AM in the paper's (n_classes, n_words) uint32 layout.
+
+        Row order matches :attr:`labels`; this is the matrix the ISS
+        kernels stream from simulated L2 memory.
+        """
+        from . import bitpack
+
+        return bitpack.u64_to_u32(self.prototype_words, self.config.dim)
 
     def distances(self, windows: np.ndarray) -> np.ndarray:
-        """Hamming distances (n_windows, n_classes) of window queries."""
-        if self._prototypes is None:
-            raise RuntimeError("classifier has not been fitted")
-        queries = self.encode_windows(windows).astype(np.int32)
-        protos = self._prototypes.astype(np.int32)
-        # hamming(q, p) = Σq + Σp − 2 q·p for {0,1} vectors — one matmul
-        # instead of a broadcast compare.
-        q_ones = queries.sum(axis=1, dtype=np.int64)
-        p_ones = protos.sum(axis=1, dtype=np.int64)
-        cross = queries.astype(np.int64) @ protos.T.astype(np.int64)
-        return q_ones[:, None] + p_ones[None, :] - 2 * cross
+        """Hamming distances (n_windows, n_classes) of window queries.
+
+        Packed AM search: XOR + popcount over uint64 words — no dense
+        component-matrix matmul is ever materialized.
+        """
+        protos = self.prototype_words
+        queries = self.encode_windows_packed(windows).words
+        return engine.hamming_matrix(queries, protos)
 
     def predict(self, windows: np.ndarray) -> list:
         """Labels of the minimum-distance prototypes (first wins ties)."""
-        dists = self.distances(windows)
-        indices = np.argmin(dists, axis=1)
+        indices, _ = engine.am_search(
+            self.encode_windows_packed(windows).words, self.prototype_words
+        )
         return [self._labels[i] for i in indices]
 
     def score(

@@ -2,16 +2,24 @@
 
 The paper packs 32 consecutive binary components of a hypervector into one
 unsigned 32-bit integer, so that a 10,000-D hypervector becomes an array of
-313 words (section 3).  This module is the single authority for that layout:
+313 words (section 3).  This module is the single authority for that layout
+— and for its 64-bit widening used by the batched engine
+(:mod:`repro.hdc.engine`):
 
 * components are packed **LSB-first**: logical component ``d`` lives in word
-  ``d // 32`` at bit position ``d % 32``;
-* when the dimension is not a multiple of 32, the unused high bits of the
-  last word (the *pad bits*) are always zero.  Every function here preserves
-  that invariant and most consumers rely on it (e.g. Hamming distances may
-  popcount whole words without masking).
+  ``d // word_bits`` at bit position ``d % word_bits``;
+* when the dimension is not a multiple of the word size, the unused high
+  bits of the last word (the *pad bits*) are always zero.  Every function
+  here preserves that invariant and most consumers rely on it (e.g. Hamming
+  distances may popcount whole words without masking).
 
-All packed vectors are ``numpy.ndarray`` with ``dtype=uint32``.
+Two word sizes coexist deliberately: the ISS kernels and the simulated
+embedded targets speak the paper's **uint32** layout (``WORD_BITS``), while
+the numpy engine batches over **uint64** words (``WORD_BITS64``) for twice
+the throughput per vector op.  Because both layouts are LSB-first
+little-endian, converting between them is a pure reinterpretation of the
+same bytes (:func:`u32_to_u64` / :func:`u64_to_u32`) — no per-bit work and
+no possibility of divergence.
 """
 
 from __future__ import annotations
@@ -19,30 +27,41 @@ from __future__ import annotations
 import numpy as np
 
 WORD_BITS = 32
-"""Number of hypervector components stored per packed word."""
+"""Components per packed word in the paper's uint32 layout (ISS ABI)."""
+
+WORD_BITS64 = 64
+"""Components per packed word in the engine's uint64 layout."""
+
+_WORD_DTYPES = {32: np.uint32, 64: np.uint64}
 
 _BYTE_POPCOUNT = np.array(
     [bin(i).count("1") for i in range(256)], dtype=np.uint32
 )
 
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+"""Whether numpy provides a native popcount (numpy >= 2.0)."""
 
-def words_for_dim(dim: int) -> int:
-    """Number of uint32 words needed to store a ``dim``-component vector.
+
+def words_for_dim(dim: int, word_bits: int = WORD_BITS) -> int:
+    """Number of packed words needed to store a ``dim``-component vector.
 
     >>> words_for_dim(10000)
     313
+    >>> words_for_dim(10000, 64)
+    157
     """
     if dim <= 0:
         raise ValueError(f"dimension must be positive, got {dim}")
-    return (dim + WORD_BITS - 1) // WORD_BITS
+    return (dim + word_bits - 1) // word_bits
 
 
-def pad_mask(dim: int) -> np.uint32:
+def pad_mask(dim: int, word_bits: int = WORD_BITS):
     """Mask of the *valid* bits in the final word of a ``dim``-bit vector."""
-    rem = dim % WORD_BITS
+    dtype = _WORD_DTYPES[word_bits]
+    rem = dim % word_bits
     if rem == 0:
-        return np.uint32(0xFFFFFFFF)
-    return np.uint32((1 << rem) - 1)
+        return dtype((1 << word_bits) - 1)
+    return dtype((1 << rem) - 1)
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
@@ -91,38 +110,133 @@ def clear_pad_bits(words: np.ndarray, dim: int) -> np.ndarray:
     return out
 
 
-def pad_bits_are_zero(words: np.ndarray, dim: int) -> bool:
-    """Check the packing invariant: no stray bits above component ``dim-1``."""
-    words = np.asarray(words, dtype=np.uint32)
-    if words.size != words_for_dim(dim):
+def pad_bits_are_zero(
+    words: np.ndarray, dim: int, word_bits: int = WORD_BITS
+) -> bool:
+    """Check the packing invariant: no stray bits above component ``dim-1``.
+
+    Accepts a 1-D word array or a batched ``(..., n_words)`` matrix; the
+    invariant must hold for every row.
+    """
+    words = np.asarray(words, dtype=_WORD_DTYPES[word_bits])
+    if words.shape[-1] != words_for_dim(dim, word_bits):
         return False
-    return bool(words[-1] == (words[-1] & pad_mask(dim)))
+    last = words[..., -1]
+    return bool(np.all(last == (last & pad_mask(dim, word_bits))))
+
+
+# -- popcount ---------------------------------------------------------------
+#
+# The byte-LUT fallback lives behind these two functions only; every hot
+# path (Hamming kernels, per-row popcounts) routes through here so the
+# np.bitwise_count fast path (numpy >= 2.0) is picked up everywhere at once.
+
+
+def _popcount_array(words: np.ndarray) -> np.ndarray:
+    """Elementwise set-bit counts of an unsigned integer array."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    counts = _BYTE_POPCOUNT[as_bytes]
+    return counts.reshape(words.shape + (words.dtype.itemsize,)).sum(
+        axis=-1, dtype=np.uint32
+    )
 
 
 def popcount_words(words: np.ndarray) -> int:
-    """Total number of set bits across all packed words."""
-    as_bytes = np.ascontiguousarray(words, dtype=np.uint32).view(np.uint8)
-    return int(_BYTE_POPCOUNT[as_bytes].sum())
+    """Total number of set bits across all packed words (any word size)."""
+    words = np.ascontiguousarray(words)
+    return int(_popcount_array(words).sum())
 
 
 def popcount_per_word(words: np.ndarray) -> np.ndarray:
-    """Per-word set-bit counts (uint32 array, same length as ``words``)."""
-    words = np.ascontiguousarray(words, dtype=np.uint32)
-    as_bytes = words.view(np.uint8).reshape(-1, 4)
-    return _BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.uint32)
+    """Per-word set-bit counts (same length as ``words``, any word size)."""
+    words = np.ascontiguousarray(words)
+    if words.dtype.kind != "u":
+        words = words.astype(np.uint32)
+    return _popcount_array(words).astype(np.uint32)
 
 
-def rotate_bits(words: np.ndarray, dim: int, k: int) -> np.ndarray:
-    """Circularly rotate the *logical* ``dim`` bits left by ``k`` positions.
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcounts of a ``(..., n_words)`` packed matrix (int64)."""
+    words = np.ascontiguousarray(words)
+    return _popcount_array(words).sum(axis=-1, dtype=np.int64)
+
+
+# -- rotation ---------------------------------------------------------------
+
+
+def _shift_words(words: np.ndarray, shift: int, word_bits: int, left: bool):
+    """Logical shift of packed ``(..., n_words)`` rows by ``shift`` bits.
+
+    Pure word-level shifts with cross-word carries; no arbitrary-precision
+    arithmetic.  The caller is responsible for masking pad bits afterwards
+    (a left shift can push bits into the pad region).
+    """
+    n_words = words.shape[-1]
+    out = np.zeros_like(words)
+    q, r = divmod(shift, word_bits)
+    if q >= n_words:
+        return out
+    keep = n_words - q
+    if left:
+        if r == 0:
+            out[..., q:] = words[..., :keep]
+        else:
+            out[..., q:] = words[..., :keep] << r
+            out[..., q + 1 :] |= words[..., : keep - 1] >> (word_bits - r)
+    else:
+        if r == 0:
+            out[..., :keep] = words[..., q:]
+        else:
+            out[..., :keep] = words[..., q:] >> r
+            out[..., : keep - 1] |= words[..., q + 1 :] << (word_bits - r)
+    return out
+
+
+def rotate_words(
+    words: np.ndarray, dim: int, k: int, word_bits: int = WORD_BITS
+) -> np.ndarray:
+    """Circularly rotate the logical ``dim`` bits of packed rows left by ``k``.
 
     This is the permutation ρ of the paper applied ``k`` times: component
     ``d`` of the input becomes component ``(d + k) % dim`` of the output.
-    The rotation is over the logical dimension, not over the padded word
-    array, so pad bits stay zero.
+    Works on a single packed vector or any batched ``(..., n_words)``
+    stack; the rotation is over the logical dimension, not the padded word
+    array, so pad bits stay zero.  Implemented as two word-shift/carry
+    passes — the same sequence the ISS temporal kernel emits — rather than
+    arbitrary-precision integer arithmetic.
+    """
+    dtype = _WORD_DTYPES[word_bits]
+    words = np.ascontiguousarray(words, dtype=dtype)
+    if words.shape[-1] != words_for_dim(dim, word_bits):
+        raise ValueError(
+            f"word count {words.shape[-1]} does not match dimension {dim}"
+        )
+    k %= dim
+    if k == 0:
+        return words.copy()
+    low = _shift_words(words, k, word_bits, left=True)
+    high = _shift_words(words, dim - k, word_bits, left=False)
+    out = low | high
+    out[..., -1] &= pad_mask(dim, word_bits)
+    return out
 
-    Arbitrary-precision integers keep this exact and simple; the ISS kernels
-    implement the same operation with word-shift sequences and are tested
-    against this function.
+
+def rotate_bits(words: np.ndarray, dim: int, k: int) -> np.ndarray:
+    """Rotate a single packed uint32 vector (thin wrapper on word shifts)."""
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    if words.ndim != 1:
+        raise ValueError(f"expected a 1-D word array, got shape {words.shape}")
+    return rotate_words(words, dim, k, WORD_BITS)
+
+
+def rotate_bits_bigint(words: np.ndarray, dim: int, k: int) -> np.ndarray:
+    """Reference rotation via arbitrary-precision integers.
+
+    The original scalar implementation, kept as an exact oracle for
+    cross-testing the vectorized word-shift path (see
+    ``tests/hdc/test_bitpack.py``).  Not used on any hot path.
     """
     words = np.ascontiguousarray(words, dtype=np.uint32)
     if words.size != words_for_dim(dim):
@@ -138,6 +252,43 @@ def rotate_bits(words: np.ndarray, dim: int, k: int) -> np.ndarray:
     n_words = words.size
     out_bytes = rotated.to_bytes(n_words * 4, "little")
     return np.frombuffer(out_bytes, dtype="<u4").astype(np.uint32)
+
+
+# -- 32 <-> 64-bit layout conversion ---------------------------------------
+
+
+def u32_to_u64(words: np.ndarray, dim: int) -> np.ndarray:
+    """Reinterpret uint32-packed rows as the equivalent uint64 packing.
+
+    Accepts ``(..., words_for_dim(dim))`` and returns
+    ``(..., words_for_dim(dim, 64))``.  Both layouts are LSB-first
+    little-endian, so word ``i`` of the output is
+    ``words[2i] | words[2i+1] << 32`` — realized as a byte-level view, not
+    arithmetic.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    n32 = words_for_dim(dim)
+    n64 = words_for_dim(dim, WORD_BITS64)
+    if words.shape[-1] != n32:
+        raise ValueError(
+            f"word count {words.shape[-1]} does not match dimension {dim}"
+        )
+    buf = np.zeros(words.shape[:-1] + (2 * n64,), dtype="<u4")
+    buf[..., :n32] = words
+    return np.ascontiguousarray(buf).view("<u8").astype(np.uint64)
+
+
+def u64_to_u32(words: np.ndarray, dim: int) -> np.ndarray:
+    """Inverse of :func:`u32_to_u64` (drops the zero upper pad word)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    n32 = words_for_dim(dim)
+    n64 = words_for_dim(dim, WORD_BITS64)
+    if words.shape[-1] != n64:
+        raise ValueError(
+            f"word count {words.shape[-1]} does not match dimension {dim}"
+        )
+    as_u32 = words.astype("<u8").view("<u4")
+    return as_u32[..., :n32].astype(np.uint32)
 
 
 def random_packed(dim: int, rng: np.random.Generator) -> np.ndarray:

@@ -63,6 +63,21 @@ class HDClassifierConfig:
         return cls(dim=dim, n_channels=4, n_levels=22, ngram_size=ngram_size)
 
 
+def try_stack_windows(windows) -> np.ndarray | None:
+    """Stack a window sequence into one (n, T, channels) float array.
+
+    Returns ``None`` when the windows are ragged or not arrayable (e.g. a
+    generator), in which case callers fall back to per-window encoding —
+    the batched and scalar paths run the same kernels, so the choice is
+    invisible in the bits.
+    """
+    try:
+        stacked = np.asarray(windows, dtype=np.float64)
+    except (ValueError, TypeError):
+        return None
+    return stacked if stacked.ndim == 3 else None
+
+
 class HDClassifier:
     """HD computing classifier over multi-channel signal windows.
 
@@ -105,6 +120,13 @@ class HDClassifier:
         """Whether the classifier holds trained prototypes."""
         return self._am is not None
 
+    def _encode_all(self, windows: Sequence[np.ndarray]) -> list:
+        """Encode a window sequence, batched when the stack is uniform."""
+        stacked = try_stack_windows(windows)
+        if stacked is not None:
+            return list(self._encoder.encode_batch(stacked))
+        return [self._encoder.encode(w) for w in windows]
+
     def fit(
         self,
         windows: Sequence[np.ndarray],
@@ -123,13 +145,13 @@ class HDClassifier:
         if not windows:
             raise ValueError("cannot fit on an empty training set")
         accumulators: dict = {}
-        for window, label in zip(windows, labels):
+        for query, label in zip(self._encode_all(windows), labels):
             acc = accumulators.get(label)
             if acc is None:
                 acc = accumulators[label] = PrototypeAccumulator(
                     self._config.dim
                 )
-            acc.add(self._encoder.encode(window))
+            acc.add(query)
         am = AssociativeMemory(self._config.dim)
         for label, acc in accumulators.items():
             am.store(label, acc.finalize())
@@ -141,7 +163,12 @@ class HDClassifier:
         return self.associative_memory.classify(self._encoder.encode(window))
 
     def predict(self, windows: Sequence[np.ndarray]) -> list:
-        """Classify a batch of windows."""
+        """Classify a batch of windows (packed AM search over the batch)."""
+        am = self.associative_memory
+        stacked = try_stack_windows(windows)
+        if stacked is not None:
+            queries = self._encoder.encode_batch(stacked)
+            return am.search_words(queries.words)
         return [self.predict_window(w) for w in windows]
 
     def score(

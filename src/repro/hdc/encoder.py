@@ -17,6 +17,11 @@ task in Tables 1–3 (N=1) skips the temporal kernel entirely.
   timestamps into a single query hypervector by bundling the window's
   N-gram vectors, matching the paper's 10 ms detection window (W=5 at
   500 Hz).
+
+Every encoder carries a whole-recording batched path over the packed
+uint64 engine (``encode_batch`` / ``*_words``) in addition to the
+object-per-vector API; the scalar methods are one-row calls into the same
+kernels, so both produce bit-identical hypervectors by construction.
 """
 
 from __future__ import annotations
@@ -25,13 +30,14 @@ from typing import Sequence
 
 import numpy as np
 
-from . import ops
+from . import engine
+from .engine import HypervectorArray
 from .hypervector import BinaryHypervector
-from .item_memory import ContinuousItemMemory, ItemMemory
+from .item_memory import ContinuousItemMemory, ItemMemory, quantize_samples
 
 
 class SpatialEncoder:
-    """Encodes one multi-channel sample into a spatial hypervector."""
+    """Encodes multi-channel samples into spatial hypervectors."""
 
     def __init__(
         self,
@@ -51,6 +57,10 @@ class SpatialEncoder:
         self._cim = continuous_memory
         self._lo = float(signal_lo)
         self._hi = float(signal_hi)
+        # Packed model matrices, fixed for the encoder's lifetime: the
+        # batched kernels index these instead of the per-symbol objects.
+        self._im_words = item_memory.as_matrix64()
+        self._cim_words = continuous_memory.as_matrix64()
 
     @property
     def dim(self) -> int:
@@ -88,9 +98,71 @@ class SpatialEncoder:
             out.append(self._im[channel] ^ level_vec)
         return out
 
+    # -- batched kernels ---------------------------------------------------
+
+    def _levels_to_words(self, levels: np.ndarray) -> np.ndarray:
+        """Spatial-encode pre-quantised levels ``(..., n_channels)`` into
+        packed ``(..., n_words)`` rows (bind + channel majority)."""
+        bound = self._cim_words[levels] ^ self._im_words
+        return engine.majority_default_tie(bound, self.dim)
+
+    def _samples_to_words(self, samples: np.ndarray) -> np.ndarray:
+        """Quantise and spatial-encode raw samples ``(..., n_channels)``."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.shape[-1] != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} channel values, "
+                f"got shape {samples.shape}"
+            )
+        levels = quantize_samples(
+            samples.reshape(-1), self._lo, self._hi, self._cim.n_levels
+        ).reshape(samples.shape)
+        return self._levels_to_words(levels)
+
+    def encode_batch(self, samples: np.ndarray) -> HypervectorArray:
+        """Whole-recording spatial encoding: ``(T, n_channels)`` raw
+        samples → ``T`` packed spatial hypervectors."""
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 2:
+            raise ValueError(
+                f"samples must be (timestamps, channels), got {samples.shape}"
+            )
+        return HypervectorArray._wrap(
+            self._samples_to_words(samples), self.dim
+        )
+
+    def encode_levels_batch(self, levels: np.ndarray) -> HypervectorArray:
+        """Batched :meth:`encode_levels`: ``(T, n_channels)`` integer
+        levels → ``T`` packed spatial hypervectors."""
+        levels = np.asarray(levels)
+        if levels.ndim != 2 or levels.shape[-1] != self.n_channels:
+            raise ValueError(
+                f"levels must be (timestamps, {self.n_channels}), "
+                f"got {levels.shape}"
+            )
+        if levels.size and (
+            np.any(levels < 0) or np.any(levels >= self._cim.n_levels)
+        ):
+            raise IndexError(
+                f"levels out of range 0..{self._cim.n_levels - 1}"
+            )
+        return HypervectorArray._wrap(
+            self._levels_to_words(levels.astype(np.int64)), self.dim
+        )
+
+    # -- scalar views of the same kernels ----------------------------------
+
     def encode(self, sample: Sequence[float] | np.ndarray) -> BinaryHypervector:
         """Spatial hypervector of one time-aligned multi-channel sample."""
-        return ops.bundle(self.bound_vectors(sample))
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.ndim != 1 or sample.size != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} channel values, "
+                f"got shape {sample.shape}"
+            )
+        return BinaryHypervector.from_words64(
+            self._samples_to_words(sample[None, :])[0], self.dim
+        )
 
     def encode_levels(self, levels: Sequence[int]) -> BinaryHypervector:
         """Spatial encoding from already-quantised integer levels.
@@ -103,11 +175,14 @@ class SpatialEncoder:
             raise ValueError(
                 f"expected {self.n_channels} levels, got shape {levels.shape}"
             )
-        bound = [
-            self._im[channel] ^ self._cim[int(level)]
-            for channel, level in zip(self._im.symbols, levels)
-        ]
-        return ops.bundle(bound)
+        if np.any(levels < 0) or np.any(levels >= self._cim.n_levels):
+            raise IndexError(
+                f"levels out of range 0..{self._cim.n_levels - 1}"
+            )
+        return BinaryHypervector.from_words64(
+            self._levels_to_words(levels[None, :].astype(np.int64))[0],
+            self.dim,
+        )
 
 
 class TemporalEncoder:
@@ -123,6 +198,26 @@ class TemporalEncoder:
         """The temporal window length N."""
         return self._n
 
+    def ngram_words(self, spatial_words: np.ndarray, dim: int) -> np.ndarray:
+        """All sliding N-grams of packed spatial rows, batched.
+
+        ``spatial_words`` is ``(..., T, n_words)`` with ``T >= N``; the
+        result is ``(..., T - N + 1, n_words)``, combining rotated rows
+        ``G_t = S_t ⊕ ρ¹S_{t+1} ⊕ ... ⊕ ρ^{N-1}S_{t+N-1}``.
+        """
+        t_len = spatial_words.shape[-2]
+        if t_len < self._n:
+            raise ValueError(
+                f"need at least {self._n} spatial vectors, got {t_len}"
+            )
+        n_grams = t_len - self._n + 1
+        out = spatial_words[..., :n_grams, :].copy()
+        for k in range(1, self._n):
+            out ^= engine.rotate(
+                spatial_words[..., k : k + n_grams, :], dim, k
+            )
+        return out
+
     def encode(
         self, spatial: Sequence[BinaryHypervector]
     ) -> BinaryHypervector:
@@ -135,10 +230,11 @@ class TemporalEncoder:
             raise ValueError(
                 f"expected exactly {self._n} spatial vectors, got {len(spatial)}"
             )
-        out = spatial[0]
-        for k, vec in enumerate(spatial[1:], start=1):
-            out = out ^ vec.rotate(k)
-        return out
+        dim = spatial[0].dim
+        stack = np.stack([v.words64 for v in spatial])
+        return BinaryHypervector.from_words64(
+            self.ngram_words(stack, dim)[0], dim
+        )
 
     def sliding(
         self, spatial: Sequence[BinaryHypervector]
@@ -151,9 +247,12 @@ class TemporalEncoder:
             raise ValueError(
                 f"need at least {self._n} spatial vectors, got {len(spatial)}"
             )
+        dim = spatial[0].dim
+        stack = np.stack([v.words64 for v in spatial])
+        grams = self.ngram_words(stack, dim)
         return [
-            self.encode(spatial[t : t + self._n])
-            for t in range(len(spatial) - self._n + 1)
+            BinaryHypervector.from_words64(grams[t], dim)
+            for t in range(grams.shape[0])
         ]
 
 
@@ -166,6 +265,9 @@ class WindowEncoder:
     this reduces to bundling the W spatial vectors.  To produce W N-grams
     per window the caller may supply ``W + N − 1`` timestamps; any T >= N
     is accepted and yields ``T − N + 1`` N-grams.
+
+    :meth:`encode_batch` runs the same chain over a whole stack of
+    same-length windows at once without leaving the packed domain.
     """
 
     def __init__(self, spatial: SpatialEncoder, temporal: TemporalEncoder):
@@ -187,6 +289,33 @@ class WindowEncoder:
         """Hypervector dimensionality."""
         return self._spatial.dim
 
+    def _windows_to_words(self, windows: np.ndarray) -> np.ndarray:
+        """Encode ``(n, T, channels)`` windows → packed ``(n, n_words)``."""
+        n_win, t_len, _ = windows.shape
+        n = self._temporal.ngram_size
+        if t_len < n:
+            raise ValueError(
+                f"windows of {t_len} timestamps cannot form {n}-grams"
+            )
+        spatial = self._spatial._samples_to_words(windows)
+        grams = self._temporal.ngram_words(spatial, self.dim)
+        return engine.majority_default_tie(grams, self.dim)
+
+    def encode_batch(self, windows: np.ndarray) -> HypervectorArray:
+        """Query hypervectors of a stack of same-length windows.
+
+        ``windows`` is ``(n_windows, T, n_channels)`` raw samples with
+        T >= N-gram size; the result has one packed row per window.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(
+                f"windows must be (n, timestamps, channels), got {windows.shape}"
+            )
+        return HypervectorArray._wrap(
+            self._windows_to_words(windows), self.dim
+        )
+
     def ngrams(self, window: np.ndarray) -> list[BinaryHypervector]:
         """The window's N-gram hypervectors.
 
@@ -198,9 +327,20 @@ class WindowEncoder:
             raise ValueError(
                 f"window must be (timestamps, channels), got {window.shape}"
             )
-        spatial_seq = [self._spatial.encode(row) for row in window]
-        return self._temporal.sliding(spatial_seq)
+        spatial = self._spatial._samples_to_words(window)
+        grams = self._temporal.ngram_words(spatial, self.dim)
+        return [
+            BinaryHypervector.from_words64(grams[t], self.dim)
+            for t in range(grams.shape[0])
+        ]
 
     def encode(self, window: np.ndarray) -> BinaryHypervector:
         """Query hypervector of one classification window."""
-        return ops.bundle(self.ngrams(window))
+        window = np.asarray(window, dtype=np.float64)
+        if window.ndim != 2:
+            raise ValueError(
+                f"window must be (timestamps, channels), got {window.shape}"
+            )
+        return BinaryHypervector.from_words64(
+            self._windows_to_words(window[None, ...])[0], self.dim
+        )

@@ -1,13 +1,19 @@
 """The :class:`BinaryHypervector` value type.
 
-A thin, dimension-aware wrapper around a packed uint32 word array (see
-:mod:`repro.hdc.bitpack`).  It exists so that the rest of the library can
+A thin one-row view over the packed uint64 engine representation (see
+:mod:`repro.hdc.engine`).  It exists so that the rest of the library can
 pass hypervectors around without re-validating word counts and pad bits at
 every call site, and so that operators read like the paper's algebra::
 
     bound   = channel ^ level          # multiplication / binding (XOR)
     rotated = spatial.rotate(2)        # permutation rho^2
     dist    = query.hamming(prototype) # associative-memory lookup metric
+
+Every operation delegates to the same batched kernels the whole stack
+runs on, so the scalar and batched paths cannot drift apart.  For the ISS
+kernels and anything else speaking the paper's 32-bit layout, ``.words``
+exposes the identical bits as uint32 words (a lossless reinterpretation,
+cached on first use).
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from typing import Iterable
 
 import numpy as np
 
-from . import bitpack
+from . import bitpack, engine
 
 
 class BinaryHypervector:
@@ -27,9 +33,14 @@ class BinaryHypervector:
     all pad bits above component ``dim - 1`` are zero.
     """
 
-    __slots__ = ("_words", "_dim")
+    __slots__ = ("_words64", "_words32", "_dim")
 
     def __init__(self, words: np.ndarray, dim: int):
+        """Build from packed **uint32** words (the paper's layout).
+
+        This is the interop constructor; kernel outputs use
+        :meth:`from_words64` internally.
+        """
         words = np.ascontiguousarray(words, dtype=np.uint32)
         if words.ndim != 1:
             raise ValueError(f"packed words must be 1-D, got {words.shape}")
@@ -40,27 +51,66 @@ class BinaryHypervector:
             )
         if not bitpack.pad_bits_are_zero(words, dim):
             raise ValueError("pad bits above the dimension must be zero")
-        self._words = words.copy()
-        self._words.flags.writeable = False
+        self._words64 = bitpack.u32_to_u64(words, dim)
+        self._words64.flags.writeable = False
+        self._words32 = words.copy()
+        self._words32.flags.writeable = False
         self._dim = int(dim)
 
     # -- constructors ----------------------------------------------------
 
     @classmethod
+    def from_words64(
+        cls, words: np.ndarray, dim: int
+    ) -> "BinaryHypervector":
+        """Adopt a packed uint64 row produced by an engine kernel.
+
+        The row is **adopted, not copied**: it is frozen in place
+        (``writeable = False``), so callers must hand over ownership.
+        Pad bits above ``dim - 1`` must be zero (engine kernels
+        guarantee this; the last word is checked).
+        """
+        self = object.__new__(cls)
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 1:
+            raise ValueError(f"packed words must be 1-D, got {words.shape}")
+        if words.size != engine.words_for_dim(dim):
+            raise ValueError(
+                f"{words.size} uint64 words cannot hold a {dim}-D "
+                f"hypervector (need {engine.words_for_dim(dim)})"
+            )
+        if words[-1] & ~engine.pad_mask(dim):
+            raise ValueError("pad bits above the dimension must be zero")
+        words.flags.writeable = False
+        self._words64 = words
+        self._words32 = None
+        self._dim = int(dim)
+        return self
+
+    @classmethod
     def from_bits(cls, bits: Iterable[int]) -> "BinaryHypervector":
         """Build from an explicit {0,1} component sequence."""
         arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
-        return cls(bitpack.pack_bits(arr), arr.size)
+        if arr.ndim != 1:
+            raise ValueError(f"expected a 1-D bit array, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ValueError("cannot pack an empty bit array")
+        return cls.from_words64(engine.pack_bits(arr), arr.size)
 
     @classmethod
     def random(cls, dim: int, rng: np.random.Generator) -> "BinaryHypervector":
         """Draw i.i.d. Bernoulli(1/2) components (a fresh quasi-orthogonal seed)."""
-        return cls(bitpack.random_packed(dim, rng), dim)
+        if dim <= 0:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        bits = rng.integers(0, 2, size=dim, dtype=np.uint8)
+        return cls.from_words64(engine.pack_bits(bits), dim)
 
     @classmethod
     def zeros(cls, dim: int) -> "BinaryHypervector":
         """The all-zero vector (identity element of XOR binding)."""
-        return cls(np.zeros(bitpack.words_for_dim(dim), dtype=np.uint32), dim)
+        return cls.from_words64(
+            np.zeros(engine.words_for_dim(dim), dtype=np.uint64), dim
+        )
 
     # -- views ------------------------------------------------------------
 
@@ -71,17 +121,30 @@ class BinaryHypervector:
 
     @property
     def n_words(self) -> int:
-        """Number of packed uint32 words."""
-        return self._words.size
+        """Number of packed uint32 words (the paper's unit)."""
+        return bitpack.words_for_dim(self._dim)
 
     @property
     def words(self) -> np.ndarray:
-        """The packed word array (read-only view)."""
-        return self._words
+        """The packed uint32 word array (read-only, ISS kernel ABI).
+
+        Derived lazily from the engine representation; both views carry
+        the identical bits.
+        """
+        if self._words32 is None:
+            words32 = bitpack.u64_to_u32(self._words64, self._dim)
+            words32.flags.writeable = False
+            self._words32 = words32
+        return self._words32
+
+    @property
+    def words64(self) -> np.ndarray:
+        """The packed uint64 engine row (read-only view)."""
+        return self._words64
 
     def to_bits(self) -> np.ndarray:
         """Unpack to a uint8 array of ``dim`` components."""
-        return bitpack.unpack_bits(self._words, self._dim)
+        return engine.unpack_bits(self._words64, self._dim)
 
     # -- algebra ----------------------------------------------------------
 
@@ -96,22 +159,20 @@ class BinaryHypervector:
     def __xor__(self, other: "BinaryHypervector") -> "BinaryHypervector":
         """Binding (the paper's multiplication): componentwise XOR."""
         self._check_same_space(other)
-        return BinaryHypervector(
-            np.bitwise_xor(self._words, other._words), self._dim
+        return BinaryHypervector.from_words64(
+            self._words64 ^ other._words64, self._dim
         )
 
     def rotate(self, k: int = 1) -> "BinaryHypervector":
         """Permutation ρ^k: circular rotation of components by ``k``."""
-        return BinaryHypervector(
-            bitpack.rotate_bits(self._words, self._dim, k), self._dim
+        return BinaryHypervector.from_words64(
+            engine.rotate(self._words64, self._dim, k), self._dim
         )
 
     def hamming(self, other: "BinaryHypervector") -> int:
         """Number of components at which the two vectors differ."""
         self._check_same_space(other)
-        return bitpack.popcount_words(
-            np.bitwise_xor(self._words, other._words)
-        )
+        return bitpack.popcount_words(self._words64 ^ other._words64)
 
     def normalized_hamming(self, other: "BinaryHypervector") -> float:
         """Hamming distance as a fraction of the dimension, in [0, 1]."""
@@ -119,14 +180,14 @@ class BinaryHypervector:
 
     def popcount(self) -> int:
         """Number of components set to 1."""
-        return bitpack.popcount_words(self._words)
+        return bitpack.popcount_words(self._words64)
 
     def get_bit(self, index: int) -> int:
         """Read logical component ``index`` (0-based)."""
         if not 0 <= index < self._dim:
             raise IndexError(f"component {index} out of range 0..{self._dim - 1}")
-        word, bit = divmod(index, bitpack.WORD_BITS)
-        return int((self._words[word] >> np.uint32(bit)) & np.uint32(1))
+        word, bit = divmod(index, engine.WORD_BITS)
+        return int((self._words64[word] >> np.uint64(bit)) & np.uint64(1))
 
     # -- dunder plumbing ---------------------------------------------------
 
@@ -134,11 +195,11 @@ class BinaryHypervector:
         if not isinstance(other, BinaryHypervector):
             return NotImplemented
         return self._dim == other._dim and bool(
-            np.array_equal(self._words, other._words)
+            np.array_equal(self._words64, other._words64)
         )
 
     def __hash__(self) -> int:
-        return hash((self._dim, self._words.tobytes()))
+        return hash((self._dim, self._words64.tobytes()))
 
     def __len__(self) -> int:
         return self._dim

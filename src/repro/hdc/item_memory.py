@@ -86,6 +86,10 @@ class ItemMemory:
         """
         return np.stack([v.words for v in self._vectors.values()])
 
+    def as_matrix64(self) -> np.ndarray:
+        """The same rows in the engine's (n_symbols, n_words) uint64 layout."""
+        return np.stack([v.words64 for v in self._vectors.values()])
+
 
 class ContinuousItemMemory:
     """Maps quantised signal levels to hypervectors by linear interpolation.
@@ -160,6 +164,10 @@ class ContinuousItemMemory:
     def as_matrix(self) -> np.ndarray:
         """All level vectors as a (n_levels, n_words) uint32 matrix."""
         return np.stack([v.words for v in self._vectors])
+
+    def as_matrix64(self) -> np.ndarray:
+        """The same rows in the engine's (n_levels, n_words) uint64 layout."""
+        return np.stack([v.words64 for v in self._vectors])
 
     def level_distances(self) -> np.ndarray:
         """Hamming distance of every level to level 0 (for tests/plots).

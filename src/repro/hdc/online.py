@@ -23,11 +23,11 @@ from typing import Dict, Hashable, Optional, Sequence
 import numpy as np
 
 from .associative_memory import AssociativeMemory
-from .classifier import HDClassifierConfig
+from .classifier import HDClassifierConfig, try_stack_windows
 from .encoder import SpatialEncoder, TemporalEncoder, WindowEncoder
 from .hypervector import BinaryHypervector
 from .item_memory import ContinuousItemMemory, ItemMemory
-from . import bitpack, ops
+from . import engine, ops
 
 
 @dataclass
@@ -89,7 +89,9 @@ class OnlineHDClassifier:
                 first=None,
                 tiebreak=None,
             )
-        state.counts += query.to_bits()
+        state.counts += engine.bit_counts(
+            query.words64[None, :], self.config.dim
+        )
         state.total += 1
         if state.first is None:
             state.first = query
@@ -178,7 +180,12 @@ class OnlineHDClassifier:
         )
 
     def predict(self, windows: Sequence[np.ndarray]) -> list:
-        """Classify a batch of windows."""
+        """Classify a batch of windows (packed AM search when uniform)."""
+        am = self.associative_memory
+        stacked = try_stack_windows(windows)
+        if stacked is not None:
+            queries = self._encoder.encode_batch(stacked)
+            return am.search_words(queries.words)
         return [self.predict_window(w) for w in windows]
 
     def score(

@@ -11,6 +11,11 @@ The bundling tie rule follows section 5.1 exactly: when the number of
 inputs is even, "one random but reproducible hypervector is generated, by
 componentwise XOR between two bound hypervectors, for the majority to break
 the ties at random".  We XOR the first two inputs.
+
+All operations run on the packed uint64 engine kernels
+(:mod:`repro.hdc.engine`); in particular :func:`bundle` takes the
+per-component majority through the bit-plane count kernel without ever
+unpacking its inputs to component arrays.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from . import bitpack
+from . import engine
 from .hypervector import BinaryHypervector
 
 
@@ -50,22 +55,13 @@ def tiebreaker(vectors: Sequence[BinaryHypervector]) -> BinaryHypervector:
     return vectors[0] ^ vectors[1]
 
 
-def _stacked_bit_counts(vectors: Sequence[BinaryHypervector]) -> np.ndarray:
-    """Per-component count of ones across the input vectors (int32 array)."""
-    dim = vectors[0].dim
-    counts = np.zeros(dim, dtype=np.int32)
-    for v in vectors:
-        counts += v.to_bits()
-    return counts
-
-
 def bundle(vectors: Sequence[BinaryHypervector]) -> BinaryHypervector:
     """Bundle (add) hypervectors by componentwise majority.
 
     For an even input count, the XOR tiebreaker of the first two inputs is
     appended so the effective count is odd and every component has a strict
     majority.  A single input is returned unchanged; an empty bundle is an
-    error.
+    error.  The majority runs packed, one bit plane at a time.
     """
     if len(vectors) == 0:
         raise ValueError("cannot bundle zero hypervectors")
@@ -77,12 +73,10 @@ def bundle(vectors: Sequence[BinaryHypervector]) -> BinaryHypervector:
             )
     if len(vectors) == 1:
         return vectors[0]
-    effective = list(vectors)
-    if len(effective) % 2 == 0:
-        effective.append(tiebreaker(vectors))
-    counts = _stacked_bit_counts(effective)
-    majority = (counts > len(effective) // 2).astype(np.uint8)
-    return BinaryHypervector(bitpack.pack_bits(majority), dim)
+    stack = np.stack([v.words64 for v in vectors])
+    return BinaryHypervector.from_words64(
+        engine.majority_default_tie(stack, dim), dim
+    )
 
 
 def bundle_counts(
@@ -106,13 +100,12 @@ def bundle_counts(
     dim = counts.size
     if tie_break.dim != dim:
         raise ValueError("tiebreaker dimension mismatch")
-    if total % 2 == 1:
-        majority = (counts > total // 2).astype(np.uint8)
-    else:
-        tie_bits = tie_break.to_bits()
-        doubled = 2 * counts.astype(np.int64) + tie_bits
-        majority = (doubled > total).astype(np.uint8)
-    return BinaryHypervector(bitpack.pack_bits(majority), dim)
+    return BinaryHypervector.from_words64(
+        engine.majority_from_counts(
+            counts, total, dim, tie_break.words64
+        ),
+        dim,
+    )
 
 
 def similarity(a: BinaryHypervector, b: BinaryHypervector) -> float:

@@ -167,6 +167,61 @@ class TestRotate:
         assert bitpack.pad_bits_are_zero(rotated, dim)
 
 
+class TestRotateWordShiftVsBigInt:
+    """The vectorized word-shift rotation against the big-int oracle."""
+
+    # Odd dimensions (dim % 32 != 0 and dim % 64 != 0), word-exact
+    # dimensions, and single-word corner cases.
+    DIMS = (1, 5, 31, 33, 63, 64, 65, 95, 127, 129, 313, 10_000)
+
+    @pytest.mark.parametrize("dim", DIMS)
+    def test_special_shift_counts(self, dim, rng):
+        packed = bitpack.random_packed(dim, rng)
+        shifts = {0, 1, dim - 1, dim, dim + 1, 2 * dim + 7, -1, -dim - 3}
+        for k in shifts:
+            np.testing.assert_array_equal(
+                bitpack.rotate_bits(packed, dim, k),
+                bitpack.rotate_bits_bigint(packed, dim, k),
+                err_msg=f"dim={dim}, k={k}",
+            )
+
+    def test_k_zero_and_k_dim_are_identity(self, rng):
+        for dim in self.DIMS:
+            packed = bitpack.random_packed(dim, rng)
+            np.testing.assert_array_equal(
+                bitpack.rotate_bits(packed, dim, 0), packed
+            )
+            np.testing.assert_array_equal(
+                bitpack.rotate_bits(packed, dim, dim), packed
+            )
+
+    @given(
+        dim=st.integers(1, 400),
+        k=st.integers(-800, 800),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_equivalence(self, dim, k, seed):
+        rng = np.random.default_rng(seed)
+        packed = bitpack.random_packed(dim, rng)
+        np.testing.assert_array_equal(
+            bitpack.rotate_bits(packed, dim, k),
+            bitpack.rotate_bits_bigint(packed, dim, k),
+        )
+
+    def test_64bit_rows_match_oracle(self, rng):
+        """The engine's uint64 batched rotate agrees with the oracle."""
+        for dim in (63, 65, 100, 313):
+            packed32 = bitpack.random_packed(dim, rng)
+            packed64 = bitpack.u32_to_u64(packed32, dim)
+            for k in (0, 1, dim - 1, dim, dim + 5):
+                rotated = bitpack.rotate_words(packed64, dim, k, 64)
+                np.testing.assert_array_equal(
+                    bitpack.u64_to_u32(rotated, dim),
+                    bitpack.rotate_bits_bigint(packed32, dim, k),
+                )
+
+
 class TestIntConversion:
     def test_roundtrip(self):
         value = 0b1011001110001

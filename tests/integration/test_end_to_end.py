@@ -9,7 +9,6 @@ from repro.hdc import (
     BatchHDClassifier,
     HDClassifier,
     HDClassifierConfig,
-    bitpack,
 )
 from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
 from repro.pulp import PULPV3_SOC, WOLF_SOC
@@ -75,7 +74,7 @@ class TestAcceleratorOnEMG:
         (train_w, train_l), _ = subject_windows(dataset[0], wc)
         batch = BatchHDClassifier(clf.config)
         batch.fit(np.asarray(train_w), train_l)
-        am = np.stack([bitpack.pack_bits(p) for p in batch.prototypes])
+        am = batch.am_matrix()
         dims = ChainDims(
             dim=clf.config.dim,
             n_channels=4,
