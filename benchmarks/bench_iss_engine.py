@@ -1,0 +1,48 @@
+"""Benchmark the ISS execution engines: interpreter vs fast path.
+
+Regenerates the full Table 3 matrix (all five machine configurations at
+10,000-D) on both engines, verifies the results are cycle-identical, and
+publishes the wall-clock ratio — the acceptance number for the
+block-compiled / vectorizing engine is >= 10x on this workload.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import table3
+
+
+@pytest.fixture(scope="module")
+def engine_timings():
+    timings = {}
+    results = {}
+    for engine in ("interp", "fast"):
+        start = time.perf_counter()
+        results[engine] = table3.run_table3(engine=engine)
+        timings[engine] = time.perf_counter() - start
+    ratio = timings["interp"] / timings["fast"]
+    lines = [
+        "ISS engine comparison - full Table 3 (5 configs, 10,000-D)",
+        f"  interpreter : {timings['interp'] * 1e3:9.1f} ms",
+        f"  fast path   : {timings['fast'] * 1e3:9.1f} ms",
+        f"  speed-up    : {ratio:9.1f} x",
+    ]
+    publish("iss_engine", "\n".join(lines))
+    return timings, results
+
+
+def test_engines_cycle_identical(engine_timings):
+    _, results = engine_timings
+    for interp_col, fast_col in zip(
+        results["interp"].columns, results["fast"].columns
+    ):
+        assert fast_col.encode_cycles == interp_col.encode_cycles
+        assert fast_col.am_cycles == interp_col.am_cycles
+
+
+def test_fast_path_speedup_target(engine_timings):
+    """The PR's acceptance criterion: >= 10x on the full Table 3 run."""
+    timings, _ = engine_timings
+    assert timings["interp"] / timings["fast"] >= 10.0, timings

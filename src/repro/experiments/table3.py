@@ -10,7 +10,7 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -88,8 +88,16 @@ class Table3Result:
         return pick(base) / pick(target)
 
 
-def run_table3(dim: int = 10_000, seed: int = 11) -> Table3Result:
-    """Run all five configurations through the ISS."""
+def run_table3(
+    dim: int = 10_000, seed: int = 11, engine: Optional[str] = None
+) -> Table3Result:
+    """Run all five configurations through the ISS.
+
+    ``engine`` forces the ISS execution engine ("fast" / "interp");
+    the default follows ``REPRO_ISS_ENGINE`` and then "auto" (fast).
+    Both engines produce identical cycle counts — pinned by the
+    differential tests — so published numbers do not depend on it.
+    """
     rng = np.random.default_rng(seed)
     dims = ChainDims(
         dim=dim, n_channels=4, n_levels=22, n_classes=5, ngram=1, window=5
@@ -104,7 +112,11 @@ def run_table3(dim: int = 10_000, seed: int = 11) -> Table3Result:
     for key, label, soc, n_cores, builtins in CONFIGS:
         sim = HDChainSimulator(
             ChainConfig(
-                soc=soc, n_cores=n_cores, dims=dims, use_builtins=builtins
+                soc=soc,
+                n_cores=n_cores,
+                dims=dims,
+                use_builtins=builtins,
+                engine=engine,
             )
         )
         sim.load_model(im, cim, am)

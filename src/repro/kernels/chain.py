@@ -272,6 +272,9 @@ class ChainConfig:
     use_builtins: bool = False
     literal_fig2: bool = False
     strategy: str = "auto"
+    #: ISS engine: "fast" (block-compiled/vectorizing), "interp" (the
+    #: reference interpreter), or None for the REPRO_ISS_ENGINE default.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_cores < 1:
@@ -347,7 +350,9 @@ class HDChainSimulator:
                 f"chain model ({self.layout.l2_end - L2_BASE} B) exceeds "
                 f"{soc.name} L2 ({mem_cfg.l2_bytes} B)"
             )
-        self.cluster: Cluster = soc.make_cluster(config.n_cores)
+        self.cluster: Cluster = soc.make_cluster(
+            config.n_cores, engine=config.engine
+        )
         self.encode_program = build_encode_program(
             soc.profile,
             self.layout,

@@ -3,10 +3,17 @@ PULPv3 / Wolf clusters and the ARM Cortex M4, with memory hierarchy, DMA,
 OpenMP-like runtime costs, and the Table-2 power model.
 """
 
-from .assembler import Assembler, Instr, Program
-from .cluster import Cluster, ClusterRunResult
+from .assembler import Assembler, BasicBlock, Instr, Program, basic_blocks
+from .cluster import (
+    Cluster,
+    ClusterRunResult,
+    ENGINE_ENV_VAR,
+    ENGINES,
+    resolve_engine,
+)
 from .core import Core, ExecutionError
 from .dma import DMAEngine
+from .fastpath import CompiledProgram, FastCore, LoopPlan, compile_program
 from .isa import (
     ArchProfile,
     CORTEX_M4,
@@ -39,13 +46,19 @@ from .soc import (
 __all__ = [
     "ArchProfile",
     "Assembler",
+    "BasicBlock",
     "CORTEX_M4",
     "CORTEX_M4_SOC",
     "Cluster",
     "ClusterRunResult",
+    "CompiledProgram",
     "Core",
     "DMAEngine",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
     "ExecutionError",
+    "FastCore",
+    "LoopPlan",
     "FLL_POWER_MW",
     "Instr",
     "L1_BASE",
@@ -64,12 +77,15 @@ __all__ = [
     "SoCConfig",
     "WOLF",
     "WOLF_SOC",
+    "basic_blocks",
     "chunk_sizes",
+    "compile_program",
     "energy_per_classification_uj",
     "frequency_for_latency_mhz",
     "m4_power_mw",
     "min_cluster_voltage",
     "profile_by_name",
+    "resolve_engine",
     "runtime_costs",
     "soc_by_name",
     "static_chunk",

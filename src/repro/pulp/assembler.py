@@ -29,6 +29,18 @@ from .isa import ALL_OPS, BRANCH_OPS, ArchProfile
 
 N_REGS = 32
 ZERO_REG = 0
+
+#: Mnemonics that end a basic block: control transfers, synchronization,
+#: and instructions that need the core's absolute clock (DMA).
+BLOCK_END_OPS = frozenset(
+    {
+        "beq", "bne", "blt", "bge", "bltu", "bgeu",
+        "j", "jal", "jr",
+        "lp.setup",
+        "barrier", "halt",
+        "dma.copy", "dma.wait",
+    }
+)
 CORE_ID_REG = 10
 N_CORES_REG = 11
 ARG_REGS = (12, 13, 14, 15, 16, 17)
@@ -71,6 +83,60 @@ class Instr:
 
 
 @dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` is the index of the first instruction, ``end`` the index
+    one past the last.  ``terminator`` is the index of the final
+    instruction when it is a control/sync/DMA instruction (an op in
+    :data:`BLOCK_END_OPS`), else ``None`` — the block then falls through
+    onto the next leader.
+    """
+
+    start: int
+    end: int
+    terminator: Optional[int]
+
+    @property
+    def body_end(self) -> int:
+        """Index one past the straight-line (non-terminator) prefix."""
+        return self.end if self.terminator is None else self.terminator
+
+
+def basic_blocks(instrs) -> tuple:
+    """Split an instruction sequence into :class:`BasicBlock` tuples.
+
+    Leaders are instruction 0, every branch / jump / hardware-loop
+    target, and the instruction after every block-ending op.  The
+    hardware-loop end address (``lp.setup``'s resolved target) is a
+    leader too, so a block never straddles a loop boundary — which is
+    what lets the fast-path engine check loop back-edges only at block
+    boundaries.
+    """
+    n = len(instrs)
+    leaders = {0}
+    for i, instr in enumerate(instrs):
+        if instr.op in BLOCK_END_OPS and i + 1 < n:
+            leaders.add(i + 1)
+        if instr.target is not None:
+            leaders.add(instr.target)
+    blocks = []
+    starts = sorted(leader for leader in leaders if leader < n)
+    for position, start in enumerate(starts):
+        limit = starts[position + 1] if position + 1 < len(starts) else n
+        end = start
+        terminator = None
+        while end < limit:
+            if instrs[end].op in BLOCK_END_OPS:
+                terminator = end
+                end += 1
+                break
+            end += 1
+        blocks.append(BasicBlock(start=start, end=end, terminator=terminator))
+    return tuple(blocks)
+
+
+@dataclass(frozen=True)
 class Program:
     """An assembled program: resolved instructions plus metadata."""
 
@@ -81,6 +147,14 @@ class Program:
 
     def __len__(self) -> int:
         return len(self.instrs)
+
+    def basic_blocks(self) -> tuple:
+        """The program's basic blocks (computed once, cached)."""
+        cached = getattr(self, "_iss_blocks", None)
+        if cached is None:
+            cached = basic_blocks(self.instrs)
+            object.__setattr__(self, "_iss_blocks", cached)
+        return cached
 
     def listing(self) -> str:
         """Human-readable disassembly with labels (for debugging)."""

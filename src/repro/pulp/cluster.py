@@ -16,16 +16,39 @@ run start and end for multi-core teams, per
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .assembler import CORE_ID_REG, N_CORES_REG, ARG_REGS, Program
 from .core import Core, ExecutionError, STOP_BARRIER, STOP_HALT, predecode
 from .dma import DMAEngine
+from .fastpath import FastCore, compile_program
 from .isa import ArchProfile
 from .memory import MemoryConfig, MemorySystem
+
+ENGINES = ("auto", "fast", "interp")
+"""Execution engines: ``fast`` is the block-compiled / vectorizing
+engine, ``interp`` the per-instruction reference interpreter, ``auto``
+currently resolves to ``fast`` (the fast path is architecturally exact
+and falls back per-loop on anything it cannot vectorize)."""
+
+ENGINE_ENV_VAR = "REPRO_ISS_ENGINE"
+"""Environment override for the engine choice (takes effect when the
+``Cluster`` is built without an explicit ``engine=``)."""
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an engine request against the environment override."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "auto"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown ISS engine {engine!r}; known: {ENGINES}"
+        )
+    return "fast" if engine == "auto" else engine
 
 
 @dataclass(frozen=True)
@@ -57,6 +80,7 @@ class Cluster:
         profile: ArchProfile,
         n_cores: int,
         memory_config: Optional[MemoryConfig] = None,
+        engine: Optional[str] = None,
     ):
         if n_cores < 1:
             raise ValueError(f"n_cores must be >= 1, got {n_cores}")
@@ -67,6 +91,7 @@ class Cluster:
             )
         self.profile = profile
         self.n_cores = n_cores
+        self.engine = resolve_engine(engine)
         self.memory = MemorySystem(
             memory_config
             or MemoryConfig(
@@ -77,11 +102,11 @@ class Cluster:
         self.dma = DMAEngine(
             self.memory, bytes_per_cycle=profile.dma_bytes_per_cycle
         )
+        core_cls = FastCore if self.engine == "fast" else Core
         self.cores = [
-            Core(core_id, profile, self.memory, dma=self.dma)
+            core_cls(core_id, profile, self.memory, dma=self.dma)
             for core_id in range(n_cores)
         ]
-        self._decode_cache: Dict[int, list] = {}
 
     # -- data placement helpers ---------------------------------------------
 
@@ -104,14 +129,6 @@ class Cluster:
         return self.memory.read_word(addr)
 
     # -- execution -------------------------------------------------------------
-
-    def _decoded(self, program: Program) -> list:
-        key = id(program)
-        cached = self._decode_cache.get(key)
-        if cached is None:
-            cached = predecode(program)
-            self._decode_cache[key] = cached
-        return cached
 
     def run(
         self,
@@ -137,7 +154,16 @@ class Cluster:
                 f"at most {len(ARG_REGS)} kernel arguments supported, "
                 f"got {len(args)}"
             )
-        decoded = self._decoded(program)
+        # predecode caches on the Program object itself, so the decoded
+        # form can never outlive (or be mistakenly served to) another
+        # program — the old id(program)-keyed cluster cache could, once
+        # an id was reused after garbage collection.
+        decoded = predecode(program)
+        compiled = (
+            compile_program(program, self.profile)
+            if self.engine == "fast"
+            else None
+        )
         costs = (
             runtime_costs(self.profile, self.n_cores)
             if add_runtime_overheads
@@ -150,7 +176,10 @@ class Cluster:
         self.memory.set_team_size(self.n_cores)
         self.dma.reset()
         for core in self.cores:
-            core.load_program(decoded)
+            if compiled is not None:
+                core.load_program(decoded, compiled)
+            else:
+                core.load_program(decoded)
             core.cycles = fork
             core.instr_count = 0
             core.regs = [0] * 32

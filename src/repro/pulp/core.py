@@ -83,7 +83,17 @@ def _signed(value: int) -> int:
 
 
 def predecode(program: Program) -> list:
-    """Convert a Program into the interpreter's tuple form (cached)."""
+    """Convert a Program into the interpreter's tuple form (cached).
+
+    The decoded list is cached *on the Program object itself* (programs
+    are immutable), so the cache entry cannot outlive its program.  A
+    cluster-level cache keyed on ``id(program)`` is unsafe: once a
+    Program is garbage-collected, a newly-built program can reuse the
+    same id and be served another program's instructions.
+    """
+    cached = getattr(program, "_iss_predecoded", None)
+    if cached is not None:
+        return cached
     decoded = []
     for instr in program.instrs:
         code = _OPCODE_BY_NAME[instr.op]
@@ -98,6 +108,8 @@ def predecode(program: Program) -> list:
                 instr.target if instr.target is not None else 0,
             )
         )
+    # Program is a frozen dataclass; bypass its setattr for the cache.
+    object.__setattr__(program, "_iss_predecoded", decoded)
     return decoded
 
 
@@ -391,19 +403,32 @@ class Core:
                     raise ExecutionError(
                         "dma.wait executed with no DMA engine attached"
                     )
+                # Core clocks and ``busy_until`` share one absolute cycle
+                # timeline; a barrier realignment only moves core clocks
+                # forward, during which the DMA keeps draining.  So after
+                # a barrier the wait charges only the *residual* transfer
+                # time (1 cycle when the transfer already finished) — it
+                # never re-charges time hidden behind the barrier.  This
+                # is pinned by TestDMABarrierInteraction in
+                # tests/pulp/test_cluster_dma.py.
                 cycles = max(cycles + 1, self.dma.busy_until)
             else:  # pragma: no cover - unreachable with a valid assembler
                 raise ExecutionError(f"unimplemented opcode {op}")
 
-            # Zero-overhead hardware loop back-edges: taken when control
-            # falls onto a loop's end boundary from inside the body.
-            if loop_stack and next_pc == loop_stack[-1][1]:
+            # Zero-overhead hardware loop back-edges: taken only when
+            # control lands on the loop's end boundary from *inside* the
+            # body [body_start, body_end).  Branches or jumps arriving at
+            # the same address from outside the body must not decrement
+            # the trip counter (they are ordinary control transfers that
+            # merely happen to target the boundary).
+            if loop_stack:
                 top = loop_stack[-1]
-                top[2] -= 1
-                if top[2] > 0:
-                    next_pc = top[0]
-                else:
-                    loop_stack.pop()
+                if next_pc == top[1] and top[0] <= pc < top[1]:
+                    top[2] -= 1
+                    if top[2] > 0:
+                        next_pc = top[0]
+                    else:
+                        loop_stack.pop()
 
             regs[0] = 0  # r0 stays hardwired to zero
             pc = next_pc

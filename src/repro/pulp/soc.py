@@ -43,9 +43,18 @@ class SoCConfig:
             n_banks=self.profile.n_tcdm_banks,
         )
 
-    def make_cluster(self, n_cores: int) -> Cluster:
-        """Instantiate a simulated cluster of this SoC."""
-        return Cluster(self.profile, n_cores, self.memory_config())
+    def make_cluster(
+        self, n_cores: int, engine: Optional[str] = None
+    ) -> Cluster:
+        """Instantiate a simulated cluster of this SoC.
+
+        ``engine`` selects the ISS execution engine (``fast`` /
+        ``interp`` / ``auto``); ``None`` defers to the
+        ``REPRO_ISS_ENGINE`` environment variable, then ``auto``.
+        """
+        return Cluster(
+            self.profile, n_cores, self.memory_config(), engine=engine
+        )
 
 
 PULPV3_SOC = SoCConfig(

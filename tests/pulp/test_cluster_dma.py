@@ -242,3 +242,81 @@ class TestDMA:
         result = cluster.run(asm.build())
         # Compute (200) dominates the transfer: wait adds ~nothing.
         assert result.total_cycles < 200 + 40
+
+
+class TestDMABarrierInteraction:
+    """Pins the audited dma.wait semantics across barrier realignment.
+
+    Core clocks and the DMA ``busy_until`` point share one absolute
+    cycle timeline.  A barrier realignment only advances core clocks —
+    the DMA keeps draining during the barrier — so a post-barrier
+    ``dma.wait`` must charge exactly the *residual* transfer time: one
+    cycle when the transfer already finished under the barrier, and
+    ``busy_until - clock`` (+0) when it is still in flight.  Charging
+    more would double-count time already spent synchronizing.
+    """
+
+    def _program(self, payload_bytes, spin, with_wait):
+        asm = Assembler(WOLF)
+        s, d, z, n = asm.reg("s"), asm.reg("d"), asm.reg("z"), asm.reg("n")
+        asm.bne(CORE_ID_REG, 0, "meet")
+        asm.li(s, L2_BASE)
+        asm.li(d, L1_BASE)
+        asm.li(z, payload_bytes)
+        asm.dma_copy(s, d, z)
+        asm.label("meet")
+        asm.bne(CORE_ID_REG, 1, "sync")
+        asm.li(n, spin)  # core 1 computes; the barrier waits for it
+        asm.hw_loop(n, "spun")
+        asm.nop()
+        asm.label("spun")
+        asm.label("sync")
+        asm.barrier()
+        if with_wait:
+            asm.dma_wait()
+        asm.halt()
+        return asm.build()
+
+    @pytest.mark.parametrize("engine", ["interp", "fast"])
+    def test_wait_hidden_behind_barrier_charges_one_cycle(self, engine):
+        """Transfer finishes while the cores synchronize: the wait must
+        cost exactly its own issue cycle, not re-charge hidden time."""
+        spin = 500  # barrier alignment lands well past busy_until
+        with_wait = Cluster(WOLF, 2, engine=engine).run(
+            self._program(80, spin, with_wait=True)
+        )
+        without = Cluster(WOLF, 2, engine=engine).run(
+            self._program(80, spin, with_wait=False)
+        )
+        assert with_wait.total_cycles == without.total_cycles + 1
+
+    @pytest.mark.parametrize("engine", ["interp", "fast"])
+    def test_wait_on_inflight_transfer_advances_to_busy_until(self, engine):
+        """Transfer still in flight after the barrier: the core resumes
+        exactly at the transfer's absolute finish cycle."""
+        cluster = Cluster(WOLF, 2, engine=engine)
+        result = cluster.run(
+            self._program(32_000, 1, with_wait=True)  # 4k-cycle payload
+        )
+        finish = cluster.dma.transfers[-1].finish_cycle
+        # dma.wait advanced core 0 to busy_until; only halt (1) follows.
+        assert result.per_core_cycles[0] == finish + 1
+        assert result.total_cycles == finish + 1 + result.join_cycles
+
+    @pytest.mark.parametrize("engine", ["interp", "fast"])
+    def test_issue_clock_is_pre_setup(self, engine):
+        """The transfer starts at the issuing core's clock at the copy
+        instruction (setup overlaps the payload), pinning enqueue's
+        issue_cycle bookkeeping."""
+        cluster = Cluster(WOLF, 1, engine=engine)
+        asm = Assembler(WOLF)
+        s, d, z = asm.reg("s"), asm.reg("d"), asm.reg("z")
+        asm.li(s, L2_BASE)
+        asm.li(d, L1_BASE)
+        asm.li(z, 8)
+        asm.dma_copy(s, d, z)
+        asm.halt()
+        cluster.run(asm.build())
+        record = cluster.dma.transfers[0]
+        assert record.issue_cycle == 3  # after the three li instructions
+        assert record.start_cycle == record.issue_cycle

@@ -280,6 +280,40 @@ class TestHardwareLoops:
         cluster, _ = run_program(WOLF, build, args=[L1_BASE])
         assert result_word(cluster) == 15
 
+    @pytest.mark.parametrize("engine", ["interp", "fast"])
+    def test_branch_onto_loop_end_from_outside_does_not_count(self, engine):
+        """Regression: the back-edge must fire only when control falls
+        onto the loop-end boundary from *inside* the body.
+
+        The body jumps out while the loop is still active (stale trip
+        counter on the stack); code outside then branches to the
+        loop-end address.  The buggy core decremented the counter and
+        warped control back to the body start, re-running the body once
+        per remaining trip (acc would reach 51); the fixed core treats
+        the branch as an ordinary control transfer (acc stays 17).
+        """
+
+        def build(asm):
+            n, acc = asm.reg("n"), asm.reg("acc")
+            asm.li(n, 3)
+            asm.li(acc, 0)
+            asm.hw_loop(n, "end")
+            asm.addi(acc, acc, 1)   # body
+            asm.j("out")            # leave the body; loop entry is stale
+            asm.label("end")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+            asm.label("out")
+            asm.addi(acc, acc, 16)
+            asm.beq(0, 0, "end")    # lands on the boundary from outside
+            asm.halt()              # unreachable (satisfies end check)
+
+        asm = Assembler(WOLF)
+        build(asm)
+        cluster = Cluster(WOLF, 1, engine=engine)
+        cluster.run(asm.build(), args=[L1_BASE])
+        assert result_word(cluster) == 17
+
 
 class TestBitManipulation:
     def test_extract_insert_cnt(self):

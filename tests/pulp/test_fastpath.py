@@ -1,0 +1,538 @@
+"""Unit tests for the fast-path engine: blocks, closures, vector loops.
+
+Cross-engine equality at scale is covered by
+``test_fastpath_differential.py``; here each mechanism is exercised in
+isolation with hand-built programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pulp import (
+    Assembler,
+    Cluster,
+    ENGINE_ENV_VAR,
+    L1_BASE,
+    L2_BASE,
+    PULPV3,
+    WOLF,
+    basic_blocks,
+    compile_program,
+    resolve_engine,
+)
+from repro.pulp.core import Core
+from repro.pulp.fastpath import FastCore
+
+
+def build(profile, emit):
+    asm = Assembler(profile)
+    emit(asm)
+    return asm.build()
+
+
+def run_engines(profile, program, n_cores=1, args=()):
+    """Run on both engines; return {engine: (cluster, result)}."""
+    out = {}
+    for engine in ("interp", "fast"):
+        cluster = Cluster(profile, n_cores, engine=engine)
+        result = cluster.run(program, args=args)
+        out[engine] = (cluster, result)
+    return out
+
+
+def assert_engines_agree(profile, program, n_cores=1, args=()):
+    out = run_engines(profile, program, n_cores=n_cores, args=args)
+    ci, ri = out["interp"]
+    cf, rf = out["fast"]
+    assert ri == rf
+    for core_i, core_f in zip(ci.cores, cf.cores):
+        assert core_i.regs == core_f.regs
+        assert core_i.cycles == core_f.cycles
+        assert core_i.instr_count == core_f.instr_count
+    assert ci.memory.read_bytes(L1_BASE, 2048) == cf.memory.read_bytes(
+        L1_BASE, 2048
+    )
+    return out
+
+
+class TestEngineSelection:
+    def test_resolve_engine_values(self):
+        assert resolve_engine("fast") == "fast"
+        assert resolve_engine("interp") == "interp"
+        assert resolve_engine("auto") == "fast"
+        with pytest.raises(ValueError):
+            resolve_engine("turbo")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "interp")
+        cluster = Cluster(WOLF, 1)
+        assert cluster.engine == "interp"
+        assert type(cluster.cores[0]) is Core
+        monkeypatch.setenv(ENGINE_ENV_VAR, "fast")
+        cluster = Cluster(WOLF, 1)
+        assert type(cluster.cores[0]) is FastCore
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "interp")
+        cluster = Cluster(WOLF, 1, engine="fast")
+        assert cluster.engine == "fast"
+
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert Cluster(WOLF, 1).engine == "fast"
+
+
+class TestBasicBlocks:
+    def test_straight_program_is_one_block(self):
+        prog = build(PULPV3, lambda asm: (asm.nop(), asm.nop(), asm.halt()))
+        blocks = prog.basic_blocks()
+        assert len(blocks) == 1
+        assert blocks[0].start == 0
+        assert blocks[0].end == 3
+        assert blocks[0].terminator == 2  # halt
+
+    def test_branch_targets_are_leaders(self):
+        def emit(asm):
+            r = asm.reg("r")
+            asm.li(r, 1)            # 0
+            asm.bne(r, 0, "skip")   # 1 (terminator)
+            asm.addi(r, r, 1)       # 2 (leader: after branch)
+            asm.label("skip")
+            asm.addi(r, r, 2)       # 3 (leader: branch target)
+            asm.halt()              # 4
+
+        prog = build(PULPV3, emit)
+        starts = [b.start for b in prog.basic_blocks()]
+        assert starts == [0, 2, 3]
+
+    def test_hw_loop_boundary_is_a_leader(self):
+        def emit(asm):
+            n = asm.reg("n")
+            asm.li(n, 4)         # 0
+            asm.hw_loop(n, "end")  # 1 (terminator, target=3)
+            asm.nop()            # 2 (leader: loop body)
+            asm.label("end")
+            asm.halt()           # 3 (leader: loop end boundary)
+
+        prog = build(WOLF, emit)
+        starts = [b.start for b in prog.basic_blocks()]
+        assert starts == [0, 2, 3]
+        # A block never straddles the loop-end boundary.
+        for block in prog.basic_blocks():
+            assert not (block.start < 3 < block.end)
+
+    def test_blocks_cached_on_program(self):
+        prog = build(PULPV3, lambda asm: asm.halt())
+        assert prog.basic_blocks() is prog.basic_blocks()
+        assert basic_blocks(prog.instrs) == prog.basic_blocks()
+
+
+class TestBlockClosures:
+    """Straight-line semantics through the compiled closures."""
+
+    @pytest.mark.parametrize("profile", [PULPV3, WOLF])
+    def test_alu_mix(self, profile):
+        def emit(asm):
+            a, b, c = asm.reg("a"), asm.reg("b"), asm.reg("c")
+            asm.li(a, 0xDEADBEEF)
+            asm.li(b, 13)
+            asm.sub(c, a, b)
+            asm.srai(c, c, 3)
+            asm.emit("mulh", rd=c, ra=c, rb=a)
+            asm.emit("slt", rd=b, ra=a, rb=c)
+            asm.emit("sltiu", rd=a, ra=c, imm=-1)
+            asm.sw(c, asm.arg(0), 0)
+            asm.sw(b, asm.arg(0), 4)
+            asm.sw(a, asm.arg(0), 8)
+            asm.halt()
+
+        assert_engines_agree(profile, build(profile, emit), args=[L1_BASE])
+
+    def test_post_increment_rd_equals_ra(self):
+        """p.lw! rd==ra: the increment must overwrite the loaded value."""
+
+        def emit(asm):
+            p = asm.reg("p")
+            asm.mv(p, asm.arg(0))
+            asm.emit("p.lw!", rd=p, ra=p, imm=4)
+            asm.sw(p, asm.arg(0), 8)
+            asm.halt()
+
+        prog = build(WOLF, emit)
+        out = assert_engines_agree(WOLF, prog, args=[L1_BASE])
+        cluster, _ = out["fast"]
+        assert cluster.read_word(L1_BASE + 8) == L1_BASE + 4
+
+    def test_writes_to_r0_are_dropped(self):
+        def emit(asm):
+            asm.emit("li", rd=0, imm=77)
+            asm.emit("addi", rd=0, ra=0, imm=5)
+            asm.emit("lw", rd=0, ra=asm.arg(0), imm=0)  # load still happens
+            asm.sw(0, asm.arg(0), 4)
+            asm.halt()
+
+        out = assert_engines_agree(WOLF, build(WOLF, emit), args=[L1_BASE])
+        cluster, _ = out["fast"]
+        assert cluster.read_word(L1_BASE + 4) == 0
+
+    def test_jr_into_middle_of_block(self):
+        """Computed jumps may land mid-block; a sub-block is synthesized."""
+
+        def emit(asm):
+            t, link = asm.reg("t"), asm.reg("link")
+            asm.emit("jal", rd=link, label="sub")
+            asm.sw(t, asm.arg(0), 0)
+            asm.halt()
+            asm.label("sub")
+            asm.li(t, 5)
+            asm.addi(t, t, 6)
+            asm.emit("jr", ra=link)
+            asm.halt()  # unreachable; satisfies the end-of-program check
+
+        out = assert_engines_agree(WOLF, build(WOLF, emit), args=[L1_BASE])
+        cluster, _ = out["fast"]
+        assert cluster.read_word(L1_BASE) == 11
+
+
+class TestVectorLoops:
+    def test_hw_loop_with_reduction_vectorizes(self):
+        words = 37
+
+        def emit(asm):
+            p, n, acc, t = (
+                asm.reg("p"), asm.reg("n"), asm.reg("acc"), asm.reg("t")
+            )
+            asm.mv(p, asm.arg(0))
+            asm.li(n, words)
+            asm.li(acc, 0)
+            asm.hw_loop(n, "end")
+            asm.lw_postinc(t, p, 4)
+            asm.popcount(t, t)
+            asm.add(acc, acc, t)
+            asm.label("end")
+            asm.sw(acc, asm.arg(1), 0)
+            asm.halt()
+
+        prog = build(WOLF, emit)
+        compiled = compile_program(prog, WOLF)
+        assert compiled.hw_plans, "the word loop should produce a plan"
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2**32, size=words, dtype=np.uint32)
+        expected = int(sum(bin(int(w)).count("1") for w in data))
+        for engine in ("interp", "fast"):
+            cluster = Cluster(WOLF, 1, engine=engine)
+            cluster.write_words(L1_BASE, data)
+            cluster.run(prog, args=[L1_BASE, L1_BASE + 4 * words])
+            assert cluster.read_word(L1_BASE + 4 * words) == expected
+
+    def test_branch_loop_strided_store(self):
+        def emit(asm):
+            i, n, p, t = (
+                asm.reg("i"), asm.reg("n"), asm.reg("p"), asm.reg("t")
+            )
+            asm.li(i, 0)
+            asm.li(n, 50)
+            asm.mv(p, asm.arg(0))
+            asm.label("head")
+            asm.mul(t, i, i)
+            asm.sw(t, p, 0)
+            asm.addi(p, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        prog = build(PULPV3, emit)
+        compiled = compile_program(prog, PULPV3)
+        assert compiled.branch_plans
+        out = assert_engines_agree(PULPV3, prog, args=[L1_BASE])
+        cluster, _ = out["fast"]
+        got = cluster.read_words(L1_BASE, 50)
+        assert list(got) == [(i * i) & 0xFFFFFFFF for i in range(50)]
+
+    def test_countdown_bne_loop(self):
+        def emit(asm):
+            n, acc = asm.reg("n"), asm.reg("acc")
+            asm.li(n, 23)
+            asm.li(acc, 0)
+            asm.label("head")
+            asm.add(acc, acc, n)
+            asm.addi(n, n, -1)
+            asm.bne(n, 0, "head")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        out = assert_engines_agree(
+            PULPV3, build(PULPV3, emit), args=[L1_BASE]
+        )
+        cluster, _ = out["fast"]
+        assert cluster.read_word(L1_BASE) == sum(range(1, 24))
+
+    def test_nested_hw_loops_vectorize_outer(self):
+        """Two-level nest: the outer plan unrolls the invariant inner."""
+
+        def emit(asm):
+            n, m, acc, t = (
+                asm.reg("n"), asm.reg("m"), asm.reg("acc"), asm.reg("t")
+            )
+            asm.li(acc, 0)
+            asm.li(n, 9)
+            asm.li(m, 7)
+            asm.hw_loop(n, "outer_end")
+            asm.mv(t, 0)            # outer-level temp
+            asm.hw_loop(m, "inner_end")
+            asm.addi(t, t, 1)       # inner-only state
+            asm.label("inner_end")
+            asm.add(acc, acc, t)    # outer-level reduction
+            asm.label("outer_end")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        prog = build(WOLF, emit)
+        compiled = compile_program(prog, WOLF)
+        outer = [p for p in compiled.hw_plans.values() if p.hw_depth == 2]
+        assert outer, "outer loop should plan with depth 2"
+        out = assert_engines_agree(WOLF, prog, args=[L1_BASE])
+        cluster, _ = out["fast"]
+        assert cluster.read_word(L1_BASE) == 63
+
+    def test_zero_trip_hw_loop(self):
+        def emit(asm):
+            n, acc = asm.reg("n"), asm.reg("acc")
+            asm.li(n, 0)
+            asm.li(acc, 3)
+            asm.hw_loop(n, "end")
+            asm.li(acc, 99)
+            asm.label("end")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        out = assert_engines_agree(WOLF, build(WOLF, emit), args=[L1_BASE])
+        cluster, _ = out["fast"]
+        assert cluster.read_word(L1_BASE) == 3
+
+    def test_lane_divergent_branch_bails_to_block_path(self):
+        """A data-dependent inner exit cannot vectorize but must still
+        execute correctly through the block path."""
+
+        def emit(asm):
+            i, n, p, t, acc = (
+                asm.reg("i"), asm.reg("n"), asm.reg("p"), asm.reg("t"),
+                asm.reg("acc"),
+            )
+            asm.li(i, 0)
+            asm.li(n, 16)
+            asm.mv(p, asm.arg(0))
+            asm.li(acc, 0)
+            asm.label("head")
+            asm.lw(t, p, 0)
+            asm.andi(t, t, 1)
+            asm.beq(t, 0, "even")   # forward branch: plan must bail
+            asm.addi(acc, acc, 1)
+            asm.label("even")
+            asm.addi(p, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.sw(acc, asm.arg(1), 0)
+            asm.halt()
+
+        prog = build(PULPV3, emit)
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2**32, size=16, dtype=np.uint32)
+        expected = int(sum(int(w) & 1 for w in data))
+        for engine in ("interp", "fast"):
+            cluster = Cluster(PULPV3, 1, engine=engine)
+            cluster.write_words(L1_BASE, data)
+            cluster.run(prog, args=[L1_BASE, L1_BASE + 256])
+            assert cluster.read_word(L1_BASE + 256) == expected
+
+    def test_l2_strided_loop_counts_l2_stalls(self):
+        """A loop streaming from L2 must charge the same stalls as the
+        oracle (closed-form bulk accounting)."""
+
+        def emit(asm):
+            i, n, p, t, acc = (
+                asm.reg("i"), asm.reg("n"), asm.reg("p"), asm.reg("t"),
+                asm.reg("acc"),
+            )
+            asm.li(i, 0)
+            asm.li(n, 40)
+            asm.li(p, L2_BASE)
+            asm.li(acc, 0)
+            asm.label("head")
+            asm.lw(t, p, 0)
+            asm.add(acc, acc, t)
+            asm.addi(p, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.sw(acc, asm.arg(0), 0)
+            asm.halt()
+
+        assert_engines_agree(
+            PULPV3, build(PULPV3, emit), args=[L1_BASE]
+        )
+
+    def test_multicore_conflict_model_matches(self):
+        """Bank-conflict millicycle accumulation must stay identical
+        between per-access and bulk accounting across a team."""
+
+        def emit(asm):
+            from repro.pulp.assembler import CORE_ID_REG
+
+            i, n, p, t, acc = (
+                asm.reg("i"), asm.reg("n"), asm.reg("p"), asm.reg("t"),
+                asm.reg("acc"),
+            )
+            asm.slli(t, CORE_ID_REG, 7)
+            asm.mv(p, asm.arg(0))
+            asm.add(p, p, t)
+            asm.li(i, 0)
+            asm.li(n, 25)
+            asm.li(acc, 0)
+            asm.label("head")
+            asm.lw(t, p, 0)
+            asm.add(acc, acc, t)
+            asm.sw(acc, p, 0)
+            asm.addi(p, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        assert_engines_agree(
+            PULPV3, build(PULPV3, emit), n_cores=4, args=[L1_BASE]
+        )
+        assert_engines_agree(
+            WOLF, build(WOLF, emit), n_cores=8, args=[L1_BASE]
+        )
+
+    def test_cross_trip_raw_hazard_bails(self):
+        """Regression: a loop whose load reads what the *previous* trip
+        stored (load site before store site, ranges offset by the
+        stride) is loop-carried through memory and must fall back to
+        the block path, not gather stale pre-loop values."""
+
+        def emit(asm):
+            i, n, p, t = (
+                asm.reg("i"), asm.reg("n"), asm.reg("p"), asm.reg("t")
+            )
+            asm.li(i, 0)
+            asm.li(n, 9)
+            asm.mv(p, asm.arg(0))
+            asm.label("head")
+            asm.lw(t, p, 0)
+            asm.addi(t, t, 1)
+            asm.sw(t, p, 4)       # next trip loads this value
+            asm.addi(p, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        prog = build(PULPV3, emit)
+        for engine in ("interp", "fast"):
+            cluster = Cluster(PULPV3, 1, engine=engine)
+            cluster.write_word(L1_BASE, 5)
+            cluster.run(prog, args=[L1_BASE])
+            got = list(cluster.read_words(L1_BASE, 10))
+            assert got == list(range(5, 15)), (engine, got)
+
+    def test_per_lane_read_modify_write_stays_exact(self):
+        """In-place RMW on per-lane-distinct addresses is legal to
+        vectorize (each lane reads only its own pre-loop value)."""
+
+        def emit(asm):
+            i, n, p, t = (
+                asm.reg("i"), asm.reg("n"), asm.reg("p"), asm.reg("t")
+            )
+            asm.li(i, 0)
+            asm.li(n, 20)
+            asm.mv(p, asm.arg(0))
+            asm.label("head")
+            asm.lw(t, p, 0)
+            asm.slli(t, t, 1)
+            asm.sw(t, p, 0)       # same address as the load, per lane
+            asm.addi(p, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        prog = build(PULPV3, emit)
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 2**31, size=20, dtype=np.uint32)
+        for engine in ("interp", "fast"):
+            cluster = Cluster(PULPV3, 1, engine=engine)
+            cluster.write_words(L1_BASE, data)
+            cluster.run(prog, args=[L1_BASE])
+            got = cluster.read_words(L1_BASE, 20)
+            assert np.array_equal(got, (data.astype(np.uint64) * 2
+                                        & 0xFFFFFFFF).astype(np.uint32))
+
+    def test_sra_with_lane_varying_shift(self):
+        """Regression: vectorized arithmetic shifts mix an int64 value
+        lane array with a uint64 shift lane array — NumPy refuses that
+        promotion, so the shift amount must be normalized (previously a
+        TypeError escaped instead of the engine handling the loop)."""
+
+        def emit(asm):
+            i, n, sh, t, p = (
+                asm.reg("i"), asm.reg("n"), asm.reg("sh"), asm.reg("t"),
+                asm.reg("p"),
+            )
+            asm.li(i, 0)
+            asm.li(n, 8)
+            asm.li(sh, 0)
+            asm.mv(p, asm.arg(0))
+            asm.li(t, 0x80000001)
+            asm.label("head")
+            asm.sra(t, t, sh)     # negative value, lane-varying shift
+            asm.sw(t, p, 0)
+            asm.addi(p, p, 4)
+            asm.addi(sh, sh, 1)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        assert_engines_agree(PULPV3, build(PULPV3, emit), args=[L1_BASE])
+
+    def test_instruction_cap_still_enforced(self):
+        def emit(asm):
+            i, n = asm.reg("i"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(n, 100000)
+            asm.label("head")
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        prog = build(PULPV3, emit)
+        from repro.pulp import ExecutionError
+
+        cluster = Cluster(PULPV3, 1, engine="fast")
+        cluster.cores[0].max_instructions = 500
+        with pytest.raises(ExecutionError):
+            cluster.run(prog)
+
+
+class TestDecodeCache:
+    def test_predecode_cached_per_program_object(self):
+        from repro.pulp.core import predecode
+
+        prog_a = build(WOLF, lambda asm: asm.halt())
+        prog_b = build(WOLF, lambda asm: asm.halt())
+        assert predecode(prog_a) is predecode(prog_a)
+        assert predecode(prog_a) is not predecode(prog_b)
+
+    def test_fresh_programs_never_served_stale_decodes(self):
+        """Regression: the old cluster cache keyed on id(program) could
+        serve a dead program's instructions to a new one that reused
+        the id.  Building and discarding programs in a loop must always
+        execute the *current* program."""
+        cluster = Cluster(WOLF, 1)
+        for i in range(40):
+            asm = Assembler(WOLF)
+            r = asm.reg("r")
+            asm.li(r, i)
+            asm.sw(r, asm.arg(0), 0)
+            asm.halt()
+            program = asm.build()
+            cluster.run(program, args=[L1_BASE])
+            assert cluster.read_word(L1_BASE) == i
+            del program  # allow id reuse by the next iteration

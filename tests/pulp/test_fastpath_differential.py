@@ -1,0 +1,390 @@
+"""Differential tests: fast-path engine vs the interpreter oracle.
+
+Two layers:
+
+* a random-program fuzz harness covering every opcode class (ALU,
+  memory with post-increment, both hardware-loop nesting levels, branch
+  loops, forward branches, calls, DMA, barriers) asserting identical
+  registers, memory images, ``cycles``, and ``instr_count``;
+* the full kernel matrix — every Table 3 machine configuration plus the
+  Cortex M4 and the carry-save/memory spatial strategies — asserting
+  bit-identical labels/distances and cycle-identical
+  :class:`ClusterRunResult` totals on both engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
+from repro.pulp import (
+    Assembler,
+    Cluster,
+    CORTEX_M4,
+    CORTEX_M4_SOC,
+    L1_BASE,
+    L2_BASE,
+    PULPV3,
+    PULPV3_SOC,
+    WOLF,
+    WOLF_SOC,
+)
+from repro.pulp.assembler import CORE_ID_REG
+
+SCRATCH = L1_BASE + 4096
+SCRATCH_WORDS = 64
+
+
+class ProgramFuzzer:
+    """Structured random programs that always terminate."""
+
+    ALU3 = ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+            "slt", "sltu", "mul", "mulh")
+    ALUI = ("addi", "andi", "ori", "xori", "slli", "srli", "srai",
+            "slti", "sltiu")
+
+    def __init__(self, profile, rng):
+        self.profile = profile
+        self.rng = rng
+        self.asm = Assembler(profile)
+        self.pool = [self.asm.reg(f"g{i}") for i in range(8)]
+        self.base = self.asm.reg("mbase")
+        self.counters = [self.asm.reg(f"c{i}") for i in range(3)]
+        self.label_counter = 0
+
+    def label(self, stem):
+        self.label_counter += 1
+        return f"{stem}_{self.label_counter}"
+
+    def pick(self, seq):
+        return seq[int(self.rng.integers(0, len(seq)))]
+
+    def reg(self):
+        return self.pick(self.pool)
+
+    def emit_alu(self, count=None):
+        asm, rng = self.asm, self.rng
+        count = count or int(rng.integers(1, 6))
+        for _ in range(count):
+            kind = int(rng.integers(0, 4))
+            if kind == 0:
+                asm.emit(
+                    self.pick(self.ALU3),
+                    rd=self.reg(), ra=self.reg(), rb=self.reg(),
+                )
+            elif kind == 1:
+                asm.emit(
+                    self.pick(self.ALUI),
+                    rd=self.reg(), ra=self.reg(),
+                    imm=int(rng.integers(-64, 64)),
+                )
+            elif kind == 2:
+                asm.li(self.reg(), int(rng.integers(0, 2**32)))
+            else:
+                pos = int(rng.integers(0, 28))
+                width = int(rng.integers(1, 33 - pos))
+                if self.profile.has_bitmanip:
+                    op = self.pick(("p.extractu", "p.insert", "p.cnt"))
+                    if op == "p.cnt":
+                        asm.popcount(self.reg(), self.reg())
+                    else:
+                        asm.emit(
+                            op, rd=self.reg(), ra=self.reg(),
+                            imm=pos, imm2=width,
+                        )
+                elif self.profile.has_bitfield:
+                    op = self.pick(("ubfx", "bfi"))
+                    asm.emit(
+                        op, rd=self.reg(), ra=self.reg(),
+                        imm=pos, imm2=width,
+                    )
+                else:
+                    asm.mv(self.reg(), CORE_ID_REG)
+
+    def emit_mem(self):
+        asm, rng = self.asm, self.rng
+        for _ in range(int(rng.integers(1, 5))):
+            offset = int(rng.integers(0, SCRATCH_WORDS)) * 4
+            op = self.pick(("w", "w", "h", "b"))
+            if op == "w":
+                asm.sw(self.reg(), self.base, offset)
+                asm.lw(self.reg(), self.base, offset)
+            elif op == "h":
+                asm.emit("sh", rd=self.reg(), ra=self.base, imm=offset)
+                asm.emit("lhu", rd=self.reg(), ra=self.base, imm=offset)
+            else:
+                asm.emit("sb", rd=self.reg(), ra=self.base, imm=offset)
+                asm.emit("lbu", rd=self.reg(), ra=self.base, imm=offset)
+
+    def emit_postinc(self):
+        asm, rng = self.asm, self.rng
+        p = self.counters[2]
+        asm.mv(p, self.base)
+        for _ in range(int(rng.integers(1, 5))):
+            if rng.integers(0, 2):
+                asm.lw_postinc(self.reg(), p, 4)
+            else:
+                asm.sw_postinc(self.reg(), p, 4)
+
+    def emit_branch_loop(self, allow_inner=True):
+        asm, rng = self.asm, self.rng
+        i, n = self.counters[0], self.counters[1]
+        head = self.label("head")
+        asm.li(i, 0)
+        asm.li(n, int(rng.integers(1, 12)))
+        asm.label(head)
+        self.emit_alu(count=int(rng.integers(1, 4)))
+        if allow_inner and rng.integers(0, 3) == 0:
+            p = self.counters[2]
+            inner = self.label("inner")
+            asm.mv(p, self.base)
+            asm.addi(p, p, int(rng.integers(0, 16)) * 4)
+            asm.label(inner)
+            asm.lw_postinc(self.reg(), p, 4) if (
+                self.profile.has_postincrement
+            ) else asm.lw(self.reg(), p, 0)
+            if not self.profile.has_postincrement:
+                asm.addi(p, p, 4)
+            t = self.reg()
+            asm.li(t, SCRATCH + 6 * 4)
+            asm.bltu(p, t, inner)
+        asm.addi(i, i, 1)
+        asm.bltu(i, n, head)
+
+    def emit_rmw_loop(self):
+        """Strided loop with a load and a store at a random relative
+        offset — covers per-lane read-modify-write (vectorizable) and
+        cross-trip memory-carried dependences (must bail exactly)."""
+        asm, rng = self.asm, self.rng
+        i, n, p = self.counters
+        t = self.reg()
+        head = self.label("rmw")
+        store_offset = int(self.pick((0, 0, 4, -4, 8)))
+        asm.li(i, 0)
+        asm.li(n, int(rng.integers(2, 10)))
+        asm.mv(p, self.base)
+        if store_offset < 0:
+            asm.addi(p, p, -store_offset)
+        asm.label(head)
+        asm.lw(t, p, 0)
+        asm.emit(
+            self.pick(("addi", "xori", "slli")),
+            rd=t, ra=t, imm=int(rng.integers(1, 4)),
+        )
+        asm.sw(t, p, store_offset)
+        asm.addi(p, p, 4)
+        asm.addi(i, i, 1)
+        asm.bltu(i, n, head)
+
+    def emit_hw_loop(self):
+        asm, rng = self.asm, self.rng
+        n = self.counters[0]
+        end = self.label("hwend")
+        trips = int(rng.integers(0, 10))
+        asm.li(n, trips)
+        asm.hw_loop(n, end)
+        self.emit_alu(count=int(rng.integers(1, 4)))
+        if rng.integers(0, 2):
+            # second nesting level
+            m = self.counters[1]
+            inner_end = self.label("hwinner")
+            asm.li(m, int(rng.integers(1, 6)))
+            asm.hw_loop(m, inner_end)
+            self.emit_alu(count=int(rng.integers(1, 3)))
+            asm.label(inner_end)
+            asm.nop()
+        asm.label(end)
+
+    def emit_forward_skip(self):
+        asm = self.asm
+        skip = self.label("skip")
+        branch = self.pick(("beq", "bne", "blt", "bge", "bltu", "bgeu"))
+        asm.emit(branch, ra=self.reg(), rb=self.reg(), label=skip)
+        self.emit_alu(count=2)
+        asm.label(skip)
+
+    def emit_call(self):
+        asm = self.asm
+        # jal to a forward "subroutine" that returns via jr.
+        over = self.label("over")
+        sub = self.label("sub")
+        link = self.counters[2]
+        asm.emit("jal", rd=link, label=sub)
+        asm.emit("j", label=over)
+        asm.label(sub)
+        self.emit_alu(count=2)
+        asm.emit("jr", ra=link)
+        asm.label(over)
+
+    def emit_dma(self):
+        asm = self.asm
+        src, dst, size = self.counters
+        asm.li(src, L2_BASE + 64)
+        asm.li(dst, SCRATCH + SCRATCH_WORDS * 4)
+        asm.li(size, int(self.rng.integers(1, 65)))
+        asm.dma_copy(src, dst, size)
+        if self.rng.integers(0, 2):
+            self.emit_alu(count=2)
+        asm.dma_wait()
+
+    def build(self, n_segments=None):
+        asm, rng = self.asm, self.rng
+        asm.li(self.base, SCRATCH)
+        for reg in self.pool:
+            asm.li(reg, int(rng.integers(0, 2**32)))
+        emitters = [
+            self.emit_alu, self.emit_alu, self.emit_mem,
+            self.emit_branch_loop, self.emit_rmw_loop,
+            self.emit_forward_skip, self.emit_call, self.emit_dma,
+        ]
+        if self.profile.has_hw_loops:
+            emitters.append(self.emit_hw_loop)
+            emitters.append(self.emit_hw_loop)
+        if self.profile.has_postincrement:
+            emitters.append(self.emit_postinc)
+        n_segments = n_segments or int(rng.integers(3, 9))
+        for index in range(n_segments):
+            self.pick(emitters)()
+            if index and rng.integers(0, 4) == 0:
+                asm.barrier()
+        asm.halt()
+        return asm.build()
+
+
+def run_and_snapshot(profile, program, engine, n_cores, l2_seed):
+    cluster = Cluster(profile, n_cores, engine=engine)
+    cluster.memory.write_bytes(L2_BASE, l2_seed)
+    result = cluster.run(program)
+    return (
+        result,
+        [list(core.regs) for core in cluster.cores],
+        [core.cycles for core in cluster.cores],
+        [core.instr_count for core in cluster.cores],
+        cluster.memory.read_bytes(L1_BASE, 8192),
+        cluster.memory.read_bytes(L2_BASE, 1024),
+    )
+
+
+@pytest.mark.parametrize(
+    "profile,n_cores",
+    [(WOLF, 1), (WOLF, 4), (PULPV3, 1), (PULPV3, 2), (CORTEX_M4, 1)],
+    ids=["wolf1", "wolf4", "pulpv3_1", "pulpv3_2", "m4"],
+)
+def test_fuzz_interp_vs_fast(profile, n_cores):
+    rng = np.random.default_rng(0xC0FFEE + n_cores)
+    l2_seed = rng.integers(0, 256, size=1024, dtype=np.uint8).tobytes()
+    for round_index in range(30):
+        program = ProgramFuzzer(profile, rng).build()
+        interp = run_and_snapshot(
+            profile, program, "interp", n_cores, l2_seed
+        )
+        fast = run_and_snapshot(profile, program, "fast", n_cores, l2_seed)
+        assert interp == fast, (
+            f"engine divergence on fuzz round {round_index}:\n"
+            f"{program.listing()}"
+        )
+
+
+# -- kernel matrix ----------------------------------------------------------
+
+KERNEL_CONFIGS = [
+    ("pulpv3_1", PULPV3_SOC, 1, False, dict()),
+    ("pulpv3_4", PULPV3_SOC, 4, False, dict()),
+    ("wolf_1", WOLF_SOC, 1, False, dict()),
+    ("wolf_1_bi", WOLF_SOC, 1, True, dict()),
+    ("wolf_8_bi", WOLF_SOC, 8, True, dict()),
+    ("m4", CORTEX_M4_SOC, 1, False, dict()),
+    ("wolf_8_ngram", WOLF_SOC, 8, True, dict(ngram=3, window=4)),
+    ("pulpv3_4_ngram", PULPV3_SOC, 4, False, dict(ngram=2, window=3)),
+    ("m4_carry_save", CORTEX_M4_SOC, 1, False, dict(n_channels=8)),
+    ("wolf_8_memory", WOLF_SOC, 8, False, dict(strategy="memory")),
+]
+
+
+@pytest.mark.parametrize(
+    "key,soc,n_cores,builtins,overrides",
+    KERNEL_CONFIGS,
+    ids=[cfg[0] for cfg in KERNEL_CONFIGS],
+)
+def test_kernel_chain_differential(key, soc, n_cores, builtins, overrides):
+    """Every kernel x profile x core-count: the fast path must match the
+    oracle bit-for-bit (labels, distances) and cycle-for-cycle
+    (ClusterRunResult equality, including per-core breakdowns)."""
+    overrides = dict(overrides)
+    strategy = overrides.pop("strategy", "auto")
+    dims = ChainDims(
+        dim=992,
+        n_channels=overrides.pop("n_channels", 4),
+        n_levels=10,
+        n_classes=4,
+        ngram=overrides.pop("ngram", 1),
+        window=overrides.pop("window", 5),
+    )
+    assert not overrides
+    rng = np.random.default_rng(17)
+    im = rng.integers(
+        0, 2**32, size=(dims.n_channels, dims.n_words), dtype=np.uint32
+    )
+    cim = rng.integers(
+        0, 2**32, size=(dims.n_levels, dims.n_words), dtype=np.uint32
+    )
+    am = rng.integers(
+        0, 2**32, size=(dims.n_classes, dims.n_words), dtype=np.uint32
+    )
+    levels = rng.integers(
+        0, dims.n_levels, size=(dims.n_samples, dims.n_channels)
+    )
+
+    results = {}
+    for engine in ("interp", "fast"):
+        sim = HDChainSimulator(
+            ChainConfig(
+                soc=soc,
+                n_cores=n_cores,
+                dims=dims,
+                use_builtins=builtins,
+                strategy=strategy,
+                engine=engine,
+            )
+        )
+        sim.load_model(im, cim, am)
+        chain = sim.run_window_levels(levels)
+        results[engine] = (chain, sim.read_query())
+
+    interp_chain, interp_query = results["interp"]
+    fast_chain, fast_query = results["fast"]
+    assert fast_chain.label_index == interp_chain.label_index
+    assert np.array_equal(fast_chain.distances, interp_chain.distances)
+    assert np.array_equal(fast_query, interp_query)
+    assert fast_chain.encode_run == interp_chain.encode_run
+    assert fast_chain.am_run == interp_chain.am_run
+    assert fast_chain.total_cycles == interp_chain.total_cycles
+
+
+def test_fast_path_is_actually_faster():
+    """Wall-clock sanity: one full-size PULPv3 window must run several
+    times faster on the fast path (the full Table 3 suite measures
+    >10x; this asserts a conservative 2x so CI noise cannot flake)."""
+    import time
+
+    dims = ChainDims(
+        dim=10_000, n_channels=4, n_levels=22, n_classes=5, ngram=1,
+        window=5,
+    )
+    rng = np.random.default_rng(11)
+    im = rng.integers(0, 2**32, size=(4, dims.n_words), dtype=np.uint32)
+    cim = rng.integers(0, 2**32, size=(22, dims.n_words), dtype=np.uint32)
+    am = rng.integers(0, 2**32, size=(5, dims.n_words), dtype=np.uint32)
+    levels = rng.integers(0, 22, size=(dims.n_samples, 4))
+
+    timings = {}
+    for engine in ("interp", "fast"):
+        sim = HDChainSimulator(
+            ChainConfig(
+                soc=PULPV3_SOC, n_cores=1, dims=dims, engine=engine
+            )
+        )
+        sim.load_model(im, cim, am)
+        start = time.perf_counter()
+        sim.run_window_levels(levels)
+        timings[engine] = time.perf_counter() - start
+    assert timings["fast"] * 2 < timings["interp"], timings
