@@ -12,29 +12,48 @@ import pytest
 
 from benchmarks.conftest import publish
 from repro.experiments import table3
+from repro.pulp import fastpath
 
 
 @pytest.fixture(scope="module")
 def engine_timings():
     timings = {}
     results = {}
+    telemetry = None
     for engine in ("interp", "fast"):
+        if engine == "fast":
+            fastpath.reset_fastpath_telemetry()
         start = time.perf_counter()
         results[engine] = table3.run_table3(engine=engine)
         timings[engine] = time.perf_counter() - start
+        if engine == "fast":
+            telemetry = fastpath.fastpath_telemetry()
     ratio = timings["interp"] / timings["fast"]
     lines = [
         "ISS engine comparison - full Table 3 (5 configs, 10,000-D)",
         f"  interpreter : {timings['interp'] * 1e3:9.1f} ms",
         f"  fast path   : {timings['fast'] * 1e3:9.1f} ms",
         f"  speed-up    : {ratio:9.1f} x",
+        "  fast-path plan telemetry:",
+        f"    engagements : {telemetry.total_engagements} vectorized "
+        f"loop runs over {len(telemetry.engaged)} plan sites "
+        f"({telemetry.total_trips} trips)",
+        f"    bails       : {telemetry.total_bails}",
     ]
+    for reason, count in sorted(
+        telemetry.bails.items(), key=lambda kv: -kv[1]
+    )[:5]:
+        lines.append(f"      {reason:<22s}: {count}")
+    for reason, count in sorted(
+        telemetry.compile_rejects.items(), key=lambda kv: -kv[1]
+    )[:5]:
+        lines.append(f"      reject {reason:<15s}: {count}")
     publish("iss_engine", "\n".join(lines))
-    return timings, results
+    return timings, results, telemetry
 
 
 def test_engines_cycle_identical(engine_timings):
-    _, results = engine_timings
+    _, results, _ = engine_timings
     for interp_col, fast_col in zip(
         results["interp"].columns, results["fast"].columns
     ):
@@ -44,5 +63,14 @@ def test_engines_cycle_identical(engine_timings):
 
 def test_fast_path_speedup_target(engine_timings):
     """The PR's acceptance criterion: >= 10x on the full Table 3 run."""
-    timings, _ = engine_timings
+    timings, _, _ = engine_timings
     assert timings["interp"] / timings["fast"] >= 10.0, timings
+
+
+def test_fast_path_engages_on_kernels(engine_timings):
+    """The kernels' word loops must actually run through the vector path
+    (a kernel-emitter regression that silently de-vectorizes shows up
+    here, not just as wall-clock drift)."""
+    _, _, telemetry = engine_timings
+    assert telemetry.total_engagements > 0
+    assert telemetry.total_trips > telemetry.total_engagements

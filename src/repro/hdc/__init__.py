@@ -22,6 +22,9 @@ Public surface:
 * :class:`~repro.hdc.classifier.HDClassifier` — end-to-end fit/predict.
 * :mod:`~repro.hdc.reference` — the unpacked golden model used for
   bit-exact validation (the paper's MATLAB reference).
+* :mod:`~repro.hdc.serialize` — the versioned model store: bit-exact
+  save/load of trained models so serving (:mod:`repro.stream`) never
+  retrains.
 """
 
 from .associative_memory import (
@@ -45,6 +48,14 @@ from .robustness import (
     stuck_at,
 )
 from .ops import bind, bundle, bundle_counts, hamming, permute, similarity
+from .serialize import (
+    MODEL_MAGIC,
+    MODEL_VERSION,
+    ModelFormatError,
+    load_model,
+    model_info,
+    save_model,
+)
 
 __all__ = [
     "AssociativeMemory",
@@ -57,6 +68,9 @@ __all__ = [
     "HDClassifierConfig",
     "HypervectorArray",
     "ItemMemory",
+    "MODEL_MAGIC",
+    "MODEL_VERSION",
+    "ModelFormatError",
     "OnlineHDClassifier",
     "PrototypeAccumulator",
     "SpatialEncoder",
@@ -70,8 +84,11 @@ __all__ = [
     "bundle",
     "bundle_counts",
     "hamming",
+    "load_model",
+    "model_info",
     "permute",
     "quantize_samples",
+    "save_model",
     "similarity",
     "stuck_at",
 ]

@@ -53,6 +53,56 @@ class BatchHDClassifier:
         self._labels: List[Hashable] = []
         self._proto_words: np.ndarray | None = None
 
+    @classmethod
+    def from_state(
+        cls,
+        config: HDClassifierConfig,
+        item_memory: ItemMemory,
+        continuous_memory: ContinuousItemMemory,
+        labels: Sequence[Hashable],
+        prototype_words: np.ndarray,
+    ) -> "BatchHDClassifier":
+        """Rebuild a fitted classifier from stored model state.
+
+        The model-store load path (:mod:`repro.hdc.serialize`): the seed
+        memories and AM prototypes are adopted bit-for-bit — no RNG draw,
+        no retraining — so a served model predicts exactly like the
+        instance that was saved.
+        """
+        self = cls.__new__(cls)
+        self.config = config
+        self._encoder = WindowEncoder(
+            SpatialEncoder(
+                item_memory,
+                continuous_memory,
+                config.signal_lo,
+                config.signal_hi,
+            ),
+            TemporalEncoder(config.ngram_size),
+        )
+        self._labels = list(labels)
+        protos = np.ascontiguousarray(prototype_words, dtype=np.uint64)
+        if protos.ndim != 2 or protos.shape != (
+            len(self._labels),
+            engine.words_for_dim(config.dim),
+        ):
+            raise ValueError(
+                f"prototype matrix {protos.shape} does not match "
+                f"{len(self._labels)} classes at dimension {config.dim}"
+            )
+        from . import bitpack
+
+        if not bitpack.pad_bits_are_zero(
+            protos, config.dim, bitpack.WORD_BITS64
+        ):
+            # Dirty pads would silently inflate every packed Hamming
+            # distance in AM search; reject like from_words64 does.
+            raise ValueError(
+                "prototype pad bits above the dimension must be zero"
+            )
+        self._proto_words = protos
+        return self
+
     @property
     def encoder(self) -> WindowEncoder:
         """The shared window encoder (same seeds as HDClassifier)."""

@@ -56,6 +56,44 @@ class ItemMemory:
             raise ValueError(f"need at least one channel, got {n_channels}")
         return cls(range(n_channels), dim, rng)
 
+    @classmethod
+    def from_words64(
+        cls,
+        words: np.ndarray,
+        dim: int,
+        symbols: Iterable[Hashable] | None = None,
+    ) -> "ItemMemory":
+        """Rebuild an IM from a packed ``(n_symbols, n_words)`` uint64 matrix.
+
+        The model-store load path: no RNG is involved, the rows are
+        adopted bit-for-bit (pad bits must be zero).  ``symbols`` defaults
+        to integer channel indices, matching :meth:`for_channels`.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError(
+                f"expected an (n_symbols, n_words) matrix, got {words.shape}"
+            )
+        syms = list(symbols) if symbols is not None else list(
+            range(words.shape[0])
+        )
+        if len(syms) != words.shape[0]:
+            raise ValueError(
+                f"{words.shape[0]} rows but {len(syms)} symbols"
+            )
+        self = cls.__new__(cls)
+        self._dim = int(dim)
+        self._vectors = {}
+        for symbol, row in zip(syms, words):
+            if symbol in self._vectors:
+                raise ValueError(f"duplicate symbol {symbol!r} in item memory")
+            self._vectors[symbol] = BinaryHypervector.from_words64(
+                row.copy(), dim
+            )
+        if not self._vectors:
+            raise ValueError("item memory needs at least one symbol")
+        return self
+
     @property
     def dim(self) -> int:
         """Hypervector dimensionality."""
@@ -124,6 +162,31 @@ class ContinuousItemMemory:
             self._vectors.append(
                 BinaryHypervector(bitpack.pack_bits(bits), dim)
             )
+
+    @classmethod
+    def from_words64(cls, words: np.ndarray, dim: int) -> "ContinuousItemMemory":
+        """Rebuild a CIM from a packed ``(n_levels, n_words)`` uint64 matrix.
+
+        The model-store load path: the interpolated level vectors are
+        adopted bit-for-bit rather than regenerated from a seed, so a
+        served model can never drift from the bits it was trained with.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError(
+                f"expected an (n_levels, n_words) matrix, got {words.shape}"
+            )
+        if words.shape[0] < 2:
+            raise ValueError(
+                f"CIM needs at least 2 levels, got {words.shape[0]}"
+            )
+        self = cls.__new__(cls)
+        self._dim = int(dim)
+        self._n_levels = int(words.shape[0])
+        self._vectors = [
+            BinaryHypervector.from_words64(row.copy(), dim) for row in words
+        ]
+        return self
 
     @property
     def dim(self) -> int:

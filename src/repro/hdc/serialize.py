@@ -1,0 +1,232 @@
+"""Versioned model store: bit-exact save/load of trained HD models.
+
+Serving never retrains.  A trained :class:`~repro.hdc.batch.BatchHDClassifier`
+is fully determined by its seed memories (IM, CIM), its AM prototype matrix,
+its class labels, and the hyper-parameter config — this module persists
+exactly that state to a single ``.npz`` file and rebuilds a classifier from
+it without drawing a single RNG sample.
+
+Format (``MODEL_MAGIC`` / ``MODEL_VERSION``):
+
+* all hypervector matrices are stored in the **paper's packed uint32
+  layout** (:mod:`repro.hdc.bitpack`, 32 LSB-first components per
+  little-endian word).  That layout is the ISS kernel ABI and is
+  word-size- and numpy-version-stable, so a store written on one machine
+  loads bit-identically on any other; the engine's uint64 widening is a
+  lossless byte reinterpretation applied on load.
+* config scalars are stored as 0-d arrays; labels as a plain int or
+  unicode array (arbitrary hashables are rejected at save time — a model
+  store is an interchange format, not a pickle).
+* loading validates magic, version, array shapes, and the pad-bit
+  invariant before any vector is adopted, and raises
+  :class:`ModelFormatError` on any mismatch.
+
+Round-trip bit-exactness, version rejection, and popcount-path
+equivalence are pinned by ``tests/hdc/test_serialize.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Hashable, List, Union
+
+import numpy as np
+
+from . import bitpack
+from .batch import BatchHDClassifier
+from .classifier import HDClassifierConfig
+from .item_memory import ContinuousItemMemory, ItemMemory
+
+MODEL_MAGIC = "repro-hdc-model"
+"""File-format identifier stored in every model file."""
+
+MODEL_VERSION = 1
+"""Current (and only) supported format version."""
+
+_CONFIG_INT_FIELDS = ("dim", "n_channels", "n_levels", "ngram_size", "seed")
+_CONFIG_FLOAT_FIELDS = ("signal_lo", "signal_hi")
+_MATRIX_KEYS = ("im_u32", "cim_u32", "am_u32")
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model file is malformed, truncated, or incompatible."""
+
+
+def _normalize_path(path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """``np.savez`` appends ``.npz`` when missing; do it up front so the
+    path we return is the path that exists."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def save_model(
+    path: Union[str, pathlib.Path], classifier: BatchHDClassifier
+) -> pathlib.Path:
+    """Persist a fitted classifier to ``path`` (a ``.npz`` model file).
+
+    Returns the path actually written.  Raises ``RuntimeError`` when the
+    classifier has not been fitted and :class:`ModelFormatError` when the
+    labels are not serializable (ints or strings only).
+    """
+    path = _normalize_path(path)
+    config = classifier.config
+    am_u32 = classifier.am_matrix()  # raises RuntimeError if unfitted
+    # Type-check the labels *before* numpy gets a chance to coerce them:
+    # np.asarray([0, "rest"]) silently stringifies the int, which would
+    # make the loaded model return different label objects than the
+    # saved one.  The store is homogeneous ints or homogeneous strings.
+    label_list = list(classifier.labels)
+    if all(isinstance(label, str) for label in label_list):
+        labels = np.asarray(label_list)
+    elif all(
+        isinstance(label, (int, np.integer))
+        and not isinstance(label, (bool, np.bool_))
+        for label in label_list
+    ):
+        labels = np.asarray(label_list, dtype=np.int64)
+    else:
+        raise ModelFormatError(
+            f"model-store labels must be all ints or all strings, got "
+            f"{classifier.labels!r}"
+        )
+    spatial = classifier.encoder.spatial
+    payload = {
+        "magic": np.array(MODEL_MAGIC),
+        "version": np.array(MODEL_VERSION, dtype=np.int64),
+        "im_u32": spatial.item_memory.as_matrix(),
+        "cim_u32": spatial.continuous_memory.as_matrix(),
+        "am_u32": am_u32,
+        "labels": labels,
+    }
+    for name in _CONFIG_INT_FIELDS:
+        payload[name] = np.array(getattr(config, name), dtype=np.int64)
+    for name in _CONFIG_FLOAT_FIELDS:
+        payload[name] = np.array(getattr(config, name), dtype=np.float64)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez(fh, **payload)
+    return path
+
+
+def _require(archive, key: str) -> np.ndarray:
+    try:
+        return archive[key]
+    except KeyError:
+        raise ModelFormatError(
+            f"model file is missing required key {key!r}"
+        ) from None
+
+
+def _check_matrix(
+    words: np.ndarray, key: str, n_rows: int, dim: int
+) -> np.ndarray:
+    """Validate one stored uint32 matrix and widen it to uint64 rows."""
+    if words.dtype != np.uint32:
+        raise ModelFormatError(
+            f"{key} must be uint32, got {words.dtype}"
+        )
+    expected = (n_rows, bitpack.words_for_dim(dim))
+    if words.shape != expected:
+        raise ModelFormatError(
+            f"{key} has shape {words.shape}, expected {expected}"
+        )
+    if not bitpack.pad_bits_are_zero(words, dim):
+        raise ModelFormatError(
+            f"{key} violates the pad-bit invariant for dimension {dim}"
+        )
+    return bitpack.u32_to_u64(words, dim)
+
+
+def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
+    """Load a model file into a ready-to-serve :class:`BatchHDClassifier`.
+
+    The rebuilt classifier predicts bit-identically to the instance that
+    was saved: seed memories, prototypes, and label order are adopted
+    verbatim and no RNG is involved.
+    """
+    path = pathlib.Path(path)
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise ModelFormatError(f"cannot read model file {path}: {exc}")
+    with archive:
+        magic = _require(archive, "magic")
+        if str(magic) != MODEL_MAGIC:
+            raise ModelFormatError(
+                f"{path} is not a {MODEL_MAGIC} file (magic {magic!r})"
+            )
+        version = int(_require(archive, "version"))
+        if version != MODEL_VERSION:
+            raise ModelFormatError(
+                f"unsupported model format version {version} "
+                f"(this build reads version {MODEL_VERSION})"
+            )
+        fields = {}
+        for name in _CONFIG_INT_FIELDS:
+            fields[name] = int(_require(archive, name))
+        for name in _CONFIG_FLOAT_FIELDS:
+            fields[name] = float(_require(archive, name))
+        try:
+            config = HDClassifierConfig(**fields)
+        except ValueError as exc:
+            raise ModelFormatError(f"invalid stored config: {exc}")
+        labels_arr = _require(archive, "labels")
+        if labels_arr.ndim != 1 or labels_arr.dtype.kind not in "iuU":
+            raise ModelFormatError(
+                f"labels must be a 1-D int or string array, got "
+                f"{labels_arr.dtype} shape {labels_arr.shape}"
+            )
+        labels: List[Hashable] = labels_arr.tolist()
+        if len(set(labels)) != len(labels):
+            raise ModelFormatError("duplicate class labels in model file")
+        if not labels:
+            raise ModelFormatError("model file stores zero classes")
+        im64 = _check_matrix(
+            _require(archive, "im_u32"), "im_u32", config.n_channels,
+            config.dim,
+        )
+        cim64 = _check_matrix(
+            _require(archive, "cim_u32"), "cim_u32", config.n_levels,
+            config.dim,
+        )
+        am64 = _check_matrix(
+            _require(archive, "am_u32"), "am_u32", len(labels), config.dim
+        )
+    return BatchHDClassifier.from_state(
+        config,
+        ItemMemory.from_words64(im64, config.dim),
+        ContinuousItemMemory.from_words64(cim64, config.dim),
+        labels,
+        am64,
+    )
+
+
+def model_info(path: Union[str, pathlib.Path]) -> dict:
+    """Cheap header peek: format, version, shape, and classes of a store.
+
+    Used by the streaming CLI to describe a model without rebuilding it.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        magic = str(_require(archive, "magic"))
+        if magic != MODEL_MAGIC:
+            raise ModelFormatError(f"{path} is not a {MODEL_MAGIC} file")
+        version = int(_require(archive, "version"))
+        if version != MODEL_VERSION:
+            raise ModelFormatError(
+                f"unsupported model format version {version} "
+                f"(this build reads version {MODEL_VERSION})"
+            )
+        return {
+            "magic": magic,
+            "version": version,
+            "dim": int(_require(archive, "dim")),
+            "n_channels": int(_require(archive, "n_channels")),
+            "n_levels": int(_require(archive, "n_levels")),
+            "ngram_size": int(_require(archive, "ngram_size")),
+            "labels": _require(archive, "labels").tolist(),
+        }

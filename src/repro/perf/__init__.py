@@ -9,15 +9,19 @@ from .latency import (
     required_frequency_mhz,
 )
 from .model import ChainCycleModel, LinearCycleModel
+from .streaming import BatchDevicePerf, DevicePerfModel, device_model
 
 __all__ = [
+    "BatchDevicePerf",
     "ChainCycleModel",
     "DETECTION_LATENCY_MS",
+    "DevicePerfModel",
     "LatencyCheck",
     "LinearCycleModel",
     "calibrate_chain",
     "calibration_dims",
     "check_latency",
     "clear_cache",
+    "device_model",
     "required_frequency_mhz",
 ]

@@ -13,7 +13,15 @@ from .cluster import (
 )
 from .core import Core, ExecutionError
 from .dma import DMAEngine
-from .fastpath import CompiledProgram, FastCore, LoopPlan, compile_program
+from .fastpath import (
+    CompiledProgram,
+    FastCore,
+    FastPathTelemetry,
+    LoopPlan,
+    compile_program,
+    fastpath_telemetry,
+    reset_fastpath_telemetry,
+)
 from .isa import (
     ArchProfile,
     CORTEX_M4,
@@ -58,6 +66,7 @@ __all__ = [
     "ENGINE_ENV_VAR",
     "ExecutionError",
     "FastCore",
+    "FastPathTelemetry",
     "LoopPlan",
     "FLL_POWER_MW",
     "Instr",
@@ -81,10 +90,12 @@ __all__ = [
     "chunk_sizes",
     "compile_program",
     "energy_per_classification_uj",
+    "fastpath_telemetry",
     "frequency_for_latency_mhz",
     "m4_power_mw",
     "min_cluster_voltage",
     "profile_by_name",
+    "reset_fastpath_telemetry",
     "resolve_engine",
     "runtime_costs",
     "soc_by_name",

@@ -183,12 +183,22 @@ class Core:
 
         while True:
             if pc >= n_instrs:
+                self.pc = pc
+                self.cycles = cycles
+                self.instr_count = count
                 raise ExecutionError(
                     f"core {self.core_id} ran off the end of the program"
                 )
             op, rd, ra, rb, imm, imm2, target = decoded[pc]
             count += 1
             if count > cap:
+                # Write back the state of the *executed* instructions so
+                # a runaway program leaves identical observable counts on
+                # both engines (the fast path delegates its final blocks
+                # here for exactly this per-instruction granularity).
+                self.pc = pc
+                self.cycles = cycles
+                self.instr_count = count - 1
                 raise ExecutionError(
                     f"core {self.core_id} exceeded {cap} instructions "
                     f"(infinite loop?)"

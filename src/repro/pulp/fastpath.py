@@ -40,6 +40,7 @@ instruction counts between the two engines.
 from __future__ import annotations
 
 import bisect
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -331,7 +332,91 @@ class CompiledBlock:
 
 
 class _Bail(Exception):
-    """Internal: this loop cannot be vectorized (for this run)."""
+    """Internal: this loop cannot be vectorized (for this run).
+
+    ``reason`` is a short stable tag recorded by the telemetry counters
+    (see :func:`fastpath_telemetry`); the default covers the compile-time
+    structure bails where finer detail buys nothing.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = "irregular-structure"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Fast-path telemetry (debug API).
+# ---------------------------------------------------------------------------
+#
+# Lightweight process-wide counters — a handful of integer increments per
+# plan engagement or bail, nothing on the per-instruction path — that make
+# kernel-emitter perf regressions visible: a restructured emitter that
+# stops vectorizing shows up as a bail reason, not just as a silent
+# wall-clock drift.  ``benchmarks/bench_iss_engine.py`` publishes them
+# next to the engine speed-up.
+
+_TELEMETRY = {
+    # (plan kind, plan head pc) -> successful vector engagements
+    "engaged": Counter(),
+    # (plan kind, plan head pc) -> total trips executed vectorized
+    "trips": Counter(),
+    # bail reason -> count (runtime bails + trip-solver failures)
+    "bails": Counter(),
+    # (plan kind, plan head pc, reason) -> count
+    "plan_bails": Counter(),
+    # reason -> loops rejected at compile time (no plan built)
+    "compile_rejects": Counter(),
+}
+
+
+@dataclass(frozen=True)
+class FastPathTelemetry:
+    """Immutable snapshot of the fast path's engagement counters."""
+
+    engaged: Dict[tuple, int]
+    trips: Dict[tuple, int]
+    bails: Dict[str, int]
+    plan_bails: Dict[tuple, int]
+    compile_rejects: Dict[str, int]
+
+    @property
+    def total_engagements(self) -> int:
+        """Vectorized loop executions across all plans."""
+        return sum(self.engaged.values())
+
+    @property
+    def total_trips(self) -> int:
+        """Loop trips executed through the vector path."""
+        return sum(self.trips.values())
+
+    @property
+    def total_bails(self) -> int:
+        """Vector attempts abandoned to the block path."""
+        return sum(self.bails.values())
+
+
+def fastpath_telemetry() -> FastPathTelemetry:
+    """Snapshot the process-wide fast-path counters."""
+    return FastPathTelemetry(
+        engaged=dict(_TELEMETRY["engaged"]),
+        trips=dict(_TELEMETRY["trips"]),
+        bails=dict(_TELEMETRY["bails"]),
+        plan_bails=dict(_TELEMETRY["plan_bails"]),
+        compile_rejects=dict(_TELEMETRY["compile_rejects"]),
+    )
+
+
+def reset_fastpath_telemetry() -> None:
+    """Zero all fast-path counters (start of a measured run)."""
+    for counter in _TELEMETRY.values():
+        counter.clear()
+
+
+def _record_bail(plan: "LoopPlan", reason: str) -> None:
+    _TELEMETRY["bails"][reason] += 1
+    _TELEMETRY["plan_bails"][(plan.kind, plan.head, reason)] += 1
 
 
 @dataclass(frozen=True)
@@ -556,7 +641,7 @@ def _classify_region(decoded, units, branch_pc: Optional[int]):
                 src = rb if ra == reg else ra
                 reduction_pcs[pc] = (reg, op, src)
                 continue
-        raise _Bail
+        raise _Bail("carried-register")
     # Outer-branch condition registers must be solvable for a trip count.
     if branch_pc is not None:
         ins = decoded[branch_pc]
@@ -564,7 +649,7 @@ def _classify_region(decoded, units, branch_pc: Optional[int]):
         red = frozenset(r for r, _, _ in reduction_pcs.values())
         for reg in (ra, rb):
             if reg in red:
-                raise _Bail
+                raise _Bail("reduction-in-condition")
     return inductions, reduction_pcs, frozenset(write_sites)
 
 
@@ -779,7 +864,7 @@ def _build_plan(decoded, kind, head, lo, hi, exit_pc, branch_pc, profile):
     )
     depth = _hw_depth(units) + (1 if kind == "hw" else 0)
     if depth > 2:
-        raise _Bail  # the core supports two hardware-loop levels
+        raise _Bail("loop-depth")  # the core supports two hw-loop levels
     return LoopPlan(
         kind=kind,
         head=head,
@@ -958,7 +1043,7 @@ class _VectorRun:
         """A load (or new store) range may not touch a deferred store."""
         for s_lo, s_hi, _, _, _ in self.stores:
             if lo <= s_hi and s_lo <= hi:
-                raise _Bail
+                raise _Bail("store-overlap")
 
     def _check_no_load_overlap(self, lo, hi, addr, width) -> None:
         """A new store range may not touch any already-gathered load.
@@ -987,7 +1072,7 @@ class _VectorRun:
                     and np.array_equal(addr, l_addr)
                 ):
                     continue
-                raise _Bail
+                raise _Bail("load-store-overlap")
 
     def _load(self, addr, width: int):
         memory = self.memory
@@ -997,16 +1082,16 @@ class _VectorRun:
             self._check_no_store_overlap(lo, hi)
             gathered = memory.gather(addr, width)
             if gathered is None:
-                raise _Bail
+                raise _Bail("gather-span")
             values, is_l1 = gathered
         else:
             addr = int(addr)
             lo, hi = addr, addr + width - 1
             if width > 1 and addr % width:
-                raise _Bail
+                raise _Bail("unaligned-access")
             located = memory.locate_bulk(lo, hi)
             if located is None:
-                raise _Bail
+                raise _Bail("region-span")
             is_l1 = located[0]
             self._check_no_store_overlap(lo, hi)
             values = int.from_bytes(
@@ -1026,11 +1111,12 @@ class _VectorRun:
             hi = int(addr.max()) + width - 1
             located = memory.locate_bulk(lo, hi)
             if located is None:
-                raise _Bail
+                raise _Bail("region-span")
             if width > 1 and (addr % width).any():
-                raise _Bail
+                raise _Bail("unaligned-access")
             if np.unique(addr).size != addr.size:
-                raise _Bail  # duplicate lane addresses: order-dependent
+                # Duplicate lane addresses: order-dependent.
+                raise _Bail("duplicate-store-lanes")
             is_l1 = located[0]
             if not isinstance(value, np.ndarray):
                 value = np.full(self.trips, value, dtype=np.uint64)
@@ -1038,10 +1124,10 @@ class _VectorRun:
             addr = int(addr)
             lo, hi = addr, addr + width - 1
             if width > 1 and addr % width:
-                raise _Bail
+                raise _Bail("unaligned-access")
             located = memory.locate_bulk(lo, hi)
             if located is None:
-                raise _Bail
+                raise _Bail("region-span")
             is_l1 = located[0]
             if isinstance(value, np.ndarray):
                 value = int(value[-1])  # last lane wins on one address
@@ -1064,7 +1150,7 @@ class _VectorRun:
                 closure, count, cost = node[1], node[2], node[3]
                 self.n_instr += count * T
                 if self.n_instr > self.budget:
-                    raise _Bail
+                    raise _Bail("instruction-cap")
                 self.base_cycles += cost * T
                 if closure is not None:
                     closure(sym, self._load, self._store, T)
@@ -1088,11 +1174,11 @@ class _VectorRun:
                 while True:
                     passes += 1
                     if passes > MAX_VECTOR_TRIPS:
-                        raise _Bail  # runaway inner loop: go scalar
+                        raise _Bail("runaway-inner-loop")  # go scalar
                     self.run_nodes(body)
                     self.n_instr += T
                     if self.n_instr > self.budget:
-                        raise _Bail
+                        raise _Bail("instruction-cap")
                     cond = _cond_v(
                         op,
                         sym[ra] if ra else 0,
@@ -1104,7 +1190,8 @@ class _VectorRun:
                         elif not cond.any():
                             branch_taken = False
                         else:
-                            raise _Bail  # lane-divergent control flow
+                            # Lane-divergent control flow.
+                            raise _Bail("divergent-branch")
                     else:
                         branch_taken = bool(cond)
                     if branch_taken:
@@ -1119,13 +1206,13 @@ class _VectorRun:
                 trips_v = sym[trip_reg] if trip_reg else 0
                 if isinstance(trips_v, np.ndarray):
                     if not (trips_v == trips_v[0]).all():
-                        raise _Bail  # lane-divergent trip count
+                        raise _Bail("divergent-trip-count")
                     trips_v = trips_v[0]
                 inner = int(trips_v)
                 # Every pass adds at least T to n_instr, so this
                 # pre-guard bounds the unroll work by the instruction cap.
                 if inner and self.n_instr + inner * T > self.budget:
-                    raise _Bail
+                    raise _Bail("instruction-cap")
                 for _ in range(inner):
                     self.run_nodes(body)
 
@@ -1372,8 +1459,8 @@ def compile_program(
                 hw_plans[pc] = _build_plan(
                     decoded, "hw", pc, pc + 1, end, end, None, profile
                 )
-            except _Bail:
-                pass
+            except _Bail as bail:
+                _TELEMETRY["compile_rejects"][bail.reason] += 1
         elif op in _BRANCH_OPS:
             tgt = ins[6]
             if tgt <= pc:
@@ -1382,7 +1469,8 @@ def compile_program(
                         decoded, "branch", tgt, tgt, pc, pc + 1, pc,
                         profile,
                     )
-                except _Bail:
+                except _Bail as bail:
+                    _TELEMETRY["compile_rejects"][bail.reason] += 1
                     continue
                 if tgt in branch_plans:
                     # Two loops sharing a head: ambiguous, keep neither.
@@ -1456,6 +1544,7 @@ class FastCore(Core):
     def _try_vector(self, plan: LoopPlan, trips: int) -> bool:
         """Vector-execute ``plan``; True on success, False on bail."""
         if trips < 1 or trips > MAX_VECTOR_TRIPS:
+            _record_bail(plan, "trip-count-range")
             return False
         try:
             run = _VectorRun(self, plan, trips)
@@ -1466,10 +1555,14 @@ class FastCore(Core):
                 run.n_instr += trips
                 run.base_cycles += (trips - 1) * taken + not_taken
                 if run.n_instr > run.budget:
+                    _record_bail(plan, "instruction-cap")
                     return False
-        except _Bail:
+        except _Bail as bail:
+            _record_bail(plan, bail.reason)
             return False
         run.commit()
+        _TELEMETRY["engaged"][(plan.kind, plan.head)] += 1
+        _TELEMETRY["trips"][(plan.kind, plan.head)] += trips
         return True
 
     # -- execution ---------------------------------------------------------
@@ -1531,7 +1624,9 @@ class FastCore(Core):
                         regs[rb] if rb else 0,
                         op in (_OP_BLT, _OP_BGE),
                     )
-                if trips is not None and self._try_vector(plan, trips):
+                if trips is None:
+                    _record_bail(plan, "trip-unsolvable")
+                elif self._try_vector(plan, trips):
                     last_pc = plan.branch_pc
                     next_pc = plan.exit_pc
                     if loop_stack:
@@ -1548,13 +1643,21 @@ class FastCore(Core):
                 disabled.add(pc)
 
             block = self._block_at(pc)
+            # Per-instruction cap granularity: when finishing this block
+            # (straight body + terminator) could cross the instruction
+            # cap, hand the rest of the run to the interpreter, which
+            # checks the cap before every instruction.  A runaway program
+            # therefore raises at exactly the same instruction, with the
+            # same registers, memory, cycles, and instruction count as
+            # the oracle (pinned by tests/pulp/test_fastpath.py).
+            needed = block.n_straight + (
+                0 if block.terminator is None else 1
+            )
+            if self.instr_count + needed > cap:
+                self.pc = pc
+                return Core.run(self)
             if block.n_straight:
                 self.instr_count += block.n_straight
-                if self.instr_count > cap:
-                    raise ExecutionError(
-                        f"core {self.core_id} exceeded {cap} instructions "
-                        f"(infinite loop?)"
-                    )
                 closure = block.closure
                 if closure is _LAZY:
                     closure = block.closure = _compile_straight(
@@ -1574,11 +1677,6 @@ class FastCore(Core):
                 op, rd, ra, rb = ins[0], ins[1], ins[2], ins[3]
                 target = ins[6]
                 self.instr_count += 1
-                if self.instr_count > cap:
-                    raise ExecutionError(
-                        f"core {self.core_id} exceeded {cap} instructions "
-                        f"(infinite loop?)"
-                    )
                 if op in _BRANCH_OPS:
                     a = regs[ra]
                     b = regs[rb]

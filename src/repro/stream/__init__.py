@@ -1,0 +1,37 @@
+"""Multi-session streaming inference over the packed HD engine.
+
+The paper's deployment scenario is *continuous* gesture recognition: a
+sensor stream, sliding windows, one decision per 10 ms window on a
+low-power device.  This package is that serving layer, scaled out:
+
+* :class:`~repro.stream.windower.StreamWindower` — ring-buffered
+  incremental windowing, byte-identical to the offline
+  :mod:`repro.emg.windows` slicing for any chunking of the stream;
+* :class:`~repro.stream.session.Session` /
+  :class:`~repro.stream.session.MajorityVoteSmoother` — per-stream state
+  and the paper's temporal smoothing of consecutive decisions;
+* :class:`~repro.stream.scheduler.StreamingService` — the batching
+  scheduler: ready windows from all sessions coalesce into single
+  packed encode + AM-search passes with ``max_batch`` / ``max_wait``
+  backpressure;
+* telemetry — every dispatch reports host wall-clock next to simulated
+  on-device latency/energy via :mod:`repro.perf.streaming`.
+
+Models come from the versioned store (:mod:`repro.hdc.serialize`);
+serving never retrains.  ``python -m repro.stream`` runs a synthetic-EMG
+demo; ``--selftest`` checks streaming/offline parity end to end.
+"""
+
+from .scheduler import BatchReport, StreamConfig, StreamingService
+from .session import Decision, MajorityVoteSmoother, Session
+from .windower import StreamWindower
+
+__all__ = [
+    "BatchReport",
+    "Decision",
+    "MajorityVoteSmoother",
+    "Session",
+    "StreamConfig",
+    "StreamingService",
+    "StreamWindower",
+]

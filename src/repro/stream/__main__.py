@@ -1,0 +1,309 @@
+"""Streaming-service demo CLI.
+
+``python -m repro.stream`` trains (or loads from the model store) a
+per-subject EMG classifier, opens N concurrent sessions, streams the
+subject's trials through them in round-robin chunks, and reports
+throughput, accuracy, batch statistics, and simulated on-device
+latency/energy.
+
+``--selftest`` runs a reduced configuration and *asserts* the subsystem
+invariants end to end — streaming decisions byte-identical to the
+offline batch classifier, model-store round-trip bit-exactness — exiting
+non-zero on any mismatch (wired into CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..emg import EMGDatasetConfig, WindowConfig, generate_subject
+from ..emg.windows import paper_split, windows_from_trials
+from ..hdc import BatchHDClassifier, HDClassifierConfig
+from ..hdc.serialize import load_model, save_model
+from ..perf.streaming import DevicePerfModel, device_model
+from ..pulp.soc import soc_by_name
+from .scheduler import StreamConfig, StreamingService
+
+_DEVICES = {
+    "pulp4": ("pulpv3", 4),
+    "pulp1": ("pulpv3", 1),
+    "wolf8": ("wolf", 8),
+    "m4": ("cortex_m4", 1),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream",
+        description="Multi-session streaming HD inference demo",
+    )
+    parser.add_argument("--sessions", type=int, default=8,
+                        help="concurrent streams (default 8)")
+    parser.add_argument("--dim", type=int, default=10_000,
+                        help="hypervector dimension (default 10000)")
+    parser.add_argument("--subject", type=int, default=0,
+                        help="synthetic subject id (default 0)")
+    parser.add_argument("--repetitions", type=int, default=10,
+                        help="trial repetitions per gesture (default 10)")
+    parser.add_argument("--chunk", type=int, default=25,
+                        help="samples per ingest call (default 25 = 50 ms)")
+    parser.add_argument("--max-batch", type=int, default=256,
+                        help="scheduler batch cap (default 256)")
+    parser.add_argument("--max-wait", type=int, default=8,
+                        help="ticks a ready window may wait (default 8)")
+    parser.add_argument("--smooth", type=int, default=5,
+                        help="majority-vote smoothing length (default 5)")
+    parser.add_argument("--model", type=str, default=None,
+                        help="load the model store instead of training")
+    parser.add_argument("--save-model", type=str, default=None,
+                        help="write the trained model store here")
+    parser.add_argument("--device", choices=[*_DEVICES, "none"],
+                        default="pulp4",
+                        help="simulated device for telemetry (default pulp4)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the CI parity selftest and exit")
+    return parser
+
+
+def _train_model(
+    dim: int, subject_id: int, repetitions: int
+) -> BatchHDClassifier:
+    dataset = EMGDatasetConfig(
+        n_subjects=subject_id + 1, n_repetitions=repetitions
+    )
+    subject = generate_subject(dataset, subject_id)
+    window = WindowConfig()
+    train_trials, _ = paper_split(subject)
+    train_w, train_l = windows_from_trials(train_trials, window)
+    model = BatchHDClassifier(HDClassifierConfig.emg(dim=dim))
+    model.fit(np.asarray(train_w), train_l)
+    return model
+
+
+def _stream_trials(
+    service: StreamingService,
+    trials: Sequence,
+    n_sessions: int,
+    chunk: int,
+) -> dict:
+    """Round-robin the trials' envelopes through ``n_sessions`` streams.
+
+    Session ``s`` streams trials ``s, s + N, s + 2N, ...`` back to back;
+    chunks from all sessions interleave, so batches genuinely multiplex
+    sessions.  Returns ground-truth labels per emitted window.
+    """
+    streams: List[np.ndarray] = []
+    truths: List[List[int]] = []
+    window = service.config.window
+    for s in range(n_sessions):
+        mine = [trials[i] for i in range(s, len(trials), n_sessions)] or [
+            trials[s % len(trials)]
+        ]
+        streams.append(np.concatenate([t.envelope for t in mine]))
+        # Per-window truth follows the offline slicing over the
+        # concatenated stream: windows fall inside one trial except at
+        # seams; label a window by the trial owning its first sample.
+        bounds = np.cumsum([t.envelope.shape[0] for t in mine])
+        start = int(round(window.skip_onset_s * service.config.sample_rate_hz))
+        truth: List[int] = []
+        pos = start
+        while pos + window.slice_samples <= streams[-1].shape[0]:
+            truth.append(mine[int(np.searchsorted(bounds, pos, "right"))]
+                         .gesture)
+            pos += window.stride
+        truths.append(truth)
+        service.open_session(s)
+
+    offsets = [0] * n_sessions
+    t0 = time.perf_counter()
+    live = set(range(n_sessions))
+    while live:
+        for s in sorted(live):
+            stream = streams[s]
+            lo = offsets[s]
+            hi = min(lo + chunk, stream.shape[0])
+            service.ingest(s, stream[lo:hi])
+            offsets[s] = hi
+            if hi >= stream.shape[0]:
+                live.discard(s)
+    service.drain()
+    wall = time.perf_counter() - t0
+    return {"wall": wall, "truths": truths}
+
+
+def _accuracy(service: StreamingService, truths: List[List[int]]) -> tuple:
+    raw_hits = smooth_hits = total = 0
+    for session in service.sessions:
+        truth = truths[session.id]
+        for decision in session.decisions:
+            total += 1
+            raw_hits += decision.raw_label == truth[decision.index]
+            smooth_hits += decision.label == truth[decision.index]
+    if not total:
+        return 0.0, 0.0
+    return raw_hits / total, smooth_hits / total
+
+
+def _report(service: StreamingService, stats: dict) -> List[str]:
+    n_windows = service.total_windows
+    n_batches = service.total_batches
+    wall = stats["wall"]
+    raw_acc, smooth_acc = _accuracy(service, stats["truths"])
+    lines = [
+        f"sessions            : {len(service.sessions)}",
+        f"windows classified  : {n_windows}",
+        f"dispatch batches    : {n_batches} "
+        f"(mean {n_windows / max(n_batches, 1):.1f} windows/batch)",
+        f"host wall-clock     : {wall:.3f} s "
+        f"({n_windows / wall:,.0f} windows/s sustained)"
+        if wall > 0 else "host wall-clock     : <1 ms",
+        f"accuracy            : raw {raw_acc:.3f} / "
+        f"smoothed {smooth_acc:.3f} "
+        f"(majority of {service.config.smooth})",
+    ]
+    device = service.device
+    if device is not None:
+        lines += [
+            f"simulated device    : {device.name} @ {device.f_mhz:.2f} MHz"
+            f" ({'meets' if device.meets_deadline else 'MISSES'}"
+            f" the {device.deadline_ms:.0f} ms deadline)",
+            f"  per decision      : {device.cycles_per_window:,} cycles, "
+            f"{device.window_latency_ms:.2f} ms, "
+            f"{device.window_energy_uj:.1f} uJ",
+            f"  whole run         : "
+            f"{n_windows * device.window_energy_uj / 1e3:.2f} mJ across "
+            f"{n_windows} decisions",
+        ]
+    return lines
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    if args.model:
+        model = load_model(args.model)
+        print(f"loaded model store {args.model} "
+              f"(dim={model.config.dim}, classes={list(model.labels)})")
+    else:
+        model = _train_model(args.dim, args.subject, args.repetitions)
+        print(f"trained subject {args.subject} at dim={args.dim}")
+    if args.save_model:
+        path = save_model(args.save_model, model)
+        print(f"saved model store -> {path}")
+
+    device: Optional[DevicePerfModel] = None
+    if args.device != "none":
+        soc_name, n_cores = _DEVICES[args.device]
+        device = device_model(
+            soc_by_name(soc_name), n_cores, model.config.dim
+        )
+
+    service = StreamingService(
+        model,
+        StreamConfig(
+            window=WindowConfig(),
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            smooth=args.smooth,
+        ),
+        device=device,
+    )
+    dataset = EMGDatasetConfig(
+        n_subjects=args.subject + 1, n_repetitions=args.repetitions
+    )
+    trials = generate_subject(dataset, args.subject).trials
+    stats = _stream_trials(service, trials, args.sessions, args.chunk)
+    print("\n".join(_report(service, stats)))
+    return 0
+
+
+def run_selftest() -> int:
+    """End-to-end invariants, sized for CI (~seconds, not minutes)."""
+    failures: List[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}  {name}")
+        if not ok:
+            failures.append(name)
+
+    print("repro.stream selftest")
+    model = _train_model(dim=2048, subject_id=0, repetitions=2)
+    dataset = EMGDatasetConfig(n_subjects=1, n_repetitions=2)
+    trials = generate_subject(dataset, 0).trials
+
+    # 1. Streaming parity: raw decisions == offline batch predictions on
+    #    the exact same windows, across interleaved sessions.
+    service = StreamingService(
+        model,
+        StreamConfig(window=WindowConfig(), max_batch=64, max_wait=3),
+    )
+    stats = _stream_trials(service, trials, n_sessions=4, chunk=37)
+    window = WindowConfig()
+    from ..emg.dataset import Trial
+    from ..emg.windows import windows_from_trial
+
+    for session in service.sessions:
+        mine = [trials[i] for i in range(session.id, len(trials), 4)]
+        stream = np.concatenate([t.envelope for t in mine])
+        # The offline oracle is the *real* offline slicer, not a copy of
+        # its loop — parity must hold against whatever it does.
+        offline_w = windows_from_trial(
+            Trial(subject_id=0, gesture=0, repetition=0, envelope=stream),
+            window,
+        )
+        offline = model.predict(np.asarray(offline_w))
+        raw = [d.raw_label for d in session.decisions]
+        check(
+            f"session {session.id}: {len(raw)} streaming decisions match "
+            f"offline",
+            len(raw) == len(offline) and raw == offline,
+        )
+
+    # 2. Model store round trip: bit-exact words and predictions.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_model(f"{tmp}/model", model)
+        loaded = load_model(path)
+        check(
+            "model store round-trip words bit-exact",
+            np.array_equal(loaded.prototype_words, model.prototype_words)
+            and np.array_equal(
+                loaded.encoder.spatial.item_memory.as_matrix64(),
+                model.encoder.spatial.item_memory.as_matrix64(),
+            ),
+        )
+        probe = np.stack(
+            [trials[0].envelope[i : i + window.slice_samples]
+             for i in range(0, 200, window.stride)]
+        )
+        check(
+            "loaded model predicts identically",
+            loaded.predict(probe) == model.predict(probe),
+        )
+
+    # 3. The scheduler actually batched across sessions.
+    multiplexed = any(r.n_sessions > 1 for r in service.reports)
+    check("dispatches multiplex sessions", multiplexed)
+    raw_acc, smooth_acc = _accuracy(service, stats["truths"])
+    check(f"raw accuracy sane ({raw_acc:.3f})", raw_acc > 0.5)
+
+    if failures:
+        print(f"selftest FAILED: {failures}")
+        return 1
+    print("selftest ok")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.selftest:
+        return run_selftest()
+    return run_demo(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+"""Multi-session batching scheduler over the packed HD engine.
+
+N independent sessions push samples at arbitrary rates; the scheduler
+coalesces every *ready* window — across all sessions — into single
+batched encode + AM-search calls on the shared packed engine: one
+:class:`~repro.hdc.engine.HypervectorArray` pass per dispatch instead of
+one per session.  Because the batched kernels are row-independent (the
+window majority and the AM search never mix rows), a multiplexed batch
+predicts bit-identically to per-session calls — and to the offline
+:class:`~repro.hdc.batch.BatchHDClassifier` on the same windows
+(pinned end-to-end by ``tests/stream/test_scheduler.py``).
+
+Backpressure is two-knobbed, on a deterministic logical clock (one tick
+per ingest call):
+
+* ``max_batch`` — a dispatch never carries more windows than this; a
+  full queue drains in consecutive full batches.
+* ``max_wait`` — a partial batch dispatches once its oldest window has
+  waited this many ticks, bounding decision staleness when traffic is
+  light.  ``0`` dispatches on every ingest (lowest latency, smallest
+  batches); larger values trade staleness for throughput.
+
+Every dispatch produces a :class:`BatchReport` with host wall-clock and,
+when a :class:`~repro.perf.streaming.DevicePerfModel` is attached, the
+simulated on-device latency/energy of the batch's classifications.
+
+Two memoization layers keep sustained serving cheap, both bit-exact:
+the batched encoder deduplicates repeated quantised rows *within* a
+pass (:mod:`repro.hdc.encoder`), and the scheduler's decision cache
+memoizes winners by quantised window pattern *across* batches — the
+whole chain is a pure function of those integer levels, so a repeat is
+a dict hit instead of a re-encode.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..emg.windows import WindowConfig
+from ..hdc import engine
+from ..hdc.batch import BatchHDClassifier
+from ..perf.streaming import BatchDevicePerf, DevicePerfModel
+from .session import Decision, Session
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Service-wide streaming parameters.
+
+    All sessions share one window geometry (they are classified by one
+    model) and one scheduler policy.
+    """
+
+    window: WindowConfig = field(default_factory=WindowConfig)
+    sample_rate_hz: int = 500
+    max_batch: int = 256
+    max_wait: int = 0
+    smooth: int = 1
+    extract_features: bool = False
+    #: Memoize decisions by quantised window pattern across batches.
+    #: The encode + AM-search chain is a pure function of the integer
+    #: level pattern, so a repeated pattern's winner can be served from
+    #: a dict hit instead of a re-encode — bit-exactly.  Plateau-heavy
+    #: biosignal streams repeat patterns constantly, which is what makes
+    #: sustained serving cheap.  Bounded by ``decision_cache_limit``
+    #: entries (a key plus one small int each; cleared wholesale when
+    #: full, like the ISS closure memos).
+    decision_cache: bool = True
+    decision_cache_limit: int = 1 << 20
+    #: Retained per-session decisions and service batch reports (each a
+    #: bounded deque) — a convenience window into recent activity, not
+    #: an unbounded log: a sustained service would otherwise leak one
+    #: record per window forever.  Full streams are available to callers
+    #: as the return values of ``ingest`` / ``pump`` / ``drain``.
+    history: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ValueError(
+                f"sample_rate_hz must be positive, got {self.sample_rate_hz}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait < 0:
+            raise ValueError(
+                f"max_wait must be >= 0, got {self.max_wait}"
+            )
+        if self.smooth < 1:
+            raise ValueError(f"smooth must be >= 1, got {self.smooth}")
+        if self.decision_cache_limit < 1:
+            raise ValueError(
+                f"decision_cache_limit must be >= 1, "
+                f"got {self.decision_cache_limit}"
+            )
+        if self.history < 1:
+            raise ValueError(
+                f"history must be >= 1, got {self.history}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Telemetry of one dispatched batch."""
+
+    batch_id: int
+    n_windows: int
+    n_sessions: int  # distinct sessions in the batch
+    decided_at: int  # service clock at dispatch
+    host_seconds: float  # wall-clock of encode + AM search
+    device: Optional[BatchDevicePerf] = None
+
+    @property
+    def host_windows_per_sec(self) -> float:
+        """Host throughput of this dispatch."""
+        if self.host_seconds <= 0.0:
+            return float("inf")
+        return self.n_windows / self.host_seconds
+
+
+class StreamingService:
+    """The serving front end: sessions in, smoothed decisions out.
+
+    Owns a *fitted* :class:`BatchHDClassifier` (typically rebuilt from
+    the model store — serving never retrains) and any number of
+    concurrent sessions.
+    """
+
+    def __init__(
+        self,
+        model: BatchHDClassifier,
+        config: StreamConfig = StreamConfig(),
+        device: Optional[DevicePerfModel] = None,
+    ):
+        # Fail fast on an unfitted model; also freezes the AM matrix.
+        self._proto_words = model.prototype_words
+        self._labels = model.labels
+        if config.window.slice_samples < model.config.ngram_size:
+            raise ValueError(
+                f"windows of {config.window.slice_samples} timestamps "
+                f"cannot form the model's {model.config.ngram_size}-grams"
+                f"; set WindowConfig.extra_samples >= "
+                f"{model.config.ngram_size - config.window.window_samples}"
+            )
+        self._model = model
+        self._config = config
+        self._device = device
+        self._sessions: Dict[Hashable, Session] = {}
+        # Ready windows in arrival order, blocked per ingest:
+        # (session, (k, T, channels) window stack, enqueued_at).
+        self._queue: Deque[Tuple[Session, np.ndarray, int]] = deque()
+        self._pending = 0
+        self._clock = 0
+        self._next_batch_id = 0
+        self._decision_cache: Dict[bytes, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Bounded recent-batch telemetry (see StreamConfig.history).
+        self.reports: Deque[BatchReport] = deque(maxlen=config.history)
+        self._n_reports = 0
+        self._n_windows = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def config(self) -> StreamConfig:
+        """The service configuration."""
+        return self._config
+
+    @property
+    def model(self) -> BatchHDClassifier:
+        """The served classifier."""
+        return self._model
+
+    @property
+    def device(self) -> Optional[DevicePerfModel]:
+        """The attached device telemetry model, if any."""
+        return self._device
+
+    @property
+    def clock(self) -> int:
+        """The logical service clock (ingest ticks so far)."""
+        return self._clock
+
+    @property
+    def pending_windows(self) -> int:
+        """Ready windows waiting for a batch slot."""
+        return self._pending
+
+    @property
+    def sessions(self) -> Tuple[Session, ...]:
+        """All open sessions, in opening order."""
+        return tuple(self._sessions.values())
+
+    @property
+    def total_decisions(self) -> int:
+        """Decisions delivered across all currently open sessions."""
+        return sum(s.n_decisions for s in self._sessions.values())
+
+    @property
+    def total_windows(self) -> int:
+        """Windows classified over the service's lifetime."""
+        return self._n_windows
+
+    @property
+    def total_batches(self) -> int:
+        """Batches dispatched over the service's lifetime."""
+        return self._n_reports
+
+    # -- session lifecycle -------------------------------------------------
+
+    def open_session(self, session_id: Hashable) -> Session:
+        """Open a new stream; session ids must be unique while open."""
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        session = Session(
+            session_id,
+            self._config.window,
+            self._model.config.n_channels,
+            sample_rate_hz=self._config.sample_rate_hz,
+            smooth=self._config.smooth,
+            extract_features=self._config.extract_features,
+            history=self._config.history,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def close_session(self, session_id: Hashable) -> Session:
+        """Close a stream; its already-queued windows still dispatch.
+
+        The windower's ragged tail (samples short of one slice) is dropped,
+        matching the offline slicer's behaviour on a truncated trial.
+        """
+        try:
+            session = self._sessions.pop(session_id)
+        except KeyError:
+            raise KeyError(f"session {session_id!r} is not open") from None
+        return session
+
+    # -- the data path -----------------------------------------------------
+
+    def ingest(
+        self, session_id: Hashable, samples: np.ndarray
+    ) -> List[Decision]:
+        """Push one chunk of samples into a session; pump the scheduler.
+
+        Returns every decision (across *all* sessions) that this tick's
+        dispatches produced — the scheduler is shared, so one session's
+        arrival can flush a batch full of other sessions' windows.
+        """
+        try:
+            session = self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"session {session_id!r} is not open") from None
+        self._clock += 1
+        windows = session.push(samples)
+        if windows:
+            self._queue.append(
+                (session, np.stack(windows), self._clock)
+            )
+            self._pending += len(windows)
+        return self.pump()
+
+    def pump(self) -> List[Decision]:
+        """Dispatch every batch the policy currently allows."""
+        decisions: List[Decision] = []
+        queue = self._queue
+        max_batch = self._config.max_batch
+        max_wait = self._config.max_wait
+        while queue and (
+            self._pending >= max_batch
+            or self._clock - queue[0][2] >= max_wait
+        ):
+            decisions.extend(self._dispatch(min(max_batch, self._pending)))
+        return decisions
+
+    def drain(self) -> List[Decision]:
+        """Flush all pending windows regardless of the wait policy."""
+        decisions: List[Decision] = []
+        while self._queue:
+            decisions.extend(
+                self._dispatch(min(self._config.max_batch, self._pending))
+            )
+        return decisions
+
+    def _classify(self, stacked: np.ndarray) -> np.ndarray:
+        """Winner indices of a window stack, through the decision cache.
+
+        Cache keys are the quantised level patterns; the encode + AM
+        search chain is a pure, deterministic function of those integer
+        levels, so a hit returns exactly the winner the chain would
+        compute.  Misses run as one batched engine pass (which itself
+        deduplicates repeated rows) and populate the cache.
+        """
+        if not self._config.decision_cache:
+            queries = self._model.encode_windows_packed(stacked)
+            indices, _ = engine.am_search(queries.words, self._proto_words)
+            return indices
+        encoder = self._model.encoder
+        levels = encoder.spatial.quantize_batch(stacked)
+        n = levels.shape[0]
+        flat = levels.reshape(n, -1)
+        cache = self._decision_cache
+        winners = np.empty(n, dtype=np.int64)
+        keys: List[bytes] = []
+        missing: List[int] = []
+        for i in range(n):
+            key = flat[i].tobytes()
+            keys.append(key)
+            winner = cache.get(key)
+            if winner is None:
+                missing.append(i)
+            else:
+                winners[i] = winner
+        self.cache_hits += n - len(missing)
+        self.cache_misses += len(missing)
+        if missing:
+            queries = encoder.encode_levels_batch(levels[missing])
+            found, _ = engine.am_search(queries.words, self._proto_words)
+            limit = self._config.decision_cache_limit
+            if len(cache) + len(missing) > limit:
+                cache.clear()
+            for j, i in enumerate(missing):
+                winner = int(found[j])
+                cache[keys[i]] = winner
+                winners[i] = winner
+        return winners
+
+    def _dispatch(self, n: int) -> List[Decision]:
+        """Classify the ``n`` oldest ready windows in one engine pass."""
+        items: List[Tuple[Session, np.ndarray, int]] = []
+        take = n
+        while take:
+            session, windows, tick = self._queue.popleft()
+            k = windows.shape[0]
+            if k > take:
+                items.append((session, windows[:take], tick))
+                self._queue.appendleft((session, windows[take:], tick))
+                take = 0
+            else:
+                items.append((session, windows, tick))
+                take -= k
+        self._pending -= n
+        stacked = (
+            np.concatenate([block for _, block, _ in items])
+            if len(items) > 1
+            else items[0][1]
+        )
+        start = time.perf_counter()
+        indices = self._classify(stacked)
+        host_seconds = time.perf_counter() - start
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        decisions: List[Decision] = []
+        labels = self._labels
+        clock = self._clock
+        pos = 0
+        for session, block, tick in items:
+            for j in range(block.shape[0]):
+                decisions.append(
+                    session.record(
+                        raw_label=labels[int(indices[pos])],
+                        batch_id=batch_id,
+                        enqueued_at=tick,
+                        decided_at=clock,
+                        window=block[j],
+                    )
+                )
+                pos += 1
+        self._n_reports += 1
+        self._n_windows += n
+        self.reports.append(
+            BatchReport(
+                batch_id=batch_id,
+                n_windows=n,
+                n_sessions=len({id(session) for session, _, _ in items}),
+                decided_at=clock,
+                host_seconds=host_seconds,
+                device=(
+                    self._device.account(n)
+                    if self._device is not None
+                    else None
+                ),
+            )
+        )
+        return decisions

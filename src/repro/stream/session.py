@@ -1,0 +1,152 @@
+"""Per-session state: windowing, label smoothing, decision history.
+
+A *session* is one independent sensor stream — one user's electrode
+array pushing samples at its own rate.  Each session owns an incremental
+:class:`~repro.stream.windower.StreamWindower` and a majority-vote
+:class:`MajorityVoteSmoother` (the paper's temporal smoothing of
+consecutive window decisions); the shared classifier and the batching
+across sessions live in :mod:`repro.stream.scheduler`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from ..emg.features import window_features
+from ..emg.windows import WindowConfig
+from .windower import StreamWindower
+
+
+class MajorityVoteSmoother:
+    """Majority vote over the last ``k`` raw window decisions.
+
+    The paper's deployment smooths the one-decision-per-10-ms stream by
+    voting over a short history, trading a little latency for robustness
+    to single-window errors.  Ties are broken toward the most recent
+    label among the tied candidates (deterministic, and the natural
+    choice for a stream: newer evidence wins).  ``k = 1`` is a
+    pass-through.
+    """
+
+    def __init__(self, k: int = 1):
+        if k < 1:
+            raise ValueError(f"smoothing window must be >= 1, got {k}")
+        self._k = int(k)
+        self._history: deque = deque(maxlen=self._k)
+
+    @property
+    def k(self) -> int:
+        """The vote-history length."""
+        return self._k
+
+    def update(self, label: Hashable) -> Hashable:
+        """Record one raw decision; return the smoothed decision."""
+        self._history.append(label)
+        if self._k == 1:
+            return label
+        counts = Counter(self._history)
+        best = max(counts.values())
+        for candidate in reversed(self._history):
+            if counts[candidate] == best:
+                return candidate
+        raise AssertionError("non-empty history must yield a winner")
+
+    def reset(self) -> None:
+        """Clear the vote history (e.g. at a stream discontinuity)."""
+        self._history.clear()
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One classified window of one session."""
+
+    session_id: Hashable
+    index: int  # per-session decision number, 0-based
+    label: Hashable  # smoothed (majority-vote) decision
+    raw_label: Hashable  # the window's own AM decision
+    batch_id: int  # dispatch batch that carried the window
+    enqueued_at: int  # service clock when the window became ready
+    decided_at: int  # service clock when the batch dispatched
+    features: Optional[np.ndarray] = None  # MAV features when enabled
+
+    @property
+    def queue_wait(self) -> int:
+        """Ingest steps the window spent waiting for a batch slot."""
+        return self.decided_at - self.enqueued_at
+
+
+class Session:
+    """One stream's windower, smoother, and decision history."""
+
+    def __init__(
+        self,
+        session_id: Hashable,
+        window_config: WindowConfig,
+        n_channels: int,
+        sample_rate_hz: int = 500,
+        smooth: int = 1,
+        extract_features: bool = False,
+        history: int = 10_000,
+    ):
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.id = session_id
+        self.windower = StreamWindower(
+            window_config, n_channels, sample_rate_hz
+        )
+        self.smoother = MajorityVoteSmoother(smooth)
+        self.extract_features = bool(extract_features)
+        # Bounded: a long-running service delivers decisions forever;
+        # the retained history is a convenience window, not a log.
+        # Callers that need every decision consume the return values of
+        # ``StreamingService.ingest`` / ``pump`` / ``drain`` as they go.
+        self.decisions: deque = deque(maxlen=history)
+        self._n_decisions = 0
+
+    @property
+    def n_decisions(self) -> int:
+        """Decisions delivered over the session's lifetime."""
+        return self._n_decisions
+
+    @property
+    def samples_in(self) -> int:
+        """Raw samples ingested so far."""
+        return self.windower.samples_in
+
+    @property
+    def windows_out(self) -> int:
+        """Windows emitted by the incremental windower so far."""
+        return self.windower.windows_out
+
+    def push(self, samples: np.ndarray) -> List[np.ndarray]:
+        """Ingest samples; return the windows that became ready."""
+        return self.windower.push(samples)
+
+    def record(
+        self,
+        raw_label: Hashable,
+        batch_id: int,
+        enqueued_at: int,
+        decided_at: int,
+        window: np.ndarray,
+    ) -> Decision:
+        """Smooth one raw batch result into this session's decision."""
+        decision = Decision(
+            session_id=self.id,
+            index=self._n_decisions,
+            label=self.smoother.update(raw_label),
+            raw_label=raw_label,
+            batch_id=batch_id,
+            enqueued_at=enqueued_at,
+            decided_at=decided_at,
+            features=(
+                window_features(window) if self.extract_features else None
+            ),
+        )
+        self.decisions.append(decision)
+        self._n_decisions += 1
+        return decision

@@ -1,0 +1,308 @@
+"""Model store: round-trip bit-exactness, version gating, popcount paths."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    BatchHDClassifier,
+    HDClassifierConfig,
+    ModelFormatError,
+    load_model,
+    model_info,
+    save_model,
+)
+from repro.hdc import bitpack, serialize
+from repro.hdc.item_memory import ContinuousItemMemory, ItemMemory
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(11)
+    clf = BatchHDClassifier(
+        HDClassifierConfig(
+            dim=300,  # deliberately not a multiple of 32 or 64: pad bits
+            n_channels=4,
+            n_levels=6,
+            ngram_size=2,
+            signal_hi=1.0,
+            seed=99,
+        )
+    )
+    windows = rng.random((36, 6, 4))
+    labels = [i % 3 for i in range(36)]
+    clf.fit(windows, labels)
+    return clf
+
+
+@pytest.fixture()
+def saved(fitted, tmp_path):
+    return save_model(tmp_path / "model", fitted)
+
+
+class TestRoundTrip:
+    def test_path_gets_npz_suffix(self, saved):
+        assert saved.suffix == ".npz"
+        assert saved.exists()
+
+    def test_words_bit_exact(self, fitted, saved):
+        loaded = load_model(saved)
+        spatial = fitted.encoder.spatial
+        lspatial = loaded.encoder.spatial
+        assert np.array_equal(
+            lspatial.item_memory.as_matrix64(),
+            spatial.item_memory.as_matrix64(),
+        )
+        assert np.array_equal(
+            lspatial.continuous_memory.as_matrix64(),
+            spatial.continuous_memory.as_matrix64(),
+        )
+        assert np.array_equal(
+            loaded.prototype_words, fitted.prototype_words
+        )
+        assert np.array_equal(loaded.am_matrix(), fitted.am_matrix())
+
+    def test_config_and_labels_preserved(self, fitted, saved):
+        loaded = load_model(saved)
+        assert loaded.config == fitted.config
+        assert loaded.labels == fitted.labels
+        assert all(isinstance(l, int) for l in loaded.labels)
+
+    def test_predictions_identical(self, fitted, saved):
+        rng = np.random.default_rng(5)
+        loaded = load_model(saved)
+        probe = rng.random((64, 6, 4))
+        assert loaded.predict(probe) == fitted.predict(probe)
+        assert np.array_equal(
+            loaded.distances(probe), fitted.distances(probe)
+        )
+        assert np.array_equal(
+            loaded.encode_windows_packed(probe).words,
+            fitted.encode_windows_packed(probe).words,
+        )
+
+    def test_save_load_save_is_stable(self, fitted, saved, tmp_path):
+        again = save_model(tmp_path / "again", load_model(saved))
+        with np.load(saved) as a, np.load(again) as b:
+            assert sorted(a.files) == sorted(b.files)
+            for key in a.files:
+                assert np.array_equal(a[key], b[key]), key
+
+    def test_string_labels_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=128, n_channels=2, n_levels=4, signal_hi=1.0
+            )
+        )
+        clf.fit(rng.random((8, 5, 2)), ["rest", "fist"] * 4)
+        loaded = load_model(save_model(tmp_path / "m", clf))
+        assert loaded.labels == ("rest", "fist")
+        probe = rng.random((10, 5, 2))
+        assert loaded.predict(probe) == clf.predict(probe)
+
+    def test_model_info_header(self, fitted, saved):
+        info = model_info(saved)
+        assert info["magic"] == serialize.MODEL_MAGIC
+        assert info["version"] == serialize.MODEL_VERSION
+        assert info["dim"] == 300
+        assert info["labels"] == list(fitted.labels)
+
+
+class TestRejection:
+    def test_unfitted_model_cannot_save(self, tmp_path):
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=128, n_channels=2, n_levels=4, signal_hi=1.0
+            )
+        )
+        with pytest.raises(RuntimeError):
+            save_model(tmp_path / "m", clf)
+
+    def test_object_labels_rejected(self, tmp_path):
+        rng = np.random.default_rng(3)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=128, n_channels=2, n_levels=4, signal_hi=1.0
+            )
+        )
+        clf.fit(rng.random((4, 5, 2)), [(0, 1), (2, 3)] * 2)
+        with pytest.raises(ModelFormatError, match="labels"):
+            save_model(tmp_path / "m", clf)
+
+    def test_mixed_labels_rejected_not_coerced(self, tmp_path):
+        """np.asarray([0, 'rest']) silently stringifies the int; the
+        store must reject the mix instead of round-tripping ['0',
+        'rest'] and changing the predict() return values."""
+        rng = np.random.default_rng(3)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=128, n_channels=2, n_levels=4, signal_hi=1.0
+            )
+        )
+        clf.fit(rng.random((4, 5, 2)), [0, "rest"] * 2)
+        with pytest.raises(ModelFormatError, match="labels"):
+            save_model(tmp_path / "m", clf)
+
+    def test_bool_labels_rejected(self, tmp_path):
+        rng = np.random.default_rng(3)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=128, n_channels=2, n_levels=4, signal_hi=1.0
+            )
+        )
+        clf.fit(rng.random((4, 5, 2)), [True, False] * 2)
+        with pytest.raises(ModelFormatError, match="labels"):
+            save_model(tmp_path / "m", clf)
+
+    def _resave(self, saved, tmp_path, **overrides):
+        with np.load(saved) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload.update(overrides)
+        path = tmp_path / "tampered.npz"
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        return path
+
+    def test_version_mismatch_rejected(self, saved, tmp_path):
+        bad = self._resave(
+            saved, tmp_path, version=np.array(99, dtype=np.int64)
+        )
+        with pytest.raises(ModelFormatError, match="version 99"):
+            load_model(bad)
+
+    def test_wrong_magic_rejected(self, saved, tmp_path):
+        bad = self._resave(saved, tmp_path, magic=np.array("other-format"))
+        with pytest.raises(ModelFormatError, match="magic"):
+            load_model(bad)
+
+    def test_missing_key_rejected(self, saved, tmp_path):
+        with np.load(saved) as archive:
+            payload = {
+                k: archive[k] for k in archive.files if k != "am_u32"
+            }
+        path = tmp_path / "truncated.npz"
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(ModelFormatError, match="am_u32"):
+            load_model(path)
+
+    def test_shape_mismatch_rejected(self, saved, tmp_path):
+        with np.load(saved) as archive:
+            im = archive["im_u32"]
+        bad = self._resave(saved, tmp_path, im_u32=im[:, :-1])
+        with pytest.raises(ModelFormatError, match="shape"):
+            load_model(bad)
+
+    def test_pad_bit_violation_rejected(self, saved, tmp_path):
+        with np.load(saved) as archive:
+            am = archive["am_u32"].copy()
+        am[0, -1] |= np.uint32(1 << 31)  # dim=300 -> 12 valid bits in last
+        bad = self._resave(saved, tmp_path, am_u32=am)
+        with pytest.raises(ModelFormatError, match="pad-bit"):
+            load_model(bad)
+
+    def test_dtype_mismatch_rejected(self, saved, tmp_path):
+        with np.load(saved) as archive:
+            am = archive["am_u32"].astype(np.uint64)
+        bad = self._resave(saved, tmp_path, am_u32=am)
+        with pytest.raises(ModelFormatError, match="uint32"):
+            load_model(bad)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises(ModelFormatError):
+            load_model(path)
+
+    def test_missing_file_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "absent.npz")
+
+
+class TestPopcountPathEquivalence:
+    """A store written under one numpy popcount path must serve
+    identically under the other (numpy >= 2.0 has np.bitwise_count; older
+    versions use the byte-LUT fallback)."""
+
+    def test_lut_and_native_paths_agree_on_loaded_model(
+        self, fitted, saved, monkeypatch
+    ):
+        rng = np.random.default_rng(17)
+        probe = rng.random((32, 6, 4))
+        loaded = load_model(saved)
+        native = loaded.distances(probe)
+        native_pred = loaded.predict(probe)
+
+        monkeypatch.setattr(bitpack, "_HAS_BITWISE_COUNT", False)
+        lut = loaded.distances(probe)
+        lut_pred = loaded.predict(probe)
+        assert np.array_equal(native, lut)
+        assert native_pred == lut_pred
+        assert native_pred == fitted.predict(probe)
+
+
+class TestFromState:
+    def test_from_words64_validation(self, rng):
+        with pytest.raises(ValueError):
+            ItemMemory.from_words64(np.zeros(4, dtype=np.uint64), 128)
+        with pytest.raises(ValueError):
+            ItemMemory.from_words64(
+                np.zeros((2, 2), dtype=np.uint64), 128, symbols=[0]
+            )
+        with pytest.raises(ValueError):
+            ItemMemory.from_words64(
+                np.zeros((2, 2), dtype=np.uint64), 128, symbols=[0, 0]
+            )
+        with pytest.raises(ValueError):
+            ContinuousItemMemory.from_words64(
+                np.zeros((1, 2), dtype=np.uint64), 128
+            )
+
+    def test_im_round_trip_preserves_symbols(self, rng):
+        im = ItemMemory.for_channels(3, 192, rng)
+        rebuilt = ItemMemory.from_words64(im.as_matrix64(), 192)
+        assert rebuilt.symbols == im.symbols
+        for symbol in im.symbols:
+            assert rebuilt[symbol] == im[symbol]
+
+    def test_cim_round_trip_preserves_structure(self, rng):
+        cim = ContinuousItemMemory(5, 192, rng)
+        rebuilt = ContinuousItemMemory.from_words64(cim.as_matrix64(), 192)
+        assert rebuilt.n_levels == 5
+        assert np.array_equal(
+            rebuilt.level_distances(), cim.level_distances()
+        )
+
+    def test_from_state_shape_mismatch(self, fitted):
+        spatial = fitted.encoder.spatial
+        with pytest.raises(ValueError, match="prototype"):
+            BatchHDClassifier.from_state(
+                fitted.config,
+                spatial.item_memory,
+                spatial.continuous_memory,
+                list(fitted.labels) + ["extra"],
+                fitted.prototype_words,
+            )
+
+    def test_from_state_rejects_dirty_pad_bits(self, fitted):
+        spatial = fitted.encoder.spatial
+        dirty = fitted.prototype_words.copy()
+        dirty[0, -1] |= np.uint64(1) << np.uint64(63)  # dim=300 pad bit
+        with pytest.raises(ValueError, match="pad bits"):
+            BatchHDClassifier.from_state(
+                fitted.config,
+                spatial.item_memory,
+                spatial.continuous_memory,
+                list(fitted.labels),
+                dirty,
+            )
+
+    def test_model_info_rejects_unknown_version(self, saved, tmp_path):
+        with np.load(saved) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["version"] = np.array(99, dtype=np.int64)
+        path = tmp_path / "future.npz"
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(ModelFormatError, match="version 99"):
+            model_info(path)

@@ -133,3 +133,33 @@ class TestLatency:
 
     def test_default_deadline_is_papers(self):
         assert DETECTION_LATENCY_MS == 10.0
+
+
+class TestDeviceModel:
+    """ISS-calibrated streaming telemetry (repro.perf.streaming)."""
+
+    def test_calibrated_device_model_emg_shape(self):
+        from repro.perf import device_model
+
+        model = device_model(PULPV3_SOC, n_cores=4, dim=2048)
+        assert model.cycles_per_window > 0
+        # Clocked exactly to the deadline: latency == 10 ms by design.
+        assert model.window_latency_ms == pytest.approx(
+            DETECTION_LATENCY_MS
+        )
+        assert model.f_mhz == pytest.approx(
+            required_frequency_mhz(model.cycles_per_window)
+        )
+        assert model.window_energy_uj > 0
+        batch = model.account(32)
+        assert batch.total_cycles == 32 * model.cycles_per_window
+        assert batch.energy_uj == pytest.approx(
+            32 * model.window_energy_uj
+        )
+
+    def test_more_cores_fewer_cycles(self):
+        from repro.perf import device_model
+
+        one = device_model(PULPV3_SOC, n_cores=1, dim=2048)
+        four = device_model(PULPV3_SOC, n_cores=4, dim=2048)
+        assert four.cycles_per_window < one.cycles_per_window

@@ -536,3 +536,234 @@ class TestDecodeCache:
             cluster.run(program, args=[L1_BASE])
             assert cluster.read_word(L1_BASE) == i
             del program  # allow id reuse by the next iteration
+
+
+class TestInstructionCapParity:
+    """Satellite: the cap is enforced at per-instruction granularity.
+
+    A runaway program must raise on BOTH engines at exactly the same
+    instruction, with identical registers, memory, cycles, instruction
+    counts, and message — the fast path delegates its cap-adjacent
+    blocks to the interpreter to guarantee it.
+    """
+
+    def _run_capped(self, profile, program, engine, cap, args=()):
+        from repro.pulp import ExecutionError
+
+        cluster = Cluster(profile, 1, engine=engine)
+        cluster.cores[0].max_instructions = cap
+        with pytest.raises(ExecutionError) as excinfo:
+            cluster.run(program, args=args)
+        return excinfo.value, cluster
+
+    def assert_cap_identical(self, profile, program, cap, args=()):
+        err_i, cl_i = self._run_capped(profile, program, "interp", cap, args)
+        err_f, cl_f = self._run_capped(profile, program, "fast", cap, args)
+        core_i, core_f = cl_i.cores[0], cl_f.cores[0]
+        assert str(err_i) == str(err_f)
+        assert core_i.instr_count == core_f.instr_count == cap
+        assert core_i.cycles == core_f.cycles
+        assert core_i.pc == core_f.pc
+        assert core_i.regs == core_f.regs
+        assert cl_i.memory.read_bytes(L1_BASE, 512) == cl_f.memory.read_bytes(
+            L1_BASE, 512
+        )
+
+    def test_branch_loop_runaway(self):
+        def emit(asm):
+            i, n = asm.reg("i"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(n, 1 << 20)
+            asm.label("head")
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        for cap in (500, 501, 502):
+            self.assert_cap_identical(PULPV3, build(PULPV3, emit), cap)
+
+    def test_jump_loop_runaway(self):
+        def emit(asm):
+            i = asm.reg("i")
+            asm.li(i, 0)
+            asm.label("head")
+            asm.addi(i, i, 1)
+            asm.emit("j", label="head")
+
+        for cap in (100, 101):
+            self.assert_cap_identical(WOLF, build(WOLF, emit), cap)
+
+    def test_hardware_loop_runaway(self):
+        def emit(asm):
+            i, n = asm.reg("i"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(n, 1 << 19)
+            asm.hw_loop(n, "end")
+            asm.addi(i, i, 1)
+            asm.addi(i, i, 0)
+            asm.label("end")
+            asm.halt()
+
+        for cap in (333, 334):
+            self.assert_cap_identical(WOLF, build(WOLF, emit), cap)
+
+    def test_store_loop_runaway_memory_state(self):
+        """Stores up to the cap land; stores after it must not."""
+
+        def emit(asm):
+            i, n, p = asm.reg("i"), asm.reg("n"), asm.reg("p")
+            asm.li(i, 0)
+            asm.li(n, 1 << 20)
+            asm.mv(p, asm.arg(0))
+            asm.label("head")
+            asm.sw_postinc(i, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        self.assert_cap_identical(
+            WOLF, build(WOLF, emit), 64, args=[L1_BASE]
+        )
+
+    def test_straight_line_cap_mid_block(self):
+        """The cap can land inside one basic block; the raise must not
+        wait for (or charge) the rest of the block."""
+
+        def emit(asm):
+            i = asm.reg("i")
+            asm.li(i, 0)
+            for _ in range(200):
+                asm.addi(i, i, 1)
+            asm.halt()
+
+        self.assert_cap_identical(WOLF, build(WOLF, emit), 77)
+
+    def test_cap_not_hit_runs_identically(self):
+        """One instruction of headroom: the program must complete."""
+
+        def emit(asm):
+            i, n = asm.reg("i"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(n, 10)
+            asm.label("head")
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        program = build(PULPV3, emit)
+        # 2 li + 10*(addi+bltu) + halt = 23 instructions exactly.
+        for engine in ("interp", "fast"):
+            cluster = Cluster(PULPV3, 1, engine=engine)
+            cluster.cores[0].max_instructions = 23
+            result = cluster.run(program)
+            assert cluster.cores[0].instr_count == 23
+        assert_engines_agree(PULPV3, program)
+
+
+class TestFastPathTelemetry:
+    """Satellite: plan engagement counts and bail reasons (debug API)."""
+
+    def _fast_run(self, profile, emit, args=()):
+        from repro.pulp import fastpath_telemetry, reset_fastpath_telemetry
+
+        reset_fastpath_telemetry()
+        cluster = Cluster(profile, 1, engine="fast")
+        cluster.run(build(profile, emit), args=args)
+        return fastpath_telemetry()
+
+    def test_vectorized_loop_records_engagement(self):
+        def emit(asm):
+            i, n, p = asm.reg("i"), asm.reg("n"), asm.reg("p")
+            asm.li(i, 0)
+            asm.li(n, 16)
+            asm.mv(p, asm.arg(0))
+            asm.label("head")
+            asm.sw_postinc(i, p, 4)
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        telemetry = self._fast_run(WOLF, emit, args=[L1_BASE])
+        assert telemetry.total_engagements == 1
+        assert telemetry.total_trips == 16
+        (kind, _head), = telemetry.engaged.keys()
+        assert kind == "branch"
+        assert telemetry.total_bails == 0
+
+    def test_store_overlap_bail_reason_recorded(self):
+        def emit(asm):
+            i, n, p = asm.reg("i"), asm.reg("n"), asm.reg("p")
+            asm.li(i, 0)
+            asm.li(n, 8)
+            asm.mv(p, asm.arg(0))
+            asm.label("head")
+            asm.sw(i, p, 0)   # same scalar address every trip...
+            asm.sw(i, p, 0)   # ...and twice per trip: must go scalar
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        telemetry = self._fast_run(PULPV3, emit, args=[L1_BASE])
+        assert telemetry.total_engagements == 0
+        assert telemetry.bails.get("store-overlap") == 1
+        ((kind, _head, reason),) = telemetry.plan_bails.keys()
+        assert (kind, reason) == ("branch", "store-overlap")
+
+    def test_compile_reject_recorded(self):
+        def emit(asm):
+            i, n = asm.reg("i"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(n, 4)
+            asm.label("head")
+            asm.addi(i, i, 1)
+            asm.emit("j", label="cont")  # a jump inside the region
+            asm.label("cont")
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        telemetry = self._fast_run(WOLF, emit)
+        assert telemetry.compile_rejects.get("irregular-structure", 0) >= 1
+        assert telemetry.total_engagements == 0
+
+    def test_reset_clears_counters(self):
+        from repro.pulp import fastpath_telemetry, reset_fastpath_telemetry
+
+        def emit(asm):
+            i, n = asm.reg("i"), asm.reg("n")
+            asm.li(i, 0)
+            asm.li(n, 5)
+            asm.label("head")
+            asm.addi(i, i, 1)
+            asm.bltu(i, n, "head")
+            asm.halt()
+
+        telemetry = self._fast_run(PULPV3, emit)
+        assert telemetry.total_engagements == 1
+        reset_fastpath_telemetry()
+        cleared = fastpath_telemetry()
+        assert cleared.total_engagements == 0
+        assert cleared.total_trips == 0
+        assert cleared.bails == {}
+
+    def test_kernel_chain_engages_plans(self):
+        """The real HD chain must exercise the vector path end to end."""
+        from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
+        from repro.pulp import fastpath_telemetry, reset_fastpath_telemetry
+        from repro.pulp.soc import PULPV3_SOC
+
+        reset_fastpath_telemetry()
+        rng = np.random.default_rng(0)
+        dims = ChainDims(dim=512, n_channels=4, n_levels=8, n_classes=3)
+        sim = HDChainSimulator(
+            ChainConfig(soc=PULPV3_SOC, n_cores=2, dims=dims, engine="fast")
+        )
+        n_words = dims.n_words
+        sim.load_model(
+            rng.integers(0, 2**32, size=(4, n_words), dtype=np.uint32),
+            rng.integers(0, 2**32, size=(8, n_words), dtype=np.uint32),
+            rng.integers(0, 2**32, size=(3, n_words), dtype=np.uint32),
+        )
+        sim.run_window_levels(rng.integers(0, 8, size=(dims.n_samples, 4)))
+        telemetry = fastpath_telemetry()
+        assert telemetry.total_engagements > 0
+        assert telemetry.total_trips > 0

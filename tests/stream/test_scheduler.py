@@ -1,0 +1,296 @@
+"""Streaming service: batching policy, smoothing, end-to-end parity.
+
+The acceptance invariant of the subsystem: streaming predictions are
+byte-identical to the offline :class:`~repro.hdc.batch.BatchHDClassifier`
+on the same windows, no matter how many sessions are multiplexed or how
+the scheduler batches them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emg.windows import WindowConfig
+from repro.hdc import BatchHDClassifier, HDClassifierConfig
+from repro.perf.streaming import DevicePerfModel
+from repro.pulp.soc import CORTEX_M4_SOC, PULPV3_SOC
+from repro.stream import (
+    MajorityVoteSmoother,
+    StreamConfig,
+    StreamingService,
+)
+
+DIM = 256
+RATE = 500
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(7)
+    clf = BatchHDClassifier(
+        HDClassifierConfig(dim=DIM, n_channels=4, n_levels=8, signal_hi=1.0)
+    )
+    windows = rng.random((40, 5, 4))
+    labels = [i % 4 for i in range(40)]
+    return clf.fit(windows, labels)
+
+
+def _service(model, **kwargs):
+    defaults = dict(
+        window=WindowConfig(window_samples=5, skip_onset_s=0.0),
+        sample_rate_hz=RATE,
+    )
+    defaults.update(kwargs)
+    return StreamingService(model, StreamConfig(**defaults))
+
+
+class TestSmoother:
+    def test_passthrough_k1(self):
+        sm = MajorityVoteSmoother(1)
+        assert [sm.update(x) for x in "abab"] == list("abab")
+
+    def test_majority_wins(self):
+        sm = MajorityVoteSmoother(3)
+        assert sm.update("a") == "a"
+        assert sm.update("b") == "b"  # tie of 1-1 -> most recent
+        assert sm.update("a") == "a"
+        assert sm.update("a") == "a"
+        assert sm.update("b") == "a"  # history a,a,b
+        assert sm.update("b") == "b"  # history a,b,b
+
+    def test_single_glitch_suppressed(self):
+        sm = MajorityVoteSmoother(5)
+        out = [sm.update(x) for x in ["g", "g", "g", "x", "g", "g"]]
+        assert out == ["g"] * 6
+
+    def test_validation_and_reset(self):
+        with pytest.raises(ValueError):
+            MajorityVoteSmoother(0)
+        sm = MajorityVoteSmoother(3)
+        sm.update("a")
+        sm.update("a")
+        sm.reset()
+        assert sm.update("b") == "b"
+
+
+class TestSessionLifecycle:
+    def test_duplicate_and_unknown_session(self, model):
+        service = _service(model)
+        service.open_session("u1")
+        with pytest.raises(ValueError):
+            service.open_session("u1")
+        with pytest.raises(KeyError):
+            service.ingest("nope", np.zeros((5, 4)))
+        service.close_session("u1")
+        with pytest.raises(KeyError):
+            service.close_session("u1")
+
+    def test_unfitted_model_rejected(self):
+        unfitted = BatchHDClassifier(
+            HDClassifierConfig(dim=DIM, n_channels=4, n_levels=8,
+                               signal_hi=1.0)
+        )
+        with pytest.raises(RuntimeError):
+            _service(unfitted)
+
+
+class TestBatchingPolicy:
+    def test_max_wait_zero_dispatches_every_ingest(self, model, rng):
+        service = _service(model, max_wait=0)
+        service.open_session(0)
+        decisions = service.ingest(0, rng.random((10, 4)))
+        assert len(decisions) == 2  # 10 samples -> 2 windows, same tick
+        assert service.pending_windows == 0
+        assert len(service.reports) == 1
+        assert service.reports[0].n_windows == 2
+
+    def test_max_wait_defers_partial_batches(self, model, rng):
+        service = _service(model, max_wait=2, max_batch=64)
+        service.open_session(0)
+        assert service.ingest(0, rng.random((5, 4))) == []
+        assert service.ingest(0, rng.random((5, 4))) == []
+        assert service.pending_windows == 2
+        # Third tick: the first window (enqueued at tick 1) has now aged
+        # clock - enqueued_at = 2 >= max_wait, flushing the partial batch.
+        decisions = service.ingest(0, rng.random((2, 4)))
+        assert len(decisions) == 2
+        assert decisions[0].queue_wait == 2
+
+    def test_max_batch_splits_dispatches(self, model, rng):
+        service = _service(model, max_batch=4, max_wait=0)
+        service.open_session(0)
+        decisions = service.ingest(0, rng.random((50, 4)))
+        assert len(decisions) == 10
+        assert [r.n_windows for r in service.reports] == [4, 4, 2]
+
+    def test_drain_flushes_regardless_of_wait(self, model, rng):
+        service = _service(model, max_wait=1000, max_batch=64)
+        service.open_session(0)
+        service.ingest(0, rng.random((25, 4)))
+        assert service.pending_windows == 5
+        assert len(service.drain()) == 5
+        assert service.pending_windows == 0
+
+    def test_batches_multiplex_sessions(self, model, rng):
+        service = _service(model, max_wait=10, max_batch=64)
+        for s in range(4):
+            service.open_session(s)
+        for s in range(4):
+            service.ingest(s, rng.random((10, 4)))
+        service.drain()
+        assert any(r.n_sessions > 1 for r in service.reports)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            StreamConfig(max_wait=-1)
+        with pytest.raises(ValueError):
+            StreamConfig(smooth=0)
+        with pytest.raises(ValueError):
+            StreamConfig(sample_rate_hz=0)
+        with pytest.raises(ValueError):
+            StreamConfig(history=0)
+        with pytest.raises(ValueError):
+            StreamConfig(decision_cache_limit=0)
+
+    def test_window_too_short_for_ngrams_rejected_at_setup(self, rng):
+        ngram_model = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=DIM, n_channels=4, n_levels=8, ngram_size=3,
+                signal_hi=1.0,
+            )
+        ).fit(rng.random((8, 7, 4)), [0, 1] * 4)
+        with pytest.raises(ValueError, match="3-grams"):
+            StreamingService(
+                ngram_model,
+                StreamConfig(
+                    window=WindowConfig(window_samples=2, skip_onset_s=0.0)
+                ),
+            )
+
+    def test_history_bounds_retained_records(self, model, rng):
+        service = _service(model, max_wait=0, history=6)
+        service.open_session(0)
+        service.ingest(0, rng.random((100, 4)))  # 20 windows, 1 batch
+        session = service.sessions[0]
+        assert session.n_decisions == 20  # lifetime count survives...
+        assert len(session.decisions) == 6  # ...but history is bounded
+        assert [d.index for d in session.decisions] == list(range(14, 20))
+        assert service.total_windows == 20
+        assert len(service.reports) <= 6
+
+
+class TestOfflineParity:
+    def test_streaming_equals_offline_predictions(self, model, rng):
+        """The acceptance pin: interleaved multi-session streaming with
+        aggressive batching produces exactly the offline predictions of
+        each session's windows, in order."""
+        n_sessions = 5
+        streams = [rng.random((137, 4)) for _ in range(n_sessions)]
+        service = _service(model, max_batch=7, max_wait=2, smooth=1)
+        for s in range(n_sessions):
+            service.open_session(s)
+        offsets = [0] * n_sessions
+        sizes = rng.integers(1, 23, size=500).tolist()
+        i = 0
+        while any(o < 137 for o in offsets):
+            s = i % n_sessions
+            if offsets[s] < 137:
+                step = sizes[i % len(sizes)]
+                service.ingest(
+                    s, streams[s][offsets[s] : offsets[s] + step]
+                )
+                offsets[s] += step
+            i += 1
+        service.drain()
+
+        from repro.emg.dataset import Trial
+        from repro.emg.windows import windows_from_trial
+
+        config = service.config.window
+        for s, session in enumerate(service.sessions):
+            # The oracle is the real offline slicer + batch classifier.
+            wins = windows_from_trial(
+                Trial(
+                    subject_id=0, gesture=0, repetition=0,
+                    envelope=streams[s],
+                ),
+                config,
+            )
+            expected = model.predict(np.asarray(wins))
+            got = [d.raw_label for d in session.decisions]
+            assert got == expected
+            assert [d.index for d in session.decisions] == list(
+                range(len(expected))
+            )
+
+    def test_smoothed_labels_follow_vote(self, model, rng):
+        service = _service(model, smooth=3, max_wait=0)
+        service.open_session(0)
+        service.ingest(0, rng.random((200, 4)))
+        session = service.sessions[0]
+        votes = MajorityVoteSmoother(3)
+        for decision in session.decisions:
+            assert decision.label == votes.update(decision.raw_label)
+
+    def test_feature_extraction_matches_offline(self, model, rng):
+        from repro.emg.features import window_features
+
+        service = _service(model, extract_features=True, max_wait=0)
+        service.open_session(0)
+        stream = rng.random((40, 4))
+        service.ingest(0, stream)
+        session = service.sessions[0]
+        assert session.n_decisions == 8
+        for i, decision in enumerate(session.decisions):
+            window = stream[i * 5 : i * 5 + 5]
+            assert np.array_equal(
+                decision.features, window_features(window)
+            )
+
+
+class TestTelemetry:
+    def test_device_accounting_attached_to_reports(self, model, rng):
+        device = DevicePerfModel.from_cycles(
+            143_000, soc=PULPV3_SOC, n_cores=4, dim=DIM
+        )
+        service = StreamingService(
+            model,
+            StreamConfig(
+                window=WindowConfig(window_samples=5, skip_onset_s=0.0),
+                max_wait=0,
+            ),
+            device=device,
+        )
+        service.open_session(0)
+        service.ingest(0, rng.random((50, 4)))
+        report = service.reports[0]
+        assert report.n_windows == 10
+        assert report.device.n_windows == 10
+        assert report.device.total_cycles == 10 * 143_000
+        assert report.host_seconds > 0.0
+        assert report.host_windows_per_sec > 0.0
+        # The paper's Table 2 operating point: 143 kcycles at 14.3 MHz
+        # meets the 10 ms deadline.
+        assert device.meets_deadline
+        assert device.f_mhz == pytest.approx(14.3)
+        assert report.device.serial_latency_ms == pytest.approx(100.0)
+        assert report.device.energy_uj == pytest.approx(
+            10 * device.window_energy_uj
+        )
+
+    def test_m4_model_uses_flat_power(self):
+        device = DevicePerfModel.from_cycles(
+            439_000, soc=CORTEX_M4_SOC, n_cores=1, dim=DIM
+        )
+        assert device.f_mhz == pytest.approx(43.9)
+        # Table 2: 20.83 mW at 43.9 MHz.
+        assert device.power_mw == pytest.approx(20.83, rel=1e-3)
+
+    def test_from_cycles_validation(self):
+        with pytest.raises(ValueError):
+            DevicePerfModel.from_cycles(0)
+        device = DevicePerfModel.from_cycles(1000)
+        with pytest.raises(ValueError):
+            device.account(-1)
+        assert device.account(0).energy_uj == 0.0
