@@ -15,6 +15,11 @@ example builds that serving path end to end:
    same workload on PULPv3.
 
 Run:  PYTHONPATH=src python examples/streaming_service.py
+
+For the multi-process continuation of this walkthrough — the same
+serving semantics sharded across worker processes over one mmap'd model
+store, with crash/respawn recovery — see
+``examples/sharded_streaming.py``.
 """
 
 import pathlib

@@ -53,6 +53,7 @@ from .serialize import (
     MODEL_VERSION,
     ModelFormatError,
     load_model,
+    load_model_mmap,
     model_info,
     save_model,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "bundle_counts",
     "hamming",
     "load_model",
+    "load_model_mmap",
     "model_info",
     "permute",
     "quantize_samples",

@@ -21,14 +21,30 @@ Format (``MODEL_MAGIC`` / ``MODEL_VERSION``):
   invariant before any vector is adopted, and raises
   :class:`ModelFormatError` on any mismatch.
 
-Round-trip bit-exactness, version rejection, and popcount-path
-equivalence are pinned by ``tests/hdc/test_serialize.py``.
+Two load paths serve the same bytes:
+
+* :func:`load_model` — eager: every matrix is read into fresh private
+  arrays.
+* :func:`load_model_mmap` — the serving path: the packed matrices are
+  ``np.memmap``-ed read-only straight out of the (uncompressed) zip
+  archive, so N worker processes serving one store share a single
+  page-cache copy of the model instead of N private heaps.  When the
+  uint32 row length is even the engine's uint64 widening is a zero-copy
+  byte view of the mapping (little-endian hosts); odd row lengths pay
+  one private read-only copy for the pad word.  Either way the exposed
+  arrays reject writes — a served model cannot be corrupted in place.
+
+Round-trip bit-exactness, version rejection, popcount-path equivalence,
+and mmap read-only/bit-identity behaviour are pinned by
+``tests/hdc/test_serialize.py``.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Hashable, List, Union
+import struct
+import zipfile
+from typing import Hashable, List, Tuple, Union
 
 import numpy as np
 
@@ -119,10 +135,10 @@ def _require(archive, key: str) -> np.ndarray:
         ) from None
 
 
-def _check_matrix(
+def _validate_u32_matrix(
     words: np.ndarray, key: str, n_rows: int, dim: int
-) -> np.ndarray:
-    """Validate one stored uint32 matrix and widen it to uint64 rows."""
+) -> None:
+    """Validate one stored uint32 matrix (dtype, shape, pad bits)."""
     if words.dtype != np.uint32:
         raise ModelFormatError(
             f"{key} must be uint32, got {words.dtype}"
@@ -136,7 +152,79 @@ def _check_matrix(
         raise ModelFormatError(
             f"{key} violates the pad-bit invariant for dimension {dim}"
         )
+
+
+def _check_matrix(
+    words: np.ndarray, key: str, n_rows: int, dim: int
+) -> np.ndarray:
+    """Validate one stored uint32 matrix and widen it to uint64 rows."""
+    _validate_u32_matrix(words, key, n_rows, dim)
     return bitpack.u32_to_u64(words, dim)
+
+
+def _widen_readonly(words: np.ndarray, dim: int) -> np.ndarray:
+    """Widen validated uint32 rows to uint64 without giving up the map.
+
+    When the uint32 row length is even, the uint64 layout is the *same
+    bytes* (LSB-first little-endian), so a dtype view keeps the array
+    mmap-backed and read-only.  Odd row lengths need a zero pad word per
+    row, which forces one private copy — marked read-only so both paths
+    expose the same immutable contract.
+    """
+    n32 = bitpack.words_for_dim(dim)
+    n64 = bitpack.words_for_dim(dim, bitpack.WORD_BITS64)
+    if n32 == 2 * n64:
+        return words.view("<u8")
+    widened = bitpack.u32_to_u64(words, dim)
+    widened.setflags(write=False)
+    return widened
+
+
+def _open_archive(path: pathlib.Path):
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise ModelFormatError(f"cannot read model file {path}: {exc}")
+
+
+def _load_header(
+    archive, path: pathlib.Path
+) -> Tuple[HDClassifierConfig, List[Hashable]]:
+    """Validate magic/version and decode config + labels (small arrays)."""
+    magic = _require(archive, "magic")
+    if str(magic) != MODEL_MAGIC:
+        raise ModelFormatError(
+            f"{path} is not a {MODEL_MAGIC} file (magic {magic!r})"
+        )
+    version = int(_require(archive, "version"))
+    if version != MODEL_VERSION:
+        raise ModelFormatError(
+            f"unsupported model format version {version} "
+            f"(this build reads version {MODEL_VERSION})"
+        )
+    fields = {}
+    for name in _CONFIG_INT_FIELDS:
+        fields[name] = int(_require(archive, name))
+    for name in _CONFIG_FLOAT_FIELDS:
+        fields[name] = float(_require(archive, name))
+    try:
+        config = HDClassifierConfig(**fields)
+    except ValueError as exc:
+        raise ModelFormatError(f"invalid stored config: {exc}")
+    labels_arr = _require(archive, "labels")
+    if labels_arr.ndim != 1 or labels_arr.dtype.kind not in "iuU":
+        raise ModelFormatError(
+            f"labels must be a 1-D int or string array, got "
+            f"{labels_arr.dtype} shape {labels_arr.shape}"
+        )
+    labels: List[Hashable] = labels_arr.tolist()
+    if len(set(labels)) != len(labels):
+        raise ModelFormatError("duplicate class labels in model file")
+    if not labels:
+        raise ModelFormatError("model file stores zero classes")
+    return config, labels
 
 
 def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
@@ -147,44 +235,8 @@ def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
     verbatim and no RNG is involved.
     """
     path = pathlib.Path(path)
-    try:
-        archive = np.load(path, allow_pickle=False)
-    except FileNotFoundError:
-        raise
-    except Exception as exc:
-        raise ModelFormatError(f"cannot read model file {path}: {exc}")
-    with archive:
-        magic = _require(archive, "magic")
-        if str(magic) != MODEL_MAGIC:
-            raise ModelFormatError(
-                f"{path} is not a {MODEL_MAGIC} file (magic {magic!r})"
-            )
-        version = int(_require(archive, "version"))
-        if version != MODEL_VERSION:
-            raise ModelFormatError(
-                f"unsupported model format version {version} "
-                f"(this build reads version {MODEL_VERSION})"
-            )
-        fields = {}
-        for name in _CONFIG_INT_FIELDS:
-            fields[name] = int(_require(archive, name))
-        for name in _CONFIG_FLOAT_FIELDS:
-            fields[name] = float(_require(archive, name))
-        try:
-            config = HDClassifierConfig(**fields)
-        except ValueError as exc:
-            raise ModelFormatError(f"invalid stored config: {exc}")
-        labels_arr = _require(archive, "labels")
-        if labels_arr.ndim != 1 or labels_arr.dtype.kind not in "iuU":
-            raise ModelFormatError(
-                f"labels must be a 1-D int or string array, got "
-                f"{labels_arr.dtype} shape {labels_arr.shape}"
-            )
-        labels: List[Hashable] = labels_arr.tolist()
-        if len(set(labels)) != len(labels):
-            raise ModelFormatError("duplicate class labels in model file")
-        if not labels:
-            raise ModelFormatError("model file stores zero classes")
+    with _open_archive(path) as archive:
+        config, labels = _load_header(archive, path)
         im64 = _check_matrix(
             _require(archive, "im_u32"), "im_u32", config.n_channels,
             config.dim,
@@ -202,6 +254,108 @@ def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
         ContinuousItemMemory.from_words64(cim64, config.dim),
         labels,
         am64,
+    )
+
+
+def _mmap_member(
+    path: pathlib.Path, zf: zipfile.ZipFile, key: str
+) -> np.ndarray:
+    """Memory-map one stored ``.npy`` member of the archive, read-only.
+
+    ``np.savez`` stores members uncompressed (``ZIP_STORED``), so each
+    ``.npy`` payload sits at a fixed byte offset in the archive and can
+    be mapped directly — no inflate, no copy.  The local file header is
+    re-read from disk because its extra-field length may differ from the
+    central directory's.
+    """
+    name = f"{key}.npy"
+    try:
+        info = zf.getinfo(name)
+    except KeyError:
+        raise ModelFormatError(
+            f"model file is missing required key {key!r}"
+        ) from None
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise ModelFormatError(
+            f"{name} is compressed inside {path}; only uncompressed "
+            f"(np.savez) stores can be memory-mapped — use load_model()"
+        )
+    with open(path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if len(local) != 30 or local[:4] != b"PK\x03\x04":
+            raise ModelFormatError(
+                f"corrupt local zip header for {name} in {path}"
+            )
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+        fh.seek(info.header_offset + 30 + name_len + extra_len)
+        try:
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = (
+                    np.lib.format.read_array_header_1_0(fh)
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = (
+                    np.lib.format.read_array_header_2_0(fh)
+                )
+            else:
+                raise ModelFormatError(
+                    f"unsupported .npy format version {version} for {name}"
+                )
+        except ModelFormatError:
+            raise
+        except Exception as exc:
+            raise ModelFormatError(
+                f"cannot parse .npy header of {name} in {path}: {exc}"
+            )
+        if fortran:
+            raise ModelFormatError(
+                f"{name} is Fortran-ordered; the store writes C order"
+            )
+        payload_offset = fh.tell()
+    return np.memmap(
+        path, dtype=dtype, mode="r", offset=payload_offset, shape=shape
+    )
+
+
+def load_model_mmap(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
+    """Load a model with its packed matrices memory-mapped read-only.
+
+    Bit-identical to :func:`load_model` — same validation, same adopted
+    words, zero RNG draws — but the uint32 matrices stay backed by the
+    file mapping, so concurrent worker processes serving one store share
+    a single physical copy of the model (copy-on-write pages that are
+    never written).  The exposed arrays are read-only: any attempt to
+    write through :attr:`~repro.hdc.batch.BatchHDClassifier.prototype_words`
+    raises ``ValueError``.  This is the load path of each shard worker in
+    :mod:`repro.stream.sharded`.
+    """
+    path = pathlib.Path(path)
+    with _open_archive(path) as archive:
+        config, labels = _load_header(archive, path)
+    row_counts = {
+        "im_u32": config.n_channels,
+        "cim_u32": config.n_levels,
+        "am_u32": len(labels),
+    }
+    mapped = {}
+    try:
+        with zipfile.ZipFile(path) as zf:
+            for key, n_rows in row_counts.items():
+                words = _mmap_member(path, zf, key)
+                _validate_u32_matrix(words, key, n_rows, config.dim)
+                mapped[key] = _widen_readonly(words, config.dim)
+    except ModelFormatError:
+        raise
+    except Exception as exc:
+        raise ModelFormatError(f"cannot map model file {path}: {exc}")
+    return BatchHDClassifier.from_state(
+        config,
+        ItemMemory.from_words64(mapped["im_u32"], config.dim),
+        ContinuousItemMemory.from_words64(mapped["cim_u32"], config.dim),
+        labels,
+        mapped["am_u32"],
     )
 
 

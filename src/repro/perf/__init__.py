@@ -9,19 +9,29 @@ from .latency import (
     required_frequency_mhz,
 )
 from .model import ChainCycleModel, LinearCycleModel
-from .streaming import BatchDevicePerf, DevicePerfModel, device_model
+from .streaming import (
+    BatchDevicePerf,
+    DevicePerfModel,
+    FleetStats,
+    StreamStats,
+    device_model,
+    merge_stream_stats,
+)
 
 __all__ = [
     "BatchDevicePerf",
     "ChainCycleModel",
     "DETECTION_LATENCY_MS",
     "DevicePerfModel",
+    "FleetStats",
     "LatencyCheck",
     "LinearCycleModel",
+    "StreamStats",
     "calibrate_chain",
     "calibration_dims",
     "check_latency",
     "clear_cache",
     "device_model",
+    "merge_stream_stats",
     "required_frequency_mhz",
 ]

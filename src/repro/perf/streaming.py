@@ -21,7 +21,7 @@ callers that already ran Table 2/3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..kernels.layout import ChainDims
 from ..pulp.power import (
@@ -163,3 +163,174 @@ def device_model(
         dim=dim,
         v_cluster=v_cluster,
     )
+
+
+# -- per-scheduler and fleet-wide aggregation --------------------------------
+#
+# The sharded front end (:mod:`repro.stream.sharded`) runs one scheduler
+# per worker process; each worker snapshots its scheduler into a
+# StreamStats (picklable, plain numbers) and the coordinator merges the
+# snapshots into one FleetStats.  StreamStats.collect is duck-typed on
+# the scheduler's telemetry properties rather than importing the
+# scheduler class — repro.stream already imports this module.
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Lifetime serving statistics of one streaming scheduler."""
+
+    shard: Optional[int]  # worker index; None for a single-process service
+    n_sessions: int  # sessions currently open
+    n_windows: int
+    n_batches: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_size: int
+    host_seconds: float  # wall-clock inside engine passes
+    device_cycles: int  # simulated on-device totals (0 without a device)
+    device_energy_uj: float
+
+    @classmethod
+    def collect(cls, service, shard: Optional[int] = None) -> "StreamStats":
+        """Snapshot any object with the scheduler's telemetry surface."""
+        return cls(
+            shard=shard,
+            n_sessions=len(service.sessions),
+            n_windows=service.total_windows,
+            n_batches=service.total_batches,
+            cache_hits=service.cache_hits,
+            cache_misses=service.cache_misses,
+            cache_evictions=service.cache_evictions,
+            cache_size=service.cache_size,
+            host_seconds=service.total_host_seconds,
+            device_cycles=service.total_device_cycles,
+            device_energy_uj=service.total_device_energy_uj,
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Decision-cache hit fraction (0.0 when nothing was looked up)."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean windows per dispatched batch."""
+        return self.n_windows / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def host_windows_per_sec(self) -> float:
+        """Windows per second of engine time (not elapsed wall-clock)."""
+        if self.host_seconds <= 0.0:
+            return float("inf") if self.n_windows else 0.0
+        return self.n_windows / self.host_seconds
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Merged statistics of a fleet of shard schedulers.
+
+    Counts and simulated device totals are additive across shards.
+    ``host_seconds`` is summed too — across concurrent workers that is
+    aggregate *CPU* time in engine passes, not elapsed wall-clock (the
+    shards overlap); elapsed time is whatever the caller measured around
+    the whole run.
+    """
+
+    shards: Tuple[StreamStats, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("fleet stats need at least one shard")
+
+    @property
+    def n_shards(self) -> int:
+        """Number of merged shard snapshots."""
+        return len(self.shards)
+
+    @property
+    def n_sessions(self) -> int:
+        """Open sessions across the fleet."""
+        return sum(s.n_sessions for s in self.shards)
+
+    @property
+    def n_windows(self) -> int:
+        """Windows classified across the fleet."""
+        return sum(s.n_windows for s in self.shards)
+
+    @property
+    def n_batches(self) -> int:
+        """Batches dispatched across the fleet."""
+        return sum(s.n_batches for s in self.shards)
+
+    @property
+    def cache_hits(self) -> int:
+        """Decision-cache hits across the fleet."""
+        return sum(s.cache_hits for s in self.shards)
+
+    @property
+    def cache_misses(self) -> int:
+        """Decision-cache misses across the fleet."""
+        return sum(s.cache_misses for s in self.shards)
+
+    @property
+    def cache_evictions(self) -> int:
+        """Decision-cache evictions across the fleet."""
+        return sum(s.cache_evictions for s in self.shards)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fleet-wide decision-cache hit fraction."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean windows per dispatched batch across the fleet."""
+        return self.n_windows / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def host_seconds(self) -> float:
+        """Aggregate engine CPU seconds across the fleet (overlapping)."""
+        return sum(s.host_seconds for s in self.shards)
+
+    @property
+    def device_cycles(self) -> int:
+        """Simulated on-device cycles across the fleet."""
+        return sum(s.device_cycles for s in self.shards)
+
+    @property
+    def device_energy_uj(self) -> float:
+        """Simulated on-device energy across the fleet."""
+        return sum(s.device_energy_uj for s in self.shards)
+
+    def describe(self) -> List[str]:
+        """Human-readable per-shard + fleet summary lines."""
+        lines = [
+            f"{'shard':>6s} {'sessions':>8s} {'windows':>9s} "
+            f"{'batches':>8s} {'batch':>6s} {'hits':>6s} {'engine-s':>9s}"
+        ]
+        for s in self.shards:
+            label = "solo" if s.shard is None else str(s.shard)
+            lines.append(
+                f"{label:>6s} {s.n_sessions:>8d} {s.n_windows:>9d} "
+                f"{s.n_batches:>8d} {s.mean_batch:>6.1f} "
+                f"{s.hit_rate:>6.0%} {s.host_seconds:>9.3f}"
+            )
+        lines.append(
+            f"{'fleet':>6s} {self.n_sessions:>8d} {self.n_windows:>9d} "
+            f"{self.n_batches:>8d} {self.mean_batch:>6.1f} "
+            f"{self.hit_rate:>6.0%} {self.host_seconds:>9.3f}"
+        )
+        if self.device_cycles:
+            lines.append(
+                f"  simulated device totals: {self.device_cycles:,} "
+                f"cycles, {self.device_energy_uj / 1e3:.2f} mJ"
+            )
+        return lines
+
+
+def merge_stream_stats(stats: Sequence[StreamStats]) -> FleetStats:
+    """Merge per-shard snapshots into one fleet view (order preserved)."""
+    return FleetStats(shards=tuple(stats))

@@ -15,23 +15,60 @@ low-power device.  This package is that serving layer, scaled out:
   packed encode + AM-search passes with ``max_batch`` / ``max_wait``
   backpressure;
 * telemetry — every dispatch reports host wall-clock next to simulated
-  on-device latency/energy via :mod:`repro.perf.streaming`.
+  on-device latency/energy via :mod:`repro.perf.streaming`;
+* :class:`~repro.stream.sharded.ShardedStreamingService` — the
+  multi-process front end: sessions hash-partitioned across N worker
+  shards, each running its own scheduler against a read-only
+  memory-mapped model store, with journal-based shard drain/respawn and
+  fleet-wide telemetry;
+* :mod:`~repro.stream.replay` — seedable deterministic traces and the
+  differential parity harness that pins the sharded service bit-exactly
+  to the single-process one.
 
 Models come from the versioned store (:mod:`repro.hdc.serialize`);
 serving never retrains.  ``python -m repro.stream`` runs a synthetic-EMG
-demo; ``--selftest`` checks streaming/offline parity end to end.
+demo (``--shards N`` for the multi-process front end); ``--selftest``
+checks streaming/offline and sharded/single-process parity end to end.
 """
 
+from .replay import (
+    ReplayTrace,
+    TraceEvent,
+    decision_records,
+    parity_digest,
+    replay,
+    stream_bytes,
+    synthetic_trace,
+    trace_from_streams,
+)
 from .scheduler import BatchReport, StreamConfig, StreamingService
 from .session import Decision, MajorityVoteSmoother, Session
+from .sharded import (
+    ShardCrashError,
+    ShardError,
+    ShardedStreamingService,
+    shard_for,
+)
 from .windower import StreamWindower
 
 __all__ = [
     "BatchReport",
     "Decision",
     "MajorityVoteSmoother",
+    "ReplayTrace",
     "Session",
+    "ShardCrashError",
+    "ShardError",
+    "ShardedStreamingService",
     "StreamConfig",
     "StreamingService",
     "StreamWindower",
+    "TraceEvent",
+    "decision_records",
+    "parity_digest",
+    "replay",
+    "shard_for",
+    "stream_bytes",
+    "synthetic_trace",
+    "trace_from_streams",
 ]

@@ -2,32 +2,40 @@
 
 ``python -m repro.stream`` trains (or loads from the model store) a
 per-subject EMG classifier, opens N concurrent sessions, streams the
-subject's trials through them in round-robin chunks, and reports
-throughput, accuracy, batch statistics, and simulated on-device
-latency/energy.
+subject's trials through them as one deterministic replay trace, and
+reports throughput, accuracy, batch statistics, and simulated on-device
+latency/energy.  ``--shards N`` serves the identical trace through the
+multi-process :class:`~repro.stream.sharded.ShardedStreamingService`
+instead (N workers over one memory-mapped model store) and prints the
+merged fleet telemetry.
 
 ``--selftest`` runs a reduced configuration and *asserts* the subsystem
 invariants end to end — streaming decisions byte-identical to the
-offline batch classifier, model-store round-trip bit-exactness — exiting
-non-zero on any mismatch (wired into CI).
+offline batch classifier, sharded decisions byte-identical to the
+single-process scheduler on the same trace, model-store round-trip
+bit-exactness (eager and mmap loads) — exiting non-zero on any mismatch
+(wired into CI).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..emg import EMGDatasetConfig, WindowConfig, generate_subject
 from ..emg.windows import paper_split, windows_from_trials
 from ..hdc import BatchHDClassifier, HDClassifierConfig
-from ..hdc.serialize import load_model, save_model
+from ..hdc.serialize import load_model, load_model_mmap, save_model
 from ..perf.streaming import DevicePerfModel, device_model
 from ..pulp.soc import soc_by_name
+from .replay import ReplayTrace, parity_digest, replay, trace_from_streams
 from .scheduler import StreamConfig, StreamingService
+from .sharded import ShardedStreamingService
 
 _DEVICES = {
     "pulp4": ("pulpv3", 4),
@@ -44,6 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--sessions", type=int, default=8,
                         help="concurrent streams (default 8)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve through N worker processes "
+                             "(default 0 = single-process scheduler)")
     parser.add_argument("--dim", type=int, default=10_000,
                         help="hypervector dimension (default 10000)")
     parser.add_argument("--subject", type=int, default=0,
@@ -85,31 +96,31 @@ def _train_model(
     return model
 
 
-def _stream_trials(
-    service: StreamingService,
+def _build_workload(
     trials: Sequence,
     n_sessions: int,
+    window: WindowConfig,
+    sample_rate_hz: int,
     chunk: int,
-) -> dict:
-    """Round-robin the trials' envelopes through ``n_sessions`` streams.
+    seed: int = 0,
+) -> tuple:
+    """Deterministic replay trace + per-window ground truth.
 
     Session ``s`` streams trials ``s, s + N, s + 2N, ...`` back to back;
-    chunks from all sessions interleave, so batches genuinely multiplex
-    sessions.  Returns ground-truth labels per emitted window.
+    the trace interleaves chunks from all sessions (seeded), so batches
+    genuinely multiplex sessions.  Truth follows the offline slicing
+    over each concatenated stream; a window is labelled by the trial
+    owning its first sample.
     """
     streams: List[np.ndarray] = []
     truths: List[List[int]] = []
-    window = service.config.window
     for s in range(n_sessions):
         mine = [trials[i] for i in range(s, len(trials), n_sessions)] or [
             trials[s % len(trials)]
         ]
         streams.append(np.concatenate([t.envelope for t in mine]))
-        # Per-window truth follows the offline slicing over the
-        # concatenated stream: windows fall inside one trial except at
-        # seams; label a window by the trial owning its first sample.
         bounds = np.cumsum([t.envelope.shape[0] for t in mine])
-        start = int(round(window.skip_onset_s * service.config.sample_rate_hz))
+        start = int(round(window.skip_onset_s * sample_rate_hz))
         truth: List[int] = []
         pos = start
         while pos + window.slice_samples <= streams[-1].shape[0]:
@@ -117,30 +128,17 @@ def _stream_trials(
                          .gesture)
             pos += window.stride
         truths.append(truth)
-        service.open_session(s)
-
-    offsets = [0] * n_sessions
-    t0 = time.perf_counter()
-    live = set(range(n_sessions))
-    while live:
-        for s in sorted(live):
-            stream = streams[s]
-            lo = offsets[s]
-            hi = min(lo + chunk, stream.shape[0])
-            service.ingest(s, stream[lo:hi])
-            offsets[s] = hi
-            if hi >= stream.shape[0]:
-                live.discard(s)
-    service.drain()
-    wall = time.perf_counter() - t0
-    return {"wall": wall, "truths": truths}
+    trace = trace_from_streams(streams, seed=seed, chunking=chunk)
+    return trace, truths
 
 
-def _accuracy(service: StreamingService, truths: List[List[int]]) -> tuple:
+def _accuracy(
+    per_session: Dict, truths: List[List[int]]
+) -> tuple:
     raw_hits = smooth_hits = total = 0
-    for session in service.sessions:
-        truth = truths[session.id]
-        for decision in session.decisions:
+    for sid, decisions in per_session.items():
+        truth = truths[sid]
+        for decision in decisions:
             total += 1
             raw_hits += decision.raw_label == truth[decision.index]
             smooth_hits += decision.label == truth[decision.index]
@@ -149,11 +147,36 @@ def _accuracy(service: StreamingService, truths: List[List[int]]) -> tuple:
     return raw_hits / total, smooth_hits / total
 
 
-def _report(service: StreamingService, stats: dict) -> List[str]:
+def _device_lines(device: Optional[DevicePerfModel], n_windows: int):
+    if device is None:
+        return []
+    return [
+        f"simulated device    : {device.name} @ {device.f_mhz:.2f} MHz"
+        f" ({'meets' if device.meets_deadline else 'MISSES'}"
+        f" the {device.deadline_ms:.0f} ms deadline)",
+        f"  per decision      : {device.cycles_per_window:,} cycles, "
+        f"{device.window_latency_ms:.2f} ms, "
+        f"{device.window_energy_uj:.1f} uJ",
+        f"  whole run         : "
+        f"{n_windows * device.window_energy_uj / 1e3:.2f} mJ across "
+        f"{n_windows} decisions",
+    ]
+
+
+def _run_single(
+    model: BatchHDClassifier,
+    config: StreamConfig,
+    trace: ReplayTrace,
+    truths: List[List[int]],
+    device: Optional[DevicePerfModel],
+) -> List[str]:
+    service = StreamingService(model, config, device=device)
+    t0 = time.perf_counter()
+    per_session = replay(service, trace)
+    wall = time.perf_counter() - t0
     n_windows = service.total_windows
     n_batches = service.total_batches
-    wall = stats["wall"]
-    raw_acc, smooth_acc = _accuracy(service, stats["truths"])
+    raw_acc, smooth_acc = _accuracy(per_session, truths)
     lines = [
         f"sessions            : {len(service.sessions)}",
         f"windows classified  : {n_windows}",
@@ -164,22 +187,45 @@ def _report(service: StreamingService, stats: dict) -> List[str]:
         if wall > 0 else "host wall-clock     : <1 ms",
         f"accuracy            : raw {raw_acc:.3f} / "
         f"smoothed {smooth_acc:.3f} "
-        f"(majority of {service.config.smooth})",
+        f"(majority of {config.smooth})",
     ]
-    device = service.device
-    if device is not None:
-        lines += [
-            f"simulated device    : {device.name} @ {device.f_mhz:.2f} MHz"
-            f" ({'meets' if device.meets_deadline else 'MISSES'}"
-            f" the {device.deadline_ms:.0f} ms deadline)",
-            f"  per decision      : {device.cycles_per_window:,} cycles, "
-            f"{device.window_latency_ms:.2f} ms, "
-            f"{device.window_energy_uj:.1f} uJ",
-            f"  whole run         : "
-            f"{n_windows * device.window_energy_uj / 1e3:.2f} mJ across "
-            f"{n_windows} decisions",
-        ]
-    return lines
+    return lines + _device_lines(device, n_windows)
+
+
+def _run_sharded(
+    model_path: str,
+    n_shards: int,
+    config: StreamConfig,
+    trace: ReplayTrace,
+    truths: List[List[int]],
+    device: Optional[DevicePerfModel],
+) -> List[str]:
+    with ShardedStreamingService(
+        model_path, config, n_shards=n_shards, device=device
+    ) as service:
+        t0 = time.perf_counter()
+        per_session = replay(service, trace)
+        wall = time.perf_counter() - t0
+        fleet = service.stats()
+    raw_acc, smooth_acc = _accuracy(per_session, truths)
+    lines = [
+        f"shards              : {n_shards} worker processes "
+        f"(mmap'd model store)",
+        f"sessions            : {fleet.n_sessions}",
+        f"windows classified  : {fleet.n_windows}",
+        f"dispatch batches    : {fleet.n_batches} "
+        f"(mean {fleet.mean_batch:.1f} windows/batch, "
+        f"{fleet.hit_rate:.0%} cache hits)",
+        f"host wall-clock     : {wall:.3f} s "
+        f"({fleet.n_windows / wall:,.0f} windows/s sustained)"
+        if wall > 0 else "host wall-clock     : <1 ms",
+        f"accuracy            : raw {raw_acc:.3f} / "
+        f"smoothed {smooth_acc:.3f} "
+        f"(majority of {config.smooth})",
+        "per-shard fleet telemetry:",
+        *("  " + line for line in fleet.describe()),
+    ]
+    return lines + _device_lines(device, fleet.n_windows)
 
 
 def run_demo(args: argparse.Namespace) -> int:
@@ -201,22 +247,34 @@ def run_demo(args: argparse.Namespace) -> int:
             soc_by_name(soc_name), n_cores, model.config.dim
         )
 
-    service = StreamingService(
-        model,
-        StreamConfig(
-            window=WindowConfig(),
-            max_batch=args.max_batch,
-            max_wait=args.max_wait,
-            smooth=args.smooth,
-        ),
-        device=device,
+    config = StreamConfig(
+        window=WindowConfig(),
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        smooth=args.smooth,
     )
     dataset = EMGDatasetConfig(
         n_subjects=args.subject + 1, n_repetitions=args.repetitions
     )
     trials = generate_subject(dataset, args.subject).trials
-    stats = _stream_trials(service, trials, args.sessions, args.chunk)
-    print("\n".join(_report(service, stats)))
+    trace, truths = _build_workload(
+        trials, args.sessions, config.window, config.sample_rate_hz,
+        args.chunk,
+    )
+    if args.shards > 0:
+        # Sharded workers rebuild from the store; without --model,
+        # persist the freshly trained model to a throwaway store.
+        with tempfile.TemporaryDirectory() as tmp:
+            model_path = args.model or str(
+                save_model(f"{tmp}/model", model)
+            )
+            print("\n".join(_run_sharded(
+                model_path, args.shards, config, trace, truths, device
+            )))
+    else:
+        print("\n".join(_run_single(
+            model, config, trace, truths, device
+        )))
     return 0
 
 
@@ -233,41 +291,41 @@ def run_selftest() -> int:
     model = _train_model(dim=2048, subject_id=0, repetitions=2)
     dataset = EMGDatasetConfig(n_subjects=1, n_repetitions=2)
     trials = generate_subject(dataset, 0).trials
+    window = WindowConfig()
+    config = StreamConfig(window=window, max_batch=64, max_wait=3)
+    trace, truths = _build_workload(
+        trials, 4, window, config.sample_rate_hz, chunk=37,
+    )
 
     # 1. Streaming parity: raw decisions == offline batch predictions on
     #    the exact same windows, across interleaved sessions.
-    service = StreamingService(
-        model,
-        StreamConfig(window=WindowConfig(), max_batch=64, max_wait=3),
-    )
-    stats = _stream_trials(service, trials, n_sessions=4, chunk=37)
-    window = WindowConfig()
+    service = StreamingService(model, config)
+    per_session = replay(service, trace)
     from ..emg.dataset import Trial
     from ..emg.windows import windows_from_trial
 
-    for session in service.sessions:
-        mine = [trials[i] for i in range(session.id, len(trials), 4)]
-        stream = np.concatenate([t.envelope for t in mine])
+    for sid, decisions in sorted(per_session.items()):
         # The offline oracle is the *real* offline slicer, not a copy of
         # its loop — parity must hold against whatever it does.
         offline_w = windows_from_trial(
-            Trial(subject_id=0, gesture=0, repetition=0, envelope=stream),
+            Trial(subject_id=0, gesture=0, repetition=0,
+                  envelope=trace.session_stream(sid)),
             window,
         )
         offline = model.predict(np.asarray(offline_w))
-        raw = [d.raw_label for d in session.decisions]
+        raw = [d.raw_label for d in decisions]
         check(
-            f"session {session.id}: {len(raw)} streaming decisions match "
+            f"session {sid}: {len(raw)} streaming decisions match "
             f"offline",
             len(raw) == len(offline) and raw == offline,
         )
 
-    # 2. Model store round trip: bit-exact words and predictions.
-    import tempfile
-
+    # 2. Model store round trip: bit-exact words and predictions, on
+    #    both the eager and the memory-mapped load path.
     with tempfile.TemporaryDirectory() as tmp:
         path = save_model(f"{tmp}/model", model)
         loaded = load_model(path)
+        mapped = load_model_mmap(path)
         check(
             "model store round-trip words bit-exact",
             np.array_equal(loaded.prototype_words, model.prototype_words)
@@ -276,19 +334,43 @@ def run_selftest() -> int:
                 model.encoder.spatial.item_memory.as_matrix64(),
             ),
         )
+        check(
+            "mmap load bit-exact and read-only",
+            np.array_equal(mapped.prototype_words, model.prototype_words)
+            and not mapped.prototype_words.flags.writeable,
+        )
         probe = np.stack(
-            [trials[0].envelope[i : i + window.slice_samples]
+            [trials[0].envelope[i: i + window.slice_samples]
              for i in range(0, 200, window.stride)]
         )
         check(
             "loaded model predicts identically",
-            loaded.predict(probe) == model.predict(probe),
+            loaded.predict(probe) == model.predict(probe)
+            and mapped.predict(probe) == model.predict(probe),
         )
 
-    # 3. The scheduler actually batched across sessions.
+        # 3. Sharded front end: byte-identical decision streams to the
+        #    single-process scheduler on the same trace.
+        reference = parity_digest(per_session)
+        with ShardedStreamingService(
+            path, config, n_shards=2
+        ) as sharded:
+            sharded_sessions = replay(sharded, trace)
+            fleet = sharded.stats()
+        check(
+            "sharded(2) decision streams byte-identical to "
+            "single-process",
+            parity_digest(sharded_sessions) == reference,
+        )
+        check(
+            "fleet telemetry accounts every window",
+            fleet.n_windows == service.total_windows,
+        )
+
+    # 4. The scheduler actually batched across sessions.
     multiplexed = any(r.n_sessions > 1 for r in service.reports)
     check("dispatches multiplex sessions", multiplexed)
-    raw_acc, smooth_acc = _accuracy(service, stats["truths"])
+    raw_acc, smooth_acc = _accuracy(per_session, truths)
     check(f"raw accuracy sane ({raw_acc:.3f})", raw_acc > 0.5)
 
     if failures:

@@ -29,13 +29,16 @@ the batched encoder deduplicates repeated quantised rows *within* a
 pass (:mod:`repro.hdc.encoder`), and the scheduler's decision cache
 memoizes winners by quantised window pattern *across* batches — the
 whole chain is a pure function of those integer levels, so a repeat is
-a dict hit instead of a re-encode.
+a dict hit instead of a re-encode.  The cache evicts least-recently-used
+entries one at a time when full (hot plateau patterns survive bursts of
+cold ones), and since it only ever short-circuits a pure function, any
+eviction policy is bit-exact by construction.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Hashable, List, Optional, Tuple
 
@@ -68,8 +71,10 @@ class StreamConfig:
     #: a dict hit instead of a re-encode — bit-exactly.  Plateau-heavy
     #: biosignal streams repeat patterns constantly, which is what makes
     #: sustained serving cheap.  Bounded by ``decision_cache_limit``
-    #: entries (a key plus one small int each; cleared wholesale when
-    #: full, like the ISS closure memos).
+    #: entries (a key plus one small int each); least-recently-used
+    #: entries are evicted one at a time when full, so a hot pattern
+    #: never goes cold just because the service saw many one-off
+    #: patterns since it was last refreshed.
     decision_cache: bool = True
     decision_cache_limit: int = 1 << 20
     #: Retained per-session decisions and service batch reports (each a
@@ -158,13 +163,19 @@ class StreamingService:
         self._pending = 0
         self._clock = 0
         self._next_batch_id = 0
-        self._decision_cache: Dict[bytes, int] = {}
+        # LRU order: oldest-used entry first (see StreamConfig).
+        self._decision_cache: "OrderedDict[bytes, int]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
-        # Bounded recent-batch telemetry (see StreamConfig.history).
+        self.cache_evictions = 0
+        # Bounded recent-batch telemetry (see StreamConfig.history),
+        # next to unbounded lifetime totals for fleet aggregation.
         self.reports: Deque[BatchReport] = deque(maxlen=config.history)
         self._n_reports = 0
         self._n_windows = 0
+        self._host_seconds = 0.0
+        self._device_cycles = 0
+        self._device_energy_uj = 0.0
 
     # -- introspection -----------------------------------------------------
 
@@ -194,6 +205,11 @@ class StreamingService:
         return self._pending
 
     @property
+    def cache_size(self) -> int:
+        """Entries currently held by the decision cache."""
+        return len(self._decision_cache)
+
+    @property
     def sessions(self) -> Tuple[Session, ...]:
         """All open sessions, in opening order."""
         return tuple(self._sessions.values())
@@ -212,6 +228,21 @@ class StreamingService:
     def total_batches(self) -> int:
         """Batches dispatched over the service's lifetime."""
         return self._n_reports
+
+    @property
+    def total_host_seconds(self) -> float:
+        """Wall-clock spent in engine passes over the lifetime."""
+        return self._host_seconds
+
+    @property
+    def total_device_cycles(self) -> int:
+        """Simulated on-device cycles over the lifetime (0 if no device)."""
+        return self._device_cycles
+
+    @property
+    def total_device_energy_uj(self) -> float:
+        """Simulated on-device energy over the lifetime (0 if no device)."""
+        return self._device_energy_uj
 
     # -- session lifecycle -------------------------------------------------
 
@@ -246,19 +277,39 @@ class StreamingService:
     # -- the data path -----------------------------------------------------
 
     def ingest(
-        self, session_id: Hashable, samples: np.ndarray
+        self,
+        session_id: Hashable,
+        samples: np.ndarray,
+        tick: Optional[int] = None,
     ) -> List[Decision]:
         """Push one chunk of samples into a session; pump the scheduler.
 
         Returns every decision (across *all* sessions) that this tick's
         dispatches produced — the scheduler is shared, so one session's
         arrival can flush a batch full of other sessions' windows.
+
+        ``tick`` injects an external ingest clock: the service clock
+        jumps to exactly that value instead of incrementing by one.
+        This is the sharding hook — a coordinator stamps every ingest
+        with its own global tick so each shard's ``max_wait`` ages
+        windows on fleet-wide traffic, and a respawned shard replaying
+        its journal reproduces the original batching decisions exactly.
+        Injected ticks must be strictly increasing per service.
         """
         try:
             session = self._sessions[session_id]
         except KeyError:
             raise KeyError(f"session {session_id!r} is not open") from None
-        self._clock += 1
+        if tick is None:
+            self._clock += 1
+        else:
+            tick = int(tick)
+            if tick <= self._clock:
+                raise ValueError(
+                    f"injected tick {tick} must advance the service "
+                    f"clock (currently {self._clock})"
+                )
+            self._clock = tick
         windows = session.push(samples)
         if windows:
             self._queue.append(
@@ -317,6 +368,7 @@ class StreamingService:
             if winner is None:
                 missing.append(i)
             else:
+                cache.move_to_end(key)  # refresh LRU recency
                 winners[i] = winner
         self.cache_hits += n - len(missing)
         self.cache_misses += len(missing)
@@ -324,11 +376,16 @@ class StreamingService:
             queries = encoder.encode_levels_batch(levels[missing])
             found, _ = engine.am_search(queries.words, self._proto_words)
             limit = self._config.decision_cache_limit
-            if len(cache) + len(missing) > limit:
-                cache.clear()
             for j, i in enumerate(missing):
                 winner = int(found[j])
-                cache[keys[i]] = winner
+                key = keys[i]
+                if key not in cache:
+                    while len(cache) >= limit:
+                        cache.popitem(last=False)  # evict coldest
+                        self.cache_evictions += 1
+                # Insertion lands at the MRU end; a duplicate row in the
+                # same batch re-assigns the identical winner in place.
+                cache[key] = winner
                 winners[i] = winner
         return winners
 
@@ -375,6 +432,13 @@ class StreamingService:
                 pos += 1
         self._n_reports += 1
         self._n_windows += n
+        self._host_seconds += host_seconds
+        device = (
+            self._device.account(n) if self._device is not None else None
+        )
+        if device is not None:
+            self._device_cycles += device.total_cycles
+            self._device_energy_uj += device.energy_uj
         self.reports.append(
             BatchReport(
                 batch_id=batch_id,
@@ -382,11 +446,7 @@ class StreamingService:
                 n_sessions=len({id(session) for session, _, _ in items}),
                 decided_at=clock,
                 host_seconds=host_seconds,
-                device=(
-                    self._device.account(n)
-                    if self._device is not None
-                    else None
-                ),
+                device=device,
             )
         )
         return decisions

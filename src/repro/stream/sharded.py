@@ -1,0 +1,725 @@
+"""Sharded multi-process streaming front end.
+
+The single-process :class:`~repro.stream.scheduler.StreamingService`
+saturates one core; this module scales the same serving semantics across
+N worker processes.  The design leans on two facts the rest of the stack
+already guarantees:
+
+* the HDC chain is a **pure function** of a window's quantised levels,
+  and smoothing is a pure function of one session's own decision
+  history — so partitioning *sessions* across workers cannot change any
+  session's decision sequence.  Sharded output is therefore
+  byte-identical to the single-process service on the same trace
+  (pinned by the differential harness in
+  ``tests/stream/test_sharded.py`` via :mod:`repro.stream.replay`);
+* the model store makes workers **stateless replicas**: each worker
+  rebuilds its classifier from one ``.npz`` file via
+  :func:`repro.hdc.serialize.load_model_mmap`, so the packed matrices
+  are read-only file mappings shared through the page cache instead of
+  N private copies.
+
+Architecture::
+
+    caller ──► ShardedStreamingService (coordinator)
+                 │  hash-partition: shard_for(session_id, N)
+                 │  global ingest clock stamped on every chunk
+                 ├─ pipe ─► worker 0: StreamingService(mmap model)
+                 ├─ pipe ─► worker 1: StreamingService(mmap model)
+                 └─ pipe ─► worker N-1 ...
+
+The coordinator multiplexes ingest/decision traffic over
+``multiprocessing`` pipes with a credit-based per-shard backpressure
+window (``max_inflight`` unacknowledged commands), delivers decisions in
+per-session order (enforced, not assumed — an out-of-order index
+raises), and keeps a per-shard **journal** of every command.  The
+journal is what makes shards disposable: ``respawn_shard`` starts a
+fresh worker and replays the journal with the original ingest-clock
+ticks, so the replacement re-derives the exact scheduler state — and
+because every decision carries its per-session index, already-delivered
+decisions are filtered while decisions lost in the crash are delivered
+exactly once.  ``max_wait`` backpressure inside each worker runs on the
+coordinator's global clock (injected via the scheduler's ``tick=``
+hook), which is also what makes a journal replay deterministic.
+
+Fleet telemetry: every worker snapshots its scheduler into a
+:class:`~repro.perf.streaming.StreamStats`; :meth:`stats` merges them
+into one :class:`~repro.perf.streaming.FleetStats` (per-shard and
+fleet-wide batch statistics plus simulated device latency/energy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..hdc.serialize import load_model, load_model_mmap, model_info
+from ..perf.streaming import (
+    DevicePerfModel,
+    FleetStats,
+    StreamStats,
+    merge_stream_stats,
+)
+from .scheduler import StreamConfig, StreamingService
+from .session import Decision
+
+_READY = -1  # sentinel seq of the worker's startup handshake
+
+#: Cap on unacknowledged command *bytes* per shard.  A worker that is
+#: blocked writing a large decision reply stops reading commands; as
+#: long as the coordinator keeps its unread command bytes below the
+#: pipe's kernel buffer it can never block in ``send`` itself, so it
+#: always returns to the pump loop, reads the reply, and unblocks the
+#: worker — the classic duplex-pipe deadlock is structurally impossible.
+#: 32 KiB is far below any platform's default socketpair buffer.
+_MAX_INFLIGHT_BYTES = 32 << 10
+
+
+class ShardError(RuntimeError):
+    """A worker reported an exception; carries the remote traceback."""
+
+    def __init__(self, shard: int, detail: str):
+        super().__init__(f"shard {shard}: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+
+class ShardCrashError(ShardError):
+    """A worker process died (pipe closed mid-conversation)."""
+
+
+def shard_for(session_id: Hashable, n_shards: int) -> int:
+    """Stable hash partition of a session id onto ``n_shards`` workers.
+
+    Uses BLAKE2b over ``repr(session_id)`` — deterministic across
+    processes, machines, and Python runs (``hash()`` is salted), so a
+    session always lands on the same shard and a respawned fleet
+    partitions identically.  Session ids should have stable reprs
+    (ints and strings — the supported id types — do).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.blake2b(
+        repr(session_id).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") % n_shards
+
+
+def _shard_worker(
+    conn,
+    model_path: str,
+    config: StreamConfig,
+    device: Optional[DevicePerfModel],
+    shard_index: int,
+    use_mmap: bool,
+) -> None:
+    """One shard: a private StreamingService over the shared model store.
+
+    Runs the command loop until ``stop`` or until the coordinator goes
+    away.  Every command is acknowledged in order; exceptions inside a
+    command are reported (with traceback) instead of killing the worker.
+    """
+    try:
+        try:
+            loader = load_model_mmap if use_mmap else load_model
+            service = StreamingService(
+                loader(model_path), config, device=device
+            )
+        except Exception:
+            conn.send(("err", _READY, traceback.format_exc()))
+            return
+        conn.send(("ok", _READY, None))
+        while True:
+            message = conn.recv()
+            op, seq = message[0], message[1]
+            try:
+                if op == "ingest":
+                    _, _, sid, samples, tick = message
+                    payload = service.ingest(sid, samples, tick=tick)
+                elif op == "open":
+                    service.open_session(message[2])
+                    payload: List[Decision] = []
+                elif op == "close":
+                    service.close_session(message[2])
+                    payload = []
+                elif op == "drain":
+                    payload = service.drain()
+                elif op == "stats":
+                    payload = StreamStats.collect(service, shard_index)
+                elif op == "stop":
+                    conn.send(("ok", seq, None))
+                    return
+                else:
+                    raise ValueError(f"unknown shard command {op!r}")
+            except Exception:
+                conn.send(("err", seq, traceback.format_exc()))
+                continue
+            conn.send(("ok", seq, payload))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # coordinator went away; nothing left to serve
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Shard:
+    """Coordinator-side bookkeeping for one worker."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    conn: object  # multiprocessing.connection.Connection
+    next_seq: int = 0
+    outstanding: int = 0  # unacknowledged commands (backpressure credit)
+    inflight_bytes: Dict[int, int] = field(default_factory=dict)
+    #: seq -> journal position of unacknowledged journaled commands: a
+    #: command the worker rejects ("err" reply) is tombstoned out of the
+    #: journal — it did not contribute to worker state (the scheduler
+    #: validates before mutating; the clock is injected), so replaying
+    #: it on respawn would only re-raise the same error mid-repair.
+    inflight_journal: Dict[int, int] = field(default_factory=dict)
+    journal: List[Optional[tuple]] = field(default_factory=list)
+    last_stats: Optional[StreamStats] = None
+    respawns: int = 0
+
+    @property
+    def outstanding_bytes(self) -> int:
+        return sum(self.inflight_bytes.values())
+
+
+class ShardedStreamingService:
+    """Hash-partitioned multi-process twin of :class:`StreamingService`.
+
+    Same serving interface (``open_session`` / ``ingest`` / ``drain`` /
+    ``close_session``), same per-session outputs, N cores.  Decisions
+    are returned as they are acknowledged: an ``ingest`` may return
+    decisions of *other* sessions whose batches happened to complete,
+    exactly like the single-process scheduler — and within one session
+    the delivery order (by decision index) is strictly enforced.
+
+    The coordinator never touches the model: workers rebuild it from
+    ``model_path`` (the :mod:`repro.hdc.serialize` store), read-only
+    memory-mapped by default so the fleet shares one physical copy.
+    """
+
+    def __init__(
+        self,
+        model_path,
+        config: StreamConfig = StreamConfig(),
+        n_shards: int = 2,
+        device: Optional[DevicePerfModel] = None,
+        max_inflight: int = 64,
+        use_mmap: bool = True,
+        auto_respawn: bool = True,
+        start_method: Optional[str] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        info = model_info(model_path)  # validates magic/version early
+        if config.window.slice_samples < info["ngram_size"]:
+            raise ValueError(
+                f"windows of {config.window.slice_samples} timestamps "
+                f"cannot form the model's {info['ngram_size']}-grams"
+            )
+        self._model_path = str(model_path)
+        self._model_info = info
+        self._config = config
+        self._device = device
+        self._max_inflight = int(max_inflight)
+        self._use_mmap = bool(use_mmap)
+        self._auto_respawn = bool(auto_respawn)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._session_shard: Dict[Hashable, int] = {}
+        self._delivered: Dict[Hashable, int] = {}
+        self._ready: List[Decision] = []
+        self._clock = 0
+        self._closed = False
+        self._shards: List[_Shard] = []
+        try:
+            for index in range(n_shards):
+                self._shards.append(self._spawn(index))
+        except Exception:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self, index: int) -> _Shard:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(
+                child_conn,
+                self._model_path,
+                self._config,
+                self._device,
+                index,
+                self._use_mmap,
+            ),
+            name=f"repro-stream-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent's copy; worker keeps its own end
+        shard = _Shard(index=index, process=process, conn=parent_conn)
+        kind, seq, payload = self._recv(shard)
+        if kind != "ok" or seq != _READY:
+            raise ShardError(index, str(payload))
+        return shard
+
+    def close(self) -> None:
+        """Stop all workers (idempotent).  Pending windows are dropped —
+        call :meth:`drain` first for a clean shutdown."""
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.conn.send(("stop", shard.next_seq))
+            except Exception:
+                pass
+            try:
+                shard.conn.close()
+            except Exception:
+                pass
+            shard.process.join(timeout=2.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=2.0)
+
+    def __enter__(self) -> "ShardedStreamingService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of worker shards."""
+        return len(self._shards)
+
+    @property
+    def clock(self) -> int:
+        """The coordinator's global ingest clock."""
+        return self._clock
+
+    @property
+    def config(self) -> StreamConfig:
+        """The per-shard scheduler configuration."""
+        return self._config
+
+    @property
+    def model_path(self) -> str:
+        """The model store every shard serves from."""
+        return self._model_path
+
+    @property
+    def session_ids(self) -> Tuple[Hashable, ...]:
+        """Open session ids, in opening order."""
+        return tuple(self._session_shard)
+
+    def shard_of(self, session_id: Hashable) -> int:
+        """The shard an *open* session is partitioned onto."""
+        try:
+            return self._session_shard[session_id]
+        except KeyError:
+            raise KeyError(
+                f"session {session_id!r} is not open"
+            ) from None
+
+    def shard_process(self, index: int):
+        """The worker process of one shard (tests kill it on purpose)."""
+        return self._shards[index].process
+
+    def shard_respawns(self, index: int) -> int:
+        """How many times a shard has been respawned."""
+        return self._shards[index].respawns
+
+    def journal_length(self, index: int) -> int:
+        """Commands journaled for one shard (replayed on respawn)."""
+        return len(self._shards[index].journal)
+
+    @property
+    def total_delivered(self) -> int:
+        """Decisions handed to the caller across all sessions."""
+        return sum(self._delivered.values())
+
+    # -- the data path -----------------------------------------------------
+
+    def open_session(self, session_id: Hashable) -> int:
+        """Open a stream; returns the shard index it is partitioned to.
+
+        Unlike the single-process service, session ids must be unique
+        over the *lifetime* of the coordinator, not just while open:
+        the respawn journal and the exactly-once delivery filter
+        identify a session's decisions by ``(id, per-session index)``,
+        which a reused id would make ambiguous.
+        """
+        self._ensure_open()
+        if session_id in self._session_shard:
+            raise ValueError(f"session {session_id!r} is already open")
+        if session_id in self._delivered:
+            raise ValueError(
+                f"session id {session_id!r} was already used; sharded "
+                f"session ids must be unique over the service lifetime"
+            )
+        index = shard_for(session_id, len(self._shards))
+        self._post(self._shards[index], ("open", session_id))
+        self._session_shard[session_id] = index
+        self._delivered[session_id] = 0
+        return index
+
+    def close_session(self, session_id: Hashable) -> None:
+        """Close a stream; its already-queued windows still dispatch."""
+        self._ensure_open()
+        try:
+            index = self._session_shard.pop(session_id)
+        except KeyError:
+            raise KeyError(
+                f"session {session_id!r} is not open"
+            ) from None
+        self._post(self._shards[index], ("close", session_id))
+
+    def ingest(
+        self, session_id: Hashable, samples: np.ndarray
+    ) -> List[Decision]:
+        """Route one chunk to its session's shard; collect ready results.
+
+        Stamps the chunk with the next global ingest tick (all shards
+        age their ``max_wait`` windows on fleet-wide traffic), applies
+        per-shard backpressure, and returns every decision — from any
+        shard — acknowledged by the time the call completes.
+        """
+        self._ensure_open()
+        try:
+            index = self._session_shard[session_id]
+        except KeyError:
+            raise KeyError(
+                f"session {session_id!r} is not open"
+            ) from None
+        samples = np.ascontiguousarray(samples, dtype=np.float64)
+        self._clock += 1
+        self._post(
+            self._shards[index],
+            ("ingest", session_id, samples, self._clock),
+        )
+        for shard in self._shards:
+            self._pump_or_respawn(shard)
+        return self._take_ready()
+
+    def pump(self) -> List[Decision]:
+        """Collect decisions already acknowledged, without new input."""
+        self._ensure_open()
+        for shard in self._shards:
+            self._pump_or_respawn(shard)
+        return self._take_ready()
+
+    def drain(self) -> List[Decision]:
+        """Flush every shard's pending windows; block for all results."""
+        self._ensure_open()
+        for shard in self._shards:
+            self._post(shard, ("drain",))
+        for shard in self._shards:
+            self._flush(shard)
+        return self._take_ready()
+
+    def stats(self) -> FleetStats:
+        """Merged per-shard + fleet-wide serving statistics.
+
+        Synchronous: each shard's snapshot is taken after everything the
+        coordinator sent so far has been acknowledged, so after a
+        ``drain`` the numbers are exact, not racy.
+        """
+        self._ensure_open()
+        for attempt in range(2):
+            try:
+                for shard in self._shards:
+                    shard.last_stats = None
+                    self._post(shard, ("stats",), journal=False)
+                for shard in self._shards:
+                    self._flush(shard)
+            except ShardCrashError:
+                if not self._auto_respawn:
+                    raise
+                continue  # shard was respawned; retake the snapshot
+            snapshots = [s.last_stats for s in self._shards]
+            if all(s is not None for s in snapshots):
+                return merge_stream_stats(snapshots)
+            # A shard crashed mid-snapshot and was respawned; retry once.
+        raise ShardError(-1, "could not collect fleet statistics")
+
+    # -- shard repair ------------------------------------------------------
+
+    def respawn_shard(self, index: int) -> None:
+        """Replace one worker with a fresh process, without data loss.
+
+        Works on a live shard (graceful: outstanding work is collected,
+        the worker is stopped cleanly) and on a crashed one (salvage:
+        replies still sitting in the pipe are delivered first).  The new
+        worker replays the shard's journal with the original ingest
+        ticks, re-deriving the lost scheduler state; decisions the
+        caller already saw are filtered by per-session index, so nothing
+        is delivered twice and nothing is lost.
+
+        Worker-side command errors encountered along the way (salvaged
+        "err" acks, or an unacknowledged bad command hitting the fresh
+        worker during replay) never abort the repair: the offending
+        entries are tombstoned, the replay runs to completion, and the
+        first such error is re-raised once the shard is healthy.
+        """
+        self._ensure_open()
+        shard = self._shards[index]
+        deferred: List[ShardError] = []
+        # Salvage every complete reply still buffered in the pipe —
+        # whether the worker is alive (graceful path: this is a flush)
+        # or dead (crash path: the kernel buffer may still hold acks).
+        try:
+            if shard.process.is_alive():
+                while shard.outstanding > 0:
+                    self._wait_one_deferring(shard, deferred)
+                shard.conn.send(("stop", shard.next_seq))
+                shard.process.join(timeout=2.0)
+            else:
+                while shard.conn.poll(0):
+                    self._handle_reply_deferring(
+                        shard, shard.conn.recv(), deferred
+                    )
+        except (ShardCrashError, EOFError, OSError, BrokenPipeError):
+            pass  # died mid-flush: the journal replay recovers the rest
+        try:
+            shard.conn.close()
+        except Exception:
+            pass
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=2.0)
+
+        # Compact tombstones out before replaying.
+        journal = [e for e in shard.journal if e is not None]
+        respawns = shard.respawns + 1
+        fresh = self._spawn(index)
+        fresh.journal = journal
+        fresh.respawns = respawns
+        self._shards[index] = fresh
+        # Replay: same commands, same ticks -> same scheduler decisions.
+        # Duplicates are dropped in _deliver by per-session index.  A
+        # replayed entry that errs (possible only for a command the old
+        # worker died on before acknowledging) is tombstoned by the
+        # reply handler and its error deferred; the entry whose _send
+        # was aborted by that stale error is retried, never skipped.
+        pos = 0
+        while pos < len(journal):
+            entry = journal[pos]
+            if entry is None:  # tombstoned while replaying
+                pos += 1
+                continue
+            try:
+                self._send(fresh, entry, journal_pos=pos)
+                pos += 1
+            except ShardCrashError:
+                raise
+            except ShardError as exc:
+                deferred.append(exc)
+        while fresh.outstanding > 0:
+            self._wait_one_deferring(fresh, deferred)
+        if deferred:
+            raise deferred[0]
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def _wire(self, entry: tuple, seq: int) -> tuple:
+        return (entry[0], seq) + tuple(entry[1:])
+
+    @staticmethod
+    def _entry_cost(entry: tuple) -> int:
+        """Wire-size estimate of a command (samples dominate)."""
+        cost = 512
+        if entry[0] == "ingest":
+            cost += entry[2].nbytes
+        return cost
+
+    def _send(
+        self,
+        shard: _Shard,
+        entry: tuple,
+        journal: bool = False,
+        journal_pos: Optional[int] = None,
+    ) -> int:
+        """Low-level send with backpressure; raises ShardCrashError.
+
+        The journal records exactly the commands the worker has been
+        handed, in hand-over order — so ``journal=True`` appends the
+        entry only *after* ``conn.send`` succeeds.  Aborting earlier
+        (backpressure waits and the pre-send pump can surface a stale
+        "err" reply of an *earlier* command as ShardError) must leave
+        no trace: a journaled-but-never-sent command would make a later
+        respawn replay serve a stream the live worker never saw.
+        ``journal_pos`` instead links the seq to an *existing* slot
+        (respawn replay).  Either way the seq→slot map lets an "err"
+        reply tombstone the entry.  Returns the seq.
+        """
+        self._pump(shard)
+        cost = self._entry_cost(entry)
+        # Two credit windows: command count (decision-latency knob) and
+        # command bytes (deadlock-freedom invariant, see module top).
+        # An oversized single command waits for an idle worker instead.
+        while shard.outstanding >= self._max_inflight or (
+            shard.outstanding > 0
+            and shard.outstanding_bytes + cost > _MAX_INFLIGHT_BYTES
+        ):
+            self._wait_one(shard)
+        seq = shard.next_seq
+        shard.next_seq += 1
+        try:
+            shard.conn.send(self._wire(entry, seq))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardCrashError(shard.index, str(exc)) from None
+        shard.outstanding += 1
+        shard.inflight_bytes[seq] = cost
+        if journal:
+            shard.journal.append(entry)
+            journal_pos = len(shard.journal) - 1
+        if journal_pos is not None:
+            shard.inflight_journal[seq] = journal_pos
+        return seq
+
+    def _post(
+        self, shard: _Shard, entry: tuple, journal: bool = True
+    ) -> None:
+        """Send one command; transparently respawn on worker crash.
+
+        Invariant: the journal tracks what the worker was actually
+        handed.  On a clean send, ``_send`` journals the entry; if the
+        send aborts on a ShardError (a stale "err" of an earlier
+        command), the entry is neither sent nor journaled — the caller
+        sees the exception and may simply retry.  If the *worker died*,
+        the entry is journaled here and the respawn's journal replay
+        hands it to the replacement: at-least-once delivery into a
+        worker, exactly-once delivery of decisions to the caller (the
+        per-session index filter drops replayed duplicates).
+        """
+        try:
+            self._send(shard, entry, journal=journal)
+        except ShardCrashError:
+            if not self._auto_respawn:
+                raise
+            if journal:
+                # Never processed by the dead worker; the replacement
+                # picks it up from the journal during replay.
+                shard.journal.append(entry)
+            self.respawn_shard(shard.index)
+            if not journal:
+                # Non-journaled commands (stats) are not replayed; the
+                # caller retries.
+                raise
+
+    def _recv(self, shard: _Shard):
+        try:
+            return shard.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardCrashError(
+                shard.index, f"worker died ({exc!r})"
+            ) from None
+
+    def _wait_one(self, shard: _Shard) -> None:
+        self._handle_reply(shard, self._recv(shard))
+
+    def _handle_reply_deferring(
+        self, shard: _Shard, message, deferred: List[ShardError]
+    ) -> None:
+        """Reply handling inside repair: command errors are collected
+        (and tombstoned by ``_handle_reply``) instead of aborting."""
+        try:
+            self._handle_reply(shard, message)
+        except ShardCrashError:
+            raise
+        except ShardError as exc:
+            deferred.append(exc)
+
+    def _wait_one_deferring(
+        self, shard: _Shard, deferred: List[ShardError]
+    ) -> None:
+        self._handle_reply_deferring(shard, self._recv(shard), deferred)
+
+    def _pump(self, shard: _Shard) -> None:
+        """Handle every complete reply without blocking."""
+        try:
+            while shard.outstanding > 0 and shard.conn.poll(0):
+                self._handle_reply(shard, shard.conn.recv())
+        except (EOFError, OSError) as exc:
+            raise ShardCrashError(
+                shard.index, f"worker died ({exc!r})"
+            ) from None
+
+    def _pump_or_respawn(self, shard: _Shard) -> None:
+        """Broadcast-pump form of the crash contract: a worker found
+        dead while opportunistically collecting *other* sessions'
+        decisions is repaired in place instead of failing the caller's
+        unrelated ingest."""
+        try:
+            self._pump(shard)
+        except ShardCrashError:
+            if not self._auto_respawn:
+                raise
+            self.respawn_shard(shard.index)
+
+    def _flush(self, shard: _Shard, respawn_on_crash: bool = True) -> None:
+        """Block until the shard has acknowledged everything sent."""
+        while shard.outstanding > 0:
+            try:
+                self._wait_one(shard)
+            except ShardCrashError:
+                if not (respawn_on_crash and self._auto_respawn):
+                    raise
+                self.respawn_shard(shard.index)
+                return  # respawn already flushed the replacement
+
+    def _handle_reply(self, shard: _Shard, message) -> None:
+        kind, seq, payload = message
+        shard.outstanding -= 1
+        shard.inflight_bytes.pop(seq, None)
+        journal_pos = shard.inflight_journal.pop(seq, None)
+        if kind == "err":
+            if journal_pos is not None:
+                # The worker rejected the command without mutating its
+                # serving state; keeping it would poison every future
+                # journal replay with the same error.
+                shard.journal[journal_pos] = None
+            raise ShardError(shard.index, payload)
+        if isinstance(payload, StreamStats):
+            shard.last_stats = payload
+        elif isinstance(payload, list):
+            self._deliver(payload)
+
+    def _deliver(self, decisions: List[Decision]) -> None:
+        for decision in decisions:
+            count = self._delivered.get(decision.session_id, 0)
+            if decision.index < count:
+                continue  # journal-replay duplicate, already delivered
+            if decision.index > count:
+                raise RuntimeError(
+                    f"out-of-order delivery for session "
+                    f"{decision.session_id!r}: got index "
+                    f"{decision.index}, expected {count}"
+                )
+            self._delivered[decision.session_id] = count + 1
+            self._ready.append(decision)
+
+    def _take_ready(self) -> List[Decision]:
+        out = self._ready
+        self._ready = []
+        return out

@@ -1,4 +1,8 @@
-"""Model store: round-trip bit-exactness, version gating, popcount paths."""
+"""Model store: round-trip bit-exactness, version gating, popcount paths,
+and the read-only memory-mapped load path."""
+
+import hashlib
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -8,6 +12,7 @@ from repro.hdc import (
     HDClassifierConfig,
     ModelFormatError,
     load_model,
+    load_model_mmap,
     model_info,
     save_model,
 )
@@ -217,6 +222,175 @@ class TestRejection:
     def test_missing_file_raises_filenotfound(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_model(tmp_path / "absent.npz")
+
+
+def _digest_of(clf) -> str:
+    """Canonical fingerprint of a classifier's packed model state."""
+    h = hashlib.sha256()
+    spatial = clf.encoder.spatial
+    h.update(np.ascontiguousarray(
+        spatial.item_memory.as_matrix64()).tobytes())
+    h.update(np.ascontiguousarray(
+        spatial.continuous_memory.as_matrix64()).tobytes())
+    h.update(np.ascontiguousarray(clf.prototype_words).tobytes())
+    h.update(repr(clf.labels).encode())
+    return h.hexdigest()
+
+
+def _mmap_reader(args):
+    """Pool worker: mmap-load a store, fingerprint it, predict."""
+    path, probe = args
+    clf = load_model_mmap(path)
+    return _digest_of(clf), clf.predict(probe)
+
+
+class TestMmapLoad:
+    """The serving load path: mapped read-only, bit-identical, no RNG.
+
+    ``fitted``/``saved`` use dim=300 (10 uint32 words -> even, the
+    zero-copy uint64 view); the ``odd_saved`` fixture uses dim=96
+    (3 uint32 words -> odd, the private read-only copy fallback).  Both
+    paths must expose the same immutable, bit-exact contract.
+    """
+
+    @pytest.fixture()
+    def odd_saved(self, tmp_path):
+        rng = np.random.default_rng(23)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=96, n_channels=3, n_levels=5, signal_hi=1.0
+            )
+        )
+        clf.fit(rng.random((12, 5, 3)), [0, 1, 2] * 4)
+        return clf, save_model(tmp_path / "odd", clf)
+
+    def test_bit_identical_to_eager_load(self, fitted, saved):
+        eager = load_model(saved)
+        mapped = load_model_mmap(saved)
+        assert _digest_of(mapped) == _digest_of(eager)
+        assert _digest_of(mapped) == _digest_of(fitted)
+        rng = np.random.default_rng(29)
+        probe = rng.random((32, 6, 4))
+        assert mapped.predict(probe) == fitted.predict(probe)
+        assert np.array_equal(
+            mapped.distances(probe), fitted.distances(probe)
+        )
+
+    def test_odd_word_count_fallback_bit_identical(self, odd_saved):
+        clf, path = odd_saved
+        mapped = load_model_mmap(path)
+        assert _digest_of(mapped) == _digest_of(clf)
+        rng = np.random.default_rng(31)
+        probe = rng.random((16, 5, 3))
+        assert mapped.predict(probe) == clf.predict(probe)
+
+    def test_prototypes_stay_file_backed_when_even(self, saved):
+        import mmap as mmap_module
+
+        mapped = load_model_mmap(saved)
+        words = mapped.prototype_words
+        # dim=300 -> 10 uint32 words -> the uint64 rows are a pure
+        # dtype view of the file mapping, not a heap copy: the chain of
+        # bases must bottom out in the memory map itself.
+        root = words
+        while getattr(root, "base", None) is not None:
+            if isinstance(root, np.memmap):
+                break
+            root = root.base
+        assert isinstance(root, (np.memmap, mmap_module.mmap))
+
+    def test_writes_rejected_on_mapping(self, saved, odd_saved):
+        _, odd_path = odd_saved
+        for path in (saved, odd_path):
+            mapped = load_model_mmap(path)
+            words = mapped.prototype_words
+            assert not words.flags.writeable
+            with pytest.raises(ValueError):
+                words[0, 0] = np.uint64(1)
+            with pytest.raises(ValueError):
+                words[:] = 0
+
+    def test_zero_rng_draws(self, saved, monkeypatch):
+        """Rebuilding from the store must never touch the RNG — the
+        served bits are adopted, not regenerated."""
+
+        def _bomb(*args, **kwargs):
+            raise AssertionError("model load drew from the RNG")
+
+        monkeypatch.setattr(np.random, "default_rng", _bomb)
+        mapped = load_model_mmap(saved)
+        assert mapped.prototype_words.shape[0] == 3
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="concurrent-reader test uses the fork start method",
+    )
+    def test_concurrent_multiprocess_readers_bit_identical(
+        self, fitted, saved
+    ):
+        """N processes mapping one store must all see the same bytes
+        and produce the same predictions as the in-process original."""
+        rng = np.random.default_rng(37)
+        probe = rng.random((24, 6, 4))
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=3) as pool:
+            results = pool.map(
+                _mmap_reader, [(str(saved), probe)] * 3
+            )
+        digests = {digest for digest, _ in results}
+        assert digests == {_digest_of(fitted)}
+        for _, predictions in results:
+            assert predictions == fitted.predict(probe)
+
+    def test_compressed_store_rejected_with_clear_error(
+        self, saved, tmp_path
+    ):
+        """np.savez_compressed archives cannot be mapped; the error
+        must say so instead of serving garbage."""
+        with np.load(saved) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        path = tmp_path / "compressed.npz"
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        assert load_model(path) is not None  # eager path still works
+        with pytest.raises(ModelFormatError, match="compressed"):
+            load_model_mmap(path)
+
+    def test_same_rejections_as_eager_load(self, saved, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model_mmap(tmp_path / "absent.npz")
+        with np.load(saved) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["version"] = np.array(99, dtype=np.int64)
+        bad = tmp_path / "future.npz"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(ModelFormatError, match="version 99"):
+            load_model_mmap(bad)
+        with np.load(saved) as archive:
+            am = archive["am_u32"].copy()
+        am[0, -1] |= np.uint32(1 << 31)  # dirty pad bit (dim=300)
+        payload = dict(payload)
+        payload["version"] = np.array(
+            serialize.MODEL_VERSION, dtype=np.int64
+        )
+        payload["am_u32"] = am
+        bad = tmp_path / "dirty.npz"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(ModelFormatError, match="pad-bit"):
+            load_model_mmap(bad)
+
+    def test_missing_matrix_member_rejected(self, saved, tmp_path):
+        with np.load(saved) as archive:
+            payload = {
+                k: archive[k] for k in archive.files if k != "cim_u32"
+            }
+        path = tmp_path / "truncated.npz"
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(ModelFormatError, match="cim_u32"):
+            load_model_mmap(path)
 
 
 class TestPopcountPathEquivalence:

@@ -1,0 +1,184 @@
+"""Replay traces: determinism, reconstruction, parity projection."""
+
+import numpy as np
+import pytest
+
+from repro.emg.windows import WindowConfig
+from repro.hdc import BatchHDClassifier, HDClassifierConfig
+from repro.stream import (
+    StreamConfig,
+    StreamingService,
+    decision_records,
+    parity_digest,
+    replay,
+    stream_bytes,
+    synthetic_trace,
+    trace_from_streams,
+)
+
+N_CHANNELS = 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(17)
+    clf = BatchHDClassifier(
+        HDClassifierConfig(
+            dim=128, n_channels=N_CHANNELS, n_levels=8, signal_hi=1.0
+        )
+    )
+    return clf.fit(
+        rng.random((24, 5, N_CHANNELS)), [i % 3 for i in range(24)]
+    )
+
+
+def _service(model, **kwargs):
+    defaults = dict(
+        window=WindowConfig(window_samples=5, skip_onset_s=0.0),
+        sample_rate_hz=500,
+    )
+    defaults.update(kwargs)
+    return StreamingService(model, StreamConfig(**defaults))
+
+
+class TestTraceGeneration:
+    def test_synthetic_trace_is_seed_deterministic(self):
+        a = synthetic_trace(3, 200, N_CHANNELS, seed=42)
+        b = synthetic_trace(3, 200, N_CHANNELS, seed=42)
+        assert a.digest() == b.digest()
+        assert a.n_events == b.n_events
+        for ea, eb in zip(a.events, b.events):
+            assert ea.session_id == eb.session_id
+            assert np.array_equal(ea.samples, eb.samples)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_trace(3, 200, N_CHANNELS, seed=1)
+        b = synthetic_trace(3, 200, N_CHANNELS, seed=2)
+        assert a.digest() != b.digest()
+
+    def test_session_streams_reconstruct_exactly(self):
+        rng = np.random.default_rng(0)
+        streams = {f"s{i}": rng.random((137, N_CHANNELS))
+                   for i in range(3)}
+        trace = trace_from_streams(streams, seed=5, chunking=(1, 20))
+        assert set(trace.session_ids) == set(streams)
+        for sid, stream in streams.items():
+            assert np.array_equal(trace.session_stream(sid), stream)
+        assert trace.total_samples == 3 * 137
+        with pytest.raises(KeyError):
+            trace.session_stream("absent")
+
+    def test_fixed_chunking(self):
+        rng = np.random.default_rng(0)
+        trace = trace_from_streams(
+            [rng.random((100, N_CHANNELS))], chunking=30
+        )
+        assert [e.samples.shape[0] for e in trace.events] == [
+            30, 30, 30, 10,
+        ]
+
+    def test_ragged_chunk_sizes_stay_in_range(self):
+        trace = synthetic_trace(2, 300, N_CHANNELS, seed=3,
+                                chunking=(5, 12))
+        sizes = [e.samples.shape[0] for e in trace.events]
+        # Every chunk is in range except possibly a stream's tail.
+        assert all(1 <= size <= 12 for size in sizes)
+        assert any(size >= 5 for size in sizes)
+
+    def test_events_are_read_only(self):
+        trace = synthetic_trace(1, 50, N_CHANNELS, seed=0)
+        with pytest.raises(ValueError):
+            trace.events[0].samples[0, 0] = 99.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            trace_from_streams([])
+        with pytest.raises(ValueError):
+            trace_from_streams([rng.random((0, N_CHANNELS))])
+        with pytest.raises(ValueError):
+            trace_from_streams([rng.random(10)])
+        with pytest.raises(ValueError):
+            trace_from_streams(
+                [rng.random((10, 2)), rng.random((10, 3))]
+            )
+        with pytest.raises(ValueError):
+            trace_from_streams(
+                [rng.random((10, 2))], chunking=(0, 5)
+            )
+        with pytest.raises(ValueError):
+            trace_from_streams(
+                [rng.random((10, 2))], chunking=(7, 3)
+            )
+        with pytest.raises(ValueError):
+            synthetic_trace(0, 10)
+        with pytest.raises(ValueError):
+            synthetic_trace(1, 0)
+        with pytest.raises(ValueError):
+            synthetic_trace(1, 10, lo=1.0, hi=0.0)
+
+
+class TestReplayDriver:
+    def test_replay_is_reproducible(self, model):
+        trace = synthetic_trace(3, 250, N_CHANNELS, seed=8)
+        first = replay(_service(model, max_batch=7, max_wait=2), trace)
+        second = replay(_service(model, max_batch=7, max_wait=2), trace)
+        assert parity_digest(first) == parity_digest(second)
+        assert sorted(first) == sorted(trace.session_ids)
+
+    def test_chunking_does_not_change_decisions(self, model):
+        """Same underlying streams, different chunk interleavings ->
+        identical per-session decision sequences (the single-process
+        half of the differential parity story)."""
+        rng = np.random.default_rng(12)
+        streams = [rng.random((200, N_CHANNELS)) for _ in range(3)]
+        digests = set()
+        for seed, chunking in [(1, (1, 7)), (2, (1, 40)), (3, 13)]:
+            trace = trace_from_streams(
+                streams, seed=seed, chunking=chunking
+            )
+            per_session = replay(
+                _service(model, max_batch=5, max_wait=3), trace
+            )
+            digests.add(parity_digest(per_session))
+        assert len(digests) == 1
+
+    def test_decision_counts_match_offline_slicing(self, model):
+        config = WindowConfig(window_samples=5, skip_onset_s=0.0)
+        trace = synthetic_trace(2, 103, N_CHANNELS, seed=4)
+        per_session = replay(_service(model), trace)
+        for sid in trace.session_ids:
+            n = trace.session_stream(sid).shape[0]
+            expected = (n - config.slice_samples) // config.stride + 1
+            assert len(per_session[sid]) == expected
+
+
+class TestParityProjection:
+    def test_records_and_bytes(self, model):
+        trace = synthetic_trace(1, 80, N_CHANNELS, seed=6)
+        per_session = replay(_service(model, smooth=3), trace)
+        decisions = per_session[0]
+        records = decision_records(decisions)
+        assert [r[0] for r in records] == list(range(len(decisions)))
+        assert all(len(r) == 3 for r in records)
+        payload = stream_bytes(decisions)
+        assert isinstance(payload, bytes)
+        # The projection is exactly (index, raw, smoothed) - scheduler
+        # metadata must not leak into the parity surface.
+        assert stream_bytes(decisions) == payload
+
+    def test_digest_sensitive_to_output_changes(self, model):
+        trace = synthetic_trace(2, 120, N_CHANNELS, seed=9)
+        base = replay(_service(model), trace)
+        smoothed = replay(_service(model, smooth=4), trace)
+        assert parity_digest(base) != parity_digest(smoothed)
+
+    def test_digest_independent_of_dict_order(self, model):
+        trace = synthetic_trace(3, 90, N_CHANNELS, seed=10)
+        per_session = replay(_service(model), trace)
+        reversed_view = dict(
+            sorted(per_session.items(), key=lambda kv: -kv[0])
+        )
+        assert parity_digest(per_session) == parity_digest(
+            reversed_view
+        )

@@ -180,6 +180,123 @@ class TestBatchingPolicy:
         assert len(service.reports) <= 6
 
 
+class TestDecisionCacheLRU:
+    """Eviction is LRU, not wholesale: hot keys survive cold bursts.
+
+    The cache only short-circuits a pure function, so the policy can
+    never change an output — these tests pin the *performance* contract
+    (which keys stay warm) and re-check bit-exactness for free.
+    """
+
+    #: Constant-valued windows quantise to distinct level patterns, one
+    #: per value: deterministic cache keys without touching internals.
+    @staticmethod
+    def _window(value):
+        return np.full((5, 4), value)
+
+    def _lru_service(self, model, limit):
+        service = _service(
+            model, max_wait=0, decision_cache_limit=limit
+        )
+        service.open_session(0)
+        return service
+
+    def test_hot_key_survives_cold_evictions(self, model):
+        service = self._lru_service(model, limit=3)
+        values = np.linspace(0.05, 0.95, 7)
+        hot = values[0]
+        service.ingest(0, self._window(hot))  # miss: cache {hot}
+        assert (service.cache_hits, service.cache_misses) == (0, 1)
+        service.ingest(0, self._window(values[1]))  # {hot, v1}
+        service.ingest(0, self._window(values[2]))  # {hot, v1, v2} full
+        service.ingest(0, self._window(hot))  # hit, refreshes hot
+        assert service.cache_hits == 1
+        # Two cold inserts evict the two LRU keys (v1 then v2) -- the
+        # recently-touched hot key must survive both.
+        service.ingest(0, self._window(values[3]))
+        service.ingest(0, self._window(values[4]))
+        assert service.cache_evictions == 2
+        assert service.cache_size == 3
+        hits = service.cache_hits
+        service.ingest(0, self._window(hot))
+        assert service.cache_hits == hits + 1  # still cached
+        # ...whereas the evicted cold key re-misses.
+        misses = service.cache_misses
+        service.ingest(0, self._window(values[1]))
+        assert service.cache_misses == misses + 1
+
+    def test_cache_never_exceeds_limit(self, model, rng):
+        service = self._lru_service(model, limit=4)
+        for value in np.linspace(0.02, 0.98, 9):
+            service.ingest(0, self._window(value))
+            assert service.cache_size <= 4
+
+    def test_eviction_is_bit_exact(self, model, rng):
+        """Predictions with a 2-entry cache thrashing constantly equal
+        the cache-less service's on the same stream."""
+        stream = rng.random((400, 4))
+        thrash = _service(model, max_wait=0, decision_cache_limit=2)
+        thrash.open_session(0)
+        plain = _service(model, max_wait=0, decision_cache=False)
+        plain.open_session(0)
+        got = [d.raw_label for d in thrash.ingest(0, stream)]
+        want = [d.raw_label for d in plain.ingest(0, stream)]
+        assert got == want
+        assert thrash.cache_evictions > 0
+
+    def test_batch_larger_than_limit(self, model, rng):
+        """One dispatch carrying more unique patterns than the limit
+        must classify correctly and leave the cache within bounds."""
+        service = self._lru_service(model, limit=2)
+        stream = rng.random((200, 4))  # 40 mostly-unique windows
+        decisions = service.ingest(0, stream)
+        assert len(decisions) == 40
+        assert service.cache_size <= 2
+        offline = model.predict(
+            np.stack([stream[i * 5: i * 5 + 5] for i in range(40)])
+        )
+        assert [d.raw_label for d in decisions] == offline
+
+
+class TestClockInjection:
+    def test_injected_ticks_drive_the_clock(self, model, rng):
+        service = _service(model, max_wait=100, max_batch=64)
+        service.open_session(0)
+        service.ingest(0, rng.random((5, 4)), tick=7)
+        assert service.clock == 7
+        service.ingest(0, rng.random((2, 4)), tick=9)
+        assert service.clock == 9
+
+    def test_non_increasing_tick_rejected(self, model, rng):
+        service = _service(model)
+        service.open_session(0)
+        service.ingest(0, rng.random((2, 4)), tick=5)
+        with pytest.raises(ValueError, match="tick"):
+            service.ingest(0, rng.random((2, 4)), tick=5)
+        with pytest.raises(ValueError, match="tick"):
+            service.ingest(0, rng.random((2, 4)), tick=3)
+
+    def test_max_wait_ages_on_injected_ticks(self, model, rng):
+        """A window enqueued at tick T dispatches once an injected tick
+        reaches T + max_wait, regardless of how many ingest calls
+        happened — the semantics a sharded coordinator relies on."""
+        service = _service(model, max_wait=10, max_batch=64)
+        service.open_session(0)
+        assert service.ingest(0, rng.random((5, 4)), tick=100) == []
+        # One call, far in the future: age 15 >= 10 flushes.
+        decisions = service.ingest(0, rng.random((0, 4)), tick=115)
+        assert len(decisions) == 1
+        assert decisions[0].queue_wait == 15
+
+    def test_mixed_injection_and_local_ticks(self, model, rng):
+        service = _service(model, max_wait=50)
+        service.open_session(0)
+        service.ingest(0, rng.random((2, 4)))  # local: clock 1
+        service.ingest(0, rng.random((2, 4)), tick=10)
+        service.ingest(0, rng.random((2, 4)))  # local again: 11
+        assert service.clock == 11
+
+
 class TestOfflineParity:
     def test_streaming_equals_offline_predictions(self, model, rng):
         """The acceptance pin: interleaved multi-session streaming with

@@ -1,0 +1,604 @@
+"""Sharded front end: differential parity, crash recovery, telemetry.
+
+The acceptance invariant of the subsystem (the tentpole's test
+archetype): on identical replay traces, the multi-process
+:class:`~repro.stream.sharded.ShardedStreamingService` produces
+per-session decision streams *byte-identical* to the single-process
+:class:`~repro.stream.scheduler.StreamingService` — for every tested
+combination of shard count, session count, windowing geometry, ragged
+chunking, and backpressure policy, and across shard crashes/respawns
+with no lost or duplicated windows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.emg.windows import WindowConfig
+from repro.hdc import BatchHDClassifier, HDClassifierConfig, save_model
+from repro.hdc.serialize import load_model
+from repro.stream import (
+    ShardedStreamingService,
+    ShardError,
+    StreamConfig,
+    StreamingService,
+    decision_records,
+    parity_digest,
+    replay,
+    shard_for,
+    synthetic_trace,
+)
+
+DIM = 256
+N_CHANNELS = 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(7)
+    clf = BatchHDClassifier(
+        HDClassifierConfig(
+            dim=DIM, n_channels=N_CHANNELS, n_levels=8, signal_hi=1.0
+        )
+    )
+    windows = rng.random((40, 5, N_CHANNELS))
+    labels = [i % 4 for i in range(40)]
+    return clf.fit(windows, labels)
+
+
+@pytest.fixture(scope="module")
+def store(model, tmp_path_factory):
+    path = save_model(
+        tmp_path_factory.mktemp("sharded") / "model", model
+    )
+    # The single-process reference serves the *stored* bits, exactly
+    # like the shard workers do.
+    return path, load_model(path)
+
+
+def _config(**kwargs):
+    defaults = dict(
+        window=WindowConfig(window_samples=5, skip_onset_s=0.0),
+        sample_rate_hz=500,
+    )
+    defaults.update(kwargs)
+    return StreamConfig(**defaults)
+
+
+def _single_reference(reference_model, config, trace):
+    service = StreamingService(reference_model, config)
+    per_session = replay(service, trace)
+    return per_session, service
+
+
+class TestHashPartition:
+    def test_deterministic_and_in_range(self):
+        ids = list(range(50)) + [f"user-{i}" for i in range(50)]
+        for n_shards in (1, 2, 3, 7):
+            placed = [shard_for(sid, n_shards) for sid in ids]
+            assert placed == [shard_for(sid, n_shards) for sid in ids]
+            assert all(0 <= p < n_shards for p in placed)
+        # 100 ids across 4 shards: every shard gets traffic.
+        assert set(shard_for(sid, 4) for sid in ids) == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_for("x", 0)
+
+    def test_service_places_sessions_by_hash(self, store):
+        path, _ = store
+        with ShardedStreamingService(
+            path, _config(), n_shards=3
+        ) as service:
+            for sid in ("a", "b", "c", 0, 1, 2):
+                assert service.open_session(sid) == shard_for(sid, 3)
+                assert service.shard_of(sid) == shard_for(sid, 3)
+
+
+class TestDifferentialParity:
+    """The tentpole pin: sharded == single-process, byte for byte."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_sessions=st.integers(1, 5),
+        n_shards=st.integers(1, 3),
+        geometry=st.sampled_from(
+            [(5, None, 0.0), (5, 3, 0.0), (4, 6, 0.0), (3, 2, 0.25)]
+        ),
+        trace_seed=st.integers(0, 2**20),
+        chunking=st.sampled_from([(1, 9), (1, 40), (17, 17), (40, 80)]),
+        max_batch=st.integers(1, 16),
+        max_wait=st.integers(0, 5),
+        smooth=st.integers(1, 4),
+        decision_cache=st.booleans(),
+    )
+    def test_sharded_equals_single_process(
+        self,
+        store,
+        n_sessions,
+        n_shards,
+        geometry,
+        trace_seed,
+        chunking,
+        max_batch,
+        max_wait,
+        smooth,
+        decision_cache,
+    ):
+        path, reference_model = store
+        window_samples, stride, skip = geometry
+        config = _config(
+            window=WindowConfig(
+                window_samples=window_samples,
+                stride_samples=stride,
+                skip_onset_s=skip,
+            ),
+            max_batch=max_batch,
+            max_wait=max_wait,
+            smooth=smooth,
+            decision_cache=decision_cache,
+        )
+        trace = synthetic_trace(
+            n_sessions=n_sessions,
+            samples_per_session=150,
+            n_channels=N_CHANNELS,
+            seed=trace_seed,
+            chunking=chunking,
+        )
+        expected, _ = _single_reference(reference_model, config, trace)
+        with ShardedStreamingService(
+            path, config, n_shards=n_shards
+        ) as service:
+            got = replay(service, trace)
+        assert parity_digest(got) == parity_digest(expected)
+        # The digest is the headline; spell the claim out once too.
+        assert set(got) == set(expected)
+        for sid in expected:
+            assert decision_records(got[sid]) == decision_records(
+                expected[sid]
+            )
+
+    def test_parity_with_tight_backpressure(self, store):
+        """A 2-command credit window forces constant blocking waits;
+        the decision streams must not care."""
+        path, reference_model = store
+        config = _config(max_batch=4, max_wait=2, smooth=3)
+        trace = synthetic_trace(
+            n_sessions=4,
+            samples_per_session=300,
+            n_channels=N_CHANNELS,
+            seed=11,
+        )
+        expected, _ = _single_reference(reference_model, config, trace)
+        with ShardedStreamingService(
+            path, config, n_shards=2, max_inflight=2
+        ) as service:
+            got = replay(service, trace)
+        assert parity_digest(got) == parity_digest(expected)
+
+    def test_ordered_per_session_delivery(self, store):
+        """Decisions come back in strict per-session index order, in
+        whatever interleaving the shards produce them."""
+        path, _ = store
+        trace = synthetic_trace(
+            n_sessions=5,
+            samples_per_session=200,
+            n_channels=N_CHANNELS,
+            seed=2,
+        )
+        seen = {sid: 0 for sid in trace.session_ids}
+        with ShardedStreamingService(
+            path, _config(max_wait=3), n_shards=3
+        ) as service:
+            for sid in trace.session_ids:
+                service.open_session(sid)
+            arrivals = []
+            for event in trace.events:
+                arrivals.extend(
+                    service.ingest(event.session_id, event.samples)
+                )
+            arrivals.extend(service.drain())
+        for decision in arrivals:
+            assert decision.index == seen[decision.session_id]
+            seen[decision.session_id] += 1
+        assert service.total_delivered == len(arrivals)
+
+
+class TestCrashAndRespawn:
+    def test_killed_shard_loses_and_duplicates_nothing(self, store):
+        """SIGKILL a worker mid-stream: the journal replay must
+        re-derive its state so the caller sees every window's decision
+        exactly once, byte-identical to the single-process service."""
+        path, reference_model = store
+        config = _config(max_batch=8, max_wait=4, smooth=3)
+        trace = synthetic_trace(
+            n_sessions=6,
+            samples_per_session=250,
+            n_channels=N_CHANNELS,
+            seed=23,
+        )
+        expected, _ = _single_reference(reference_model, config, trace)
+        got = {sid: [] for sid in trace.session_ids}
+        with ShardedStreamingService(
+            path, config, n_shards=2
+        ) as service:
+            for sid in trace.session_ids:
+                service.open_session(sid)
+            third = trace.n_events // 3
+            for event in trace.events[:third]:
+                for d in service.ingest(event.session_id, event.samples):
+                    got[d.session_id].append(d)
+            victim = service.shard_process(0)
+            victim.kill()
+            victim.join()
+            for event in trace.events[third:]:
+                for d in service.ingest(event.session_id, event.samples):
+                    got[d.session_id].append(d)
+            for d in service.drain():
+                got[d.session_id].append(d)
+            assert service.shard_respawns(0) >= 1
+        for decisions in got.values():
+            decisions.sort(key=lambda d: d.index)
+        # No loss, no duplication: exactly the reference streams.
+        for sid in expected:
+            assert [d.index for d in got[sid]] == list(
+                range(len(expected[sid]))
+            )
+        assert parity_digest(got) == parity_digest(expected)
+
+    def test_graceful_respawn_of_live_shard(self, store):
+        """Drain-and-replace a healthy worker (rolling restart)."""
+        path, reference_model = store
+        config = _config(max_wait=5)
+        trace = synthetic_trace(
+            n_sessions=4,
+            samples_per_session=200,
+            n_channels=N_CHANNELS,
+            seed=5,
+        )
+        expected, _ = _single_reference(reference_model, config, trace)
+        got = {sid: [] for sid in trace.session_ids}
+        with ShardedStreamingService(
+            path, config, n_shards=2
+        ) as service:
+            for sid in trace.session_ids:
+                service.open_session(sid)
+            half = trace.n_events // 2
+            for event in trace.events[:half]:
+                for d in service.ingest(event.session_id, event.samples):
+                    got[d.session_id].append(d)
+            old = service.shard_process(1)
+            service.respawn_shard(1)
+            assert not old.is_alive()
+            assert service.shard_process(1) is not old
+            assert service.shard_respawns(1) == 1
+            for event in trace.events[half:]:
+                for d in service.ingest(event.session_id, event.samples):
+                    got[d.session_id].append(d)
+            for d in service.drain():
+                got[d.session_id].append(d)
+        for decisions in got.values():
+            decisions.sort(key=lambda d: d.index)
+        assert parity_digest(got) == parity_digest(expected)
+
+    def test_crash_with_unacked_commands_noticed_on_other_shards_ingest(
+        self, store
+    ):
+        """A worker killed with commands still unacknowledged must be
+        repaired when the crash is first *noticed* — even if that
+        happens in the broadcast pump of an ingest routed to a
+        different, healthy shard."""
+        import os
+        import signal
+        import time
+
+        path, reference_model = store
+        config = _config(max_wait=50, max_batch=64)
+        sid_a = next(s for s in range(100) if shard_for(s, 2) == 0)
+        sid_b = next(s for s in range(100) if shard_for(s, 2) == 1)
+        rng = np.random.default_rng(41)
+        stream_a = rng.random((60, N_CHANNELS))
+        stream_b = rng.random((60, N_CHANNELS))
+        with ShardedStreamingService(
+            path, config, n_shards=2
+        ) as service:
+            service.open_session(sid_a)
+            service.open_session(sid_b)
+            victim = service.shard_process(0)
+            # Freeze the worker so the next command stays unacked...
+            os.kill(victim.pid, signal.SIGSTOP)
+            time.sleep(0.05)
+            service.ingest(sid_a, stream_a[:30])
+            # ...then kill it with that command in flight.
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            # Ingest for the *other* shard: the broadcast pump finds
+            # the corpse; auto-respawn must repair it, not raise.
+            got = list(service.ingest(sid_b, stream_b[:30]))
+            for d in service.ingest(sid_a, stream_a[30:]):
+                got.append(d)
+            for d in service.ingest(sid_b, stream_b[30:]):
+                got.append(d)
+            got.extend(service.drain())
+            assert service.shard_respawns(0) == 1
+        per_session = {sid_a: [], sid_b: []}
+        for d in got:
+            per_session[d.session_id].append(d)
+        single = StreamingService(reference_model, config)
+        single.open_session(sid_a)
+        single.open_session(sid_b)
+        expected = []
+        expected += single.ingest(sid_a, stream_a[:30])
+        expected += single.ingest(sid_b, stream_b[:30])
+        expected += single.ingest(sid_a, stream_a[30:])
+        expected += single.ingest(sid_b, stream_b[30:])
+        expected += single.drain()
+        ref = {sid_a: [], sid_b: []}
+        for d in expected:
+            ref[d.session_id].append(d)
+        assert parity_digest(per_session) == parity_digest(ref)
+
+    def test_rejected_command_does_not_poison_the_journal(self, store):
+        """A command the worker errors on is tombstoned: a later
+        respawn replays cleanly instead of re-raising the old error
+        mid-repair and losing the journal suffix."""
+        path, reference_model = store
+        config = _config(max_wait=50, max_batch=64)
+        rng = np.random.default_rng(43)
+        stream = rng.random((100, N_CHANNELS))
+        with ShardedStreamingService(
+            path, config, n_shards=1
+        ) as service:
+            service.open_session(0)
+            service.ingest(0, stream[:50])
+            with pytest.raises(ShardError):
+                # Wrong channel count: the worker rejects it.
+                service.ingest(0, rng.random((10, N_CHANNELS + 2)))
+                service.drain()
+            # Crash the shard; the respawn replays the journal, which
+            # must no longer contain the rejected command.
+            service.shard_process(0).kill()
+            service.shard_process(0).join()
+            got = list(service.ingest(0, stream[50:]))
+            got.extend(service.drain())
+            assert service.shard_respawns(0) == 1
+        single = StreamingService(reference_model, config)
+        single.open_session(0)
+        expected = single.ingest(0, stream[:50])
+        expected += single.ingest(0, stream[50:])
+        expected += single.drain()
+        # Skipping the bad chunk, every good window decided exactly once.
+        all_got = sorted(got, key=lambda d: d.index)
+        assert parity_digest({0: all_got}) == parity_digest(
+            {0: expected}
+        )
+
+    def test_stale_error_does_not_journal_the_aborted_command(
+        self, store
+    ):
+        """A send aborted by a *stale* "err" reply (of an earlier bad
+        command) must leave no journal trace: the chunk was never
+        handed to the worker, the caller retries it, and a later
+        respawn replay serves the retried stream — not a phantom
+        double-ingest of the aborted chunk."""
+        import time
+
+        path, reference_model = store
+        config = _config(max_wait=50, max_batch=64)
+        rng = np.random.default_rng(47)
+        stream = rng.random((150, N_CHANNELS))
+        with ShardedStreamingService(
+            path, config, n_shards=1
+        ) as service:
+            service.open_session(0)
+            service.ingest(0, stream[:50])
+            with pytest.raises(ShardError):
+                service.ingest(0, rng.random((10, N_CHANNELS + 2)))
+                time.sleep(0.3)  # let the err reply land in the pipe
+                # This send aborts on the stale err, pre-send: the
+                # chunk must be neither served nor journaled.
+                service.ingest(0, stream[50:100])
+            # Either way the middle chunk has not been ingested;
+            # retrying it is the documented recovery.
+            got = list(service.ingest(0, stream[50:100]))
+            service.shard_process(0).kill()
+            service.shard_process(0).join()
+            for d in service.ingest(0, stream[100:]):
+                got.append(d)
+            got.extend(service.drain())
+            assert service.shard_respawns(0) == 1
+        single = StreamingService(reference_model, config)
+        single.open_session(0)
+        expected = single.ingest(0, stream[:50])
+        expected += single.ingest(0, stream[50:100])
+        expected += single.ingest(0, stream[100:])
+        expected += single.drain()
+        got.sort(key=lambda d: d.index)
+        assert parity_digest({0: got}) == parity_digest({0: expected})
+
+    def test_stats_survive_a_crash(self, store):
+        path, _ = store
+        trace = synthetic_trace(
+            n_sessions=3,
+            samples_per_session=120,
+            n_channels=N_CHANNELS,
+            seed=9,
+        )
+        with ShardedStreamingService(
+            path, _config(), n_shards=2
+        ) as service:
+            replay(service, trace)
+            service.shard_process(0).kill()
+            service.shard_process(0).join()
+            fleet = service.stats()
+            # The respawned shard replayed its whole journal, so the
+            # fleet still accounts for every window of the trace.
+            assert fleet.n_shards == 2
+            assert fleet.n_windows == sum(
+                len(s) for s in replay(
+                    StreamingService(load_model(path), _config()), trace
+                ).values()
+            )
+
+
+class TestFleetTelemetry:
+    def test_fleet_stats_merge_shard_totals(self, store):
+        path, reference_model = store
+        config = _config(max_wait=2)
+        trace = synthetic_trace(
+            n_sessions=6,
+            samples_per_session=200,
+            n_channels=N_CHANNELS,
+            seed=31,
+        )
+        expected, reference = _single_reference(
+            reference_model, config, trace
+        )
+        with ShardedStreamingService(
+            path, config, n_shards=3
+        ) as service:
+            replay(service, trace)
+            fleet = service.stats()
+        assert fleet.n_shards == 3
+        assert [s.shard for s in fleet.shards] == [0, 1, 2]
+        assert fleet.n_windows == sum(
+            s.n_windows for s in fleet.shards
+        )
+        # Same total work as the single-process reference...
+        assert fleet.n_windows == reference.total_windows
+        assert fleet.n_sessions == len(trace.session_ids)
+        # ...and the merged cache counters are the shard sums.
+        assert fleet.cache_hits == sum(
+            s.cache_hits for s in fleet.shards
+        )
+        assert fleet.cache_misses == sum(
+            s.cache_misses for s in fleet.shards
+        )
+        assert fleet.host_seconds == pytest.approx(
+            sum(s.host_seconds for s in fleet.shards)
+        )
+        lines = fleet.describe()
+        assert any("fleet" in line for line in lines)
+
+    def test_describe_mentions_device_totals_when_present(self):
+        from repro.perf.streaming import (
+            DevicePerfModel,
+            StreamStats,
+            merge_stream_stats,
+        )
+
+        device = DevicePerfModel.from_cycles(143_000, dim=DIM)
+        base = dict(
+            n_sessions=1,
+            n_batches=2,
+            cache_hits=1,
+            cache_misses=3,
+            cache_evictions=0,
+            cache_size=3,
+            host_seconds=0.5,
+        )
+        fleet = merge_stream_stats(
+            [
+                StreamStats(
+                    shard=i,
+                    n_windows=4,
+                    device_cycles=4 * device.cycles_per_window,
+                    device_energy_uj=4 * device.window_energy_uj,
+                    **base,
+                )
+                for i in range(2)
+            ]
+        )
+        assert fleet.device_cycles == 8 * device.cycles_per_window
+        assert fleet.device_energy_uj == pytest.approx(
+            8 * device.window_energy_uj
+        )
+        assert any("cycles" in line for line in fleet.describe())
+
+    def test_empty_fleet_rejected(self):
+        from repro.perf.streaming import merge_stream_stats
+
+        with pytest.raises(ValueError):
+            merge_stream_stats([])
+
+
+class TestCoordinatorAPI:
+    def test_session_lifecycle_errors(self, store):
+        path, _ = store
+        with ShardedStreamingService(
+            path, _config(), n_shards=2
+        ) as service:
+            service.open_session("u1")
+            with pytest.raises(ValueError):
+                service.open_session("u1")
+            with pytest.raises(KeyError):
+                service.ingest("nope", np.zeros((5, N_CHANNELS)))
+            with pytest.raises(KeyError):
+                service.shard_of("nope")
+            service.close_session("u1")
+            with pytest.raises(KeyError):
+                service.close_session("u1")
+            # Ids are unique over the coordinator's lifetime: the
+            # exactly-once filter identifies decisions by (id, index).
+            with pytest.raises(ValueError, match="already used"):
+                service.open_session("u1")
+
+    def test_constructor_validation(self, store, tmp_path):
+        path, _ = store
+        with pytest.raises(ValueError):
+            ShardedStreamingService(path, _config(), n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedStreamingService(
+                path, _config(), n_shards=1, max_inflight=0
+            )
+        with pytest.raises(FileNotFoundError):
+            ShardedStreamingService(
+                tmp_path / "absent.npz", _config(), n_shards=1
+            )
+
+    def test_worker_exception_surfaces_as_shard_error(self, store):
+        path, _ = store
+        with ShardedStreamingService(
+            path, _config(), n_shards=1, auto_respawn=False
+        ) as service:
+            service.open_session(0)
+            with pytest.raises(ShardError, match="shard 0"):
+                # Wrong channel count blows up inside the worker; the
+                # remote traceback must surface, not hang or crash.
+                service.ingest(0, np.zeros((10, N_CHANNELS + 1)))
+                service.drain()
+
+    def test_closed_service_rejects_use(self, store):
+        path, _ = store
+        service = ShardedStreamingService(path, _config(), n_shards=1)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.open_session(0)
+        service.close()  # idempotent
+
+    def test_window_too_short_for_ngrams_rejected_locally(
+        self, tmp_path
+    ):
+        rng = np.random.default_rng(3)
+        ngram_model = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=DIM, n_channels=N_CHANNELS, n_levels=8,
+                ngram_size=3, signal_hi=1.0,
+            )
+        ).fit(rng.random((8, 7, N_CHANNELS)), [0, 1] * 4)
+        path = save_model(tmp_path / "ngram", ngram_model)
+        with pytest.raises(ValueError, match="3-grams"):
+            ShardedStreamingService(
+                path,
+                _config(
+                    window=WindowConfig(
+                        window_samples=2, skip_onset_s=0.0
+                    )
+                ),
+                n_shards=1,
+            )
