@@ -88,9 +88,9 @@ def _chain_cycles(soc, n_cores: int, dim: int = 10_000) -> int:
         rng.integers(0, 2**32, size=(22, n_words), dtype=np.uint32),
         rng.integers(0, 2**32, size=(5, n_words), dtype=np.uint32),
     )
-    result = sim.run_window_levels(
-        rng.integers(0, 22, size=(dims.n_samples, 4))
-    )
+    result = sim.run_window_levels_batch(
+        rng.integers(0, 22, size=(1, dims.n_samples, 4))
+    )[0]
     return result.total_cycles
 
 

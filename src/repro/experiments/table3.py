@@ -120,7 +120,7 @@ def run_table3(
             )
         )
         sim.load_model(im, cim, am)
-        result = sim.run_window_levels(levels)
+        result = sim.run_window_levels_batch(levels[None])[0]
         columns.append(
             Table3Column(
                 key=key,

@@ -56,8 +56,19 @@ from .item_memory import ContinuousItemMemory, ItemMemory
 MODEL_MAGIC = "repro-hdc-model"
 """File-format identifier stored in every model file."""
 
-MODEL_VERSION = 1
-"""Current (and only) supported format version."""
+MODEL_VERSION = 2
+"""Current format version.
+
+Version 2 pads every stored uint32 row to an *even* word count (the pad
+word is zero and is validated on load), so the engine's uint64 widening
+is a zero-copy byte view at **every** dimension — version 1 stores with
+odd row lengths (the paper's own D = 10,000 → 313 words) forced one
+private read-only copy per worker on the mmap path.  Version 1 files
+still load bit-identically.
+"""
+
+SUPPORTED_VERSIONS = (1, 2)
+"""Format versions this build reads."""
 
 _CONFIG_INT_FIELDS = ("dim", "n_channels", "n_levels", "ngram_size", "seed")
 _CONFIG_FLOAT_FIELDS = ("signal_lo", "signal_hi")
@@ -77,15 +88,35 @@ def _normalize_path(path: Union[str, pathlib.Path]) -> pathlib.Path:
     return path
 
 
+def _pad_rows_even(words: np.ndarray) -> np.ndarray:
+    """Append one zero uint32 column when the row length is odd."""
+    if words.shape[1] % 2 == 0:
+        return words
+    padded = np.zeros(
+        (words.shape[0], words.shape[1] + 1), dtype=np.uint32
+    )
+    padded[:, :-1] = words
+    return padded
+
+
 def save_model(
-    path: Union[str, pathlib.Path], classifier: BatchHDClassifier
+    path: Union[str, pathlib.Path],
+    classifier: BatchHDClassifier,
+    version: int = MODEL_VERSION,
 ) -> pathlib.Path:
     """Persist a fitted classifier to ``path`` (a ``.npz`` model file).
 
     Returns the path actually written.  Raises ``RuntimeError`` when the
     classifier has not been fitted and :class:`ModelFormatError` when the
-    labels are not serializable (ints or strings only).
+    labels are not serializable (ints or strings only).  ``version``
+    selects the store format (2 by default; 1 writes the legacy unpadded
+    layout for compatibility tests).
     """
+    if version not in SUPPORTED_VERSIONS:
+        raise ModelFormatError(
+            f"cannot write model format version {version}; "
+            f"supported: {SUPPORTED_VERSIONS}"
+        )
     path = _normalize_path(path)
     config = classifier.config
     am_u32 = classifier.am_matrix()  # raises RuntimeError if unfitted
@@ -108,12 +139,13 @@ def save_model(
             f"{classifier.labels!r}"
         )
     spatial = classifier.encoder.spatial
+    pad = _pad_rows_even if version >= 2 else (lambda words: words)
     payload = {
         "magic": np.array(MODEL_MAGIC),
-        "version": np.array(MODEL_VERSION, dtype=np.int64),
-        "im_u32": spatial.item_memory.as_matrix(),
-        "cim_u32": spatial.continuous_memory.as_matrix(),
-        "am_u32": am_u32,
+        "version": np.array(version, dtype=np.int64),
+        "im_u32": pad(spatial.item_memory.as_matrix()),
+        "cim_u32": pad(spatial.continuous_memory.as_matrix()),
+        "am_u32": pad(am_u32),
         "labels": labels,
     }
     for name in _CONFIG_INT_FIELDS:
@@ -135,45 +167,62 @@ def _require(archive, key: str) -> np.ndarray:
         ) from None
 
 
+def _stored_words(dim: int, version: int) -> int:
+    """uint32 words per stored row for a given format version."""
+    n32 = bitpack.words_for_dim(dim)
+    if version >= 2:
+        n32 += n32 % 2  # rows padded to even word counts
+    return n32
+
+
 def _validate_u32_matrix(
-    words: np.ndarray, key: str, n_rows: int, dim: int
+    words: np.ndarray, key: str, n_rows: int, dim: int, version: int
 ) -> None:
     """Validate one stored uint32 matrix (dtype, shape, pad bits)."""
     if words.dtype != np.uint32:
         raise ModelFormatError(
             f"{key} must be uint32, got {words.dtype}"
         )
-    expected = (n_rows, bitpack.words_for_dim(dim))
+    n32 = bitpack.words_for_dim(dim)
+    expected = (n_rows, _stored_words(dim, version))
     if words.shape != expected:
         raise ModelFormatError(
             f"{key} has shape {words.shape}, expected {expected}"
         )
-    if not bitpack.pad_bits_are_zero(words, dim):
+    if not bitpack.pad_bits_are_zero(words[:, :n32], dim):
         raise ModelFormatError(
             f"{key} violates the pad-bit invariant for dimension {dim}"
+        )
+    if words.shape[1] != n32 and words[:, n32:].any():
+        raise ModelFormatError(
+            f"{key} has non-zero bits in the version-2 row padding"
         )
 
 
 def _check_matrix(
-    words: np.ndarray, key: str, n_rows: int, dim: int
+    words: np.ndarray, key: str, n_rows: int, dim: int, version: int
 ) -> np.ndarray:
     """Validate one stored uint32 matrix and widen it to uint64 rows."""
-    _validate_u32_matrix(words, key, n_rows, dim)
-    return bitpack.u32_to_u64(words, dim)
+    _validate_u32_matrix(words, key, n_rows, dim, version)
+    return bitpack.u32_to_u64(
+        words[:, : bitpack.words_for_dim(dim)], dim
+    )
 
 
-def _widen_readonly(words: np.ndarray, dim: int) -> np.ndarray:
+def _widen_readonly(
+    words: np.ndarray, dim: int, version: int
+) -> np.ndarray:
     """Widen validated uint32 rows to uint64 without giving up the map.
 
-    When the uint32 row length is even, the uint64 layout is the *same
-    bytes* (LSB-first little-endian), so a dtype view keeps the array
-    mmap-backed and read-only.  Odd row lengths need a zero pad word per
-    row, which forces one private copy — marked read-only so both paths
-    expose the same immutable contract.
+    When the stored uint32 row length is even — always, in a version-2
+    store; at even word counts in version 1 — the uint64 layout is the
+    *same bytes* (LSB-first little-endian), so a dtype view keeps the
+    array mmap-backed and read-only.  Odd version-1 rows need a zero pad
+    word per row, which forces one private copy — marked read-only so
+    both paths expose the same immutable contract.
     """
-    n32 = bitpack.words_for_dim(dim)
     n64 = bitpack.words_for_dim(dim, bitpack.WORD_BITS64)
-    if n32 == 2 * n64:
+    if _stored_words(dim, version) == 2 * n64:
         return words.view("<u8")
     widened = bitpack.u32_to_u64(words, dim)
     widened.setflags(write=False)
@@ -191,7 +240,7 @@ def _open_archive(path: pathlib.Path):
 
 def _load_header(
     archive, path: pathlib.Path
-) -> Tuple[HDClassifierConfig, List[Hashable]]:
+) -> Tuple[HDClassifierConfig, List[Hashable], int]:
     """Validate magic/version and decode config + labels (small arrays)."""
     magic = _require(archive, "magic")
     if str(magic) != MODEL_MAGIC:
@@ -199,10 +248,10 @@ def _load_header(
             f"{path} is not a {MODEL_MAGIC} file (magic {magic!r})"
         )
     version = int(_require(archive, "version"))
-    if version != MODEL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ModelFormatError(
             f"unsupported model format version {version} "
-            f"(this build reads version {MODEL_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     fields = {}
     for name in _CONFIG_INT_FIELDS:
@@ -224,7 +273,7 @@ def _load_header(
         raise ModelFormatError("duplicate class labels in model file")
     if not labels:
         raise ModelFormatError("model file stores zero classes")
-    return config, labels
+    return config, labels, version
 
 
 def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
@@ -236,17 +285,18 @@ def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
     """
     path = pathlib.Path(path)
     with _open_archive(path) as archive:
-        config, labels = _load_header(archive, path)
+        config, labels, version = _load_header(archive, path)
         im64 = _check_matrix(
             _require(archive, "im_u32"), "im_u32", config.n_channels,
-            config.dim,
+            config.dim, version,
         )
         cim64 = _check_matrix(
             _require(archive, "cim_u32"), "cim_u32", config.n_levels,
-            config.dim,
+            config.dim, version,
         )
         am64 = _check_matrix(
-            _require(archive, "am_u32"), "am_u32", len(labels), config.dim
+            _require(archive, "am_u32"), "am_u32", len(labels),
+            config.dim, version,
         )
     return BatchHDClassifier.from_state(
         config,
@@ -333,7 +383,7 @@ def load_model_mmap(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
     """
     path = pathlib.Path(path)
     with _open_archive(path) as archive:
-        config, labels = _load_header(archive, path)
+        config, labels, version = _load_header(archive, path)
     row_counts = {
         "im_u32": config.n_channels,
         "cim_u32": config.n_levels,
@@ -344,8 +394,10 @@ def load_model_mmap(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
         with zipfile.ZipFile(path) as zf:
             for key, n_rows in row_counts.items():
                 words = _mmap_member(path, zf, key)
-                _validate_u32_matrix(words, key, n_rows, config.dim)
-                mapped[key] = _widen_readonly(words, config.dim)
+                _validate_u32_matrix(
+                    words, key, n_rows, config.dim, version
+                )
+                mapped[key] = _widen_readonly(words, config.dim, version)
     except ModelFormatError:
         raise
     except Exception as exc:
@@ -370,10 +422,10 @@ def model_info(path: Union[str, pathlib.Path]) -> dict:
         if magic != MODEL_MAGIC:
             raise ModelFormatError(f"{path} is not a {MODEL_MAGIC} file")
         version = int(_require(archive, "version"))
-        if version != MODEL_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ModelFormatError(
                 f"unsupported model format version {version} "
-                f"(this build reads version {MODEL_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         return {
             "magic": magic,

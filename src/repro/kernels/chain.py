@@ -37,6 +37,13 @@ from .temporal import emit_ngram
 MAX_REGISTER_BUNDLE_ROWS = 7
 """Largest row count handled by the register window bundle."""
 
+MAX_DESC_ARENA_WINDOWS = 32
+"""Upper bound on descriptor-arena slots a simulator reserves in L2.
+
+The arena only grows into L2 slack left over after the model, so small
+memories (or many-channel shapes) automatically get fewer slots, down to
+the single table the sequential path needs."""
+
 
 def emit_bundle_rows(
     asm: Assembler,
@@ -330,16 +337,17 @@ class HDChainSimulator:
                 config.dims.n_channels,
             )
         self.strategy = strategy
-        self.layout = make_layout(
-            config.dims,
-            config.n_cores,
-            uses_dma=config.soc.uses_dma,
-            with_bound_buf=(strategy == "memory"),
-        )
         soc = config.soc
         mem_cfg = soc.memory_config()
         from ..pulp.memory import L1_BASE, L2_BASE
 
+        layout_args = dict(
+            dims=config.dims,
+            n_cores=config.n_cores,
+            uses_dma=config.soc.uses_dma,
+            with_bound_buf=(strategy == "memory"),
+        )
+        self.layout = make_layout(**layout_args)
         if self.layout.l1_end - L1_BASE > mem_cfg.l1_bytes:
             raise ValueError(
                 f"chain working set ({self.layout.l1_end - L1_BASE} B) "
@@ -349,6 +357,17 @@ class HDChainSimulator:
             raise ValueError(
                 f"chain model ({self.layout.l2_end - L2_BASE} B) exceeds "
                 f"{soc.name} L2 ({mem_cfg.l2_bytes} B)"
+            )
+        # Grow the descriptor arena into whatever L2 slack remains so
+        # batched sweeps can stage many windows in one host transfer.
+        slack = mem_cfg.l2_bytes - (self.layout.l2_end - L2_BASE)
+        extra = min(
+            MAX_DESC_ARENA_WINDOWS - 1,
+            slack // self.layout.desc_table_bytes,
+        )
+        if extra > 0:
+            self.layout = make_layout(
+                **layout_args, desc_capacity=1 + extra
             )
         self.cluster: Cluster = soc.make_cluster(
             config.n_cores, engine=config.engine
@@ -440,38 +459,60 @@ class HDChainSimulator:
 
     # -- execution --------------------------------------------------------------
 
-    def run_window_levels(self, levels: np.ndarray) -> ChainResult:
-        """Classify one window given pre-quantised integer levels.
+    def _validate_levels(
+        self, levels: np.ndarray, batched: bool
+    ) -> np.ndarray:
+        """Shape/dtype/range checks for one window or a window batch.
 
-        ``levels`` is (n_samples, n_channels) with entries in
-        [0, n_levels).  Returns the chain result with the label read back
-        from simulated memory.
+        Structural checks run *before* any value inspection so an empty
+        or float array raises the intended :class:`ValueError` instead
+        of a confusing numpy error (or a silent float truncation).
         """
-        if not self._model_loaded:
-            raise RuntimeError("load_model must be called first")
         dims = self.config.dims
         levels = np.asarray(levels)
-        if levels.shape != (dims.n_samples, dims.n_channels):
+        expected = (dims.n_samples, dims.n_channels)
+        if batched:
+            if levels.ndim != 3 or levels.shape[1:] != expected:
+                raise ValueError(
+                    f"levels batch shape {levels.shape} != expected "
+                    f"(n_windows, {dims.n_samples}, {dims.n_channels})"
+                )
+            if levels.shape[0] == 0:
+                raise ValueError("levels batch holds zero windows")
+        elif levels.shape != expected:
             raise ValueError(
                 f"levels shape {levels.shape} != expected "
                 f"({dims.n_samples}, {dims.n_channels})"
+            )
+        if levels.dtype.kind not in "iu":
+            raise ValueError(
+                f"levels must be an integer array, got dtype "
+                f"{levels.dtype}"
             )
         if levels.min() < 0 or levels.max() >= dims.n_levels:
             raise ValueError(
                 f"levels must lie in [0, {dims.n_levels}), got "
                 f"[{levels.min()}, {levels.max()}]"
             )
-        # Descriptor table: L2 address of each (sample, channel) CIM row.
-        desc = np.array(
-            [
-                self.layout.cim_l2_row(int(level))
-                for level in levels.ravel()
-            ],
-            dtype=np.uint32,
+        return levels
+
+    def _desc_tables(self, levels: np.ndarray) -> np.ndarray:
+        """Descriptor tables for ``(..., n_samples, n_channels)`` levels.
+
+        One vectorized address computation — ``cim_l2 + level * row`` —
+        per entry, replacing the historical per-element Python loop
+        (pinned equal by ``tests/kernels/test_chain_batch.py``).
+        """
+        dims = self.config.dims
+        flat = levels.reshape(-1, dims.n_samples * dims.n_channels)
+        return (
+            np.uint32(self.layout.cim_l2)
+            + flat.astype(np.uint32) * np.uint32(dims.row_bytes)
         )
-        self.cluster.write_words(self.layout.desc_l2, desc)
-        encode_run = self.cluster.run(self.encode_program)
-        am_run = self.cluster.run(self.am_program)
+
+    def _read_result(self, encode_run, am_run) -> ChainResult:
+        """Read the label/distances back and assemble a ChainResult."""
+        dims = self.config.dims
         label = self.cluster.read_word(self.layout.result_label_addr())
         distances = np.array(
             [
@@ -488,6 +529,111 @@ class HDChainSimulator:
             encode_run=encode_run,
             am_run=am_run,
         )
+
+    def _run_staged_window(self) -> ChainResult:
+        """Run encode + AM on the already-staged active descriptor table."""
+        encode_run = self.cluster.run(self.encode_program)
+        am_run = self.cluster.run(self.am_program)
+        return self._read_result(encode_run, am_run)
+
+    def run_window_levels(self, levels: np.ndarray) -> ChainResult:
+        """Classify one window given pre-quantised integer levels.
+
+        ``levels`` is (n_samples, n_channels) with entries in
+        [0, n_levels).  Returns the chain result with the label read back
+        from simulated memory.
+        """
+        if not self._model_loaded:
+            raise RuntimeError("load_model must be called first")
+        levels = self._validate_levels(levels, batched=False)
+        # Descriptor table: L2 address of each (sample, channel) CIM row.
+        desc = self._desc_tables(levels)[0]
+        self.cluster.write_words(self.layout.desc_l2, desc)
+        return self._run_staged_window()
+
+    def run_window_levels_batch(
+        self, levels_batch: np.ndarray
+    ) -> List[ChainResult]:
+        """Classify N windows, amortizing per-window staging and engine
+        overhead.
+
+        Semantically identical to N sequential :meth:`run_window_levels`
+        calls — per-window labels, distances, cycle counts, and the
+        final simulated-memory state are bit- and cycle-exact (pinned by
+        the differential suite in ``tests/kernels/test_chain_batch.py``).
+        Mechanically, the batch is staged chunk-wise through the L2
+        descriptor arena (one host transfer per chunk, in-simulation
+        slot promotion per window) and, where the fast engine is active,
+        executed through the window-laned lockstep engine
+        (:mod:`repro.pulp.lockstep`), which runs the encode kernel once
+        with an extra lane axis over the chunk's windows instead of
+        re-staging and re-running it per window.
+        """
+        if not self._model_loaded:
+            raise RuntimeError("load_model must be called first")
+        levels_batch = self._validate_levels(levels_batch, batched=True)
+        tables = self._desc_tables(levels_batch)
+        layout = self.layout
+        capacity = layout.desc_capacity
+        results: List[ChainResult] = []
+        for start in range(0, len(tables), capacity):
+            chunk = tables[start : start + capacity]
+            # One host transfer stages the whole chunk into the arena.
+            self.cluster.write_words(layout.desc_l2, chunk.ravel())
+            lane_results = None
+            if len(chunk) > 1 and self.cluster.engine == "fast":
+                lane_results = self._run_chunk_lockstep(chunk)
+            if lane_results is None:
+                lane_results = self._run_chunk_sequential(len(chunk))
+            results.extend(lane_results)
+        return results
+
+    def _run_chunk_sequential(self, n_windows: int) -> List[ChainResult]:
+        """Run the ``n_windows`` staged arena slots one window at a time."""
+        layout = self.layout
+        memory = self.cluster.memory
+        table = layout.desc_table_bytes
+        results = []
+        for index in range(n_windows):
+            if index:
+                # Promote slot ``index`` to the active table in
+                # simulation memory — no host re-staging.
+                memory.write_bytes(
+                    layout.desc_l2,
+                    memory.read_bytes(layout.desc_slot(index), table),
+                )
+            results.append(self._run_staged_window())
+        return results
+
+    def _run_chunk_lockstep(self, chunk) -> Optional[List[ChainResult]]:
+        """Attempt the window-laned encode run for one staged chunk.
+
+        Returns per-window results, or ``None`` when the lockstep engine
+        bailed (the caller falls back to the sequential path; nothing in
+        cluster state has been mutated by a bailed attempt).
+        """
+        from ..pulp.lockstep import run_program_lockstep
+
+        layout = self.layout
+        lane_writes = [
+            [(
+                layout.desc_l2,
+                np.ascontiguousarray(table, dtype="<u4").tobytes(),
+            )]
+            for table in chunk
+        ]
+        laned = run_program_lockstep(
+            self.cluster, self.encode_program, lane_writes
+        )
+        if laned is None:
+            return None
+        encode_run, images = laned
+        results = []
+        for image in images:
+            image.restore_into(self.cluster.memory)
+            am_run = self.cluster.run(self.am_program)
+            results.append(self._read_result(encode_run, am_run))
+        return results
 
     def run_window(
         self,

@@ -225,14 +225,18 @@ def _emit_memory_strategy(
     codegen.emit_chunk_bounds(asm, dims.n_words, n_cores, w, w_end, t)
 
     # Phase A: bound_buf[ch] = IM[ch] ^ CIM_row[ch] over this core's words.
-    # Channel loop in assembly (the channel count may be large).
+    # Channel loop in assembly (the channel count may be large), in the
+    # same do-while shape as ``emit_word_loop``'s branch variant: body
+    # first, single backward conditional at the bottom.  The channel
+    # count is >= 1 by construction, so no entry guard is needed — and
+    # without the forward exit branch + unconditional ``j`` of the old
+    # while-shape, the fast path's loop recognizer vectorizes the sweep
+    # at the channel level (lanes = channels) instead of bailing.
     asm.li(ch, 0)
     ch_loop = codegen.asm_unique(asm, "bindch")
-    ch_exit = codegen.asm_unique(asm, "bindch_exit")
     nch_reg = asm.reg("nch")
     asm.li(nch_reg, n_ch)
     asm.label(ch_loop)
-    asm.bgeu(ch, nch_reg, ch_exit)
     # off = ch*row + w*4: common offset into the row-major blocks
     asm.li(t, row)
     asm.mul(off, ch, t)
@@ -272,8 +276,7 @@ def _emit_memory_strategy(
         asm, profile, wi, w_end, u, bind_body, bind_step, "bind"
     )
     asm.addi(ch, ch, 1)
-    asm.j(ch_loop)
-    asm.label(ch_exit)
+    asm.bltu(ch, nch_reg, ch_loop)
     asm.free_reg("nch")
     asm.free_reg("wi")
 
@@ -435,16 +438,16 @@ def _emit_carry_save_strategy(
         for plane in planes:
             asm.mv(plane, 0)
         if direct:
-            # Walk the descriptor table; p_i tracks the IM column.
+            # Walk the descriptor table; p_i tracks the IM column.  The
+            # walk is a do-while (channel count >= 1): one backward
+            # conditional at the bottom, so the loop recognizer can
+            # vectorize the enclosing word loop on flat-memory machines.
             asm.li(p_i, layout.im_l1)
             asm.add(p_i, p_i, woff)
             asm.li(ch_end, source.desc_addrs[0])
             row_loop = codegen.asm_unique(asm, "csrow")
-            row_end = codegen.asm_unique(asm, "csrow_end")
-            asm.li(t, source.desc_addrs[0] + n_ch * 4)
-            asm.mv(b1, t)  # b1 temporarily holds the end pointer
+            asm.li(b1, source.desc_addrs[0] + n_ch * 4)
             asm.label(row_loop)
-            asm.bgeu(ch_end, b1, row_end)
             asm.lw(p_c, ch_end, 0)
             asm.add(p_c, p_c, woff)
             asm.lw(carry, p_c, 0)
@@ -456,8 +459,7 @@ def _emit_carry_save_strategy(
             ripple()
             asm.addi(p_i, p_i, row)
             asm.addi(ch_end, ch_end, 4)
-            asm.j(row_loop)
-            asm.label(row_end)
+            asm.bltu(ch_end, b1, row_loop)
             if has_tie:
                 # Recompute bound words 0 and 1 for the tiebreak.
                 for j, breg in ((0, b0), (1, b1)):

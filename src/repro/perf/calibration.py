@@ -123,9 +123,11 @@ def _run_point(
     )
     # Pad bits do not affect timing, but keep the invariant for hygiene.
     levels = rng.integers(
-        0, dims.n_levels, size=(dims.n_samples, dims.n_channels)
+        0, dims.n_levels, size=(1, dims.n_samples, dims.n_channels)
     )
-    result = sim.run_window_levels(levels)
+    # The batched driver is the production execution path (same arena
+    # staging and engine as the sweeps that consume this calibration).
+    result = sim.run_window_levels_batch(levels)[0]
     return result.encode_cycles, result.am_cycles
 
 

@@ -857,14 +857,86 @@ def _prepare_units(decoded, units, profile, reduction_pcs):
     return tuple(nodes)
 
 
-def _build_plan(decoded, kind, head, lo, hi, exit_pc, branch_pc, profile):
-    units = _parse_region(decoded, lo, hi)
+#: Memo of loop-plan *bodies* keyed by (profile name, plan kind,
+#: pc-normalized region instructions).  The kernel generators rebuild
+#: structurally identical loops at different addresses for every machine
+#: configuration and program; with branch/loop targets rebased relative
+#: to the region head, the expensive analysis (_parse_region /
+#: _classify_region / _prepare_units) runs once per distinct loop shape
+#: instead of once per program.  Rejections memoize too (as the bail
+#: reason string) so hopeless shapes are not re-analyzed; telemetry
+#: still counts every compile-time reject per program.
+_PLAN_MEMO: Dict[tuple, object] = {}
+
+
+def _rebased_region(decoded, lo: int, hi: int, branch_pc: Optional[int]):
+    """The region's instructions with control targets made head-relative.
+
+    Returns a list usable both as the position-independent memo key and
+    as the instruction sequence the plan analysis runs on (indices
+    0 .. hi−lo−1, with the outer branch appended at index hi−lo for
+    branch-kind plans).
+    """
+    rebased = []
+    for pc in range(lo, hi):
+        ins = decoded[pc]
+        op = ins[0]
+        if op == _OP_LPSETUP or op in _BRANCH_OPS or op in (
+            _OP_J, _OP_JAL
+        ):
+            rebased.append(ins[:6] + (ins[6] - lo,))
+        else:
+            rebased.append(ins)
+    if branch_pc is not None:
+        ins = decoded[branch_pc]
+        rebased.append(ins[:6] + (ins[6] - lo,))
+    return rebased
+
+
+def _build_plan_body(region, kind, n: int, branch_rel, profile):
+    """Analyze one pc-normalized region into the memoizable plan body."""
+    units = _parse_region(region, 0, n)
     inductions, reduction_pcs, written = _classify_region(
-        decoded, units, branch_pc
+        region, units, branch_rel
     )
     depth = _hw_depth(units) + (1 if kind == "hw" else 0)
     if depth > 2:
         raise _Bail("loop-depth")  # the core supports two hw-loop levels
+    return (
+        units,
+        inductions,
+        reduction_pcs,
+        frozenset(r for r, _, _ in reduction_pcs.values()),
+        written,
+        depth,
+        _prepare_units(region, units, profile, reduction_pcs),
+    )
+
+
+def _build_plan(decoded, kind, head, lo, hi, exit_pc, branch_pc, profile):
+    region = _rebased_region(decoded, lo, hi, branch_pc)
+    key = (profile.name, kind, tuple(region))
+    body = _PLAN_MEMO.get(key)
+    if body is None:
+        branch_rel = None if branch_pc is None else hi - lo
+        try:
+            body = _build_plan_body(
+                region, kind, hi - lo, branch_rel, profile
+            )
+        except _Bail as bail:
+            if len(_PLAN_MEMO) >= _MEMO_LIMIT:
+                _PLAN_MEMO.clear()
+            _PLAN_MEMO[key] = bail.reason
+            raise
+        if len(_PLAN_MEMO) >= _MEMO_LIMIT:
+            _PLAN_MEMO.clear()
+        _PLAN_MEMO[key] = body
+    elif isinstance(body, str):
+        raise _Bail(body)
+    (
+        units, inductions, reduction_pcs, reduction_regs, written,
+        depth, exec_nodes,
+    ) = body
     return LoopPlan(
         kind=kind,
         head=head,
@@ -873,12 +945,10 @@ def _build_plan(decoded, kind, head, lo, hi, exit_pc, branch_pc, profile):
         branch_pc=branch_pc,
         inductions=inductions,
         reduction_pcs=reduction_pcs,
-        reduction_regs=frozenset(
-            r for r, _, _ in reduction_pcs.values()
-        ),
+        reduction_regs=reduction_regs,
         written_regs=written,
         hw_depth=depth,
-        exec_nodes=_prepare_units(decoded, units, profile, reduction_pcs),
+        exec_nodes=exec_nodes,
     )
 
 
@@ -996,6 +1066,62 @@ class _Reduction:
         return self.base & self.acc
 
 
+def _affine_stride(addr: np.ndarray):
+    """Positive common stride of an affine address array, else ``None``."""
+    if addr.size < 2:
+        return None
+    deltas = np.diff(addr.astype(np.int64))
+    step = int(deltas[0])
+    if step > 0 and (deltas == step).all():
+        return step
+    return None
+
+
+def _accesses_disjoint(addr_a, width_a, stride_a, addr_b, width_b, stride_b):
+    """Whether two access sets with overlapping bounding intervals are
+    provably byte-disjoint.
+
+    The decidable-in-O(1) case is two affine sets on the same stride
+    lattice (the kernels' row-strided lane sets): their byte footprints
+    repeat with period ``s``, so a phase test on ``(base_a − base_b)
+    mod s`` settles disjointness for every pair of elements at once.  A
+    scalar access against an affine set uses the same phase test.
+    Everything undecided returns False (the caller bails — exactly the
+    pre-stride behaviour, so this is only ever *more* permissive).
+    ``None`` stands for an address set with no affine representative
+    (e.g. the lockstep engine's per-lane gathers): never provably
+    disjoint.
+    """
+    if addr_a is None or addr_b is None:
+        return False
+    if isinstance(addr_a, np.ndarray):
+        if stride_a is None:
+            return False
+        base_a = int(addr_a[0])
+    else:
+        base_a, stride_a = int(addr_a), None
+    if isinstance(addr_b, np.ndarray):
+        if stride_b is None:
+            return False
+        base_b = int(addr_b[0])
+    else:
+        base_b, stride_b = int(addr_b), None
+    if stride_a is None and stride_b is None:
+        return False  # two scalars with overlapping intervals do touch
+    if stride_a is not None and stride_b is not None:
+        if stride_a != stride_b:
+            return False
+        stride = stride_a
+    else:
+        stride = stride_a if stride_a is not None else stride_b
+    if width_a > stride or width_b > stride:
+        return False
+    # Phase of set a relative to set b on the shared lattice: bytes
+    # [d, d+width_a) of some period must miss [0, width_b) of the next.
+    d = (base_a - base_b) % stride
+    return d >= width_b and d + width_a <= stride
+
+
 class _VectorRun:
     """One batched execution of a :class:`LoopPlan` over ``T`` trips.
 
@@ -1016,8 +1142,10 @@ class _VectorRun:
         self.n_l2 = 0
         self.base_cycles = 0
         self.n_instr = 0
-        self.stores: List[tuple] = []  # (lo, hi, addrs, values, width)
-        self.loads: List[tuple] = []  # (lo, hi) ranges already gathered
+        # (lo, hi, addrs, values, width, stride) deferred stores and
+        # (lo, hi, addrs, width, stride) gathered-load footprints.
+        self.stores: List[tuple] = []
+        self.loads: List[tuple] = []
         self.budget = core.max_instructions - core.instr_count
         self._taken = 1 + core.profile.branch_taken_penalty
         self._not_taken = 1 + core.profile.branch_not_taken_penalty
@@ -1039,13 +1167,24 @@ class _VectorRun:
 
     # -- helpers -----------------------------------------------------------
 
-    def _check_no_store_overlap(self, lo: int, hi: int) -> None:
-        """A load (or new store) range may not touch a deferred store."""
-        for s_lo, s_hi, _, _, _ in self.stores:
-            if lo <= s_hi and s_lo <= hi:
+    def _check_no_store_overlap(
+        self, lo: int, hi: int, addr=None, width: int = 0, stride=None
+    ) -> None:
+        """A load (or new store) range may not touch a deferred store.
+
+        [lo, hi] is the access set's bounding interval; interval overlap
+        alone is not disproof of disjointness, so overlapping intervals
+        fall through to the exact (or stride-lattice) test — a
+        row-strided lane set interleaves with its neighbour's interval
+        while touching entirely different bytes.
+        """
+        for s_lo, s_hi, s_addr, _, s_width, s_stride in self.stores:
+            if lo <= s_hi and s_lo <= hi and not _accesses_disjoint(
+                addr, width, stride, s_addr, s_width, s_stride
+            ):
                 raise _Bail("store-overlap")
 
-    def _check_no_load_overlap(self, lo, hi, addr, width) -> None:
+    def _check_no_load_overlap(self, lo, hi, addr, width, stride) -> None:
         """A new store range may not touch any already-gathered load.
 
         This catches the *backward* cross-trip dependence (a load site
@@ -1063,7 +1202,7 @@ class _VectorRun:
         exactly what the oracle reads.  A *scalar* address reused by
         both sites is loop-carried through memory and must still bail.
         """
-        for l_lo, l_hi, l_addr, l_width in self.loads:
+        for l_lo, l_hi, l_addr, l_width, l_stride in self.loads:
             if lo <= l_hi and l_lo <= hi:
                 if (
                     width == l_width
@@ -1072,14 +1211,20 @@ class _VectorRun:
                     and np.array_equal(addr, l_addr)
                 ):
                     continue
+                if _accesses_disjoint(
+                    addr, width, stride, l_addr, l_width, l_stride
+                ):
+                    continue
                 raise _Bail("load-store-overlap")
 
     def _load(self, addr, width: int):
         memory = self.memory
+        stride = None
         if isinstance(addr, np.ndarray):
             lo = int(addr.min())
             hi = int(addr.max()) + width - 1
-            self._check_no_store_overlap(lo, hi)
+            stride = _affine_stride(addr)
+            self._check_no_store_overlap(lo, hi, addr, width, stride)
             gathered = memory.gather(addr, width)
             if gathered is None:
                 raise _Bail("gather-span")
@@ -1093,11 +1238,11 @@ class _VectorRun:
             if located is None:
                 raise _Bail("region-span")
             is_l1 = located[0]
-            self._check_no_store_overlap(lo, hi)
+            self._check_no_store_overlap(lo, hi, addr, width, stride)
             values = int.from_bytes(
                 memory.read_bytes(addr, width), "little"
             )
-        self.loads.append((lo, hi, addr, width))
+        self.loads.append((lo, hi, addr, width, stride))
         if is_l1:
             self.n_l1 += self.trips
         else:
@@ -1106,6 +1251,7 @@ class _VectorRun:
 
     def _store(self, addr, value, width: int) -> None:
         memory = self.memory
+        stride = None
         if isinstance(addr, np.ndarray):
             lo = int(addr.min())
             hi = int(addr.max()) + width - 1
@@ -1114,7 +1260,8 @@ class _VectorRun:
                 raise _Bail("region-span")
             if width > 1 and (addr % width).any():
                 raise _Bail("unaligned-access")
-            if np.unique(addr).size != addr.size:
+            stride = _affine_stride(addr)
+            if stride is None and np.unique(addr).size != addr.size:
                 # Duplicate lane addresses: order-dependent.
                 raise _Bail("duplicate-store-lanes")
             is_l1 = located[0]
@@ -1131,9 +1278,9 @@ class _VectorRun:
             is_l1 = located[0]
             if isinstance(value, np.ndarray):
                 value = int(value[-1])  # last lane wins on one address
-        self._check_no_store_overlap(lo, hi)
-        self._check_no_load_overlap(lo, hi, addr, width)
-        self.stores.append((lo, hi, addr, value, width))
+        self._check_no_store_overlap(lo, hi, addr, width, stride)
+        self._check_no_load_overlap(lo, hi, addr, width, stride)
+        self.stores.append((lo, hi, addr, value, width, stride))
         if is_l1:
             self.n_l1 += self.trips
         else:
@@ -1205,9 +1352,9 @@ class _VectorRun:
                 self.base_cycles += T  # lp.setup costs 1
                 trips_v = sym[trip_reg] if trip_reg else 0
                 if isinstance(trips_v, np.ndarray):
-                    if not (trips_v == trips_v[0]).all():
+                    if not (trips_v == trips_v.flat[0]).all():
                         raise _Bail("divergent-trip-count")
-                    trips_v = trips_v[0]
+                    trips_v = trips_v.flat[0]
                 inner = int(trips_v)
                 # Every pass adds at least T to n_instr, so this
                 # pre-guard bounds the unroll work by the instruction cap.
@@ -1314,7 +1461,7 @@ class _VectorRun:
         """Apply all deferred effects; only called when no bail fired."""
         core = self.core
         memory = self.memory
-        for _lo, _hi, addr, value, width in self.stores:
+        for _lo, _hi, addr, value, width, _stride in self.stores:
             if isinstance(addr, np.ndarray):
                 memory.scatter(addr, _u64(value), width)
             else:

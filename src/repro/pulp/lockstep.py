@@ -1,0 +1,988 @@
+"""Window-laned lockstep execution: one program, N memory images.
+
+The batched-window driver (:meth:`repro.kernels.chain.HDChainSimulator.
+run_window_levels_batch`) re-runs the *same* encode program per window;
+only the descriptor table — and therefore the data flowing through the
+kernel — differs.  The kernels' control flow is counter-driven, so N
+windows execute the identical instruction trace in lockstep.  This
+module exploits that: it runs the program **once** over N per-window
+memory images, carrying every register as either a plain int (uniform
+across windows) or a length-N lane array, and extending the fast path's
+trip-vectorized loops with a second lane axis — ``(trips, windows)``
+arrays flowing through the very same compiled segment closures
+(:func:`repro.pulp.fastpath._compile_seg` is shape-agnostic).  One numpy
+pass per loop then covers all windows, which is where the batched
+driver's speed-up comes from.
+
+Exactness contract: per-window architectural results (memory images,
+cycles, instruction counts, DMA bytes, barrier structure) are identical
+to N sequential runs.  Everything the lane model cannot reproduce
+bit-exactly — a branch whose outcome differs between windows, a
+divergent hardware-loop trip count, lane-varying store addresses, any
+access the memory model rejects — raises :class:`LockstepBail` *before
+any caller-visible state is touched* (the engine mutates only its own
+image stack), and the caller falls back to the sequential per-window
+path.  The differential suite in ``tests/kernels/test_chain_batch.py``
+pins the equivalence over engine × strategy × core-count grids.
+
+Cycle accounting mirrors the scalar engines: base costs are folded per
+segment, memory stalls are totalled through the same closed-form
+accumulator (:meth:`MemorySystem.bulk_stalls` semantics, one shared
+model because every lane's access trace is identical), and DMA timing
+runs the same busy-until clock with only the *payload* differing per
+lane.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .assembler import CORE_ID_REG, N_CORES_REG, Program
+from .cluster import ClusterRunResult
+from .core import STOP_BARRIER, STOP_HALT
+from .fastpath import (
+    MAX_VECTOR_TRIPS,
+    _Bail,
+    _BRANCH_OPS,
+    _MASK32,
+    _OP_ADD,
+    _OP_AND,
+    _OP_BARRIER,
+    _OP_BGE,
+    _OP_BLT,
+    _OP_DMA_COPY,
+    _OP_DMA_WAIT,
+    _OP_HALT,
+    _OP_J,
+    _OP_JAL,
+    _OP_JR,
+    _OP_LPSETUP,
+    _OP_OR,
+    _OP_XOR,
+    _TELEMETRY,
+    _VectorRun,
+    _affine_stride,
+    _base_cost,
+    _compile_seg,
+    _cond_v,
+    _record_bail,
+    _seg_noop,
+    _solve_branch_trips,
+    compile_program,
+)
+from .memory import L1_BASE, L2_BASE, MemorySystem
+
+_M64 = np.uint64(_MASK32)
+
+
+class LockstepBail(Exception):
+    """The lane model cannot reproduce this run; use the scalar path.
+
+    Raised for divergent control flow, lane-varying store addresses,
+    instruction-cap proximity, faulting accesses, and anything else the
+    laned engine does not model — the caller's sequential fallback then
+    reproduces the exact scalar behaviour (including exact errors).
+    """
+
+    def __init__(self, reason: str = "unsupported"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+_LOCKSTEP_TELEMETRY = {
+    "attempts": 0,
+    "runs": 0,
+    "lanes": 0,
+    "bails": Counter(),
+}
+
+
+def lockstep_telemetry() -> dict:
+    """Snapshot of the lockstep engine's attempt/bail counters."""
+    return {
+        "attempts": _LOCKSTEP_TELEMETRY["attempts"],
+        "runs": _LOCKSTEP_TELEMETRY["runs"],
+        "lanes": _LOCKSTEP_TELEMETRY["lanes"],
+        "bails": dict(_LOCKSTEP_TELEMETRY["bails"]),
+    }
+
+
+def reset_lockstep_telemetry() -> None:
+    """Zero the lockstep counters (start of a measured run)."""
+    _LOCKSTEP_TELEMETRY["attempts"] = 0
+    _LOCKSTEP_TELEMETRY["runs"] = 0
+    _LOCKSTEP_TELEMETRY["lanes"] = 0
+    _LOCKSTEP_TELEMETRY["bails"].clear()
+
+
+def _uniform_int(value) -> Optional[int]:
+    """Collapse a lane value to an int, or ``None`` when it diverges."""
+    if isinstance(value, np.ndarray):
+        first = value.flat[0]
+        if (value == first).all():
+            return int(first)
+        return None
+    return int(value)
+
+
+class LaneImage:
+    """One lane's materialized (L1, L2) memory snapshot."""
+
+    __slots__ = ("l1", "l2")
+
+    def __init__(self, l1: bytes, l2: bytes):
+        self.l1 = l1
+        self.l2 = l2
+
+    def restore_into(self, memory: MemorySystem) -> None:
+        """Write this lane's image into a scalar memory system."""
+        memory.write_bytes(L1_BASE, self.l1)
+        memory.write_bytes(L2_BASE, self.l2)
+
+
+class LanedMemory:
+    """N per-lane copies of the two-level memory, batch addressable.
+
+    Functional accesses operate on ``(n_lanes, bytes)`` arrays; timing
+    questions (region classification, the closed-form stall model) are
+    answered once because every lane's access trace is identical — the
+    accumulator is delegated to a private scalar :class:`MemorySystem`
+    so the fixed-point conflict sequence can never drift from the
+    oracle's.
+    """
+
+    def __init__(self, memory: MemorySystem, n_lanes: int):
+        config = memory.config
+        self.config = config
+        self.n_lanes = n_lanes
+        l1 = np.frombuffer(
+            memory.read_bytes(L1_BASE, config.l1_bytes), dtype=np.uint8
+        )
+        l2 = np.frombuffer(
+            memory.read_bytes(L2_BASE, config.l2_bytes), dtype=np.uint8
+        )
+        self._l1 = np.tile(l1, (n_lanes, 1))
+        self._l2 = np.tile(l2, (n_lanes, 1))
+        self._l1_end = L1_BASE + config.l1_bytes
+        self._l2_end = L2_BASE + config.l2_bytes
+        self._views: Dict[Tuple[bool, int], np.ndarray] = {}
+        self._stalls = MemorySystem(config)
+
+    # -- region / timing ---------------------------------------------------
+
+    def locate(self, lo: int, hi: int) -> Tuple[bool, int]:
+        """(is_l1, region_base) for [lo, hi]; bail when out of range."""
+        if L1_BASE <= lo and hi < self._l1_end:
+            return True, L1_BASE
+        if L2_BASE <= lo and hi < self._l2_end:
+            return False, L2_BASE
+        raise LockstepBail("address-range")
+
+    def set_team_size(self, n_cores: int) -> None:
+        """Configure the expected L1 bank-conflict penalty for a team."""
+        self._stalls.set_team_size(n_cores)
+
+    def bulk_stalls(self, n_l1: int, n_l2: int) -> int:
+        """Closed-form stall total, advancing the shared accumulator."""
+        return self._stalls.bulk_stalls(n_l1, n_l2)
+
+    # -- functional access -------------------------------------------------
+
+    def _view(self, is_l1: bool, width: int) -> np.ndarray:
+        view = self._views.get((is_l1, width))
+        if view is None:
+            buf = self._l1 if is_l1 else self._l2
+            view = buf.view({1: "<u1", 2: "<u2", 4: "<u4"}[width])
+            self._views[(is_l1, width)] = view
+        return view
+
+    def write_lane_bytes(self, lane: int, addr: int, data: bytes) -> None:
+        """Seed one lane's image (pre-run staging, untimed)."""
+        is_l1, base = self.locate(addr, addr + len(data) - 1)
+        buf = self._l1 if is_l1 else self._l2
+        offset = addr - base
+        buf[lane, offset : offset + len(data)] = np.frombuffer(
+            data, dtype=np.uint8
+        )
+
+    def load_scalar(self, addr: int, width: int):
+        """Load one address in every lane: int when uniform, else (n,)."""
+        if width > 1 and addr % width:
+            raise LockstepBail("misaligned")
+        is_l1, base = self.locate(addr, addr + width - 1)
+        column = self._view(is_l1, width)[:, (addr - base) // width]
+        first = int(column[0])
+        if (column == first).all():
+            return first, is_l1
+        return column.astype(np.uint64), is_l1
+
+    def store_scalar(self, addr: int, value, width: int) -> bool:
+        """Store int-or-(n,) ``value`` at one address in every lane."""
+        if width > 1 and addr % width:
+            raise LockstepBail("misaligned")
+        is_l1, base = self.locate(addr, addr + width - 1)
+        view = self._view(is_l1, width)
+        mask = (1 << (8 * width)) - 1
+        if isinstance(value, np.ndarray):
+            view[:, (addr - base) // width] = (
+                value.astype(np.uint64) & np.uint64(mask)
+            ).astype(view.dtype)
+        else:
+            view[:, (addr - base) // width] = int(value) & mask
+        return is_l1
+
+    def load_lanes(self, addr: np.ndarray, width: int):
+        """Load a per-lane (n,) address vector: one value per lane."""
+        lo = int(addr.min())
+        hi = int(addr.max()) + width - 1
+        if width > 1 and (addr % width).any():
+            raise LockstepBail("misaligned")
+        is_l1, base = self.locate(lo, hi)
+        view = self._view(is_l1, width)
+        offsets = (addr.astype(np.int64) - base) // width
+        values = view[np.arange(self.n_lanes), offsets]
+        first = int(values[0])
+        if (values == first).all():
+            return first, is_l1
+        return values.astype(np.uint64), is_l1
+
+    def gather_cols(self, offsets: np.ndarray, width: int, is_l1: bool):
+        """Gather lane-uniform trip addresses: (T,) offsets → (T, n) or
+        (T, 1) when every lane holds the same bytes."""
+        view = self._view(is_l1, width)
+        values = view[:, offsets].T.astype(np.uint64)
+        if self.n_lanes > 1 and (values == values[:, :1]).all():
+            return values[:, :1]
+        return values
+
+    def gather_2d(self, offsets: np.ndarray, width: int, is_l1: bool):
+        """Gather per-(trip, lane) addresses: (T, n) offsets → (T, n)."""
+        view = self._view(is_l1, width)
+        return view[
+            np.arange(self.n_lanes)[None, :], offsets
+        ].astype(np.uint64)
+
+    def scatter_cols(
+        self, offsets: np.ndarray, values, width: int, is_l1: bool
+    ) -> None:
+        """Scatter to lane-uniform trip addresses ((T,) offsets)."""
+        view = self._view(is_l1, width)
+        mask = (1 << (8 * width)) - 1
+        if isinstance(values, np.ndarray):
+            masked = (values.astype(np.uint64) & np.uint64(mask)).astype(
+                view.dtype
+            )
+            if masked.ndim == 2 and masked.shape[1] > 1:
+                view[:, offsets] = masked.T
+            elif masked.ndim == 2:
+                view[:, offsets] = masked[:, 0]
+            else:  # (n,) per-lane value, every trip column
+                view[:, offsets] = masked[:, None]
+        else:
+            view[:, offsets] = int(values) & mask
+
+    def dma_copy(self, src, dst: int, size: int) -> None:
+        """Per-lane byte copy (functional half of a DMA transfer)."""
+        if size == 0:
+            return
+        dst_l1, dst_base = self.locate(dst, dst + size - 1)
+        dst_buf = self._l1 if dst_l1 else self._l2
+        doff = dst - dst_base
+        if isinstance(src, np.ndarray):
+            lo = int(src.min())
+            hi = int(src.max()) + size - 1
+            src_l1, src_base = self.locate(lo, hi)
+            src_buf = self._l1 if src_l1 else self._l2
+            offsets = src.astype(np.int64) - src_base
+            for lane in range(self.n_lanes):
+                start = int(offsets[lane])
+                dst_buf[lane, doff : doff + size] = src_buf[
+                    lane, start : start + size
+                ]
+        else:
+            src = int(src)
+            src_l1, src_base = self.locate(src, src + size - 1)
+            src_buf = self._l1 if src_l1 else self._l2
+            soff = src - src_base
+            block = src_buf[:, soff : soff + size]
+            if src_buf is dst_buf:
+                block = block.copy()
+            dst_buf[:, doff : doff + size] = block
+
+    def lane_image(self, lane: int) -> LaneImage:
+        """Materialize one lane's memory as an immutable snapshot."""
+        return LaneImage(
+            self._l1[lane].tobytes(), self._l2[lane].tobytes()
+        )
+
+
+class _LanedDMA:
+    """Busy-until DMA clock shared by all lanes (sizes are uniform)."""
+
+    __slots__ = ("_lmem", "_bytes_per_cycle", "busy_until", "total_bytes")
+
+    def __init__(self, lmem: LanedMemory, bytes_per_cycle: int):
+        self._lmem = lmem
+        self._bytes_per_cycle = bytes_per_cycle
+        self.busy_until = 0
+        self.total_bytes = 0
+
+    def enqueue(self, src, dst, size, issue_cycle: int) -> None:
+        dst = _uniform_int(dst)
+        size = _uniform_int(size)
+        if dst is None or size is None:
+            raise LockstepBail("divergent-dma")
+        if size < 0:
+            raise LockstepBail("dma-error")
+        self._lmem.dma_copy(src, dst, size)
+        start = max(self.busy_until, issue_cycle)
+        self.busy_until = start + -(-size // self._bytes_per_cycle)
+        self.total_bytes += size
+
+
+class _LanedReduction:
+    """Per-lane reduction accumulator ((n,) twin of ``_Reduction``)."""
+
+    __slots__ = ("op", "base", "acc")
+
+    def __init__(self, op: int, base, n_lanes: int):
+        self.op = op
+        self.base = base
+        if op == _OP_AND:
+            self.acc = np.full(n_lanes, _MASK32, dtype=np.uint64)
+        else:
+            self.acc = np.zeros(n_lanes, dtype=np.uint64)
+
+    def feed(self, value, lanes: int) -> None:
+        op = self.op
+        if isinstance(value, np.ndarray) and value.ndim == 2:
+            # Trip-varying feed: reduce over the trip axis per lane.
+            if op == _OP_ADD:
+                self.acc = (
+                    self.acc + value.sum(axis=0, dtype=np.uint64)
+                ) & _M64
+            elif op == _OP_OR:
+                self.acc |= np.bitwise_or.reduce(value, axis=0)
+            elif op == _OP_XOR:
+                self.acc ^= np.bitwise_xor.reduce(value, axis=0)
+            else:
+                self.acc &= np.bitwise_and.reduce(value, axis=0)
+        else:
+            # Trip-invariant feed (int or per-lane (n,)): closed form.
+            if op == _OP_ADD:
+                self.acc = (self.acc + np.uint64(0) + value * lanes) & _M64
+            elif op == _OP_OR:
+                self.acc |= np.uint64(0) + value
+            elif op == _OP_XOR:
+                if lanes & 1:
+                    self.acc ^= np.uint64(0) + value
+            else:
+                self.acc &= np.uint64(0) + value
+
+    def fold(self) -> np.ndarray:
+        base = np.uint64(0) + self.base  # int or (n,) → uint64
+        if self.op == _OP_ADD:
+            return (base + self.acc) & _M64
+        if self.op == _OP_OR:
+            return base | self.acc
+        if self.op == _OP_XOR:
+            return base ^ self.acc
+        return base & self.acc
+
+
+class _LanedVectorRun(_VectorRun):
+    """A :class:`_VectorRun` whose lanes span (trips × windows).
+
+    Trip-varying values are carried as ``(T, 1)`` (window-uniform) or
+    ``(T, n)`` arrays, window-varying loop invariants as ``(n,)``; the
+    inherited ``run_nodes`` / ``eval_prepared`` / compiled segment
+    closures are shape-agnostic, so only state setup, the memory hooks,
+    and commit differ from the scalar engine.
+    """
+
+    def __init__(self, state: "_LaneCore", plan, trips: int):
+        self.core = state
+        self.plan = plan
+        self.trips = trips
+        self.decoded = state.compiled.decoded
+        self.profile = state.profile
+        self.memory = state.lmem
+        self.n_l1 = 0
+        self.n_l2 = 0
+        self.base_cycles = 0
+        self.n_instr = 0
+        self.stores: List[tuple] = []
+        self.loads: List[tuple] = []
+        self.budget = state.max_instructions - state.instr_count
+        self._taken = 1 + state.profile.branch_taken_penalty
+        self._not_taken = 1 + state.profile.branch_not_taken_penalty
+        regs = state.regs
+        sym: List = list(regs)
+        sym[0] = 0
+        lanes = np.arange(trips, dtype=np.uint64)[:, None]  # (T, 1)
+        for reg, step in plan.inductions.items():
+            if reg == 0:
+                continue
+            base = regs[reg]
+            if isinstance(base, np.ndarray):
+                base = base[None, :]  # (1, n) → broadcast to (T, n)
+            else:
+                base = np.uint64(base)
+            sym[reg] = (base + lanes * np.uint64(step & _MASK32)) & _M64
+        for _pc, (reg, op, _src) in plan.reduction_pcs.items():
+            if reg:
+                sym[reg] = _LanedReduction(op, regs[reg], state.n_lanes)
+        self.sym = sym
+
+    # -- memory hooks ------------------------------------------------------
+
+    def _load(self, addr, width: int):
+        lmem: LanedMemory = self.memory
+        try:
+            if isinstance(addr, np.ndarray):
+                if addr.ndim == 2 and addr.shape[1] == 1:
+                    # Lane-uniform trip addresses.
+                    flat = addr[:, 0]
+                    lo = int(flat.min())
+                    hi = int(flat.max()) + width - 1
+                    if width > 1 and (flat % width).any():
+                        raise LockstepBail("misaligned")
+                    stride = _affine_stride(flat)
+                    self._check_no_store_overlap(
+                        lo, hi, flat, width, stride
+                    )
+                    is_l1, base = lmem.locate(lo, hi)
+                    values = lmem.gather_cols(
+                        (flat.astype(np.int64) - base) // width,
+                        width,
+                        is_l1,
+                    )
+                    self.loads.append((lo, hi, flat, width, stride))
+                elif addr.ndim == 2:
+                    # Per-(trip, lane) addresses.
+                    lo = int(addr.min())
+                    hi = int(addr.max()) + width - 1
+                    if width > 1 and (addr % width).any():
+                        raise LockstepBail("misaligned")
+                    self._check_no_store_overlap(lo, hi, None, width, None)
+                    is_l1, base = lmem.locate(lo, hi)
+                    values = lmem.gather_2d(
+                        (addr.astype(np.int64) - base) // width,
+                        width,
+                        is_l1,
+                    )
+                    self.loads.append((lo, hi, None, width, None))
+                else:
+                    # Per-lane loop-invariant address (n,).
+                    lo = int(addr.min())
+                    hi = int(addr.max()) + width - 1
+                    self._check_no_store_overlap(lo, hi, None, width, None)
+                    values, is_l1 = lmem.load_lanes(addr, width)
+                    self.loads.append((lo, hi, None, width, None))
+            else:
+                addr = int(addr)
+                lo, hi = addr, addr + width - 1
+                self._check_no_store_overlap(lo, hi, addr, width, None)
+                values, is_l1 = lmem.load_scalar(addr, width)
+                self.loads.append((lo, hi, addr, width, None))
+        except LockstepBail as bail:
+            # Inside a vector attempt a memory-model refusal is a plan
+            # bail (scalar lockstep execution may still handle it).
+            raise _Bail(f"laned-{bail.reason}")
+        if is_l1:
+            self.n_l1 += self.trips
+        else:
+            self.n_l2 += self.trips
+        return values
+
+    def _store(self, addr, value, width: int) -> None:
+        lmem: LanedMemory = self.memory
+        if isinstance(addr, np.ndarray):
+            if addr.ndim != 2 or addr.shape[1] != 1:
+                raise _Bail("laned-store-addresses")
+            flat = addr[:, 0]
+            lo = int(flat.min())
+            hi = int(flat.max()) + width - 1
+            if width > 1 and (flat % width).any():
+                raise _Bail("laned-misaligned")
+            stride = _affine_stride(flat)
+            if stride is None and np.unique(flat).size != flat.size:
+                raise _Bail("duplicate-store-lanes")
+            try:
+                is_l1, _ = lmem.locate(lo, hi)
+            except LockstepBail as bail:
+                raise _Bail(f"laned-{bail.reason}")
+            self._check_no_store_overlap(lo, hi, flat, width, stride)
+            self._check_no_load_overlap(lo, hi, flat, width, stride)
+            self.stores.append((lo, hi, flat, value, width, stride))
+        else:
+            addr = int(addr)
+            lo, hi = addr, addr + width - 1
+            if width > 1 and addr % width:
+                raise _Bail("laned-misaligned")
+            try:
+                is_l1, _ = lmem.locate(lo, hi)
+            except LockstepBail as bail:
+                raise _Bail(f"laned-{bail.reason}")
+            if isinstance(value, np.ndarray) and value.ndim == 2:
+                value = value[-1]  # last trip wins on one address
+                if value.shape[0] == 1 or (value == value[0]).all():
+                    value = int(value[0])
+            self._check_no_store_overlap(lo, hi, addr, width, None)
+            self._check_no_load_overlap(lo, hi, addr, width, None)
+            self.stores.append((lo, hi, addr, value, width, None))
+        if is_l1:
+            self.n_l1 += self.trips
+        else:
+            self.n_l2 += self.trips
+
+    # -- commit ------------------------------------------------------------
+
+    def commit(self) -> None:
+        state: _LaneCore = self.core
+        lmem: LanedMemory = self.memory
+        for lo, _hi, addr, value, width, _stride in self.stores:
+            if isinstance(addr, np.ndarray):
+                is_l1, base = lmem.locate(lo, _hi)
+                lmem.scatter_cols(
+                    (addr.astype(np.int64) - base) // width,
+                    value,
+                    width,
+                    is_l1,
+                )
+            else:
+                lmem.store_scalar(addr, value, width)
+        regs = state.regs
+        for reg in range(1, 32):
+            value = self.sym[reg]
+            if isinstance(value, _LanedReduction):
+                folded = value.fold()
+                uniform = _uniform_int(folded)
+                regs[reg] = folded if uniform is None else uniform
+            elif isinstance(value, np.ndarray):
+                if value.ndim == 2:
+                    last = value[-1]
+                    if last.shape[0] == 1:
+                        regs[reg] = int(last[0])
+                    else:
+                        uniform = _uniform_int(last)
+                        regs[reg] = (
+                            last.astype(np.uint64)
+                            if uniform is None
+                            else uniform
+                        )
+                else:
+                    uniform = _uniform_int(value)
+                    regs[reg] = value if uniform is None else uniform
+            else:
+                regs[reg] = value
+        state.cycles += self.base_cycles + lmem.bulk_stalls(
+            self.n_l1, self.n_l2
+        )
+        state.instr_count += self.n_instr
+
+
+class _LaneCore:
+    """Per-core lockstep state: one trace, N lanes of data."""
+
+    __slots__ = (
+        "core_id",
+        "profile",
+        "compiled",
+        "lmem",
+        "dma",
+        "n_lanes",
+        "regs",
+        "cycles",
+        "instr_count",
+        "pc",
+        "loop_stack",
+        "max_instructions",
+        "_disabled_plans",
+        "_block_cache",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        profile,
+        compiled,
+        lmem: LanedMemory,
+        dma: Optional[_LanedDMA],
+        n_cores: int,
+        fork_cycles: int,
+        block_cache: dict,
+        max_instructions: int,
+    ):
+        self.core_id = core_id
+        self.profile = profile
+        self.compiled = compiled
+        self.lmem = lmem
+        self.dma = dma
+        self.n_lanes = lmem.n_lanes
+        self.regs: List = [0] * 32
+        self.regs[CORE_ID_REG] = core_id
+        self.regs[N_CORES_REG] = n_cores
+        self.cycles = fork_cycles
+        self.instr_count = 0
+        self.pc = 0
+        self.loop_stack: list = []
+        self.max_instructions = max_instructions
+        self._disabled_plans: set = set()
+        self._block_cache = block_cache
+
+    # -- straight-line blocks ---------------------------------------------
+
+    def _block_entry(self, start: int, n_straight: int):
+        entry = self._block_cache.get(start)
+        if entry is None:
+            decoded = self.compiled.decoded
+            prepared = []
+            cost = 0
+            for pc in range(start, start + n_straight):
+                ins = decoded[pc]
+                op = ins[0]
+                prepared.append(
+                    (
+                        op, ins[1], ins[2], ins[3], ins[4],
+                        ins[4] & _MASK32, ins[5], None,
+                    )
+                )
+                cost += _base_cost(op, self.profile)
+            closure = _compile_seg(tuple(prepared)) or _seg_noop
+            entry = (closure, cost)
+            self._block_cache[start] = entry
+        return entry
+
+    def _run_block(self, start: int, n_straight: int) -> None:
+        closure, cost = self._block_entry(start, n_straight)
+        lmem = self.lmem
+        counts = [0, 0]  # [l2, l1] accesses
+
+        def load(addr, width):
+            if isinstance(addr, np.ndarray):
+                if addr.ndim != 1:
+                    raise LockstepBail("block-address-shape")
+                value, is_l1 = lmem.load_lanes(addr, width)
+            else:
+                value, is_l1 = lmem.load_scalar(int(addr), width)
+            counts[is_l1] += 1
+            return value
+
+        def store(addr, value, width):
+            uniform = _uniform_int(addr) if isinstance(
+                addr, np.ndarray
+            ) else int(addr)
+            if uniform is None:
+                raise LockstepBail("divergent-store-address")
+            counts[lmem.store_scalar(uniform, value, width)] += 1
+
+        regs = self.regs
+        closure(regs, load, store, 1)
+        regs[0] = 0
+        self.instr_count += n_straight
+        self.cycles += cost + lmem.bulk_stalls(counts[1], counts[0])
+
+    # -- vectorized loops --------------------------------------------------
+
+    def _try_vector(self, plan, trips: int) -> bool:
+        if trips < 1 or trips > MAX_VECTOR_TRIPS:
+            _record_bail(plan, "trip-count-range")
+            return False
+        try:
+            run = _LanedVectorRun(self, plan, trips)
+            run.run_nodes(plan.exec_nodes)
+            if plan.kind == "branch":
+                taken = 1 + self.profile.branch_taken_penalty
+                not_taken = 1 + self.profile.branch_not_taken_penalty
+                run.n_instr += trips
+                run.base_cycles += (trips - 1) * taken + not_taken
+                if run.n_instr > run.budget:
+                    _record_bail(plan, "instruction-cap")
+                    return False
+        except _Bail as bail:
+            _record_bail(plan, bail.reason)
+            return False
+        run.commit()
+        _TELEMETRY["engaged"][(plan.kind, plan.head)] += 1
+        _TELEMETRY["trips"][(plan.kind, plan.head)] += trips
+        return True
+
+    # -- the dispatch loop -------------------------------------------------
+
+    def run_segment(self) -> str:
+        """Execute until barrier or halt (the laned FastCore.run twin)."""
+        comp = self.compiled
+        decoded = comp.decoded
+        regs = self.regs
+        profile = self.profile
+        taken = 1 + profile.branch_taken_penalty
+        not_taken = 1 + profile.branch_not_taken_penalty
+        jump_cost = profile.jump_cycles
+        n_instrs = comp.n_instrs
+        cap = self.max_instructions
+        loop_stack = self.loop_stack
+        disabled = self._disabled_plans
+        pc = self.pc
+
+        while True:
+            if pc >= n_instrs:
+                raise LockstepBail("pc-overrun")
+
+            plan = comp.branch_plans.get(pc)
+            if (
+                plan is not None
+                and pc not in disabled
+                and len(loop_stack) + plan.hw_depth <= 2
+                and not (
+                    loop_stack
+                    and plan.head <= loop_stack[-1][1] <= plan.branch_pc
+                )
+            ):
+                ins = decoded[plan.branch_pc]
+                op, ra, rb = ins[0], ins[2], ins[3]
+                trips = None
+                ra_step = plan.inductions.get(ra)
+                if ra_step is None and (
+                    ra == 0 or ra not in plan.written_regs
+                ):
+                    ra_step = 0
+                if ra_step is not None and (
+                    rb == 0 or rb not in plan.written_regs
+                ):
+                    a0 = _uniform_int(regs[ra]) if ra else 0
+                    b0 = _uniform_int(regs[rb]) if rb else 0
+                    if a0 is not None and b0 is not None:
+                        trips = _solve_branch_trips(
+                            op, a0, ra_step, b0,
+                            op in (_OP_BLT, _OP_BGE),
+                        )
+                if trips is None:
+                    _record_bail(plan, "trip-unsolvable")
+                elif self._try_vector(plan, trips):
+                    last_pc = plan.branch_pc
+                    next_pc = plan.exit_pc
+                    if loop_stack:
+                        top = loop_stack[-1]
+                        if next_pc == top[1] and top[0] <= last_pc < top[1]:
+                            top[2] -= 1
+                            if top[2] > 0:
+                                next_pc = top[0]
+                            else:
+                                loop_stack.pop()
+                    regs[0] = 0
+                    pc = next_pc
+                    continue
+                disabled.add(pc)
+
+            block = comp.blocks.get(pc)
+            if block is None:
+                raise LockstepBail("mid-block-entry")
+            needed = block.n_straight + (
+                0 if block.terminator is None else 1
+            )
+            if self.instr_count + needed > cap:
+                raise LockstepBail("instruction-cap")
+            if block.n_straight:
+                self._run_block(block.start, block.n_straight)
+
+            tpc = block.terminator
+            if tpc is None:
+                last_pc = block.end - 1
+                next_pc = block.end
+            else:
+                last_pc = tpc
+                next_pc = tpc + 1
+                ins = decoded[tpc]
+                op, rd, ra, rb = ins[0], ins[1], ins[2], ins[3]
+                target = ins[6]
+                self.instr_count += 1
+                if op in _BRANCH_OPS:
+                    cond = _cond_v(
+                        op,
+                        regs[ra] if ra else 0,
+                        regs[rb] if rb else 0,
+                    )
+                    if isinstance(cond, np.ndarray):
+                        if cond.all():
+                            hit = True
+                        elif not cond.any():
+                            hit = False
+                        else:
+                            raise LockstepBail("divergent-branch")
+                    else:
+                        hit = bool(cond)
+                    if hit:
+                        next_pc = target
+                        self.cycles += taken
+                    else:
+                        self.cycles += not_taken
+                elif op == _OP_J:
+                    next_pc = target
+                    self.cycles += jump_cost
+                elif op == _OP_JAL:
+                    regs[rd if rd else 1] = next_pc
+                    next_pc = target
+                    self.cycles += jump_cost
+                elif op == _OP_JR:
+                    next_pc = _uniform_int(regs[ra])
+                    if next_pc is None:
+                        raise LockstepBail("divergent-jump")
+                    self.cycles += jump_cost
+                elif op == _OP_LPSETUP:
+                    self.cycles += 1
+                    trips = _uniform_int(regs[ra]) if ra else 0
+                    if trips is None:
+                        raise LockstepBail("divergent-trip-count")
+                    if trips == 0:
+                        next_pc = target
+                    else:
+                        if len(loop_stack) >= 2:
+                            raise LockstepBail("loop-nesting")
+                        hw_plan = comp.hw_plans.get(tpc)
+                        if (
+                            hw_plan is not None
+                            and tpc not in disabled
+                            and len(loop_stack) + hw_plan.hw_depth <= 2
+                            and self._try_vector(hw_plan, trips)
+                        ):
+                            regs[0] = 0
+                            pc = hw_plan.exit_pc
+                            continue
+                        if hw_plan is not None:
+                            disabled.add(tpc)
+                        loop_stack.append([tpc + 1, target, trips])
+                elif op == _OP_BARRIER:
+                    self.cycles += 1
+                    self.pc = next_pc
+                    return STOP_BARRIER
+                elif op == _OP_HALT:
+                    self.cycles += 1
+                    self.pc = tpc
+                    return STOP_HALT
+                elif op == _OP_DMA_COPY:
+                    if self.dma is None:
+                        raise LockstepBail("dma-error")
+                    self.dma.enqueue(
+                        src=regs[ra],
+                        dst=regs[rb],
+                        size=regs[rd],
+                        issue_cycle=self.cycles,
+                    )
+                    self.cycles += profile.dma_setup_cycles
+                elif op == _OP_DMA_WAIT:
+                    if self.dma is None:
+                        raise LockstepBail("dma-error")
+                    self.cycles = max(self.cycles + 1, self.dma.busy_until)
+                else:
+                    raise LockstepBail("unknown-terminator")
+
+            if loop_stack:
+                top = loop_stack[-1]
+                if next_pc == top[1] and top[0] <= last_pc < top[1]:
+                    top[2] -= 1
+                    if top[2] > 0:
+                        next_pc = top[0]
+                    else:
+                        loop_stack.pop()
+
+            regs[0] = 0
+            pc = next_pc
+
+
+def run_program_lockstep(
+    cluster,
+    program: Program,
+    lane_writes: Sequence[Sequence[Tuple[int, bytes]]],
+    add_runtime_overheads: bool = True,
+) -> Optional[Tuple[ClusterRunResult, List[LaneImage]]]:
+    """Run ``program`` once per lane, in lockstep, over N images.
+
+    ``lane_writes`` supplies each lane's pre-run staging (address, bytes)
+    — the per-window descriptor tables in the chain's case.  The images
+    start from the cluster's *current* memory; the cluster itself is
+    never mutated.  Returns the (lane-uniform) run result plus each
+    lane's final memory image, or ``None`` when the lane model bailed —
+    the caller then falls back to per-window scalar runs.
+    """
+    from .runtime import runtime_costs
+
+    if cluster.engine != "fast":
+        return None
+    if program.profile_name != cluster.profile.name:
+        raise ValueError(
+            f"program was assembled for {program.profile_name!r}, "
+            f"cluster is {cluster.profile.name!r}"
+        )
+    profile = cluster.profile
+    n_lanes = len(lane_writes)
+    _LOCKSTEP_TELEMETRY["attempts"] += 1
+    try:
+        compiled = compile_program(program, profile)
+        lmem = LanedMemory(cluster.memory, n_lanes)
+        for lane, writes in enumerate(lane_writes):
+            for addr, data in writes:
+                lmem.write_lane_bytes(lane, addr, data)
+        lmem.set_team_size(cluster.n_cores)
+        dma = _LanedDMA(lmem, profile.dma_bytes_per_cycle)
+        costs = (
+            runtime_costs(profile, cluster.n_cores)
+            if add_runtime_overheads
+            else None
+        )
+        fork = costs.fork if costs else 0
+        join = costs.join if costs else 0
+        barrier_cost = costs.barrier if costs else 0
+        block_cache: dict = {}
+        states = [
+            _LaneCore(
+                core_id,
+                profile,
+                compiled,
+                lmem,
+                dma,
+                cluster.n_cores,
+                fork,
+                block_cache,
+                cluster.cores[core_id].max_instructions,
+            )
+            for core_id in range(cluster.n_cores)
+        ]
+
+        n_barriers = 0
+        barrier_cycles_total = 0
+        while True:
+            reasons = [state.run_segment() for state in states]
+            if all(reason == STOP_HALT for reason in reasons):
+                break
+            if any(reason == STOP_HALT for reason in reasons):
+                raise LockstepBail("stop-disagreement")
+            n_barriers += 1
+            synced = max(state.cycles for state in states) + barrier_cost
+            barrier_cycles_total += barrier_cost
+            for state in states:
+                state.cycles = synced
+
+        result = ClusterRunResult(
+            program_name=program.name,
+            n_cores=cluster.n_cores,
+            total_cycles=max(state.cycles for state in states) + join,
+            per_core_cycles=tuple(state.cycles for state in states),
+            per_core_instrs=tuple(
+                state.instr_count for state in states
+            ),
+            n_barriers=n_barriers,
+            fork_cycles=fork,
+            join_cycles=join,
+            barrier_cycles=barrier_cycles_total,
+            dma_bytes=dma.total_bytes,
+        )
+    except LockstepBail as bail:
+        _LOCKSTEP_TELEMETRY["bails"][bail.reason] += 1
+        return None
+    _LOCKSTEP_TELEMETRY["runs"] += 1
+    _LOCKSTEP_TELEMETRY["lanes"] += n_lanes
+    return result, [lmem.lane_image(lane) for lane in range(n_lanes)]

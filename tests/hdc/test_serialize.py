@@ -255,6 +255,8 @@ class TestMmapLoad:
 
     @pytest.fixture()
     def odd_saved(self, tmp_path):
+        # Written as a version-1 store: odd uint32 row lengths exercise
+        # the private-copy fallback that version 2's padding removed.
         rng = np.random.default_rng(23)
         clf = BatchHDClassifier(
             HDClassifierConfig(
@@ -262,7 +264,7 @@ class TestMmapLoad:
             )
         )
         clf.fit(rng.random((12, 5, 3)), [0, 1, 2] * 4)
-        return clf, save_model(tmp_path / "odd", clf)
+        return clf, save_model(tmp_path / "odd", clf, version=1)
 
     def test_bit_identical_to_eager_load(self, fitted, saved):
         eager = load_model(saved)
@@ -480,3 +482,82 @@ class TestFromState:
             np.savez(fh, **payload)
         with pytest.raises(ModelFormatError, match="version 99"):
             model_info(path)
+
+
+def _file_backed(words) -> bool:
+    """Whether an array's base chain bottoms out in the file mapping."""
+    import mmap as mmap_module
+
+    root = words
+    while getattr(root, "base", None) is not None:
+        if isinstance(root, np.memmap):
+            return True
+        root = root.base
+    return isinstance(root, (np.memmap, mmap_module.mmap))
+
+
+class TestModelVersion2:
+    """The padded store: zero-copy mmap at every dimension, v1 compat."""
+
+    def _fit(self, dim, seed=41):
+        rng = np.random.default_rng(seed)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=dim, n_channels=3, n_levels=5, signal_hi=1.0
+            )
+        )
+        clf.fit(rng.random((9, 5, 3)), [0, 1, 2] * 3)
+        return clf
+
+    def test_default_store_is_version_2(self, saved):
+        assert serialize.MODEL_VERSION == 2
+        with np.load(saved) as archive:
+            assert int(archive["version"]) == 2
+
+    def test_odd_rows_padded_to_even(self, tmp_path):
+        clf = self._fit(96)  # 3 uint32 words per row
+        path = save_model(tmp_path / "v2", clf)
+        with np.load(path) as archive:
+            assert archive["im_u32"].shape[1] == 4
+            assert not archive["im_u32"][:, 3:].any()
+        loaded = load_model(path)
+        assert _digest_of(loaded) == _digest_of(clf)
+
+    def test_paper_dimension_is_zero_copy(self, tmp_path):
+        """D = 10,000 (313 uint32 words — odd) stays file-backed under
+        version 2; a v1 store of the same model pays the private copy."""
+        clf = self._fit(10_000)
+        v2 = save_model(tmp_path / "paper_v2", clf)
+        v1 = save_model(tmp_path / "paper_v1", clf, version=1)
+        mapped_v2 = load_model_mmap(v2)
+        mapped_v1 = load_model_mmap(v1)
+        assert _file_backed(mapped_v2.prototype_words)
+        assert not _file_backed(mapped_v1.prototype_words)
+        assert _digest_of(mapped_v2) == _digest_of(clf)
+        assert _digest_of(mapped_v1) == _digest_of(clf)
+
+    def test_version_1_still_loads(self, fitted, tmp_path):
+        path = save_model(tmp_path / "legacy", fitted, version=1)
+        with np.load(path) as archive:
+            assert int(archive["version"]) == 1
+        assert _digest_of(load_model(path)) == _digest_of(fitted)
+        assert _digest_of(load_model_mmap(path)) == _digest_of(fitted)
+        assert model_info(path)["version"] == 1
+
+    def test_dirty_padding_rejected(self, tmp_path):
+        clf = self._fit(96)
+        path = save_model(tmp_path / "dirty", clf)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        tampered = payload["im_u32"].copy()
+        tampered[0, -1] = 1  # the v2 pad word must stay zero
+        payload["im_u32"] = tampered
+        bad = tmp_path / "tampered.npz"
+        with open(bad, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(ModelFormatError, match="padding"):
+            load_model(bad)
+
+    def test_unknown_write_version_rejected(self, fitted, tmp_path):
+        with pytest.raises(ModelFormatError, match="version 3"):
+            save_model(tmp_path / "future", fitted, version=3)
