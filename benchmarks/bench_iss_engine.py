@@ -19,6 +19,10 @@ import pytest
 from benchmarks.conftest import publish
 from repro.experiments import table3
 from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
+from repro.kernels.chain import (
+    chain_batch_telemetry,
+    reset_chain_batch_telemetry,
+)
 from repro.pulp import fastpath
 from repro.pulp.lockstep import (
     lockstep_telemetry,
@@ -121,12 +125,16 @@ def batched_sweep():
 
     fastpath.reset_fastpath_telemetry()
     reset_lockstep_telemetry()
+    reset_chain_batch_telemetry()
     start = time.perf_counter()
     batched = sim.run_window_levels_batch(batch)
     bat_s = time.perf_counter() - start
     telemetry = fastpath.fastpath_telemetry()
     lockstep = lockstep_telemetry()
+    chain = chain_batch_telemetry()
 
+    phase_s = chain["phase_s"]
+    phased = sum(phase_s.values())
     lines = [
         "Batched window driver - Fig. 4-shaped sweep "
         f"(Wolf 8 cores + built-in, 10,000-D, N=4, {BATCH_WINDOWS} windows)",
@@ -137,17 +145,27 @@ def batched_sweep():
         f"  speed-up        : {seq_s / bat_s:9.1f} x",
         f"  lockstep        : {lockstep['runs']}/{lockstep['attempts']} "
         f"laned runs ({lockstep['lanes']} window-lanes; "
+        f"predicated {lockstep['predicated']}; "
         f"bails {lockstep['bails'] or 'none'})",
+        f"  chain driver    : {chain['laned_windows']} laned windows, "
+        f"{chain['fallback_windows']} sequential-fallback windows",
         f"  fast path       : {telemetry.total_engagements} engagements, "
         f"{telemetry.total_trips} trips, {telemetry.total_bails} bails",
+        "  batched phase breakdown (ms/window):",
     ]
+    for phase in ("staging", "encode", "am", "readback"):
+        seconds = phase_s[phase]
+        lines.append(
+            f"    {phase:<9s}: {seconds * 1e3 / BATCH_WINDOWS:7.2f} "
+            f"({100.0 * seconds / phased if phased else 0.0:5.1f} %)"
+        )
     publish("iss_batched_windows", "\n".join(lines))
-    return sequential, batched, seq_s, bat_s, lockstep
+    return sequential, batched, seq_s, bat_s, lockstep, chain
 
 
 def test_batched_matches_sequential(batched_sweep):
     """Per-window results of the batched driver are bit/cycle-exact."""
-    sequential, batched, _, _, _ = batched_sweep
+    sequential, batched, *_ = batched_sweep
     for seq, bat in zip(sequential, batched):
         assert bat.label_index == seq.label_index
         assert np.array_equal(bat.distances, seq.distances)
@@ -158,13 +176,35 @@ def test_batched_matches_sequential(batched_sweep):
 def test_batched_lockstep_engages(batched_sweep):
     """The window-laned engine must actually serve the batch (a silent
     fallback to the sequential path would still be exact — and slow)."""
-    *_, lockstep = batched_sweep
+    *_, lockstep, _ = batched_sweep
     assert lockstep["runs"] >= 1
     assert lockstep["lanes"] >= BATCH_WINDOWS
 
 
+def test_am_runs_laned_with_predicated_argmin(batched_sweep):
+    """Total lockstep: the AM search executes window-laned with its
+    divergent argmin predicated — zero per-window fallback runs."""
+    *_, lockstep, chain = batched_sweep
+    assert chain["laned_windows"] == BATCH_WINDOWS
+    assert chain["fallback_windows"] == 0
+    assert not chain["fallbacks"]
+    assert lockstep["predicated"] > 0
+    assert not lockstep["bails"]
+
+
+def test_phase_breakdown_covers_the_run(batched_sweep):
+    """The published phase split accounts for the driver's wall-clock
+    (a phase accounted as zero means the timer hooks came unwired)."""
+    _, _, _, bat_s, _, chain = batched_sweep
+    phase_s = chain["phase_s"]
+    assert all(phase_s[p] > 0 for p in ("staging", "encode", "am"))
+    assert sum(phase_s.values()) <= bat_s
+
+
 def test_batched_speedup_target(batched_sweep):
-    """CI acceptance: the batched driver holds >= 2x over the
-    sequential per-window loop on the Fig. 4-shaped sweep."""
-    _, _, seq_s, bat_s, _ = batched_sweep
-    assert seq_s / bat_s >= 2.0, (seq_s, bat_s)
+    """CI acceptance: with the AM search laned on top of encode, the
+    batched driver holds >= 4x over the sequential per-window loop on
+    the Fig. 4-shaped sweep (quiet machines measure ~10x; the margin
+    absorbs noisy shared runners)."""
+    _, _, seq_s, bat_s, *_ = batched_sweep
+    assert seq_s / bat_s >= 4.0, (seq_s, bat_s)

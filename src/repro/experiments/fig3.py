@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..kernels.layout import ChainDims
-from ..perf.calibration import calibrate_chain
+from ..perf.calibration import CalibrationRequest, calibrate_chain_batch
 from ..pulp.soc import WOLF_SOC
 from .reporting import Series, render_series_table
 
@@ -50,15 +50,23 @@ def run_fig3(
     ngrams: Sequence[int] = DEFAULT_NGRAMS,
     n_cores: int = 8,
 ) -> Fig3Result:
-    """Calibrate one model per N and sweep the dimension axis."""
-    cycles: Dict[int, List[int]] = {}
-    for n in ngrams:
-        shape = ChainDims(
-            dim=10_000, n_channels=4, n_levels=22, n_classes=5,
-            ngram=n, window=5,
+    """Calibrate one model per N (batched) and sweep the dimension axis."""
+    requests = [
+        CalibrationRequest(
+            soc=WOLF_SOC,
+            n_cores=n_cores,
+            dims=ChainDims(
+                dim=10_000, n_channels=4, n_levels=22, n_classes=5,
+                ngram=n, window=5,
+            ),
+            use_builtins=True,
         )
-        model = calibrate_chain(WOLF_SOC, n_cores, shape, use_builtins=True)
-        cycles[n] = [model.predict_total(d) for d in dims]
+        for n in ngrams
+    ]
+    cycles: Dict[int, List[int]] = {
+        n: [model.predict_total(d) for d in dims]
+        for n, model in zip(ngrams, calibrate_chain_batch(requests))
+    }
     return Fig3Result(dims=tuple(dims), ngrams=tuple(ngrams), cycles=cycles)
 
 

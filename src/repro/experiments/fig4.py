@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..kernels.layout import ChainDims
-from ..perf.calibration import calibrate_chain
+from ..perf.calibration import CalibrationRequest, calibrate_chain_batch
 from ..pulp.soc import WOLF_SOC
 from .reporting import Series, render_series_table
 
@@ -42,20 +42,29 @@ def run_fig4(
     cores: Sequence[int] = DEFAULT_CORES,
     dim: int = 10_000,
 ) -> Fig4Result:
-    """Calibrate a model per (N, cores) shape and evaluate at ``dim``."""
-    cycles: Dict[int, List[int]] = {}
-    for n_cores in cores:
-        per_n = []
-        for n in ngrams:
-            shape = ChainDims(
+    """Calibrate a model per (N, cores) shape and evaluate at ``dim``.
+
+    The whole (N × cores) grid goes through one batched calibration
+    call, so only the grid's distinct shapes are fitted.
+    """
+    grid = [(n_cores, n) for n_cores in cores for n in ngrams]
+    requests = [
+        CalibrationRequest(
+            soc=WOLF_SOC,
+            n_cores=n_cores,
+            dims=ChainDims(
                 dim=dim, n_channels=4, n_levels=22, n_classes=5,
                 ngram=n, window=5,
-            )
-            model = calibrate_chain(
-                WOLF_SOC, n_cores, shape, use_builtins=True
-            )
-            per_n.append(model.predict_total(dim))
-        cycles[n_cores] = per_n
+            ),
+            use_builtins=True,
+        )
+        for n_cores, n in grid
+    ]
+    models = dict(zip(grid, calibrate_chain_batch(requests)))
+    cycles: Dict[int, List[int]] = {
+        n_cores: [models[(n_cores, n)].predict_total(dim) for n in ngrams]
+        for n_cores in cores
+    }
     return Fig4Result(
         ngrams=tuple(ngrams), cores=tuple(cores), dim=dim, cycles=cycles
     )

@@ -26,7 +26,8 @@ kernels, so both produce bit-identical hypervectors by construction.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections import OrderedDict
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -74,6 +75,38 @@ class SpatialEncoder:
         # batched kernels index these instead of the per-symbol objects.
         self._im_words = item_memory.as_matrix64()
         self._cim_words = continuous_memory.as_matrix64()
+        # Optional cross-call spatial-row cache (see enable_row_cache).
+        self._row_cache: "Optional[OrderedDict[bytes, np.ndarray]]" = None
+        self._row_cache_limit = 0
+        self.row_cache_hits = 0
+        self.row_cache_misses = 0
+        self.row_cache_evictions = 0
+
+    def enable_row_cache(self, limit: int = 1 << 16) -> None:
+        """Memoize packed spatial rows across encode calls.
+
+        The whole-window keys of a streaming decision cache cannot see
+        that two windows shifted by ``stride < W`` share ``W - stride``
+        sample rows; this per-sample LRU does, so overlapping strides
+        re-encode only the truly new timestamps.  Rows are keyed by
+        their quantised level tuple and the spatial kernel is
+        row-independent, so cached reconstruction is bit-exact (pinned
+        by tests against the uncached path).
+        """
+        if limit < 1:
+            raise ValueError(f"row cache limit must be >= 1, got {limit}")
+        self._row_cache = OrderedDict()
+        self._row_cache_limit = limit
+
+    def disable_row_cache(self) -> None:
+        """Drop the spatial-row cache and stop memoizing."""
+        self._row_cache = None
+        self._row_cache_limit = 0
+
+    @property
+    def row_cache_size(self) -> int:
+        """Entries currently held by the spatial-row cache."""
+        return len(self._row_cache) if self._row_cache is not None else 0
 
     @property
     def dim(self) -> int:
@@ -122,6 +155,8 @@ class SpatialEncoder:
         because every kernel in the chain is row-independent.
         """
         levels = np.asarray(levels)
+        if self._row_cache is not None:
+            return self._levels_to_words_cached(levels)
         flat = levels.reshape(-1, levels.shape[-1])
         n = flat.shape[0]
         if n >= _DEDUP_MIN_ROWS:
@@ -134,6 +169,55 @@ class SpatialEncoder:
                 ).reshape(levels.shape[:-1] + (spatial.shape[-1],))
         bound = self._cim_words[levels] ^ self._im_words
         return engine.majority_default_tie(bound, self.dim)
+
+    def _levels_to_words_cached(self, levels: np.ndarray) -> np.ndarray:
+        """Row-cache variant of :meth:`_levels_to_words`.
+
+        Hits come back from the LRU verbatim; the misses run through
+        the exact same unique-rows kernel as the uncached path, so the
+        assembled output is bit-identical to it.
+        """
+        cache = self._row_cache
+        flat = np.ascontiguousarray(
+            levels.reshape(-1, levels.shape[-1]).astype(np.int64, copy=False)
+        )
+        n = flat.shape[0]
+        rows: List[Optional[np.ndarray]] = [None] * n
+        keys: List[bytes] = []
+        missing: List[int] = []
+        for i in range(n):
+            key = flat[i].tobytes()
+            keys.append(key)
+            row = cache.get(key)
+            if row is None:
+                missing.append(i)
+            else:
+                cache.move_to_end(key)  # refresh LRU recency
+                rows[i] = row
+        self.row_cache_hits += n - len(missing)
+        self.row_cache_misses += len(missing)
+        if missing:
+            unique, inverse = np.unique(
+                flat[missing], axis=0, return_inverse=True
+            )
+            bound = self._cim_words[unique] ^ self._im_words
+            spatial = engine.majority_default_tie(bound, self.dim)
+            inverse = inverse.reshape(-1)
+            limit = self._row_cache_limit
+            for j, i in enumerate(missing):
+                row = spatial[inverse[j]]
+                rows[i] = row
+                key = keys[i]
+                if key not in cache:
+                    while len(cache) >= limit:
+                        cache.popitem(last=False)  # evict coldest
+                        self.row_cache_evictions += 1
+                # Own the row's memory so the cache never pins a whole
+                # batch result alive through one of its views.
+                cache[key] = row.copy()
+        return np.stack(rows).reshape(
+            levels.shape[:-1] + (self._im_words.shape[-1],)
+        )
 
     def quantize_batch(self, samples: np.ndarray) -> np.ndarray:
         """Quantise raw samples ``(..., n_channels)`` to integer levels."""

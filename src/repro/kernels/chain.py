@@ -17,7 +17,9 @@ MATLAB model" claim.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -43,6 +45,54 @@ MAX_DESC_ARENA_WINDOWS = 32
 The arena only grows into L2 slack left over after the model, so small
 memories (or many-channel shapes) automatically get fewer slots, down to
 the single table the sequential path needs."""
+
+
+_CHAIN_TELEMETRY = {
+    # chunks the driver attempted to run window-laned
+    "attempts": 0,
+    # chunks / windows that completed fully laned (encode AND AM)
+    "laned_chunks": 0,
+    "laned_windows": 0,
+    # windows that fell back to per-window sequential engine runs
+    "fallback_windows": 0,
+    # lockstep bail reason -> chunks that fell back for it
+    "fallbacks": Counter(),
+    # wall-clock seconds per driver phase, accumulated across batches:
+    # staging (descriptor tables, host transfers, lane images), the two
+    # kernels, and result readback
+    "phase_s": {"staging": 0.0, "encode": 0.0, "am": 0.0, "readback": 0.0},
+}
+
+
+def chain_batch_telemetry() -> dict:
+    """Snapshot of the batched driver's laned/fallback counters.
+
+    ``fallbacks`` maps each :class:`~repro.pulp.lockstep.LockstepBail`
+    reason to the number of chunks it pushed onto the sequential path —
+    the driver-level view of *why* batched throughput was lost, without
+    callers having to handle ineligibility themselves.  ``phase_s``
+    splits the batched driver's wall-clock across staging / encode /
+    AM / readback so perf work can see where window time goes.
+    """
+    return {
+        "attempts": _CHAIN_TELEMETRY["attempts"],
+        "laned_chunks": _CHAIN_TELEMETRY["laned_chunks"],
+        "laned_windows": _CHAIN_TELEMETRY["laned_windows"],
+        "fallback_windows": _CHAIN_TELEMETRY["fallback_windows"],
+        "fallbacks": dict(_CHAIN_TELEMETRY["fallbacks"]),
+        "phase_s": dict(_CHAIN_TELEMETRY["phase_s"]),
+    }
+
+
+def reset_chain_batch_telemetry() -> None:
+    """Zero the batched-driver counters (start of a measured run)."""
+    _CHAIN_TELEMETRY["attempts"] = 0
+    _CHAIN_TELEMETRY["laned_chunks"] = 0
+    _CHAIN_TELEMETRY["laned_windows"] = 0
+    _CHAIN_TELEMETRY["fallback_windows"] = 0
+    _CHAIN_TELEMETRY["fallbacks"].clear()
+    for phase in _CHAIN_TELEMETRY["phase_s"]:
+        _CHAIN_TELEMETRY["phase_s"][phase] = 0.0
 
 
 def emit_bundle_rows(
@@ -565,21 +615,30 @@ class HDChainSimulator:
         descriptor arena (one host transfer per chunk, in-simulation
         slot promotion per window) and, where the fast engine is active,
         executed through the window-laned lockstep engine
-        (:mod:`repro.pulp.lockstep`), which runs the encode kernel once
+        (:mod:`repro.pulp.lockstep`), which runs *both* kernels — encode
+        and the AM search, whose divergent argmin runs predicated — once
         with an extra lane axis over the chunk's windows instead of
-        re-staging and re-running it per window.
+        re-staging and re-running them per window.  Callers always get
+        results: lockstep ineligibility silently falls back to the exact
+        sequential path, with the bail reason recorded in
+        :func:`chain_batch_telemetry`.
         """
         if not self._model_loaded:
             raise RuntimeError("load_model must be called first")
         levels_batch = self._validate_levels(levels_batch, batched=True)
+        phases = _CHAIN_TELEMETRY["phase_s"]
+        tick = perf_counter()
         tables = self._desc_tables(levels_batch)
+        phases["staging"] += perf_counter() - tick
         layout = self.layout
         capacity = layout.desc_capacity
         results: List[ChainResult] = []
         for start in range(0, len(tables), capacity):
             chunk = tables[start : start + capacity]
             # One host transfer stages the whole chunk into the arena.
+            tick = perf_counter()
             self.cluster.write_words(layout.desc_l2, chunk.ravel())
+            phases["staging"] += perf_counter() - tick
             lane_results = None
             if len(chunk) > 1 and self.cluster.engine == "fast":
                 lane_results = self._run_chunk_lockstep(chunk)
@@ -593,8 +652,10 @@ class HDChainSimulator:
         layout = self.layout
         memory = self.cluster.memory
         table = layout.desc_table_bytes
+        phases = _CHAIN_TELEMETRY["phase_s"]
         results = []
         for index in range(n_windows):
+            tick = perf_counter()
             if index:
                 # Promote slot ``index`` to the active table in
                 # simulation memory — no host re-staging.
@@ -602,19 +663,33 @@ class HDChainSimulator:
                     layout.desc_l2,
                     memory.read_bytes(layout.desc_slot(index), table),
                 )
-            results.append(self._run_staged_window())
+            encode_run = self.cluster.run(self.encode_program)
+            tock = perf_counter()
+            am_run = self.cluster.run(self.am_program)
+            done = perf_counter()
+            phases["encode"] += tock - tick  # slot promotion rides along
+            phases["am"] += done - tock
+            tick = perf_counter()
+            results.append(self._read_result(encode_run, am_run))
+            phases["readback"] += perf_counter() - tick
         return results
 
     def _run_chunk_lockstep(self, chunk) -> Optional[List[ChainResult]]:
-        """Attempt the window-laned encode run for one staged chunk.
+        """Attempt the fully-laned (encode + AM) run for one staged chunk.
 
-        Returns per-window results, or ``None`` when the lockstep engine
-        bailed (the caller falls back to the sequential path; nothing in
-        cluster state has been mutated by a bailed attempt).
+        Stages one :class:`~repro.pulp.lockstep.LockstepSession` over the
+        chunk's windows and runs *both* programs through it — the AM
+        search's divergent argmin epilogue executes predicated, so no
+        per-window engine runs remain on this path.  Returns per-window
+        results, or ``None`` when the lockstep engine bailed (the caller
+        falls back to the sequential path; nothing in cluster state has
+        been mutated by a bailed attempt, and the bail reason lands in
+        :func:`chain_batch_telemetry`).
         """
-        from ..pulp.lockstep import run_program_lockstep
+        from ..pulp.lockstep import LockstepBail, LockstepSession
 
         layout = self.layout
+        dims = self.config.dims
         lane_writes = [
             [(
                 layout.desc_l2,
@@ -622,17 +697,60 @@ class HDChainSimulator:
             )]
             for table in chunk
         ]
-        laned = run_program_lockstep(
-            self.cluster, self.encode_program, lane_writes
-        )
-        if laned is None:
+        _CHAIN_TELEMETRY["attempts"] += 1
+        phases = _CHAIN_TELEMETRY["phase_s"]
+        try:
+            tick = perf_counter()
+            session = LockstepSession(self.cluster, lane_writes)
+            tock = perf_counter()
+            phases["staging"] += tock - tick
+            encode_runs = session.run(self.encode_program)
+            tick = perf_counter()
+            phases["encode"] += tick - tock
+            am_runs = session.run(self.am_program)
+            tock = perf_counter()
+            phases["am"] += tock - tick
+        except LockstepBail as bail:
+            _CHAIN_TELEMETRY["fallbacks"][bail.reason] += 1
+            _CHAIN_TELEMETRY["fallback_windows"] += len(chunk)
             return None
-        encode_run, images = laned
+        # Final-memory parity with N sequential runs: the host staged
+        # the whole chunk arena, the sequential path promotes window
+        # N-1's table last, so the last lane's post-AM image *is* the
+        # sequential end state.
+        tick = perf_counter()
+        session.lane_image(len(chunk) - 1).restore_into(
+            self.cluster.memory
+        )
         results = []
-        for image in images:
-            image.restore_into(self.cluster.memory)
-            am_run = self.cluster.run(self.am_program)
-            results.append(self._read_result(encode_run, am_run))
+        for lane in range(len(chunk)):
+            label = session.read_word(
+                lane, layout.result_label_addr()
+            )
+            distances = np.array(
+                [
+                    session.read_word(
+                        lane, layout.result_distance_addr(c)
+                    )
+                    for c in range(dims.n_classes)
+                ],
+                dtype=np.int64,
+            )
+            encode_run = encode_runs[lane]
+            am_run = am_runs[lane]
+            results.append(
+                ChainResult(
+                    label_index=int(label),
+                    distances=distances,
+                    encode_cycles=encode_run.total_cycles,
+                    am_cycles=am_run.total_cycles,
+                    encode_run=encode_run,
+                    am_run=am_run,
+                )
+            )
+        phases["readback"] += perf_counter() - tick
+        _CHAIN_TELEMETRY["laned_chunks"] += 1
+        _CHAIN_TELEMETRY["laned_windows"] += len(chunk)
         return results
 
     def run_window(

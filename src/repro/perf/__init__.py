@@ -1,7 +1,13 @@
 """ISS-calibrated analytic performance model for the full-scale sweeps
 (Figs. 3–5) and the detection-latency bookkeeping."""
 
-from .calibration import calibrate_chain, calibration_dims, clear_cache
+from .calibration import (
+    CalibrationRequest,
+    calibrate_chain,
+    calibrate_chain_batch,
+    calibration_dims,
+    clear_cache,
+)
 from .latency import (
     DETECTION_LATENCY_MS,
     LatencyCheck,
@@ -20,6 +26,7 @@ from .streaming import (
 
 __all__ = [
     "BatchDevicePerf",
+    "CalibrationRequest",
     "ChainCycleModel",
     "DETECTION_LATENCY_MS",
     "DevicePerfModel",
@@ -28,6 +35,7 @@ __all__ = [
     "LinearCycleModel",
     "StreamStats",
     "calibrate_chain",
+    "calibrate_chain_batch",
     "calibration_dims",
     "check_latency",
     "clear_cache",

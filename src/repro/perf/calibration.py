@@ -7,15 +7,33 @@ Calibration dimensions are chosen so their word counts are exact
 multiples of the core count (no ceil() mismatch between fit points) and
 far enough apart for a stable slope.
 
-A process-wide cache keyed on the shape avoids repeated ISS runs when a
-sweep revisits configurations (Fig. 4's core sweep shares shapes with
-Fig. 3's N sweep, for instance).
+Sweeps calibrate through two levels of batching:
+
+* a process-wide **model cache** keyed on the shape, so revisited
+  configurations (Fig. 4's core sweep shares shapes with Fig. 3's N
+  sweep, for instance) cost a dict lookup;
+* a **simulator cache** keyed on the shape *and* fit dimension, so a
+  cache-cleared refit (or a fit at a different seed) reuses the
+  generated programs and their compiled fast-path closures instead of
+  rebuilding the simulator from scratch; and
+* :func:`calibrate_chain_batch`, which takes a whole sweep's worth of
+  requests at once, dedups them against the model cache, and fits only
+  the distinct shapes — so Fig. 4 / Table 3-style sweeps issue one
+  engine run per unique fit point rather than one per sweep cell.
+
+Every distinct (shape, dimension) pair owns a distinct generated
+program — the layout bakes buffer addresses and the N-gram structure
+into the instruction stream — so fit points cannot share window lanes
+of a single laned engine run; each fit point routes through the batched
+window driver (the same unified dispatch core the sweeps execute on)
+and the batching win here is structural: O(unique shapes), not
+O(sweep cells), engine runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +43,11 @@ from ..pulp.soc import SoCConfig
 from .model import ChainCycleModel, LinearCycleModel
 
 _CACHE: Dict[tuple, ChainCycleModel] = {}
+
+#: Simulators keyed by (shape key, fit dimension).  A simulator owns the
+#: generated encode/AM programs and their compiled closures; reloading
+#: the model arrays and re-staging a window is cheap by comparison.
+_SIM_CACHE: Dict[tuple, HDChainSimulator] = {}
 
 
 def calibration_dims(
@@ -97,7 +120,38 @@ def _max_fitting_words(
     return best
 
 
+def _point_simulator(
+    key: tuple,
+    soc: SoCConfig,
+    n_cores: int,
+    dims: ChainDims,
+    use_builtins: bool,
+    strategy: str,
+) -> HDChainSimulator:
+    """Fetch (or build and cache) the simulator for one fit point.
+
+    The cache key includes the fit dimension, so a hit reuses the
+    generated programs and compiled closures; the caller reloads the
+    model arrays, which fully determines the subsequent run.
+    """
+    sim_key = key + (dims.dim,)
+    sim = _SIM_CACHE.get(sim_key)
+    if sim is None:
+        sim = HDChainSimulator(
+            ChainConfig(
+                soc=soc,
+                n_cores=n_cores,
+                dims=dims,
+                use_builtins=use_builtins,
+                strategy=strategy,
+            )
+        )
+        _SIM_CACHE[sim_key] = sim
+    return sim
+
+
 def _run_point(
+    key: tuple,
     soc: SoCConfig,
     n_cores: int,
     dims: ChainDims,
@@ -106,15 +160,7 @@ def _run_point(
     rng: np.random.Generator,
 ) -> Tuple[int, int]:
     """One full ISS chain execution; returns (encode, am) cycles."""
-    sim = HDChainSimulator(
-        ChainConfig(
-            soc=soc,
-            n_cores=n_cores,
-            dims=dims,
-            use_builtins=use_builtins,
-            strategy=strategy,
-        )
-    )
+    sim = _point_simulator(key, soc, n_cores, dims, use_builtins, strategy)
     n_words = dims.n_words
     sim.load_model(
         rng.integers(0, 2**32, size=(dims.n_channels, n_words), dtype=np.uint32),
@@ -131,6 +177,57 @@ def _run_point(
     return result.encode_cycles, result.am_cycles
 
 
+@dataclass(frozen=True)
+class CalibrationRequest:
+    """One sweep cell's worth of calibration inputs.
+
+    ``dims.dim`` is ignored — the fitted model predicts over
+    dimensions; every other shape field is part of the identity.
+    """
+
+    soc: SoCConfig
+    n_cores: int
+    dims: ChainDims
+    use_builtins: bool = False
+    strategy: str = "auto"
+    seed: int = field(default=99, compare=False)
+
+    def key(self) -> tuple:
+        return (
+            self.soc.name,
+            self.n_cores,
+            self.dims.n_channels,
+            self.dims.n_levels,
+            self.dims.n_classes,
+            self.dims.ngram,
+            self.dims.window,
+            self.use_builtins,
+            self.strategy,
+        )
+
+
+def _fit_shape(request: CalibrationRequest, key: tuple) -> ChainCycleModel:
+    """Two fit-point ISS runs sharing one rng stream, then the fit."""
+    soc, n_cores, dims = request.soc, request.n_cores, request.dims
+    use_builtins, strategy = request.use_builtins, request.strategy
+    rng = np.random.default_rng(request.seed)
+    dim_a, dim_b = calibration_dims(n_cores, soc, dims)
+    enc_a, am_a = _run_point(
+        key, soc, n_cores, replace(dims, dim=dim_a), use_builtins,
+        strategy, rng,
+    )
+    enc_b, am_b = _run_point(
+        key, soc, n_cores, replace(dims, dim=dim_b), use_builtins,
+        strategy, rng,
+    )
+    return ChainCycleModel(
+        encode=LinearCycleModel.fit(
+            n_cores, "encode", (dim_a, enc_a), (dim_b, enc_b)
+        ),
+        am=LinearCycleModel.fit(n_cores, "am", (dim_a, am_a), (dim_b, am_b)),
+    )
+
+
 def calibrate_chain(
     soc: SoCConfig,
     n_cores: int,
@@ -144,39 +241,55 @@ def calibrate_chain(
     ``dims.dim`` is ignored — the model predicts over dimensions; all
     other shape fields matter.
     """
-    key = (
-        soc.name,
-        n_cores,
-        dims.n_channels,
-        dims.n_levels,
-        dims.n_classes,
-        dims.ngram,
-        dims.window,
-        use_builtins,
-        strategy,
+    request = CalibrationRequest(
+        soc=soc,
+        n_cores=n_cores,
+        dims=dims,
+        use_builtins=use_builtins,
+        strategy=strategy,
+        seed=seed,
     )
+    key = request.key()
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-
-    rng = np.random.default_rng(seed)
-    dim_a, dim_b = calibration_dims(n_cores, soc, dims)
-    enc_a, am_a = _run_point(
-        soc, n_cores, replace(dims, dim=dim_a), use_builtins, strategy, rng
-    )
-    enc_b, am_b = _run_point(
-        soc, n_cores, replace(dims, dim=dim_b), use_builtins, strategy, rng
-    )
-    model = ChainCycleModel(
-        encode=LinearCycleModel.fit(
-            n_cores, "encode", (dim_a, enc_a), (dim_b, enc_b)
-        ),
-        am=LinearCycleModel.fit(n_cores, "am", (dim_a, am_a), (dim_b, am_b)),
-    )
+    model = _fit_shape(request, key)
     _CACHE[key] = model
     return model
 
 
+def calibrate_chain_batch(
+    requests: Sequence[CalibrationRequest],
+) -> List[ChainCycleModel]:
+    """Calibrate a whole sweep at once; one fit per *distinct* shape.
+
+    Requests are deduplicated against each other and against the model
+    cache before any engine runs, so a Fig. 3 + Fig. 4-style sweep that
+    revisits (N, cores) shapes issues only the unique fit points.  Each
+    fit is bit-identical to the equivalent :func:`calibrate_chain` call
+    (same per-shape rng stream), so batched and one-at-a-time
+    calibration produce the same models in any order.
+
+    Returns models aligned with ``requests``.
+    """
+    models: Dict[tuple, ChainCycleModel] = {}
+    order: List[tuple] = []
+    for request in requests:
+        key = request.key()
+        order.append(key)
+        if key in models:
+            continue
+        cached = _CACHE.get(key)
+        if cached is not None:
+            models[key] = cached
+            continue
+        model = _fit_shape(request, key)
+        _CACHE[key] = model
+        models[key] = model
+    return [models[key] for key in order]
+
+
 def clear_cache() -> None:
-    """Drop all cached calibrations (used by tests)."""
+    """Drop all cached calibrations and fit-point simulators (tests)."""
     _CACHE.clear()
+    _SIM_CACHE.clear()

@@ -31,6 +31,22 @@ trip counts), the engine *bails out before any state is mutated* and the
 loop runs through the block path instead — so the fast path is total:
 every program executes, and executes identically to the oracle.
 
+**The unified dispatch core.**  The dispatch loop itself — block-plan
+gating, terminator dispatch (branches, jumps, hardware loops, DMA,
+barrier/halt), and cycle charging — lives once, in
+:class:`repro.pulp.dispatch.DispatchCore`.  :class:`FastCore` is its
+scalar (lanes = 1) instantiation: its hook overrides read registers as
+plain ints, synthesize sub-blocks for computed jumps into block
+interiors, and hand off to the interpreter at the instruction cap.  The
+window-laned engine (:mod:`repro.pulp.lockstep`) instantiates the same
+loop with lane-array registers, uniformity proofs where the loop needs
+a scalar, and predicated execution of short divergent forward branches
+— so the two engines cannot drift: there is no second terminator-
+dispatch body to keep in sync.  What stays per-engine here is purely
+scalar semantics: segment-closure compilation (shared with the laned
+block path via :func:`_compile_seg`), the interpreter hand-off, and the
+per-access stall accounting.
+
 Differential parity is enforced by ``tests/pulp/test_fastpath*.py``:
 random-program fuzzing plus every kernel × profile × core-count
 configuration, comparing registers, memory images, cycles, and
@@ -57,104 +73,81 @@ from .core import (
     _signed,
     predecode,
 )
+# The opcode tables, telemetry counters, trip solver, and the one
+# dispatch loop live in repro.pulp.dispatch (shared with the lockstep
+# engine); they are re-exported here so existing imports keep working.
+from .dispatch import (  # noqa: F401 - re-exported shared definitions
+    DispatchCore,
+    MAX_VECTOR_TRIPS,
+    _ALU3_OPS,
+    _ALUI_OPS,
+    _Bail,
+    _BRANCH_OPS,
+    _LOAD_OPS,
+    _MASK32,
+    _MEM_WIDTH,
+    _OP,
+    _OP_ADD,
+    _OP_ADDI,
+    _OP_AND,
+    _OP_ANDI,
+    _OP_BARRIER,
+    _OP_BEQ,
+    _OP_BFI,
+    _OP_BGE,
+    _OP_BGEU,
+    _OP_BLT,
+    _OP_BLTU,
+    _OP_BNE,
+    _OP_CNT,
+    _OP_DMA_COPY,
+    _OP_DMA_WAIT,
+    _OP_EXTRACTU,
+    _OP_HALT,
+    _OP_INSERT,
+    _OP_J,
+    _OP_JAL,
+    _OP_JR,
+    _OP_LBU,
+    _OP_LHU,
+    _OP_LI,
+    _OP_LPSETUP,
+    _OP_LW,
+    _OP_LW_POST,
+    _OP_MUL,
+    _OP_MULH,
+    _OP_MV,
+    _OP_NOP,
+    _OP_OR,
+    _OP_ORI,
+    _OP_SB,
+    _OP_SH,
+    _OP_SLL,
+    _OP_SLLI,
+    _OP_SLT,
+    _OP_SLTI,
+    _OP_SLTIU,
+    _OP_SLTU,
+    _OP_SRA,
+    _OP_SRAI,
+    _OP_SRL,
+    _OP_SRLI,
+    _OP_SUB,
+    _OP_SW,
+    _OP_SW_POST,
+    _OP_UBFX,
+    _OP_XOR,
+    _OP_XORI,
+    _REDUCIBLE_OPS,
+    _STORE_OPS,
+    _TELEMETRY,
+    _base_cost,
+    _reads_writes,
+    _record_bail,
+    _solve_branch_trips,
+)
 from .isa import ArchProfile
 from .memory import MemorySystem
-
-_MASK32 = 0xFFFFFFFF
-
-#: Vectorized loops longer than this fall back to the block path; far
-#: above any kernel trip count, it bounds lane-array allocations.
-MAX_VECTOR_TRIPS = 1 << 20
-
-# Opcode integers, resolved once from the oracle's name table so the two
-# engines can never disagree about numbering.
-_OP = dict(_OPCODE_BY_NAME)
-
-_OP_ADD = _OP["add"]; _OP_SUB = _OP["sub"]; _OP_AND = _OP["and"]
-_OP_OR = _OP["or"]; _OP_XOR = _OP["xor"]; _OP_SLL = _OP["sll"]
-_OP_SRL = _OP["srl"]; _OP_SRA = _OP["sra"]; _OP_SLT = _OP["slt"]
-_OP_SLTU = _OP["sltu"]; _OP_ADDI = _OP["addi"]; _OP_ANDI = _OP["andi"]
-_OP_ORI = _OP["ori"]; _OP_XORI = _OP["xori"]; _OP_SLLI = _OP["slli"]
-_OP_SRLI = _OP["srli"]; _OP_SRAI = _OP["srai"]; _OP_SLTI = _OP["slti"]
-_OP_SLTIU = _OP["sltiu"]; _OP_LI = _OP["li"]; _OP_MV = _OP["mv"]
-_OP_NOP = _OP["nop"]; _OP_MUL = _OP["mul"]; _OP_MULH = _OP["mulh"]
-_OP_LW = _OP["lw"]; _OP_LBU = _OP["lbu"]; _OP_LHU = _OP["lhu"]
-_OP_SW = _OP["sw"]; _OP_SB = _OP["sb"]; _OP_SH = _OP["sh"]
-_OP_BEQ = _OP["beq"]; _OP_BNE = _OP["bne"]; _OP_BLT = _OP["blt"]
-_OP_BGE = _OP["bge"]; _OP_BLTU = _OP["bltu"]; _OP_BGEU = _OP["bgeu"]
-_OP_J = _OP["j"]; _OP_JAL = _OP["jal"]; _OP_JR = _OP["jr"]
-_OP_EXTRACTU = _OP["p.extractu"]; _OP_INSERT = _OP["p.insert"]
-_OP_CNT = _OP["p.cnt"]; _OP_UBFX = _OP["ubfx"]; _OP_BFI = _OP["bfi"]
-_OP_LW_POST = _OP["p.lw!"]; _OP_SW_POST = _OP["p.sw!"]
-_OP_LPSETUP = _OP["lp.setup"]; _OP_BARRIER = _OP["barrier"]
-_OP_HALT = _OP["halt"]; _OP_DMA_COPY = _OP["dma.copy"]
-_OP_DMA_WAIT = _OP["dma.wait"]
-
-_BRANCH_OPS = frozenset(
-    (_OP_BEQ, _OP_BNE, _OP_BLT, _OP_BGE, _OP_BLTU, _OP_BGEU)
-)
-_ALU3_OPS = frozenset(
-    (_OP_ADD, _OP_SUB, _OP_AND, _OP_OR, _OP_XOR, _OP_SLL, _OP_SRL,
-     _OP_SRA, _OP_SLT, _OP_SLTU, _OP_MUL, _OP_MULH)
-)
-_ALUI_OPS = frozenset(
-    (_OP_ADDI, _OP_ANDI, _OP_ORI, _OP_XORI, _OP_SLLI, _OP_SRLI,
-     _OP_SRAI, _OP_SLTI, _OP_SLTIU)
-)
-_LOAD_OPS = frozenset((_OP_LW, _OP_LBU, _OP_LHU, _OP_LW_POST))
-_STORE_OPS = frozenset((_OP_SW, _OP_SB, _OP_SH, _OP_SW_POST))
-_MEM_WIDTH = {
-    _OP_LW: 4, _OP_SW: 4, _OP_LW_POST: 4, _OP_SW_POST: 4,
-    _OP_LHU: 2, _OP_SH: 2, _OP_LBU: 1, _OP_SB: 1,
-}
-_REDUCIBLE_OPS = frozenset((_OP_ADD, _OP_OR, _OP_XOR, _OP_AND))
-
-
-def _reads_writes(ins) -> Tuple[tuple, tuple]:
-    """(read regs, written regs) of one decoded instruction tuple."""
-    op, rd, ra, rb = ins[0], ins[1], ins[2], ins[3]
-    if op in _ALU3_OPS:
-        return (ra, rb), (rd,)
-    if op in _ALUI_OPS or op in (_OP_MV, _OP_CNT, _OP_EXTRACTU, _OP_UBFX):
-        return (ra,), (rd,)
-    if op == _OP_LI:
-        return (), (rd,)
-    if op == _OP_NOP:
-        return (), ()
-    if op in (_OP_LW, _OP_LBU, _OP_LHU):
-        return (ra,), (rd,)
-    if op == _OP_LW_POST:
-        return (ra,), (rd, ra)
-    if op in (_OP_SW, _OP_SB, _OP_SH):
-        return (ra, rd), ()
-    if op == _OP_SW_POST:
-        return (ra, rd), (ra,)
-    if op in (_OP_INSERT, _OP_BFI):
-        return (ra, rd), (rd,)
-    if op in _BRANCH_OPS:
-        return (ra, rb), ()
-    if op == _OP_J:
-        return (), ()
-    if op == _OP_JAL:
-        return (), (rd if rd else 1,)
-    if op == _OP_JR:
-        return (ra,), ()
-    if op == _OP_LPSETUP:
-        return (ra,), ()
-    if op == _OP_DMA_COPY:
-        return (ra, rb, rd), ()
-    return (), ()  # barrier, halt, dma.wait
-
-
-def _base_cost(op: int, profile: ArchProfile) -> int:
-    """Constant cycle cost of a non-control instruction."""
-    if op in _LOAD_OPS:
-        return profile.load_cycles
-    if op in _STORE_OPS:
-        return profile.store_cycles
-    if op in (_OP_MUL, _OP_MULH):
-        return profile.mul_cycles
-    return 1
 
 
 # ---------------------------------------------------------------------------
@@ -331,21 +324,6 @@ class CompiledBlock:
 # ---------------------------------------------------------------------------
 
 
-class _Bail(Exception):
-    """Internal: this loop cannot be vectorized (for this run).
-
-    ``reason`` is a short stable tag recorded by the telemetry counters
-    (see :func:`fastpath_telemetry`); the default covers the compile-time
-    structure bails where finer detail buys nothing.
-    """
-
-    __slots__ = ("reason",)
-
-    def __init__(self, reason: str = "irregular-structure"):
-        super().__init__(reason)
-        self.reason = reason
-
-
 # ---------------------------------------------------------------------------
 # Fast-path telemetry (debug API).
 # ---------------------------------------------------------------------------
@@ -355,20 +333,9 @@ class _Bail(Exception):
 # kernel-emitter perf regressions visible: a restructured emitter that
 # stops vectorizing shows up as a bail reason, not just as a silent
 # wall-clock drift.  ``benchmarks/bench_iss_engine.py`` publishes them
-# next to the engine speed-up.
-
-_TELEMETRY = {
-    # (plan kind, plan head pc) -> successful vector engagements
-    "engaged": Counter(),
-    # (plan kind, plan head pc) -> total trips executed vectorized
-    "trips": Counter(),
-    # bail reason -> count (runtime bails + trip-solver failures)
-    "bails": Counter(),
-    # (plan kind, plan head pc, reason) -> count
-    "plan_bails": Counter(),
-    # reason -> loops rejected at compile time (no plan built)
-    "compile_rejects": Counter(),
-}
+# next to the engine speed-up.  The counters themselves live in
+# :mod:`repro.pulp.dispatch` (``_TELEMETRY``) so both engines share
+# one set; this module provides the snapshot API.
 
 
 @dataclass(frozen=True)
@@ -412,11 +379,6 @@ def reset_fastpath_telemetry() -> None:
     """Zero all fast-path counters (start of a measured run)."""
     for counter in _TELEMETRY.values():
         counter.clear()
-
-
-def _record_bail(plan: "LoopPlan", reason: str) -> None:
-    _TELEMETRY["bails"][reason] += 1
-    _TELEMETRY["plan_bails"][(plan.kind, plan.head, reason)] += 1
 
 
 @dataclass(frozen=True)
@@ -1070,9 +1032,13 @@ def _affine_stride(addr: np.ndarray):
     """Positive common stride of an affine address array, else ``None``."""
     if addr.size < 2:
         return None
-    deltas = np.diff(addr.astype(np.int64))
-    step = int(deltas[0])
-    if step > 0 and (deltas == step).all():
+    step = int(addr[1]) - int(addr[0])
+    if step <= 0:
+        return None
+    deltas = addr[1:] - addr[:-1]
+    # Exact for unsigned dtypes too: a descending pair wraps to a huge
+    # delta that can never equal the positive 32-bit step.
+    if (deltas == deltas.dtype.type(step)).all():
         return step
     return None
 
@@ -1470,7 +1436,10 @@ class _VectorRun:
                     addr, (int(value) & mask).to_bytes(width, "little")
                 )
         regs = core.regs
-        for reg in range(1, 32):
+        # Only body-written registers can have changed in sym.
+        for reg in self.plan.written_regs:
+            if not reg:
+                continue
             value = self.sym[reg]
             if isinstance(value, _Reduction):
                 regs[reg] = value.fold()
@@ -1482,75 +1451,6 @@ class _VectorRun:
             self.n_l1, self.n_l2
         )
         core.instr_count += self.n_instr
-
-
-def _solve_branch_trips(op, a0, step, b, signed_cmp):
-    """Trips of a do-while self-loop with an affine condition register.
-
-    ``a0`` is the register value at loop entry, ``step`` its net signed
-    change per iteration; the condition is checked after each iteration
-    with value ``a0 + t*step``.  Returns the verified trip count, or
-    ``None`` when unsolvable (wraps, diverges, or never exits).
-    """
-
-    def value(t):
-        return (a0 + t * step) & _MASK32
-
-    def cond(t):
-        av = value(t)
-        if op == _OP_BEQ:
-            return av == b
-        if op == _OP_BNE:
-            return av != b
-        if op == _OP_BLTU:
-            return av < b
-        if op == _OP_BGEU:
-            return av >= b
-        sa = _signed(av)
-        sb = _signed(b)
-        if op == _OP_BLT:
-            return sa < sb
-        return sa >= sb  # _OP_BGE
-
-    candidates = [1]
-    if step:
-        if signed_cmp:
-            sa0 = _signed(a0)
-            sb = _signed(b)
-            if op == _OP_BLT and step > 0:
-                candidates.append(max(1, -((sa0 - sb) // step)))
-            elif op == _OP_BGE and step < 0:
-                candidates.append(max(1, (sa0 - sb) // (-step) + 1))
-        else:
-            if op == _OP_BLTU and step > 0:
-                candidates.append(max(1, -((a0 - b) // step)))
-            elif op == _OP_BGEU and step < 0:
-                candidates.append(max(1, (a0 - b) // (-step) + 1))
-            elif op == _OP_BNE:
-                delta = b - a0
-                if delta % step == 0 and delta // step >= 1:
-                    candidates.append(delta // step)
-    for trips in sorted(set(candidates), reverse=True):
-        if trips < 1 or trips > MAX_VECTOR_TRIPS:
-            continue
-        # No 32-bit wrap across the iteration range keeps the affine
-        # sequence monotonic, so endpoint checks pin the whole range.
-        unwrapped_lo = min(a0, a0 + trips * step)
-        unwrapped_hi = max(a0, a0 + trips * step)
-        if signed_cmp:
-            sa0 = _signed(a0)
-            lo = min(sa0, sa0 + trips * step)
-            hi = max(sa0, sa0 + trips * step)
-            if lo < -(1 << 31) or hi >= (1 << 31):
-                continue
-        elif unwrapped_lo < 0 or unwrapped_hi > _MASK32:
-            continue
-        if cond(trips):
-            continue
-        if trips > 1 and not cond(trips - 1):
-            continue
-        return trips
-    return None
 
 
 # ---------------------------------------------------------------------------
@@ -1641,15 +1541,22 @@ def compile_program(
     return compiled
 
 
-class FastCore(Core):
+class FastCore(DispatchCore, Core):
     """Drop-in :class:`~repro.pulp.core.Core` running the fast path.
 
     Architecturally identical to the interpreter (same registers, memory
     effects, cycles, and instruction counts on every successful run);
-    only wall-clock behaviour differs.
+    only wall-clock behaviour differs.  The dispatch loop itself lives
+    in :class:`repro.pulp.dispatch.DispatchCore`; this class is its
+    scalar (lanes = 1) instantiation — registers are plain ints, faults
+    raise :class:`~repro.pulp.core.ExecutionError` exactly like the
+    oracle, and the instruction cap hands off to the interpreter for
+    per-instruction granularity.
     """
 
     __slots__ = ("compiled", "_disabled_plans")
+
+    _vector_run_cls: type  # assigned after _VectorRun is defined below
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -1675,7 +1582,7 @@ class FastCore(Core):
             return block
         index = bisect.bisect_right(comp.block_starts, pc) - 1
         host = comp.blocks[comp.block_starts[index]]
-        body_end = max(pc, host.body_end)
+        body_end = max(pc, host.start + host.n_straight)
         block = CompiledBlock(
             start=pc,
             end=host.end,
@@ -1688,235 +1595,95 @@ class FastCore(Core):
         comp.sub_blocks[pc] = block
         return block
 
-    def _try_vector(self, plan: LoopPlan, trips: int) -> bool:
-        """Vector-execute ``plan``; True on success, False on bail."""
-        if trips < 1 or trips > MAX_VECTOR_TRIPS:
-            _record_bail(plan, "trip-count-range")
-            return False
-        try:
-            run = _VectorRun(self, plan, trips)
-            run.run_nodes(plan.exec_nodes)
-            if plan.kind == "branch":
-                taken = 1 + self.profile.branch_taken_penalty
-                not_taken = 1 + self.profile.branch_not_taken_penalty
-                run.n_instr += trips
-                run.base_cycles += (trips - 1) * taken + not_taken
-                if run.n_instr > run.budget:
-                    _record_bail(plan, "instruction-cap")
-                    return False
-        except _Bail as bail:
-            _record_bail(plan, bail.reason)
-            return False
-        run.commit()
-        _TELEMETRY["engaged"][(plan.kind, plan.head)] += 1
-        _TELEMETRY["trips"][(plan.kind, plan.head)] += trips
-        return True
+    # -- dispatch-loop hooks (scalar instantiation) ------------------------
+
+    _fetch_block = _block_at
+
+    def _uniform_reg(self, reg: int):
+        return self.regs[reg] if reg else 0
+
+    def _over_cap(self, needed: int) -> bool:
+        return self.instr_count + needed > self.max_instructions
+
+    def _cap_handoff(self, pc: int) -> str:
+        # Per-instruction cap granularity: when finishing this block
+        # (straight body + terminator) could cross the instruction
+        # cap, hand the rest of the run to the interpreter, which
+        # checks the cap before every instruction.  A runaway program
+        # therefore raises at exactly the same instruction, with the
+        # same registers, memory, cycles, and instruction count as
+        # the oracle (pinned by tests/pulp/test_fastpath.py).
+        self.pc = pc
+        return Core.run(self)
+
+    def _exec_straight(self, block: CompiledBlock) -> None:
+        self.instr_count += block.n_straight
+        closure = block.closure
+        if closure is _LAZY:
+            closure = block.closure = _compile_straight(
+                self.compiled.decoded, block.start,
+                block.start + block.n_straight, self.profile,
+            )
+        self.cycles += closure(self.regs, self.memory)
+
+    def _branch_next(
+        self, op, ra, rb, target, fallthrough, taken, not_taken
+    ):
+        regs = self.regs
+        a = regs[ra]
+        b = regs[rb]
+        if op == _OP_BEQ:
+            hit = a == b
+        elif op == _OP_BNE:
+            hit = a != b
+        elif op == _OP_BLTU:
+            hit = a < b
+        elif op == _OP_BGEU:
+            hit = a >= b
+        elif op == _OP_BLT:
+            hit = _signed(a) < _signed(b)
+        else:
+            hit = _signed(a) >= _signed(b)
+        if hit:
+            self.cycles += taken
+            return target
+        self.cycles += not_taken
+        return fallthrough
+
+    def _jr_target(self, ra: int):
+        return self.regs[ra]
+
+    def _lpsetup_trips(self, ra: int) -> int:
+        return self.regs[ra]
+
+    def _dma_wait(self) -> None:
+        self.cycles = max(self.cycles + 1, self.dma.busy_until)
+
+    def _fault_pc_overrun(self, pc: int):
+        self.pc = pc
+        raise ExecutionError(
+            f"core {self.core_id} ran off the end of the program"
+        )
+
+    def _fault_loop_nesting(self):
+        raise ExecutionError("hardware loops support two nesting levels")
+
+    def _fault_no_dma(self, what: str):
+        raise ExecutionError(
+            f"{what} executed with no DMA engine attached"
+        )
+
+    def _fault_unknown_terminator(self, op: int):  # pragma: no cover
+        raise ExecutionError(f"unimplemented opcode {op}")
 
     # -- execution ---------------------------------------------------------
 
     def run(self) -> str:
-        comp = self.compiled
-        if comp is None:
+        if self.compiled is None:
             return super().run()
-        decoded = self._decoded
-        if decoded is None:
+        if self._decoded is None:
             raise ExecutionError("no program loaded")
-        regs = self.regs
-        memory = self.memory
-        profile = self.profile
-        taken = 1 + profile.branch_taken_penalty
-        not_taken = 1 + profile.branch_not_taken_penalty
-        jump_cost = profile.jump_cycles
-        n_instrs = comp.n_instrs
-        cap = self.max_instructions
-        loop_stack = self._loop_stack
-        disabled = self._disabled_plans
-        pc = self.pc
+        return self.dispatch_segment()
 
-        while True:
-            if pc >= n_instrs:
-                self.pc = pc
-                raise ExecutionError(
-                    f"core {self.core_id} ran off the end of the program"
-                )
 
-            plan = comp.branch_plans.get(pc)
-            if (
-                plan is not None
-                and pc not in disabled
-                and len(loop_stack) + plan.hw_depth <= 2
-                # An enclosing hardware loop whose end boundary falls
-                # inside the region would fire back-edges mid-loop; let
-                # the block path reproduce that exactly.
-                and not (
-                    loop_stack
-                    and plan.head <= loop_stack[-1][1] <= plan.branch_pc
-                )
-            ):
-                ins = decoded[plan.branch_pc]
-                op, ra, rb = ins[0], ins[2], ins[3]
-                trips = None
-                ra_step = plan.inductions.get(ra)
-                if ra_step is None and (
-                    ra == 0 or ra not in plan.written_regs
-                ):
-                    ra_step = 0
-                if ra_step is not None and (
-                    rb == 0 or rb not in plan.written_regs
-                ):
-                    trips = _solve_branch_trips(
-                        op,
-                        regs[ra] if ra else 0,
-                        ra_step,
-                        regs[rb] if rb else 0,
-                        op in (_OP_BLT, _OP_BGE),
-                    )
-                if trips is None:
-                    _record_bail(plan, "trip-unsolvable")
-                elif self._try_vector(plan, trips):
-                    last_pc = plan.branch_pc
-                    next_pc = plan.exit_pc
-                    if loop_stack:
-                        top = loop_stack[-1]
-                        if next_pc == top[1] and top[0] <= last_pc < top[1]:
-                            top[2] -= 1
-                            if top[2] > 0:
-                                next_pc = top[0]
-                            else:
-                                loop_stack.pop()
-                    regs[0] = 0
-                    pc = next_pc
-                    continue
-                disabled.add(pc)
-
-            block = self._block_at(pc)
-            # Per-instruction cap granularity: when finishing this block
-            # (straight body + terminator) could cross the instruction
-            # cap, hand the rest of the run to the interpreter, which
-            # checks the cap before every instruction.  A runaway program
-            # therefore raises at exactly the same instruction, with the
-            # same registers, memory, cycles, and instruction count as
-            # the oracle (pinned by tests/pulp/test_fastpath.py).
-            needed = block.n_straight + (
-                0 if block.terminator is None else 1
-            )
-            if self.instr_count + needed > cap:
-                self.pc = pc
-                return Core.run(self)
-            if block.n_straight:
-                self.instr_count += block.n_straight
-                closure = block.closure
-                if closure is _LAZY:
-                    closure = block.closure = _compile_straight(
-                        decoded, block.start,
-                        block.start + block.n_straight, profile,
-                    )
-                self.cycles += closure(regs, memory)
-
-            tpc = block.terminator
-            if tpc is None:
-                last_pc = block.end - 1
-                next_pc = block.end
-            else:
-                last_pc = tpc
-                next_pc = tpc + 1
-                ins = decoded[tpc]
-                op, rd, ra, rb = ins[0], ins[1], ins[2], ins[3]
-                target = ins[6]
-                self.instr_count += 1
-                if op in _BRANCH_OPS:
-                    a = regs[ra]
-                    b = regs[rb]
-                    if op == _OP_BEQ:
-                        hit = a == b
-                    elif op == _OP_BNE:
-                        hit = a != b
-                    elif op == _OP_BLTU:
-                        hit = a < b
-                    elif op == _OP_BGEU:
-                        hit = a >= b
-                    elif op == _OP_BLT:
-                        hit = _signed(a) < _signed(b)
-                    else:
-                        hit = _signed(a) >= _signed(b)
-                    if hit:
-                        next_pc = target
-                        self.cycles += taken
-                    else:
-                        self.cycles += not_taken
-                elif op == _OP_J:
-                    next_pc = target
-                    self.cycles += jump_cost
-                elif op == _OP_JAL:
-                    regs[rd if rd else 1] = next_pc
-                    next_pc = target
-                    self.cycles += jump_cost
-                elif op == _OP_JR:
-                    next_pc = regs[ra]
-                    self.cycles += jump_cost
-                elif op == _OP_LPSETUP:
-                    self.cycles += 1
-                    trips = regs[ra]
-                    if trips == 0:
-                        next_pc = target
-                    else:
-                        if len(loop_stack) >= 2:
-                            raise ExecutionError(
-                                "hardware loops support two nesting levels"
-                            )
-                        hw_plan = comp.hw_plans.get(tpc)
-                        if (
-                            hw_plan is not None
-                            and tpc not in disabled
-                            and len(loop_stack) + hw_plan.hw_depth <= 2
-                            and self._try_vector(hw_plan, trips)
-                        ):
-                            # The final trip's own back-edge consumed the
-                            # boundary check, so no enclosing-loop check
-                            # happens here — exactly as the oracle.
-                            regs[0] = 0
-                            pc = hw_plan.exit_pc
-                            continue
-                        if hw_plan is not None:
-                            disabled.add(tpc)
-                        loop_stack.append([tpc + 1, target, trips])
-                elif op == _OP_BARRIER:
-                    self.cycles += 1
-                    self.pc = next_pc
-                    return STOP_BARRIER
-                elif op == _OP_HALT:
-                    self.cycles += 1
-                    self.pc = tpc
-                    return STOP_HALT
-                elif op == _OP_DMA_COPY:
-                    if self.dma is None:
-                        raise ExecutionError(
-                            "dma.copy executed with no DMA engine attached"
-                        )
-                    self.dma.enqueue(
-                        src=regs[ra], dst=regs[rb], size=regs[rd],
-                        issue_cycle=self.cycles,
-                    )
-                    self.cycles += profile.dma_setup_cycles
-                elif op == _OP_DMA_WAIT:
-                    if self.dma is None:
-                        raise ExecutionError(
-                            "dma.wait executed with no DMA engine attached"
-                        )
-                    self.cycles = max(
-                        self.cycles + 1, self.dma.busy_until
-                    )
-                else:  # pragma: no cover
-                    raise ExecutionError(f"unimplemented opcode {op}")
-
-            if loop_stack:
-                top = loop_stack[-1]
-                if next_pc == top[1] and top[0] <= last_pc < top[1]:
-                    top[2] -= 1
-                    if top[2] > 0:
-                        next_pc = top[0]
-                    else:
-                        loop_stack.pop()
-
-            regs[0] = 0
-            pc = next_pc
+FastCore._vector_run_cls = _VectorRun

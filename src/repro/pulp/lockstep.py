@@ -1,36 +1,60 @@
 """Window-laned lockstep execution: one program, N memory images.
 
 The batched-window driver (:meth:`repro.kernels.chain.HDChainSimulator.
-run_window_levels_batch`) re-runs the *same* encode program per window;
-only the descriptor table — and therefore the data flowing through the
-kernel — differs.  The kernels' control flow is counter-driven, so N
+run_window_levels_batch`) re-runs the *same* programs per window; only
+the descriptor table — and therefore the data flowing through the
+kernels — differs.  The kernels' control flow is counter-driven, so N
 windows execute the identical instruction trace in lockstep.  This
-module exploits that: it runs the program **once** over N per-window
+module exploits that: it runs each program **once** over N per-window
 memory images, carrying every register as either a plain int (uniform
-across windows) or a length-N lane array, and extending the fast path's
-trip-vectorized loops with a second lane axis — ``(trips, windows)``
-arrays flowing through the very same compiled segment closures
-(:func:`repro.pulp.fastpath._compile_seg` is shape-agnostic).  One numpy
-pass per loop then covers all windows, which is where the batched
-driver's speed-up comes from.
+across windows) or a length-N lane array, and extending the fast
+path's trip-vectorized loops with a second lane axis — ``(trips,
+windows)`` arrays flowing through the very same compiled segment
+closures (:func:`repro.pulp.fastpath._compile_seg` is
+shape-agnostic).  One numpy pass per loop then covers all windows,
+which is where the batched driver's speed-up comes from.
+
+The dispatch loop itself is **shared with the scalar engine**:
+:class:`_LaneCore` is the laned instantiation of
+:class:`repro.pulp.dispatch.DispatchCore` (block-plan gating,
+terminator dispatch, and cycle charging live there, once).  What this
+module adds on top of the shared loop is purely the lane dimension:
+
+* per-engine hooks that collapse lane values to solver operands
+  (``_uniform_int``), execute straight blocks over laned memory, and
+  turn every unsupported situation into a :class:`LockstepBail`
+  instead of an error;
+* **predicated execution** of short, pure-ALU forward branches
+  (``_predicate_branch``): when a branch outcome diverges between
+  windows — the AM argmin epilogue's ``bgeu``/``mv``/``li`` pattern —
+  the skipped body runs once over the lane arrays and every written
+  register is merged back with a per-lane select, while ``cycles``
+  and ``instr_count`` continue as per-lane arrays.  Data-divergent
+  compares therefore no longer force a bail-out to N sequential
+  runs, which is what lets the whole AM search run laned;
+* :class:`LockstepSession`, which stages N lane images once and runs
+  several programs back to back over them (encode then AM in the
+  chain driver), returning *per-lane* :class:`ClusterRunResult`\\ s.
 
 Exactness contract: per-window architectural results (memory images,
-cycles, instruction counts, DMA bytes, barrier structure) are identical
-to N sequential runs.  Everything the lane model cannot reproduce
-bit-exactly — a branch whose outcome differs between windows, a
+cycles, instruction counts, DMA bytes, barrier structure) are
+identical to N sequential runs.  Everything the lane model cannot
+reproduce bit-exactly — a divergent branch with an ineligible body, a
 divergent hardware-loop trip count, lane-varying store addresses, any
-access the memory model rejects — raises :class:`LockstepBail` *before
-any caller-visible state is touched* (the engine mutates only its own
-image stack), and the caller falls back to the sequential per-window
-path.  The differential suite in ``tests/kernels/test_chain_batch.py``
-pins the equivalence over engine × strategy × core-count grids.
+access the memory model rejects — raises :class:`LockstepBail`
+*before any caller-visible state is touched* (the engine mutates only
+its own image stack), and the caller falls back to the sequential
+per-window path.  The differential suite in
+``tests/kernels/test_chain_batch.py`` pins the equivalence over
+engine × strategy × core-count grids.
 
 Cycle accounting mirrors the scalar engines: base costs are folded per
 segment, memory stalls are totalled through the same closed-form
 accumulator (:meth:`MemorySystem.bulk_stalls` semantics, one shared
-model because every lane's access trace is identical), and DMA timing
-runs the same busy-until clock with only the *payload* differing per
-lane.
+model because every lane's access trace is identical — the predicated
+bodies are pure ALU, so lane-divergent paths never touch it), and DMA
+timing runs the same busy-until clock with only the *payload*
+differing per lane.
 """
 
 from __future__ import annotations
@@ -43,39 +67,43 @@ import numpy as np
 from .assembler import CORE_ID_REG, N_CORES_REG, Program
 from .cluster import ClusterRunResult
 from .core import STOP_BARRIER, STOP_HALT
+from .dispatch import DispatchCore
 from .fastpath import (
-    MAX_VECTOR_TRIPS,
     _Bail,
-    _BRANCH_OPS,
+    _LOAD_OPS,
     _MASK32,
     _OP_ADD,
     _OP_AND,
-    _OP_BARRIER,
-    _OP_BGE,
-    _OP_BLT,
-    _OP_DMA_COPY,
-    _OP_DMA_WAIT,
-    _OP_HALT,
-    _OP_J,
-    _OP_JAL,
-    _OP_JR,
-    _OP_LPSETUP,
     _OP_OR,
     _OP_XOR,
-    _TELEMETRY,
+    _STORE_OPS,
     _VectorRun,
     _affine_stride,
     _base_cost,
     _compile_seg,
     _cond_v,
-    _record_bail,
+    _reads_writes,
     _seg_noop,
-    _solve_branch_trips,
     compile_program,
 )
 from .memory import L1_BASE, L2_BASE, MemorySystem
 
 _M64 = np.uint64(_MASK32)
+
+
+def _lane64(value, n_lanes: int) -> np.ndarray:
+    """Broadcast a register value to a (n,) uint64 lane array."""
+    if isinstance(value, np.ndarray):
+        return value
+    return np.full(n_lanes, value, dtype=np.uint64)
+
+
+def _pred_no_load(addr, width):  # pragma: no cover - guarded by _pred_entry
+    raise LockstepBail("predicated-memory")
+
+
+def _pred_no_store(addr, value, width):  # pragma: no cover - see above
+    raise LockstepBail("predicated-memory")
 
 
 class LockstepBail(Exception):
@@ -96,6 +124,8 @@ _LOCKSTEP_TELEMETRY = {
     "attempts": 0,
     "runs": 0,
     "lanes": 0,
+    # divergent branches executed predicated instead of bailing
+    "predicated": 0,
     "bails": Counter(),
 }
 
@@ -106,6 +136,7 @@ def lockstep_telemetry() -> dict:
         "attempts": _LOCKSTEP_TELEMETRY["attempts"],
         "runs": _LOCKSTEP_TELEMETRY["runs"],
         "lanes": _LOCKSTEP_TELEMETRY["lanes"],
+        "predicated": _LOCKSTEP_TELEMETRY["predicated"],
         "bails": dict(_LOCKSTEP_TELEMETRY["bails"]),
     }
 
@@ -115,6 +146,7 @@ def reset_lockstep_telemetry() -> None:
     _LOCKSTEP_TELEMETRY["attempts"] = 0
     _LOCKSTEP_TELEMETRY["runs"] = 0
     _LOCKSTEP_TELEMETRY["lanes"] = 0
+    _LOCKSTEP_TELEMETRY["predicated"] = 0
     _LOCKSTEP_TELEMETRY["bails"].clear()
 
 
@@ -170,6 +202,24 @@ class LanedMemory:
         self._l2_end = L2_BASE + config.l2_bytes
         self._views: Dict[Tuple[bool, int], np.ndarray] = {}
         self._stalls = MemorySystem(config)
+        # Lane-divergence page map (256-B pages): lanes start
+        # byte-identical (tiled), and only per-lane writes can make them
+        # differ.  Loads from never-diverged pages read lane 0's bytes
+        # directly — no all-lane gather, no uniformity compare.
+        self._dirty = {
+            True: np.zeros((config.l1_bytes >> 8) + 1, dtype=bool),
+            False: np.zeros((config.l2_bytes >> 8) + 1, dtype=bool),
+        }
+
+    def mark_divergent(self, is_l1: bool, lo_off: int, hi_off: int) -> None:
+        """Record that lanes may now differ in [lo_off, hi_off] bytes."""
+        self._dirty[is_l1][lo_off >> 8 : (hi_off >> 8) + 1] = True
+
+    def lanes_identical(self, is_l1: bool, lo_off: int, hi_off: int) -> bool:
+        """True when every lane provably holds the same bytes there."""
+        return not self._dirty[is_l1][
+            lo_off >> 8 : (hi_off >> 8) + 1
+        ].any()
 
     # -- region / timing ---------------------------------------------------
 
@@ -207,13 +257,18 @@ class LanedMemory:
         buf[lane, offset : offset + len(data)] = np.frombuffer(
             data, dtype=np.uint8
         )
+        self.mark_divergent(is_l1, offset, offset + len(data) - 1)
 
     def load_scalar(self, addr: int, width: int):
         """Load one address in every lane: int when uniform, else (n,)."""
         if width > 1 and addr % width:
             raise LockstepBail("misaligned")
         is_l1, base = self.locate(addr, addr + width - 1)
-        column = self._view(is_l1, width)[:, (addr - base) // width]
+        offset = addr - base
+        view = self._view(is_l1, width)
+        if self.lanes_identical(is_l1, offset, offset + width - 1):
+            return int(view[0, offset // width]), is_l1
+        column = view[:, offset // width]
         first = int(column[0])
         if (column == first).all():
             return first, is_l1
@@ -226,12 +281,14 @@ class LanedMemory:
         is_l1, base = self.locate(addr, addr + width - 1)
         view = self._view(is_l1, width)
         mask = (1 << (8 * width)) - 1
+        offset = addr - base
         if isinstance(value, np.ndarray):
-            view[:, (addr - base) // width] = (
+            view[:, offset // width] = (
                 value.astype(np.uint64) & np.uint64(mask)
             ).astype(view.dtype)
+            self.mark_divergent(is_l1, offset, offset + width - 1)
         else:
-            view[:, (addr - base) // width] = int(value) & mask
+            view[:, offset // width] = int(value) & mask
         return is_l1
 
     def load_lanes(self, addr: np.ndarray, width: int):
@@ -243,32 +300,54 @@ class LanedMemory:
         is_l1, base = self.locate(lo, hi)
         view = self._view(is_l1, width)
         offsets = (addr.astype(np.int64) - base) // width
-        values = view[np.arange(self.n_lanes), offsets]
+        if self.lanes_identical(is_l1, lo - base, hi - base):
+            values = view[0, offsets]
+        else:
+            values = view[np.arange(self.n_lanes), offsets]
         first = int(values[0])
         if (values == first).all():
             return first, is_l1
         return values.astype(np.uint64), is_l1
 
-    def gather_cols(self, offsets: np.ndarray, width: int, is_l1: bool):
-        """Gather lane-uniform trip addresses: (T,) offsets → (T, n) or
-        (T, 1) when every lane holds the same bytes."""
+    def gather_cols(
+        self, offsets, width: int, is_l1: bool, lo_off: int, hi_off: int
+    ):
+        """Gather lane-uniform trip addresses: (T,) offsets (or a column
+        slice) → (T, n), or (T, 1) when every lane holds the same bytes.
+
+        ``[lo_off, hi_off]`` is the access's byte range within the
+        region; provably lane-identical ranges read lane 0 only.
+        """
         view = self._view(is_l1, width)
+        if self.lanes_identical(is_l1, lo_off, hi_off):
+            return view[0, offsets].astype(np.uint64)[:, None]
         values = view[:, offsets].T.astype(np.uint64)
         if self.n_lanes > 1 and (values == values[:, :1]).all():
             return values[:, :1]
         return values
 
-    def gather_2d(self, offsets: np.ndarray, width: int, is_l1: bool):
+    def gather_2d(
+        self,
+        offsets: np.ndarray,
+        width: int,
+        is_l1: bool,
+        lo_off: int,
+        hi_off: int,
+    ):
         """Gather per-(trip, lane) addresses: (T, n) offsets → (T, n)."""
         view = self._view(is_l1, width)
+        if self.lanes_identical(is_l1, lo_off, hi_off):
+            return view[0, offsets].astype(np.uint64)
         return view[
             np.arange(self.n_lanes)[None, :], offsets
         ].astype(np.uint64)
 
     def scatter_cols(
-        self, offsets: np.ndarray, values, width: int, is_l1: bool
+        self, offsets, values, width: int, is_l1: bool,
+        lo_off: int, hi_off: int,
     ) -> None:
-        """Scatter to lane-uniform trip addresses ((T,) offsets)."""
+        """Scatter to lane-uniform trip addresses ((T,) offsets or a
+        column slice)."""
         view = self._view(is_l1, width)
         mask = (1 << (8 * width)) - 1
         if isinstance(values, np.ndarray):
@@ -277,10 +356,12 @@ class LanedMemory:
             )
             if masked.ndim == 2 and masked.shape[1] > 1:
                 view[:, offsets] = masked.T
+                self.mark_divergent(is_l1, lo_off, hi_off)
             elif masked.ndim == 2:
                 view[:, offsets] = masked[:, 0]
             else:  # (n,) per-lane value, every trip column
                 view[:, offsets] = masked[:, None]
+                self.mark_divergent(is_l1, lo_off, hi_off)
         else:
             view[:, offsets] = int(values) & mask
 
@@ -302,6 +383,7 @@ class LanedMemory:
                 dst_buf[lane, doff : doff + size] = src_buf[
                     lane, start : start + size
                 ]
+            self.mark_divergent(dst_l1, doff, doff + size - 1)
         else:
             src = int(src)
             src_l1, src_base = self.locate(src, src + size - 1)
@@ -311,6 +393,15 @@ class LanedMemory:
             if src_buf is dst_buf:
                 block = block.copy()
             dst_buf[:, doff : doff + size] = block
+            if not self.lanes_identical(src_l1, soff, soff + size - 1):
+                self.mark_divergent(dst_l1, doff, doff + size - 1)
+
+    def read_lane_word(self, lane: int, addr: int) -> int:
+        """Untimed aligned 32-bit read from one lane's image."""
+        if addr & 3:
+            raise LockstepBail("misaligned")
+        is_l1, base = self.locate(addr, addr + 3)
+        return int(self._view(is_l1, 4)[lane, (addr - base) // 4])
 
     def lane_image(self, lane: int) -> LaneImage:
         """Materialize one lane's memory as an immutable snapshot."""
@@ -330,9 +421,15 @@ class _LanedDMA:
         self.busy_until = 0
         self.total_bytes = 0
 
-    def enqueue(self, src, dst, size, issue_cycle: int) -> None:
+    def enqueue(self, src, dst, size, issue_cycle) -> None:
         dst = _uniform_int(dst)
         size = _uniform_int(size)
+        if isinstance(issue_cycle, np.ndarray):
+            # Lane-divergent issue cycles (predicated epilogue before a
+            # DMA) would need a per-lane busy-until clock; bail instead.
+            issue_cycle = _uniform_int(issue_cycle)
+            if issue_cycle is None:
+                raise LockstepBail("divergent-dma")
         if dst is None or size is None:
             raise LockstepBail("divergent-dma")
         if size < 0:
@@ -416,7 +513,12 @@ class _LanedVectorRun(_VectorRun):
         self.n_instr = 0
         self.stores: List[tuple] = []
         self.loads: List[tuple] = []
-        self.budget = state.max_instructions - state.instr_count
+        # instr_count becomes a lane array after a predicated branch;
+        # budget against the worst lane so no lane can cross the cap.
+        instr_count = state.instr_count
+        if isinstance(instr_count, np.ndarray):
+            instr_count = int(instr_count.max())
+        self.budget = state.max_instructions - instr_count
         self._taken = 1 + state.profile.branch_taken_penalty
         self._not_taken = 1 + state.profile.branch_not_taken_penalty
         regs = state.regs
@@ -444,21 +546,36 @@ class _LanedVectorRun(_VectorRun):
         try:
             if isinstance(addr, np.ndarray):
                 if addr.ndim == 2 and addr.shape[1] == 1:
-                    # Lane-uniform trip addresses.
+                    # Lane-uniform trip addresses.  Affine strides (the
+                    # overwhelmingly common case) pin the bounds and
+                    # alignment from the endpoints alone, and
+                    # unit-stride runs gather through a column slice
+                    # instead of a fancy index.
                     flat = addr[:, 0]
-                    lo = int(flat.min())
-                    hi = int(flat.max()) + width - 1
-                    if width > 1 and (flat % width).any():
-                        raise LockstepBail("misaligned")
                     stride = _affine_stride(flat)
+                    if stride is not None:
+                        lo = int(flat[0])
+                        hi = int(flat[-1]) + width - 1
+                        if width > 1 and (
+                            lo % width or stride % width
+                        ):
+                            raise LockstepBail("misaligned")
+                    else:
+                        lo = int(flat.min())
+                        hi = int(flat.max()) + width - 1
+                        if width > 1 and (flat % width).any():
+                            raise LockstepBail("misaligned")
                     self._check_no_store_overlap(
                         lo, hi, flat, width, stride
                     )
                     is_l1, base = lmem.locate(lo, hi)
+                    if stride == width:
+                        col0 = (lo - base) // width
+                        sel = slice(col0, col0 + flat.shape[0])
+                    else:
+                        sel = (flat.astype(np.int64) - base) // width
                     values = lmem.gather_cols(
-                        (flat.astype(np.int64) - base) // width,
-                        width,
-                        is_l1,
+                        sel, width, is_l1, lo - base, hi - base
                     )
                     self.loads.append((lo, hi, flat, width, stride))
                 elif addr.ndim == 2:
@@ -473,6 +590,8 @@ class _LanedVectorRun(_VectorRun):
                         (addr.astype(np.int64) - base) // width,
                         width,
                         is_l1,
+                        lo - base,
+                        hi - base,
                     )
                     self.loads.append((lo, hi, None, width, None))
                 else:
@@ -504,13 +623,19 @@ class _LanedVectorRun(_VectorRun):
             if addr.ndim != 2 or addr.shape[1] != 1:
                 raise _Bail("laned-store-addresses")
             flat = addr[:, 0]
-            lo = int(flat.min())
-            hi = int(flat.max()) + width - 1
-            if width > 1 and (flat % width).any():
-                raise _Bail("laned-misaligned")
             stride = _affine_stride(flat)
-            if stride is None and np.unique(flat).size != flat.size:
-                raise _Bail("duplicate-store-lanes")
+            if stride is not None:
+                lo = int(flat[0])
+                hi = int(flat[-1]) + width - 1
+                if width > 1 and (lo % width or stride % width):
+                    raise _Bail("laned-misaligned")
+            else:
+                lo = int(flat.min())
+                hi = int(flat.max()) + width - 1
+                if width > 1 and (flat % width).any():
+                    raise _Bail("laned-misaligned")
+                if np.unique(flat).size != flat.size:
+                    raise _Bail("duplicate-store-lanes")
             try:
                 is_l1, _ = lmem.locate(lo, hi)
             except LockstepBail as bail:
@@ -544,19 +669,24 @@ class _LanedVectorRun(_VectorRun):
     def commit(self) -> None:
         state: _LaneCore = self.core
         lmem: LanedMemory = self.memory
-        for lo, _hi, addr, value, width, _stride in self.stores:
+        for lo, _hi, addr, value, width, stride in self.stores:
             if isinstance(addr, np.ndarray):
                 is_l1, base = lmem.locate(lo, _hi)
+                if stride == width:
+                    col0 = (lo - base) // width
+                    sel = slice(col0, col0 + addr.shape[0])
+                else:
+                    sel = (addr.astype(np.int64) - base) // width
                 lmem.scatter_cols(
-                    (addr.astype(np.int64) - base) // width,
-                    value,
-                    width,
-                    is_l1,
+                    sel, value, width, is_l1, lo - base, _hi - base
                 )
             else:
                 lmem.store_scalar(addr, value, width)
         regs = state.regs
-        for reg in range(1, 32):
+        # Only body-written registers can have changed in sym.
+        for reg in self.plan.written_regs:
+            if not reg:
+                continue
             value = self.sym[reg]
             if isinstance(value, _LanedReduction):
                 folded = value.fold()
@@ -585,8 +715,18 @@ class _LanedVectorRun(_VectorRun):
         state.instr_count += self.n_instr
 
 
-class _LaneCore:
-    """Per-core lockstep state: one trace, N lanes of data."""
+class _LaneCore(DispatchCore):
+    """Per-core lockstep state: one trace, N lanes of data.
+
+    The laned instantiation of
+    :class:`repro.pulp.dispatch.DispatchCore`: the dispatch loop is
+    inherited, and the hooks below supply lane semantics — uniformity
+    proofs where the loop needs a scalar (trip counts, jump targets),
+    :class:`LockstepBail` on anything the lane model cannot reproduce,
+    and predicated execution of short divergent forward branches.
+    ``cycles`` and ``instr_count`` start as plain ints and are promoted
+    to per-lane ``(n,)`` arrays by the first predicated branch.
+    """
 
     __slots__ = (
         "core_id",
@@ -599,11 +739,14 @@ class _LaneCore:
         "cycles",
         "instr_count",
         "pc",
-        "loop_stack",
+        "_loop_stack",
         "max_instructions",
         "_disabled_plans",
         "_block_cache",
+        "_pred_cache",
     )
+
+    _vector_run_cls = _LanedVectorRun
 
     def __init__(
         self,
@@ -615,6 +758,7 @@ class _LaneCore:
         n_cores: int,
         fork_cycles: int,
         block_cache: dict,
+        pred_cache: dict,
         max_instructions: int,
     ):
         self.core_id = core_id
@@ -629,10 +773,11 @@ class _LaneCore:
         self.cycles = fork_cycles
         self.instr_count = 0
         self.pc = 0
-        self.loop_stack: list = []
+        self._loop_stack: list = []
         self.max_instructions = max_instructions
         self._disabled_plans: set = set()
         self._block_cache = block_cache
+        self._pred_cache = pred_cache
 
     # -- straight-line blocks ---------------------------------------------
 
@@ -686,303 +831,333 @@ class _LaneCore:
         self.instr_count += n_straight
         self.cycles += cost + lmem.bulk_stalls(counts[1], counts[0])
 
-    # -- vectorized loops --------------------------------------------------
+    # -- dispatch-loop hooks (laned instantiation) -------------------------
+    #
+    # The loop itself is DispatchCore.dispatch_segment; every hook that
+    # needs a lane-uniform scalar proves uniformity (or bails), and
+    # every scalar-engine fault becomes a LockstepBail so the caller
+    # falls back to exact per-window runs.
 
-    def _try_vector(self, plan, trips: int) -> bool:
-        if trips < 1 or trips > MAX_VECTOR_TRIPS:
-            _record_bail(plan, "trip-count-range")
-            return False
-        try:
-            run = _LanedVectorRun(self, plan, trips)
-            run.run_nodes(plan.exec_nodes)
-            if plan.kind == "branch":
-                taken = 1 + self.profile.branch_taken_penalty
-                not_taken = 1 + self.profile.branch_not_taken_penalty
-                run.n_instr += trips
-                run.base_cycles += (trips - 1) * taken + not_taken
-                if run.n_instr > run.budget:
-                    _record_bail(plan, "instruction-cap")
-                    return False
-        except _Bail as bail:
-            _record_bail(plan, bail.reason)
-            return False
-        run.commit()
-        _TELEMETRY["engaged"][(plan.kind, plan.head)] += 1
-        _TELEMETRY["trips"][(plan.kind, plan.head)] += trips
-        return True
+    def _fetch_block(self, pc: int):
+        block = self.compiled.blocks.get(pc)
+        if block is None:
+            raise LockstepBail("mid-block-entry")
+        return block
 
-    # -- the dispatch loop -------------------------------------------------
+    def _uniform_reg(self, reg: int):
+        return _uniform_int(self.regs[reg]) if reg else 0
 
-    def run_segment(self) -> str:
-        """Execute until barrier or halt (the laned FastCore.run twin)."""
-        comp = self.compiled
-        decoded = comp.decoded
+    def _over_cap(self, needed: int) -> bool:
+        instr_count = self.instr_count
+        if isinstance(instr_count, np.ndarray):
+            instr_count = int(instr_count.max())
+        return instr_count + needed > self.max_instructions
+
+    def _cap_handoff(self, pc: int):
+        raise LockstepBail("instruction-cap")
+
+    def _exec_straight(self, block) -> None:
+        self._run_block(block.start, block.n_straight)
+
+    def _branch_next(
+        self, op, ra, rb, target, fallthrough, taken, not_taken
+    ):
         regs = self.regs
-        profile = self.profile
-        taken = 1 + profile.branch_taken_penalty
-        not_taken = 1 + profile.branch_not_taken_penalty
-        jump_cost = profile.jump_cycles
-        n_instrs = comp.n_instrs
-        cap = self.max_instructions
-        loop_stack = self.loop_stack
-        disabled = self._disabled_plans
-        pc = self.pc
-
-        while True:
-            if pc >= n_instrs:
-                raise LockstepBail("pc-overrun")
-
-            plan = comp.branch_plans.get(pc)
-            if (
-                plan is not None
-                and pc not in disabled
-                and len(loop_stack) + plan.hw_depth <= 2
-                and not (
-                    loop_stack
-                    and plan.head <= loop_stack[-1][1] <= plan.branch_pc
-                )
-            ):
-                ins = decoded[plan.branch_pc]
-                op, ra, rb = ins[0], ins[2], ins[3]
-                trips = None
-                ra_step = plan.inductions.get(ra)
-                if ra_step is None and (
-                    ra == 0 or ra not in plan.written_regs
-                ):
-                    ra_step = 0
-                if ra_step is not None and (
-                    rb == 0 or rb not in plan.written_regs
-                ):
-                    a0 = _uniform_int(regs[ra]) if ra else 0
-                    b0 = _uniform_int(regs[rb]) if rb else 0
-                    if a0 is not None and b0 is not None:
-                        trips = _solve_branch_trips(
-                            op, a0, ra_step, b0,
-                            op in (_OP_BLT, _OP_BGE),
-                        )
-                if trips is None:
-                    _record_bail(plan, "trip-unsolvable")
-                elif self._try_vector(plan, trips):
-                    last_pc = plan.branch_pc
-                    next_pc = plan.exit_pc
-                    if loop_stack:
-                        top = loop_stack[-1]
-                        if next_pc == top[1] and top[0] <= last_pc < top[1]:
-                            top[2] -= 1
-                            if top[2] > 0:
-                                next_pc = top[0]
-                            else:
-                                loop_stack.pop()
-                    regs[0] = 0
-                    pc = next_pc
-                    continue
-                disabled.add(pc)
-
-            block = comp.blocks.get(pc)
-            if block is None:
-                raise LockstepBail("mid-block-entry")
-            needed = block.n_straight + (
-                0 if block.terminator is None else 1
-            )
-            if self.instr_count + needed > cap:
-                raise LockstepBail("instruction-cap")
-            if block.n_straight:
-                self._run_block(block.start, block.n_straight)
-
-            tpc = block.terminator
-            if tpc is None:
-                last_pc = block.end - 1
-                next_pc = block.end
-            else:
-                last_pc = tpc
-                next_pc = tpc + 1
-                ins = decoded[tpc]
-                op, rd, ra, rb = ins[0], ins[1], ins[2], ins[3]
-                target = ins[6]
-                self.instr_count += 1
-                if op in _BRANCH_OPS:
-                    cond = _cond_v(
-                        op,
-                        regs[ra] if ra else 0,
-                        regs[rb] if rb else 0,
-                    )
-                    if isinstance(cond, np.ndarray):
-                        if cond.all():
-                            hit = True
-                        elif not cond.any():
-                            hit = False
-                        else:
-                            raise LockstepBail("divergent-branch")
-                    else:
-                        hit = bool(cond)
-                    if hit:
-                        next_pc = target
-                        self.cycles += taken
-                    else:
-                        self.cycles += not_taken
-                elif op == _OP_J:
-                    next_pc = target
-                    self.cycles += jump_cost
-                elif op == _OP_JAL:
-                    regs[rd if rd else 1] = next_pc
-                    next_pc = target
-                    self.cycles += jump_cost
-                elif op == _OP_JR:
-                    next_pc = _uniform_int(regs[ra])
-                    if next_pc is None:
-                        raise LockstepBail("divergent-jump")
-                    self.cycles += jump_cost
-                elif op == _OP_LPSETUP:
-                    self.cycles += 1
-                    trips = _uniform_int(regs[ra]) if ra else 0
-                    if trips is None:
-                        raise LockstepBail("divergent-trip-count")
-                    if trips == 0:
-                        next_pc = target
-                    else:
-                        if len(loop_stack) >= 2:
-                            raise LockstepBail("loop-nesting")
-                        hw_plan = comp.hw_plans.get(tpc)
-                        if (
-                            hw_plan is not None
-                            and tpc not in disabled
-                            and len(loop_stack) + hw_plan.hw_depth <= 2
-                            and self._try_vector(hw_plan, trips)
-                        ):
-                            regs[0] = 0
-                            pc = hw_plan.exit_pc
-                            continue
-                        if hw_plan is not None:
-                            disabled.add(tpc)
-                        loop_stack.append([tpc + 1, target, trips])
-                elif op == _OP_BARRIER:
-                    self.cycles += 1
-                    self.pc = next_pc
-                    return STOP_BARRIER
-                elif op == _OP_HALT:
-                    self.cycles += 1
-                    self.pc = tpc
-                    return STOP_HALT
-                elif op == _OP_DMA_COPY:
-                    if self.dma is None:
-                        raise LockstepBail("dma-error")
-                    self.dma.enqueue(
-                        src=regs[ra],
-                        dst=regs[rb],
-                        size=regs[rd],
-                        issue_cycle=self.cycles,
-                    )
-                    self.cycles += profile.dma_setup_cycles
-                elif op == _OP_DMA_WAIT:
-                    if self.dma is None:
-                        raise LockstepBail("dma-error")
-                    self.cycles = max(self.cycles + 1, self.dma.busy_until)
-                else:
-                    raise LockstepBail("unknown-terminator")
-
-            if loop_stack:
-                top = loop_stack[-1]
-                if next_pc == top[1] and top[0] <= last_pc < top[1]:
-                    top[2] -= 1
-                    if top[2] > 0:
-                        next_pc = top[0]
-                    else:
-                        loop_stack.pop()
-
-            regs[0] = 0
-            pc = next_pc
-
-
-def run_program_lockstep(
-    cluster,
-    program: Program,
-    lane_writes: Sequence[Sequence[Tuple[int, bytes]]],
-    add_runtime_overheads: bool = True,
-) -> Optional[Tuple[ClusterRunResult, List[LaneImage]]]:
-    """Run ``program`` once per lane, in lockstep, over N images.
-
-    ``lane_writes`` supplies each lane's pre-run staging (address, bytes)
-    — the per-window descriptor tables in the chain's case.  The images
-    start from the cluster's *current* memory; the cluster itself is
-    never mutated.  Returns the (lane-uniform) run result plus each
-    lane's final memory image, or ``None`` when the lane model bailed —
-    the caller then falls back to per-window scalar runs.
-    """
-    from .runtime import runtime_costs
-
-    if cluster.engine != "fast":
-        return None
-    if program.profile_name != cluster.profile.name:
-        raise ValueError(
-            f"program was assembled for {program.profile_name!r}, "
-            f"cluster is {cluster.profile.name!r}"
+        cond = _cond_v(
+            op, regs[ra] if ra else 0, regs[rb] if rb else 0
         )
-    profile = cluster.profile
-    n_lanes = len(lane_writes)
-    _LOCKSTEP_TELEMETRY["attempts"] += 1
-    try:
-        compiled = compile_program(program, profile)
-        lmem = LanedMemory(cluster.memory, n_lanes)
+        if isinstance(cond, np.ndarray):
+            if cond.all():
+                hit = True
+            elif not cond.any():
+                hit = False
+            else:
+                return self._predicate_branch(
+                    cond, target, fallthrough, taken, not_taken
+                )
+        else:
+            hit = bool(cond)
+        if hit:
+            self.cycles += taken
+            return target
+        self.cycles += not_taken
+        return fallthrough
+
+    def _jr_target(self, ra: int):
+        next_pc = _uniform_int(self.regs[ra])
+        if next_pc is None:
+            raise LockstepBail("divergent-jump")
+        return next_pc
+
+    def _lpsetup_trips(self, ra: int) -> int:
+        trips = _uniform_int(self.regs[ra]) if ra else 0
+        if trips is None:
+            raise LockstepBail("divergent-trip-count")
+        return trips
+
+    def _dma_wait(self) -> None:
+        cycles = self.cycles
+        if isinstance(cycles, np.ndarray):
+            self.cycles = np.maximum(cycles + 1, self.dma.busy_until)
+        else:
+            self.cycles = max(cycles + 1, self.dma.busy_until)
+
+    def _fault_pc_overrun(self, pc: int):
+        raise LockstepBail("pc-overrun")
+
+    def _fault_loop_nesting(self):
+        raise LockstepBail("loop-nesting")
+
+    def _fault_no_dma(self, what: str):
+        raise LockstepBail("dma-error")
+
+    def _fault_unknown_terminator(self, op: int):
+        raise LockstepBail("unknown-terminator")
+
+    # -- predicated divergent branches -------------------------------------
+
+    def _pred_entry(self, fallthrough: int, target: int):
+        """Eligibility of the branch body [fallthrough, target) for
+        predicated execution, memoized per branch.
+
+        Eligible means: a short *forward* skip over exactly one
+        fall-through block (no terminator, ends at the branch target)
+        containing only pure-ALU instructions — no memory accesses, so
+        skipping it has no effect on the shared stall accumulator and
+        per-lane state reduces to the written registers, ``cycles``,
+        and ``instr_count``.  Returns ``(closure, n_body, body_cost,
+        written_regs)`` or ``None``.
+        """
+        entry = self._pred_cache.get(fallthrough, False)
+        if entry is not False:
+            return entry
+        entry = None
+        if target > fallthrough:
+            block = self.compiled.blocks.get(fallthrough)
+            if (
+                block is not None
+                and block.terminator is None
+                and block.end == target
+                and block.n_straight == target - fallthrough
+            ):
+                decoded = self.compiled.decoded
+                prepared = []
+                cost = 0
+                written: List[int] = []
+                for pc in range(fallthrough, target):
+                    ins = decoded[pc]
+                    op = ins[0]
+                    if op in _LOAD_OPS or op in _STORE_OPS:
+                        prepared = None
+                        break
+                    prepared.append(
+                        (
+                            op, ins[1], ins[2], ins[3], ins[4],
+                            ins[4] & _MASK32, ins[5], None,
+                        )
+                    )
+                    cost += _base_cost(op, self.profile)
+                    for reg in _reads_writes(ins)[1]:
+                        if reg and reg not in written:
+                            written.append(reg)
+                if prepared is not None:
+                    closure = _compile_seg(tuple(prepared)) or _seg_noop
+                    entry = (
+                        closure,
+                        target - fallthrough,
+                        cost,
+                        tuple(written),
+                    )
+        self._pred_cache[fallthrough] = entry
+        return entry
+
+    def _predicate_branch(
+        self, cond, target, fallthrough, taken, not_taken
+    ):
+        """Execute a lane-divergent forward branch with per-lane selects.
+
+        Lanes where ``cond`` holds take the branch and skip the body;
+        the others fall through and execute it.  The body runs once
+        over the lane arrays, each written register is merged back with
+        ``np.where``, and ``cycles`` / ``instr_count`` pick up per-lane
+        charges — bit/cycle-exact against per-window scalar runs
+        because the body is pure ALU (no memory order, no stalls).
+        """
+        entry = self._pred_entry(fallthrough, target)
+        loop_stack = self._loop_stack
+        if entry is None or (loop_stack and target == loop_stack[-1][1]):
+            # Ineligible body, or the skip lands on an active hardware
+            # loop boundary (back-edge bookkeeping would diverge).
+            raise LockstepBail("divergent-branch")
+        closure, n_body, body_cost, written = entry
+        instr_count = self.instr_count
+        instr_hi = (
+            int(instr_count.max())
+            if isinstance(instr_count, np.ndarray)
+            else instr_count
+        )
+        if instr_hi + n_body > self.max_instructions:
+            raise LockstepBail("instruction-cap")
+        regs = self.regs
+        n = self.n_lanes
+        old = [regs[reg] for reg in written]
+        closure(regs, _pred_no_load, _pred_no_store, 1)
+        for reg, old_value in zip(written, old):
+            merged = np.where(
+                cond, _lane64(old_value, n), _lane64(regs[reg], n)
+            )
+            uniform = _uniform_int(merged)
+            regs[reg] = merged if uniform is None else uniform
+        regs[0] = 0
+        self.cycles = self.cycles + np.where(
+            cond, taken, not_taken + body_cost
+        )
+        self.instr_count = instr_count + np.where(cond, 0, n_body)
+        _LOCKSTEP_TELEMETRY["predicated"] += 1
+        return target
+
+
+def _lane_val(value, lane: int) -> int:
+    """Collapse a lane-or-uniform cycle/instr value to lane's scalar."""
+    if isinstance(value, np.ndarray):
+        return int(value[lane])
+    return int(value)
+
+
+class LockstepSession:
+    """N staged lane images, ready to run programs in lockstep.
+
+    The chain driver stages each window's descriptor table once and
+    then runs *both* programs (encode, then AM search) over the same
+    lane images — data written by one program (the encoded query
+    vectors) is visible to the next, exactly as on real memory.
+
+    ``lane_writes`` supplies each lane's pre-run staging (address,
+    bytes).  The images start from the cluster's *current* memory; the
+    cluster itself is never mutated.  :meth:`run` returns **per-lane**
+    :class:`ClusterRunResult`\\ s (cycles and instruction counts may
+    diverge between lanes once a predicated branch runs), or raises
+    :class:`LockstepBail` — the caller then falls back to per-window
+    scalar runs.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        lane_writes: Sequence[Sequence[Tuple[int, bytes]]],
+    ):
+        self.cluster = cluster
+        self.n_lanes = len(lane_writes)
+        self.lmem = LanedMemory(cluster.memory, self.n_lanes)
         for lane, writes in enumerate(lane_writes):
             for addr, data in writes:
-                lmem.write_lane_bytes(lane, addr, data)
-        lmem.set_team_size(cluster.n_cores)
-        dma = _LanedDMA(lmem, profile.dma_bytes_per_cycle)
-        costs = (
-            runtime_costs(profile, cluster.n_cores)
-            if add_runtime_overheads
-            else None
-        )
-        fork = costs.fork if costs else 0
-        join = costs.join if costs else 0
-        barrier_cost = costs.barrier if costs else 0
-        block_cache: dict = {}
-        states = [
-            _LaneCore(
-                core_id,
-                profile,
-                compiled,
-                lmem,
-                dma,
-                cluster.n_cores,
-                fork,
-                block_cache,
-                cluster.cores[core_id].max_instructions,
+                self.lmem.write_lane_bytes(lane, addr, data)
+
+    def run(
+        self, program: Program, add_runtime_overheads: bool = True
+    ) -> List[ClusterRunResult]:
+        """Run ``program`` once per lane over the staged images."""
+        from .runtime import runtime_costs
+
+        cluster = self.cluster
+        if program.profile_name != cluster.profile.name:
+            raise ValueError(
+                f"program was assembled for {program.profile_name!r}, "
+                f"cluster is {cluster.profile.name!r}"
             )
-            for core_id in range(cluster.n_cores)
-        ]
+        profile = cluster.profile
+        lmem = self.lmem
+        _LOCKSTEP_TELEMETRY["attempts"] += 1
+        try:
+            compiled = compile_program(program, profile)
+            # Fresh-run semantics per program, mirroring Cluster.run:
+            # conflict accumulator reset + fresh DMA engine.
+            lmem.set_team_size(cluster.n_cores)
+            dma = _LanedDMA(lmem, profile.dma_bytes_per_cycle)
+            costs = (
+                runtime_costs(profile, cluster.n_cores)
+                if add_runtime_overheads
+                else None
+            )
+            fork = costs.fork if costs else 0
+            join = costs.join if costs else 0
+            barrier_cost = costs.barrier if costs else 0
+            block_cache: dict = {}
+            pred_cache: dict = {}
+            states = [
+                _LaneCore(
+                    core_id,
+                    profile,
+                    compiled,
+                    lmem,
+                    dma,
+                    cluster.n_cores,
+                    fork,
+                    block_cache,
+                    pred_cache,
+                    cluster.cores[core_id].max_instructions,
+                )
+                for core_id in range(cluster.n_cores)
+            ]
 
-        n_barriers = 0
-        barrier_cycles_total = 0
-        while True:
-            reasons = [state.run_segment() for state in states]
-            if all(reason == STOP_HALT for reason in reasons):
-                break
-            if any(reason == STOP_HALT for reason in reasons):
-                raise LockstepBail("stop-disagreement")
-            n_barriers += 1
-            synced = max(state.cycles for state in states) + barrier_cost
-            barrier_cycles_total += barrier_cost
-            for state in states:
-                state.cycles = synced
+            n_barriers = 0
+            barrier_cycles_total = 0
+            while True:
+                reasons = [
+                    state.dispatch_segment() for state in states
+                ]
+                if all(reason == STOP_HALT for reason in reasons):
+                    break
+                if any(reason == STOP_HALT for reason in reasons):
+                    raise LockstepBail("stop-disagreement")
+                n_barriers += 1
+                synced = states[0].cycles
+                for state in states[1:]:
+                    synced = np.maximum(synced, state.cycles)
+                synced = synced + barrier_cost
+                barrier_cycles_total += barrier_cost
+                for state in states:
+                    # Per-state copies: later in-place `+=` on a shared
+                    # lane array would corrupt the other cores.
+                    state.cycles = (
+                        synced.copy()
+                        if isinstance(synced, np.ndarray)
+                        else int(synced)
+                    )
 
-        result = ClusterRunResult(
-            program_name=program.name,
-            n_cores=cluster.n_cores,
-            total_cycles=max(state.cycles for state in states) + join,
-            per_core_cycles=tuple(state.cycles for state in states),
-            per_core_instrs=tuple(
-                state.instr_count for state in states
-            ),
-            n_barriers=n_barriers,
-            fork_cycles=fork,
-            join_cycles=join,
-            barrier_cycles=barrier_cycles_total,
-            dma_bytes=dma.total_bytes,
-        )
-    except LockstepBail as bail:
-        _LOCKSTEP_TELEMETRY["bails"][bail.reason] += 1
-        return None
-    _LOCKSTEP_TELEMETRY["runs"] += 1
-    _LOCKSTEP_TELEMETRY["lanes"] += n_lanes
-    return result, [lmem.lane_image(lane) for lane in range(n_lanes)]
+            results = []
+            for lane in range(self.n_lanes):
+                per_core_cycles = tuple(
+                    _lane_val(state.cycles, lane) for state in states
+                )
+                results.append(
+                    ClusterRunResult(
+                        program_name=program.name,
+                        n_cores=cluster.n_cores,
+                        total_cycles=max(per_core_cycles) + join,
+                        per_core_cycles=per_core_cycles,
+                        per_core_instrs=tuple(
+                            _lane_val(state.instr_count, lane)
+                            for state in states
+                        ),
+                        n_barriers=n_barriers,
+                        fork_cycles=fork,
+                        join_cycles=join,
+                        barrier_cycles=barrier_cycles_total,
+                        dma_bytes=dma.total_bytes,
+                    )
+                )
+        except LockstepBail as bail:
+            _LOCKSTEP_TELEMETRY["bails"][bail.reason] += 1
+            raise
+        _LOCKSTEP_TELEMETRY["runs"] += 1
+        _LOCKSTEP_TELEMETRY["lanes"] += self.n_lanes
+        return results
+
+    def read_word(self, lane: int, addr: int) -> int:
+        """Read one 32-bit word from a lane's current image."""
+        return self.lmem.read_lane_word(lane, addr)
+
+    def lane_image(self, lane: int) -> LaneImage:
+        """Snapshot a lane's current memory image."""
+        return self.lmem.lane_image(lane)

@@ -77,6 +77,15 @@ class StreamConfig:
     #: patterns since it was last refreshed.
     decision_cache: bool = True
     decision_cache_limit: int = 1 << 20
+    #: Memoize packed *spatial rows* (one per quantised timestamp)
+    #: across batches, beneath the decision cache.  Whole-window keys
+    #: cannot see that windows shifted by ``stride < W`` share
+    #: ``W - stride`` sample rows; the row cache dedups exactly those,
+    #: so overlapping strides re-encode only the new timestamps — bit-
+    #: exactly, since the spatial kernel is row-independent.  Bounded
+    #: LRU like the decision cache (a key plus one packed row each).
+    spatial_row_cache: bool = True
+    spatial_row_cache_limit: int = 1 << 16
     #: Retained per-session decisions and service batch reports (each a
     #: bounded deque) — a convenience window into recent activity, not
     #: an unbounded log: a sustained service would otherwise leak one
@@ -103,6 +112,11 @@ class StreamConfig:
             raise ValueError(
                 f"decision_cache_limit must be >= 1, "
                 f"got {self.decision_cache_limit}"
+            )
+        if self.spatial_row_cache_limit < 1:
+            raise ValueError(
+                f"spatial_row_cache_limit must be >= 1, "
+                f"got {self.spatial_row_cache_limit}"
             )
         if self.history < 1:
             raise ValueError(
@@ -168,6 +182,10 @@ class StreamingService:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        if config.spatial_row_cache:
+            model.encoder.spatial.enable_row_cache(
+                config.spatial_row_cache_limit
+            )
         # Bounded recent-batch telemetry (see StreamConfig.history),
         # next to unbounded lifetime totals for fleet aggregation.
         self.reports: Deque[BatchReport] = deque(maxlen=config.history)

@@ -6,8 +6,10 @@ import pytest
 from repro.kernels import ChainConfig, ChainDims, HDChainSimulator
 from repro.perf import (
     DETECTION_LATENCY_MS,
+    CalibrationRequest,
     LinearCycleModel,
     calibrate_chain,
+    calibrate_chain_batch,
     calibration_dims,
     check_latency,
     clear_cache,
@@ -111,6 +113,62 @@ class TestCalibration:
             WOLF_SOC, 8, dims, strategy="carry-save"
         )
         assert model.predict_total(10_000) > 0
+
+
+class TestBatchedCalibration:
+    def _dims(self, ngram):
+        return ChainDims(
+            dim=10_000, n_channels=4, n_levels=6, n_classes=3,
+            ngram=ngram, window=5,
+        )
+
+    def test_batch_matches_sequential(self):
+        """Batched fits are bit-identical to one-at-a-time calls."""
+        clear_cache()
+        requests = [
+            CalibrationRequest(WOLF_SOC, 2, self._dims(n)) for n in (1, 2)
+        ]
+        batched = calibrate_chain_batch(requests)
+        clear_cache()
+        sequential = [
+            calibrate_chain(WOLF_SOC, 2, self._dims(n)) for n in (1, 2)
+        ]
+        assert batched == sequential
+
+    def test_batch_dedups_requests(self, monkeypatch):
+        """Duplicate sweep cells cost one fit, not one per cell."""
+        from repro.perf import calibration
+
+        clear_cache()
+        fits = []
+        real = calibration._fit_shape
+        monkeypatch.setattr(
+            calibration,
+            "_fit_shape",
+            lambda request, key: fits.append(key) or real(request, key),
+        )
+        request = CalibrationRequest(WOLF_SOC, 2, self._dims(1))
+        models = calibrate_chain_batch([request, request, request])
+        assert len(fits) == 1
+        assert models[0] is models[1] is models[2]
+        # and a later batch hits the model cache entirely
+        fits.clear()
+        assert calibrate_chain_batch([request]) == [models[0]]
+        assert fits == []
+
+    def test_refit_reuses_cached_simulators(self):
+        """A model-cache miss with warm simulators skips the rebuild."""
+        from repro.perf import calibration
+
+        clear_cache()
+        request = CalibrationRequest(WOLF_SOC, 2, self._dims(1))
+        (first,) = calibrate_chain_batch([request])
+        assert calibration._SIM_CACHE  # fit points were cached
+        sims = dict(calibration._SIM_CACHE)
+        calibration._CACHE.clear()  # force a refit, keep simulators
+        (second,) = calibrate_chain_batch([request])
+        assert second == first  # reused sims reproduce the fit exactly
+        assert dict(calibration._SIM_CACHE) == sims  # no rebuilds
 
 
 class TestLatency:

@@ -411,3 +411,68 @@ class TestTelemetry:
         with pytest.raises(ValueError):
             device.account(-1)
         assert device.account(0).energy_uj == 0.0
+
+
+class TestSpatialRowCache:
+    """Overlapping strides dedup shared sample rows across batches."""
+
+    @staticmethod
+    def _fresh_model(seed=7):
+        rng = np.random.default_rng(seed)
+        clf = BatchHDClassifier(
+            HDClassifierConfig(
+                dim=DIM, n_channels=4, n_levels=8, signal_hi=1.0
+            )
+        )
+        windows = rng.random((40, 5, 4))
+        return clf.fit(windows, [i % 4 for i in range(40)])
+
+    def test_overlapping_stride_bit_exact(self, rng):
+        """stride < W service equals the fully uncached one, and its
+        shifted windows actually hit the shared spatial rows."""
+        stream = rng.random((200, 4))
+        window = WindowConfig(
+            window_samples=5, stride_samples=1, skip_onset_s=0.0
+        )
+        cached = StreamingService(
+            self._fresh_model(),
+            StreamConfig(window=window, sample_rate_hz=RATE, max_wait=0),
+        )
+        plain = StreamingService(
+            self._fresh_model(),
+            StreamConfig(
+                window=window,
+                sample_rate_hz=RATE,
+                max_wait=0,
+                decision_cache=False,
+                spatial_row_cache=False,
+            ),
+        )
+        cached.open_session(0)
+        plain.open_session(0)
+        got, want = [], []
+        # Chunked delivery, as a live stream would arrive: windows that
+        # straddle chunk boundaries share rows with earlier encodes.
+        for chunk in np.array_split(stream, 8):
+            got.extend(d.raw_label for d in cached.ingest(0, chunk))
+            want.extend(d.raw_label for d in plain.ingest(0, chunk))
+        assert got == want
+        spatial = cached.model.encoder.spatial
+        assert spatial.row_cache_hits > 0  # shifted windows dedup'd
+        assert plain.model.encoder.spatial.row_cache_size == 0
+
+    def test_row_cache_disabled_leaves_encoder_alone(self):
+        model = self._fresh_model()
+        StreamingService(
+            model,
+            StreamConfig(
+                window=WindowConfig(window_samples=5, skip_onset_s=0.0),
+                sample_rate_hz=RATE,
+                spatial_row_cache=False,
+            ),
+        )
+        assert model.encoder.spatial.row_cache_size == 0
+
+    def test_bad_row_cache_limit_rejected(self):
+        with pytest.raises(ValueError):
+            StreamConfig(spatial_row_cache_limit=0)
