@@ -28,6 +28,14 @@ Acceptance: >= 2x sustained windows/s at 4 shards on >= 100 sessions.
 The scaling test needs >= 4 usable cores (it is skipped elsewhere, e.g.
 single-core containers); ``python benchmarks/bench_stream.py --shards 4``
 runs the same measurement standalone, as CI does.
+
+The elastic section (PR 7) times worker recovery and ingest transport:
+a checkpointed respawn (restore one snapshot blob) must be >= 5x
+faster than replaying the full ingest journal — that one runs on any
+core count — and at 4 shards the shared-memory ingest rings must
+sustain at least inline-pipe throughput (>= 4 cores; skipped
+elsewhere).  ``python benchmarks/bench_stream.py --elastic`` runs it
+standalone.
 """
 
 import argparse
@@ -283,6 +291,7 @@ def _run_sharded_scaling(model, store_path, n_shards, n_sessions):
         "speedup": sharded_tp / single_tp,
         "fleet_windows": fleet.n_windows,
         "per_shard_windows": [s.n_windows for s in fleet.shards],
+        "fleet_lines": fleet.describe(),
     }
 
 
@@ -299,6 +308,8 @@ def _render_sharded(model, rows) -> str:
         f"{rows['sharded_tp']:>12,.0f} "
         f"{rows['speedup']:>7.1f}x",
         f"  per-shard windows: {rows['per_shard_windows']}",
+        "  fleet telemetry (cache + journal/checkpoint columns):",
+        *("  " + line for line in rows["fleet_lines"]),
     ]
     return "\n".join(lines)
 
@@ -322,6 +333,159 @@ def test_sharded_speedup_target(stream_workload, tmp_path_factory):
     assert rows["speedup"] >= 2.0, rows
 
 
+# -- elastic operations: checkpointed respawn + shm ingest rings ------------
+
+ELASTIC_SESSIONS = 16
+ELASTIC_SAMPLES = 2000  # per session; long enough to time journal replay
+ELASTIC_CHUNK = 25
+
+
+def _elastic_trace(model, n_sessions, samples, chunk, seed=3):
+    """Cache-hostile trace (see :func:`_sharded_workload`)."""
+    rng = np.random.default_rng(seed)
+    lo, hi = model.config.signal_lo, model.config.signal_hi
+    streams = [
+        lo + (hi - lo) * rng.random((samples, model.config.n_channels))
+        for _ in range(n_sessions)
+    ]
+    return trace_from_streams(streams, seed=seed, chunking=chunk)
+
+
+def _run_checkpoint_respawn(model, store_path):
+    """Respawn latency: full-journal replay vs. checkpoint + empty tail.
+
+    One shard (the measurement is per-worker recovery, so it needs no
+    extra cores) streams a long trace without draining, then is
+    respawned twice from the *same* logical state: once with the whole
+    journal to replay, once right after a checkpoint truncated it.
+    The second respawn restores one snapshot blob instead of
+    re-encoding every journaled ingest — the O(since-checkpoint)
+    recovery bound the coordinator's periodic checkpoints buy.
+    """
+    config = StreamConfig(
+        window=WINDOW, max_batch=64, max_wait=8, decision_cache=False
+    )
+    trace = _elastic_trace(
+        model, ELASTIC_SESSIONS, ELASTIC_SAMPLES, ELASTIC_CHUNK
+    )
+    with ShardedStreamingService(
+        store_path, config, n_shards=1
+    ) as service:
+        replay(service, trace, drain=False)
+        journal_len = service.journal_length(0)
+        journal_mb = service.journal_bytes(0) / 1e6
+        start = time.perf_counter()
+        service.respawn_shard(0)  # replays the full journal
+        replay_s = time.perf_counter() - start
+        ckpt_mb = service.checkpoint_shard(0) / 1e6
+        start = time.perf_counter()
+        service.respawn_shard(0)  # restores the blob, replays nothing
+        restore_s = time.perf_counter() - start
+        service.drain()
+    return {
+        "journal_len": journal_len,
+        "journal_mb": journal_mb,
+        "ckpt_mb": ckpt_mb,
+        "replay_s": replay_s,
+        "restore_s": restore_s,
+        "speedup": replay_s / restore_s,
+    }
+
+
+def _run_ring_comparison(model, store_path, n_shards, n_sessions):
+    """Coordinator serialization tax: shm-ring ingest vs. inline pipes.
+
+    Identical trace and fleet either way; the only difference is
+    whether sample payloads ride the per-shard shared-memory ring
+    (pipes carry 3-int descriptors) or are pickled into the pipes.
+    """
+    config = StreamConfig(
+        window=WINDOW,
+        max_batch=512,
+        max_wait=2 * n_sessions,
+        decision_cache=False,
+    )
+    trace = _sharded_workload(model, n_sessions)
+    out = {}
+    for use_ring in (False, True):
+        with ShardedStreamingService(
+            store_path, config, n_shards=n_shards, use_shm_ring=use_ring
+        ) as service:
+            out["ring" if use_ring else "inline"] = (
+                _sustained_windows_per_sec(
+                    service, trace, lambda s: s.stats().n_windows
+                )
+            )
+    out["gain"] = out["ring"] / out["inline"]
+    return out
+
+
+def _render_elastic(model, respawn, ring) -> str:
+    lines = [
+        "Elastic fleet - recovery and ingest-transport costs",
+        f"  (D={model.config.dim}, W=5/stride 5, cache-hostile trace, "
+        f"decision cache off, {_usable_cores()} usable cores)",
+        "  checkpointed respawn vs. full-journal replay "
+        f"({ELASTIC_SESSIONS} sessions, 1 shard):",
+        f"    journal: {respawn['journal_len']} commands, "
+        f"{respawn['journal_mb']:.1f} MB; "
+        f"checkpoint blob: {respawn['ckpt_mb']:.1f} MB",
+        f"    full-journal respawn: {respawn['replay_s']:.3f} s",
+        f"    checkpoint  respawn: {respawn['restore_s']:.3f} s   "
+        f"({respawn['speedup']:.1f}x faster)",
+    ]
+    if ring is not None:
+        lines += [
+            f"  shm-ring ingest vs. inline pipes "
+            f"({SHARDED_SESSIONS} sessions, 4 shards):",
+            f"    inline pipes: {ring['inline']:>12,.0f} windows/s",
+            f"    shm rings:    {ring['ring']:>12,.0f} windows/s   "
+            f"({ring['gain']:.2f}x)",
+        ]
+    else:
+        lines.append(
+            "  shm-ring comparison skipped: needs >= 4 usable cores"
+        )
+    return "\n".join(lines)
+
+
+def test_checkpointed_respawn_speedup(stream_workload, tmp_path_factory):
+    """Acceptance: restoring a checkpoint beats replaying the full
+    journal by >= 5x (single shard, so this holds on any core count)."""
+    model, _ = stream_workload
+    store = save_model(
+        tmp_path_factory.mktemp("elastic-bench") / "model", model
+    )
+    respawn = _run_checkpoint_respawn(model, store)
+    ring = None
+    if _usable_cores() >= 4:
+        ring = _run_ring_comparison(
+            model, store, n_shards=4, n_sessions=SHARDED_SESSIONS
+        )
+    publish("stream_elastic", _render_elastic(model, respawn, ring))
+    assert respawn["journal_len"] > 0
+    assert respawn["speedup"] >= 5.0, respawn
+
+
+@pytest.mark.skipif(
+    _usable_cores() < 4,
+    reason="ring transport comparison needs >= 4 usable cores",
+)
+def test_shm_ring_reduces_coordinator_overhead(
+    stream_workload, tmp_path_factory
+):
+    """Acceptance: shm-ring ingest sustains at least inline-pipe
+    throughput at 4 shards (the serialization tax does not grow)."""
+    model, _ = stream_workload
+    store = save_model(
+        tmp_path_factory.mktemp("ring-bench") / "model", model
+    )
+    ring = _run_ring_comparison(
+        model, store, n_shards=4, n_sessions=SHARDED_SESSIONS
+    )
+    assert ring["gain"] >= 1.0, ring
+
+
 def _main(argv=None) -> int:
     """Standalone smoke entry point: the CI ``--shards 4`` job."""
     parser = argparse.ArgumentParser(
@@ -330,17 +494,23 @@ def _main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--sessions", type=int, default=SHARDED_SESSIONS)
     parser.add_argument("--dim", type=int, default=10_000)
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="run the elastic section (checkpointed respawn + shm "
+        "rings) instead of the scaling smoke",
+    )
     args = parser.parse_args(argv)
     cores = _usable_cores()
-    if cores < args.shards:
+    from repro.emg import subject_windows
+    from repro.hdc import BatchHDClassifier, HDClassifierConfig
+
+    if not args.elastic and cores < args.shards:
         print(
             f"SKIP: sharded scaling needs >= {args.shards} usable "
             f"cores, found {cores}"
         )
         return 0
-    from repro.emg import subject_windows
-    from repro.hdc import BatchHDClassifier, HDClassifierConfig
-
     subject = generate_subject(EMGDatasetConfig(n_subjects=1), 0)
     (train_w, train_l), _ = subject_windows(
         subject, WindowConfig(window_samples=5, stride_samples=25)
@@ -349,6 +519,26 @@ def _main(argv=None) -> int:
     model.fit(np.asarray(train_w), train_l)
     with tempfile.TemporaryDirectory() as tmp:
         store = save_model(f"{tmp}/model", model)
+        if args.elastic:
+            respawn = _run_checkpoint_respawn(model, store)
+            ring = None
+            if cores >= 4:
+                ring = _run_ring_comparison(
+                    model, store, n_shards=4, n_sessions=args.sessions
+                )
+            publish(
+                "stream_elastic", _render_elastic(model, respawn, ring)
+            )
+            if respawn["speedup"] < 5.0:
+                print(
+                    f"FAIL: checkpointed respawn "
+                    f"{respawn['speedup']:.2f}x < 5.0x"
+                )
+                return 1
+            if ring is not None and ring["gain"] < 1.0:
+                print(f"FAIL: shm-ring gain {ring['gain']:.2f}x < 1.0x")
+                return 1
+            return 0
         rows = _run_sharded_scaling(
             model, store, n_shards=args.shards, n_sessions=args.sessions
         )

@@ -42,9 +42,10 @@ and mmap read-only/bit-identity behaviour are pinned by
 from __future__ import annotations
 
 import pathlib
+import pickle
 import struct
 import zipfile
-from typing import Hashable, List, Tuple, Union
+from typing import Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -436,3 +437,109 @@ def model_info(path: Union[str, pathlib.Path]) -> dict:
             "ngram_size": int(_require(archive, "ngram_size")),
             "labels": _require(archive, "labels").tolist(),
         }
+
+
+# -- streaming snapshot envelope ---------------------------------------------
+#
+# The elastic streaming fleet (:mod:`repro.stream`) transfers *runtime*
+# state — windower ring buffers, smoother histories, scheduler queues —
+# between processes and persists worker checkpoints to disk.  That state
+# is value-like (plain dicts of numbers, bytes, and small arrays built
+# by each class's ``snapshot()``), but unlike the model store it is
+# internal wire format, not interchange: pickle is the right carrier
+# (the sharded coordinator already pickles every pipe command).  What
+# the store layer adds here is the *envelope*: a magic string, a format
+# version, and a declared kind, validated before any state is adopted —
+# so a checkpoint written by one build is never silently misread by
+# another, exactly like the model store's header.
+
+SNAPSHOT_MAGIC = "repro-stream-snapshot"
+"""Envelope identifier stored in every serialized snapshot."""
+
+SNAPSHOT_VERSION = 1
+"""Current snapshot envelope version.
+
+Version 1 wraps the ``snapshot()`` dicts of the streaming stack
+(windower / smoother / session / session-transfer / worker) produced by
+:mod:`repro.stream`.  Bump on any incompatible change to those dicts.
+"""
+
+SUPPORTED_SNAPSHOT_VERSIONS = (1,)
+"""Snapshot envelope versions this build reads."""
+
+
+class SnapshotFormatError(ValueError):
+    """Raised when a snapshot blob is malformed or incompatible."""
+
+
+def dumps_snapshot(kind: str, state: dict) -> bytes:
+    """Serialize one ``snapshot()`` dict into a versioned envelope.
+
+    ``kind`` names the snapshot's producer (e.g. ``"worker"``,
+    ``"session-transfer"``); :func:`loads_snapshot` refuses to hand a
+    blob of one kind to a consumer expecting another.
+    """
+    if not isinstance(kind, str) or not kind:
+        raise SnapshotFormatError(f"snapshot kind must be a non-empty "
+                                  f"string, got {kind!r}")
+    if not isinstance(state, dict):
+        raise SnapshotFormatError(
+            f"snapshot state must be a dict, got {type(state).__name__}"
+        )
+    return pickle.dumps(
+        {
+            "magic": SNAPSHOT_MAGIC,
+            "version": SNAPSHOT_VERSION,
+            "kind": kind,
+            "state": state,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def loads_snapshot(blob: bytes, kind: Optional[str] = None) -> dict:
+    """Validate a snapshot envelope and return the wrapped state dict.
+
+    ``kind`` (when given) must match the kind the blob was written
+    with.  Raises :class:`SnapshotFormatError` on any mismatch —
+    truncated bytes, foreign pickles, unsupported versions, wrong kind.
+    """
+    try:
+        envelope = pickle.loads(bytes(blob))
+    except Exception as exc:
+        raise SnapshotFormatError(f"cannot decode snapshot: {exc}")
+    if not isinstance(envelope, dict) or envelope.get("magic") != SNAPSHOT_MAGIC:
+        raise SnapshotFormatError(
+            f"blob is not a {SNAPSHOT_MAGIC} envelope"
+        )
+    version = envelope.get("version")
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
+        raise SnapshotFormatError(
+            f"unsupported snapshot version {version!r} "
+            f"(this build reads {SUPPORTED_SNAPSHOT_VERSIONS})"
+        )
+    if kind is not None and envelope.get("kind") != kind:
+        raise SnapshotFormatError(
+            f"expected a {kind!r} snapshot, got {envelope.get('kind')!r}"
+        )
+    state = envelope.get("state")
+    if not isinstance(state, dict):
+        raise SnapshotFormatError("snapshot envelope carries no state")
+    return state
+
+
+def save_snapshot(
+    path: Union[str, pathlib.Path], kind: str, state: dict
+) -> pathlib.Path:
+    """Persist one snapshot to ``path`` (e.g. a worker checkpoint)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(dumps_snapshot(kind, state))
+    return path
+
+
+def load_snapshot(
+    path: Union[str, pathlib.Path], kind: Optional[str] = None
+) -> dict:
+    """Read one snapshot file back; same validation as ``loads_snapshot``."""
+    return loads_snapshot(pathlib.Path(path).read_bytes(), kind)

@@ -227,6 +227,15 @@ class StreamStats:
         return self.n_windows / self.host_seconds
 
 
+def _format_bytes(n: int) -> str:
+    """Compact byte-count column (``0``, ``512``, ``3.2K``, ``1.5M``)."""
+    if n < 1024:
+        return str(int(n))
+    if n < 1024 * 1024:
+        return f"{n / 1024:.1f}K"
+    return f"{n / (1024 * 1024):.1f}M"
+
+
 @dataclass(frozen=True)
 class FleetStats:
     """Merged statistics of a fleet of shard schedulers.
@@ -236,13 +245,32 @@ class FleetStats:
     aggregate *CPU* time in engine passes, not elapsed wall-clock (the
     shards overlap); elapsed time is whatever the caller measured around
     the whole run.
+
+    The elastic-fleet coordinator additionally reports its own (per
+    shard) **journal** and **checkpoint** byte sizes — the replay debt a
+    respawn would pay and the snapshot that bounds it — plus lifetime
+    counts of checkpoints taken, sessions migrated, and fleet rescales.
+    These default to empty/zero so a single-process service merges
+    unchanged.
     """
 
     shards: Tuple[StreamStats, ...]
+    journal_bytes: Tuple[int, ...] = ()  # per shard, coordinator-side
+    checkpoint_bytes: Tuple[int, ...] = ()  # per shard, last snapshot blob
+    checkpoints: int = 0
+    migrations: int = 0
+    rescales: int = 0
 
     def __post_init__(self) -> None:
         if not self.shards:
             raise ValueError("fleet stats need at least one shard")
+        for name in ("journal_bytes", "checkpoint_bytes"):
+            sizes = getattr(self, name)
+            if sizes and len(sizes) != len(self.shards):
+                raise ValueError(
+                    f"{name} has {len(sizes)} entries for "
+                    f"{len(self.shards)} shards"
+                )
 
     @property
     def n_shards(self) -> int:
@@ -305,24 +333,51 @@ class FleetStats:
         """Simulated on-device energy across the fleet."""
         return sum(s.device_energy_uj for s in self.shards)
 
+    @property
+    def total_journal_bytes(self) -> int:
+        """Coordinator journal bytes across the fleet (replay debt)."""
+        return sum(self.journal_bytes)
+
+    @property
+    def total_checkpoint_bytes(self) -> int:
+        """Checkpoint blob bytes across the fleet."""
+        return sum(self.checkpoint_bytes)
+
     def describe(self) -> List[str]:
         """Human-readable per-shard + fleet summary lines."""
         lines = [
             f"{'shard':>6s} {'sessions':>8s} {'windows':>9s} "
-            f"{'batches':>8s} {'batch':>6s} {'hits':>6s} {'engine-s':>9s}"
+            f"{'batches':>8s} {'batch':>6s} {'hit%':>6s} {'hits':>9s} "
+            f"{'misses':>8s} {'evict':>7s} {'journal':>8s} {'ckpt':>8s} "
+            f"{'engine-s':>9s}"
         ]
-        for s in self.shards:
+        journal = self.journal_bytes or (None,) * len(self.shards)
+        checkpoint = self.checkpoint_bytes or (None,) * len(self.shards)
+        for s, jrnl, ckpt in zip(self.shards, journal, checkpoint):
             label = "solo" if s.shard is None else str(s.shard)
             lines.append(
                 f"{label:>6s} {s.n_sessions:>8d} {s.n_windows:>9d} "
                 f"{s.n_batches:>8d} {s.mean_batch:>6.1f} "
-                f"{s.hit_rate:>6.0%} {s.host_seconds:>9.3f}"
+                f"{s.hit_rate:>6.0%} {s.cache_hits:>9d} "
+                f"{s.cache_misses:>8d} {s.cache_evictions:>7d} "
+                f"{'-' if jrnl is None else _format_bytes(jrnl):>8s} "
+                f"{'-' if ckpt is None else _format_bytes(ckpt):>8s} "
+                f"{s.host_seconds:>9.3f}"
             )
         lines.append(
             f"{'fleet':>6s} {self.n_sessions:>8d} {self.n_windows:>9d} "
             f"{self.n_batches:>8d} {self.mean_batch:>6.1f} "
-            f"{self.hit_rate:>6.0%} {self.host_seconds:>9.3f}"
+            f"{self.hit_rate:>6.0%} {self.cache_hits:>9d} "
+            f"{self.cache_misses:>8d} {self.cache_evictions:>7d} "
+            f"{_format_bytes(self.total_journal_bytes):>8s} "
+            f"{_format_bytes(self.total_checkpoint_bytes):>8s} "
+            f"{self.host_seconds:>9.3f}"
         )
+        if self.checkpoints or self.migrations or self.rescales:
+            lines.append(
+                f"  elastic: {self.checkpoints} checkpoints, "
+                f"{self.migrations} migrations, {self.rescales} rescales"
+            )
         if self.device_cycles:
             lines.append(
                 f"  simulated device totals: {self.device_cycles:,} "
@@ -331,6 +386,25 @@ class FleetStats:
         return lines
 
 
-def merge_stream_stats(stats: Sequence[StreamStats]) -> FleetStats:
-    """Merge per-shard snapshots into one fleet view (order preserved)."""
-    return FleetStats(shards=tuple(stats))
+def merge_stream_stats(
+    stats: Sequence[StreamStats],
+    journal_bytes: Sequence[int] = (),
+    checkpoint_bytes: Sequence[int] = (),
+    checkpoints: int = 0,
+    migrations: int = 0,
+    rescales: int = 0,
+) -> FleetStats:
+    """Merge per-shard snapshots into one fleet view (order preserved).
+
+    The keyword arguments carry coordinator-side elastic telemetry the
+    workers cannot see: per-shard journal/checkpoint byte sizes and the
+    lifetime checkpoint/migration/rescale counts.
+    """
+    return FleetStats(
+        shards=tuple(stats),
+        journal_bytes=tuple(int(b) for b in journal_bytes),
+        checkpoint_bytes=tuple(int(b) for b in checkpoint_bytes),
+        checkpoints=int(checkpoints),
+        migrations=int(migrations),
+        rescales=int(rescales),
+    )

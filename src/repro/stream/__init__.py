@@ -17,10 +17,19 @@ low-power device.  This package is that serving layer, scaled out:
 * telemetry — every dispatch reports host wall-clock next to simulated
   on-device latency/energy via :mod:`repro.perf.streaming`;
 * :class:`~repro.stream.sharded.ShardedStreamingService` — the
-  multi-process front end: sessions hash-partitioned across N worker
-  shards, each running its own scheduler against a read-only
-  memory-mapped model store, with journal-based shard drain/respawn and
+  multi-process front end: sessions routed by consistent hash across N
+  worker shards, each running its own scheduler against a read-only
+  memory-mapped model store, ingest payloads riding per-shard
+  shared-memory rings (:mod:`~repro.stream.shmring`), with
+  checkpoint-bounded journal respawn, live session migration,
+  :meth:`~repro.stream.sharded.ShardedStreamingService.rescale`, an
+  optional :class:`~repro.stream.sharded.AutoscalePolicy`, and
   fleet-wide telemetry;
+* the snapshot protocol — every stateful class in the serving path
+  (windower, smoother, session, scheduler) carries ``snapshot()`` /
+  ``restore()`` that round-trip byte-exactly through the versioned
+  envelope in :mod:`repro.hdc.serialize`, which is what makes
+  checkpoints, migration, and resharding possible;
 * :mod:`~repro.stream.replay` — seedable deterministic traces and the
   differential parity harness that pins the sharded service bit-exactly
   to the single-process one.
@@ -44,16 +53,21 @@ from .replay import (
 from .scheduler import BatchReport, StreamConfig, StreamingService
 from .session import Decision, MajorityVoteSmoother, Session
 from .sharded import (
+    AutoscalePolicy,
     ShardCrashError,
     ShardError,
     ShardedStreamingService,
+    session_key_bytes,
     shard_for,
 )
+from .shmring import IngestRing
 from .windower import StreamWindower
 
 __all__ = [
+    "AutoscalePolicy",
     "BatchReport",
     "Decision",
+    "IngestRing",
     "MajorityVoteSmoother",
     "ReplayTrace",
     "Session",
@@ -67,6 +81,7 @@ __all__ = [
     "decision_records",
     "parity_digest",
     "replay",
+    "session_key_bytes",
     "shard_for",
     "stream_bytes",
     "synthetic_trace",

@@ -7,19 +7,25 @@ reports throughput, accuracy, batch statistics, and simulated on-device
 latency/energy.  ``--shards N`` serves the identical trace through the
 multi-process :class:`~repro.stream.sharded.ShardedStreamingService`
 instead (N workers over one memory-mapped model store) and prints the
-merged fleet telemetry.
+merged fleet telemetry.  ``--checkpoint-interval N`` checkpoints each
+worker every N journaled commands (recovery replays only the short
+tail); ``--rescale N`` live-rescales the fleet to N workers halfway
+through the trace.
 
 ``--selftest`` runs a reduced configuration and *asserts* the subsystem
 invariants end to end — streaming decisions byte-identical to the
 offline batch classifier, sharded decisions byte-identical to the
 single-process scheduler on the same trace, model-store round-trip
-bit-exactness (eager and mmap loads) — exiting non-zero on any mismatch
-(wired into CI).
+bit-exactness (eager and mmap loads), checkpoint + SIGKILL recovery and
+a live ``rescale(2->4->3)`` both byte-identical to the undisturbed run —
+exiting non-zero on any mismatch (wired into CI).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 import tempfile
 import time
@@ -55,6 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=0,
                         help="serve through N worker processes "
                              "(default 0 = single-process scheduler)")
+    parser.add_argument("--checkpoint-interval", type=int, default=0,
+                        help="with --shards: checkpoint each worker "
+                             "every N journaled commands (default 0 = "
+                             "journal-only recovery)")
+    parser.add_argument("--rescale", type=int, default=0, metavar="N",
+                        help="with --shards: live-rescale the fleet to "
+                             "N workers halfway through the trace")
     parser.add_argument("--dim", type=int, default=10_000,
                         help="hypervector dimension (default 10000)")
     parser.add_argument("--subject", type=int, default=0,
@@ -199,18 +212,34 @@ def _run_sharded(
     trace: ReplayTrace,
     truths: List[List[int]],
     device: Optional[DevicePerfModel],
+    checkpoint_interval: int = 0,
+    rescale_to: int = 0,
 ) -> List[str]:
+    actions = (
+        {trace.n_events // 2: lambda s: s.rescale(rescale_to)}
+        if rescale_to
+        else None
+    )
     with ShardedStreamingService(
-        model_path, config, n_shards=n_shards, device=device
+        model_path,
+        config,
+        n_shards=n_shards,
+        device=device,
+        checkpoint_interval=checkpoint_interval or None,
     ) as service:
         t0 = time.perf_counter()
-        per_session = replay(service, trace)
+        per_session = replay(service, trace, actions=actions)
         wall = time.perf_counter() - t0
         fleet = service.stats()
+        final_shards = service.n_shards
     raw_acc, smooth_acc = _accuracy(per_session, truths)
+    shard_note = (
+        f"{n_shards} worker processes"
+        if final_shards == n_shards
+        else f"{n_shards} -> {final_shards} worker processes"
+    )
     lines = [
-        f"shards              : {n_shards} worker processes "
-        f"(mmap'd model store)",
+        f"shards              : {shard_note} (mmap'd model store)",
         f"sessions            : {fleet.n_sessions}",
         f"windows classified  : {fleet.n_windows}",
         f"dispatch batches    : {fleet.n_batches} "
@@ -269,7 +298,9 @@ def run_demo(args: argparse.Namespace) -> int:
                 save_model(f"{tmp}/model", model)
             )
             print("\n".join(_run_sharded(
-                model_path, args.shards, config, trace, truths, device
+                model_path, args.shards, config, trace, truths, device,
+                checkpoint_interval=args.checkpoint_interval,
+                rescale_to=args.rescale,
             )))
     else:
         print("\n".join(_run_single(
@@ -365,6 +396,52 @@ def run_selftest() -> int:
         check(
             "fleet telemetry accounts every window",
             fleet.n_windows == service.total_windows,
+        )
+
+        # 3b. Elasticity must be unobservable in the output bytes:
+        #     periodic checkpoints + SIGKILL one worker mid-trace,
+        #     then a live rescale(2->4->3) under load — both runs stay
+        #     byte-identical to the undisturbed reference.
+        mid = trace.n_events // 2
+
+        def checkpoint_then_kill(s):
+            for index in range(s.n_shards):
+                s.checkpoint_shard(index)
+            os.kill(s.shard_process(0).pid, signal.SIGKILL)
+
+        with ShardedStreamingService(
+            path, config, n_shards=2, checkpoint_interval=25
+        ) as elastic:
+            recovered = replay(
+                elastic, trace, actions={mid: checkpoint_then_kill}
+            )
+            respawns = elastic.shard_respawns(0)
+            n_checkpoints = elastic.checkpoints
+        check(
+            "checkpoint + SIGKILL recovery byte-identical "
+            f"({n_checkpoints} checkpoints, {respawns} respawn)",
+            parity_digest(recovered) == reference
+            and respawns == 1
+            and n_checkpoints > 0,
+        )
+
+        with ShardedStreamingService(
+            path, config, n_shards=2
+        ) as fleet2:
+            rescaled = replay(
+                fleet2,
+                trace,
+                actions={
+                    trace.n_events // 3: lambda s: s.rescale(4),
+                    (2 * trace.n_events) // 3: lambda s: s.rescale(3),
+                },
+            )
+            n_after = fleet2.n_shards
+            n_migrations = fleet2.migrations
+        check(
+            "rescale(2->4->3) under load byte-identical "
+            f"({n_migrations} migrations)",
+            parity_digest(rescaled) == reference and n_after == 3,
         )
 
     # 4. The scheduler actually batched across sessions.

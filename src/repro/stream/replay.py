@@ -34,7 +34,16 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -225,6 +234,9 @@ def replay(
     trace: ReplayTrace,
     open_sessions: bool = True,
     drain: bool = True,
+    actions: Union[
+        Mapping[int, Callable], Sequence[Tuple[int, Callable]], None
+    ] = None,
 ) -> Dict[Hashable, List[Decision]]:
     """Feed a trace to a streaming service; return per-session decisions.
 
@@ -234,15 +246,38 @@ def replay(
     what makes this the differential harness.  Decisions are grouped by
     session and ordered by per-session index (both services guarantee
     in-order per-session delivery; the sort is a checked formality).
+
+    ``actions`` schedules mid-stream operations against the service:
+    a mapping (or pair sequence) from event index to a callable invoked
+    with the service *after* that event's ingest.  This is how the
+    parity harness drives elastic operations — kill a worker, migrate a
+    session, ``rescale`` the fleet — at a deterministic point of the
+    trace and still asserts byte-equality against an undisturbed run.
+    Decisions an action returns (e.g. from ``rescale``) are folded into
+    the result.
     """
+    scheduled: Dict[int, List[Callable]] = {}
+    if actions:
+        pairs = (
+            actions.items() if isinstance(actions, Mapping) else actions
+        )
+        for position, action in pairs:
+            scheduled.setdefault(int(position), []).append(action)
     out: Dict[Hashable, List[Decision]] = {}
     if open_sessions:
         for sid in trace.session_ids:
             service.open_session(sid)
             out[sid] = []
-    for event in trace.events:
+    for position, event in enumerate(trace.events):
         for decision in service.ingest(event.session_id, event.samples):
             out.setdefault(decision.session_id, []).append(decision)
+        for action in scheduled.get(position, ()):
+            result = action(service)
+            if result:
+                for decision in result:
+                    out.setdefault(decision.session_id, []).append(
+                        decision
+                    )
     if drain:
         for decision in service.drain():
             out.setdefault(decision.session_id, []).append(decision)

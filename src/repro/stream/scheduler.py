@@ -264,11 +264,9 @@ class StreamingService:
 
     # -- session lifecycle -------------------------------------------------
 
-    def open_session(self, session_id: Hashable) -> Session:
-        """Open a new stream; session ids must be unique while open."""
-        if session_id in self._sessions:
-            raise ValueError(f"session {session_id!r} is already open")
-        session = Session(
+    def _make_session(self, session_id: Hashable) -> Session:
+        """Construct a session under this service's configuration."""
+        return Session(
             session_id,
             self._config.window,
             self._model.config.n_channels,
@@ -277,6 +275,12 @@ class StreamingService:
             extract_features=self._config.extract_features,
             history=self._config.history,
         )
+
+    def open_session(self, session_id: Hashable) -> Session:
+        """Open a new stream; session ids must be unique while open."""
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        session = self._make_session(session_id)
         self._sessions[session_id] = session
         return session
 
@@ -291,6 +295,170 @@ class StreamingService:
         except KeyError:
             raise KeyError(f"session {session_id!r} is not open") from None
         return session
+
+    # -- snapshot protocol -------------------------------------------------
+    #
+    # Everything mutable in the serving path — windower buffers, vote
+    # histories, the ready queue, the decision cache, the clock and
+    # lifetime counters — round-trips through plain picklable dicts.
+    # ``snapshot``/``restore`` capture the whole service (worker
+    # checkpoints); ``extract_session``/``inject_session`` move one
+    # session between services (live migration).  Both preserve the
+    # per-session decision stream byte-exactly: a restored or migrated
+    # stream produces the same (index, raw_label, smoothed_label)
+    # sequence as one that never moved.
+
+    def snapshot(self) -> dict:
+        """Capture the full service state as a plain picklable dict.
+
+        Queued window stacks are serialized by value; queue entries
+        referencing sessions that were closed while their windows were
+        still queued ("orphans") are snapshotted alongside the open
+        sessions so the queue reconstructs exactly.
+        """
+        open_ids = {id(s): s.id for s in self._sessions.values()}
+        orphans: List[dict] = []
+        orphan_index: Dict[int, int] = {}
+        queue_state: List[tuple] = []
+        for session, windows, tick in self._queue:
+            if id(session) in open_ids:
+                ref = ("open", session.id)
+            else:
+                slot = orphan_index.get(id(session))
+                if slot is None:
+                    slot = len(orphans)
+                    orphan_index[id(session)] = slot
+                    orphans.append(session.snapshot())
+                ref = ("orphan", slot)
+            queue_state.append(
+                (ref, windows.tobytes(), windows.shape, tick)
+            )
+        return {
+            "clock": self._clock,
+            "next_batch_id": self._next_batch_id,
+            "pending": self._pending,
+            "sessions": [s.snapshot() for s in self._sessions.values()],
+            "orphans": orphans,
+            "queue": queue_state,
+            "decision_cache": list(self._decision_cache.items()),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "reports": list(self.reports),
+            "n_reports": self._n_reports,
+            "n_windows": self._n_windows,
+            "host_seconds": self._host_seconds,
+            "device_cycles": self._device_cycles,
+            "device_energy_uj": self._device_energy_uj,
+        }
+
+    def restore(self, state: dict) -> "StreamingService":
+        """Adopt a :meth:`snapshot` dict on a freshly built service.
+
+        The service must be pristine (no sessions, no ticks) and built
+        over the same model + config the snapshot was taken under;
+        returns ``self``.  Restoring re-adopts the decision cache, so a
+        respawned worker keeps its warm hit rate.
+        """
+        if self._sessions or self._queue or self._clock:
+            raise ValueError(
+                "restore() requires a freshly constructed service"
+            )
+        for s_state in state["sessions"]:
+            session = self._make_session(s_state["id"]).restore(s_state)
+            self._sessions[session.id] = session
+        orphan_sessions = [
+            self._make_session(o["id"]).restore(o)
+            for o in state["orphans"]
+        ]
+        for (kind, ref), buf, shape, tick in state["queue"]:
+            session = (
+                self._sessions[ref] if kind == "open"
+                else orphan_sessions[ref]
+            )
+            windows = (
+                np.frombuffer(buf, dtype=np.float64).reshape(shape).copy()
+            )
+            self._queue.append((session, windows, int(tick)))
+        self._pending = int(state["pending"])
+        self._clock = int(state["clock"])
+        self._next_batch_id = int(state["next_batch_id"])
+        self._decision_cache = OrderedDict(
+            (bytes(k), int(v)) for k, v in state["decision_cache"]
+        )
+        self.cache_hits = int(state["cache_hits"])
+        self.cache_misses = int(state["cache_misses"])
+        self.cache_evictions = int(state["cache_evictions"])
+        self.reports = deque(
+            state["reports"], maxlen=self._config.history
+        )
+        self._n_reports = int(state["n_reports"])
+        self._n_windows = int(state["n_windows"])
+        self._host_seconds = float(state["host_seconds"])
+        self._device_cycles = int(state["device_cycles"])
+        self._device_energy_uj = float(state["device_energy_uj"])
+        return self
+
+    def extract_session(self, session_id: Hashable) -> dict:
+        """Remove one session *and its queued windows* for migration.
+
+        Returns a transferable state dict (session snapshot + the
+        session's not-yet-dispatched queue entries).  Feeding it to
+        :meth:`inject_session` on another service built over the same
+        model + config continues the stream byte-identically.
+        """
+        try:
+            session = self._sessions.pop(session_id)
+        except KeyError:
+            raise KeyError(f"session {session_id!r} is not open") from None
+        queued: List[tuple] = []
+        kept: Deque[Tuple[Session, np.ndarray, int]] = deque()
+        for entry_session, windows, tick in self._queue:
+            if entry_session is session:
+                queued.append((windows.tobytes(), windows.shape, tick))
+                self._pending -= windows.shape[0]
+            else:
+                kept.append((entry_session, windows, tick))
+        self._queue = kept
+        return {"session": session.snapshot(), "queued": queued}
+
+    def inject_session(self, state: dict) -> List[Decision]:
+        """Adopt a session extracted from another service.
+
+        Its pending windows are merged into the ready queue in tick
+        order (the fleet shares one injected ingest clock, so ticks are
+        comparable across services) and the scheduler is pumped, so the
+        ``max_wait`` staleness bound keeps holding through a migration.
+        """
+        s_state = state["session"]
+        session_id = s_state["id"]
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} is already open")
+        session = self._make_session(session_id).restore(s_state)
+        self._sessions[session_id] = session
+        for buf, shape, tick in state["queued"]:
+            windows = (
+                np.frombuffer(buf, dtype=np.float64).reshape(shape).copy()
+            )
+            self._insert_by_tick(session, windows, int(tick))
+            self._pending += windows.shape[0]
+        return self.pump()
+
+    def _insert_by_tick(
+        self, session: Session, windows: np.ndarray, tick: int
+    ) -> None:
+        """Insert a queue entry keeping ticks non-decreasing.
+
+        Equal-tick entries land *after* existing ones, so successive
+        inserts of one migrated session preserve their relative order —
+        which is all per-session byte-parity needs, since the batched
+        kernels are row-independent.
+        """
+        queue = self._queue
+        idx = len(queue)
+        while idx > 0 and queue[idx - 1][2] > tick:
+            idx -= 1
+        queue.insert(idx, (session, windows, tick))
 
     # -- the data path -----------------------------------------------------
 

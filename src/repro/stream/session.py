@@ -59,6 +59,20 @@ class MajorityVoteSmoother:
         """Clear the vote history (e.g. at a stream discontinuity)."""
         self._history.clear()
 
+    def snapshot(self) -> dict:
+        """Capture the vote history as a plain picklable dict."""
+        return {"k": self._k, "history": list(self._history)}
+
+    def restore(self, state: dict) -> "MajorityVoteSmoother":
+        """Adopt a :meth:`snapshot` dict; returns ``self``."""
+        if int(state["k"]) != self._k:
+            raise ValueError(
+                f"smoother snapshot k={state['k']} does not match "
+                f"this smoother's k={self._k}"
+            )
+        self._history = deque(state["history"], maxlen=self._k)
+        return self
+
 
 @dataclass(frozen=True)
 class Decision:
@@ -150,3 +164,51 @@ class Session:
         self.decisions.append(decision)
         self._n_decisions += 1
         return decision
+
+    # -- snapshot protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the session's full per-stream state as a plain dict.
+
+        Composes the windower and smoother snapshots with the decision
+        history and lifetime counter.  Everything is picklable, so the
+        dict travels over a pipe (live migration) or into a checkpoint
+        file unchanged; :meth:`restore` on a session built with the same
+        configuration continues the stream byte-identically.
+        """
+        return {
+            "id": self.id,
+            "windower": self.windower.snapshot(),
+            "smoother": self.smoother.snapshot(),
+            "extract_features": self.extract_features,
+            "history": self.decisions.maxlen,
+            "decisions": list(self.decisions),
+            "n_decisions": self._n_decisions,
+        }
+
+    def restore(self, state: dict) -> "Session":
+        """Adopt a :meth:`snapshot` dict; returns ``self``.
+
+        The receiving session must have been constructed with the same
+        id and configuration (the component ``restore`` calls validate
+        the structural parameters).
+        """
+        if state["id"] != self.id:
+            raise ValueError(
+                f"session snapshot is for id {state['id']!r}, "
+                f"not {self.id!r}"
+            )
+        if bool(state["extract_features"]) != self.extract_features:
+            raise ValueError(
+                "session snapshot extract_features flag does not match"
+            )
+        if int(state["history"]) != self.decisions.maxlen:
+            raise ValueError(
+                f"session snapshot history={state['history']} does not "
+                f"match this session's history={self.decisions.maxlen}"
+            )
+        self.windower.restore(state["windower"])
+        self.smoother.restore(state["smoother"])
+        self.decisions = deque(state["decisions"], maxlen=self.decisions.maxlen)
+        self._n_decisions = int(state["n_decisions"])
+        return self

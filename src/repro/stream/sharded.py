@@ -1,8 +1,11 @@
-"""Sharded multi-process streaming front end.
+"""Sharded multi-process streaming front end — an *elastic* fleet.
 
 The single-process :class:`~repro.stream.scheduler.StreamingService`
 saturates one core; this module scales the same serving semantics across
-N worker processes.  The design leans on two facts the rest of the stack
+N worker processes, and lets the fleet **heal** (checkpoint + respawn),
+**move** (live session migration), and **resize** (consistent-hash
+resharding, optionally autoscaled) without dropping or reordering a
+single decision.  The design leans on facts the rest of the stack
 already guarantees:
 
 * the HDC chain is a **pure function** of a window's quantised levels,
@@ -16,48 +19,94 @@ already guarantees:
   rebuilds its classifier from one ``.npz`` file via
   :func:`repro.hdc.serialize.load_model_mmap`, so the packed matrices
   are read-only file mappings shared through the page cache instead of
-  N private copies.
+  N private copies;
+* every piece of *runtime* state in the serving path is an explicit,
+  picklable value — the scheduler's ``snapshot()``/``restore()`` and
+  ``extract_session()``/``inject_session()`` round-trip byte-exactly —
+  so worker state can be checkpointed to a blob and a single session
+  can be lifted out of one worker and dropped into another.
 
 Architecture::
 
     caller ──► ShardedStreamingService (coordinator)
-                 │  hash-partition: shard_for(session_id, N)
+                 │  consistent-hash routing: shard_for(session_id, N)
                  │  global ingest clock stamped on every chunk
-                 ├─ pipe ─► worker 0: StreamingService(mmap model)
-                 ├─ pipe ─► worker 1: StreamingService(mmap model)
-                 └─ pipe ─► worker N-1 ...
+                 │  per-shard journal + checkpoint blob (repair debt)
+                 ├─ pipe + shm ring ─► worker 0: StreamingService
+                 ├─ pipe + shm ring ─► worker 1: StreamingService
+                 └─ pipe + shm ring ─► worker N-1 ...
 
-The coordinator multiplexes ingest/decision traffic over
-``multiprocessing`` pipes with a credit-based per-shard backpressure
-window (``max_inflight`` unacknowledged commands), delivers decisions in
-per-session order (enforced, not assumed — an out-of-order index
-raises), and keeps a per-shard **journal** of every command.  The
-journal is what makes shards disposable: ``respawn_shard`` starts a
-fresh worker and replays the journal with the original ingest-clock
-ticks, so the replacement re-derives the exact scheduler state — and
-because every decision carries its per-session index, already-delivered
-decisions are filtered while decisions lost in the crash are delivered
-exactly once.  ``max_wait`` backpressure inside each worker runs on the
-coordinator's global clock (injected via the scheduler's ``tick=``
-hook), which is also what makes a journal replay deterministic.
+**Transport.** The coordinator multiplexes commands over
+``multiprocessing`` pipes with two per-shard credit windows
+(``max_inflight`` unacknowledged commands, and an unacknowledged-bytes
+cap that makes the classic duplex-pipe deadlock structurally
+impossible).  Ingest sample payloads travel through a per-shard
+shared-memory :class:`~repro.stream.shmring.IngestRing` when one is
+enabled — the pipe then carries only ``(offset, shape)`` descriptors,
+lifting the coordinator's pickling tax; chunks that don't fit fall
+back to the inline pipe encoding, so the ring is never a correctness
+dependency.  Decisions are delivered in per-session order (enforced,
+not assumed — an out-of-order index raises).
+
+**Repair.** The coordinator keeps a per-shard **journal** of every
+state-bearing command since the shard's last **checkpoint**.
+``checkpoint_shard`` quiesces a worker, pulls its full scheduler
+snapshot (a versioned blob via :mod:`repro.hdc.serialize`), and then
+truncates the journal — the invariant is that *checkpoint blob +
+journal tail* always reconstructs the worker exactly, so the journal
+may be cleared precisely when the blob covers everything in it (the
+checkpoint command is sent after every journaled command, replies
+arrive in order, and the single-threaded coordinator interleaves no
+sends while waiting).  ``respawn_shard`` starts a fresh worker,
+restores the blob, and replays only the journal tail with the original
+ingest-clock ticks — O(since-checkpoint), not O(lifetime).  Because
+every decision carries its per-session index, already-delivered
+decisions are filtered while decisions lost in a crash are delivered
+exactly once.  ``max_wait`` backpressure inside each worker runs on
+the coordinator's global clock (injected via the scheduler's ``tick=``
+hook), which is what makes replay deterministic.
+
+**Migration and rescale.** ``migrate_session`` quiesces a session's
+shard, extracts the session's state (windower buffer, vote history,
+queued windows), injects it into another worker, and re-routes.  Both
+halves are journaled commands — a replayed ``extract`` re-discards,
+a replayed ``inject`` re-delivers (dup-filtered) — so repair and
+migration compose.  ``rescale(n)`` grows or shrinks the fleet: new
+workers spawn, the consistent-hash routing ring decides which sessions
+move (growing a fleet moves sessions *only onto the new shards*;
+shrinking moves *only the retiring shards'* sessions), each mover
+migrates live, and retiring workers drain and stop.  An optional
+:class:`AutoscalePolicy` drives ``rescale`` from credit-utilization
+telemetry.
 
 Fleet telemetry: every worker snapshots its scheduler into a
 :class:`~repro.perf.streaming.StreamStats`; :meth:`stats` merges them
 into one :class:`~repro.perf.streaming.FleetStats` (per-shard and
-fleet-wide batch statistics plus simulated device latency/energy).
+fleet-wide batch + decision-cache statistics, journal/checkpoint byte
+sizes, checkpoint/migration/rescale counts, simulated device
+latency/energy).
 """
 
 from __future__ import annotations
 
+import bisect
+import functools
 import hashlib
 import multiprocessing
+import pathlib
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from ..hdc.serialize import load_model, load_model_mmap, model_info
+from ..hdc.serialize import (
+    dumps_snapshot,
+    load_model,
+    load_model_mmap,
+    loads_snapshot,
+    model_info,
+)
 from ..perf.streaming import (
     DevicePerfModel,
     FleetStats,
@@ -66,6 +115,7 @@ from ..perf.streaming import (
 )
 from .scheduler import StreamConfig, StreamingService
 from .session import Decision
+from .shmring import SHM_AVAILABLE, IngestRing
 
 _READY = -1  # sentinel seq of the worker's startup handshake
 
@@ -76,7 +126,14 @@ _READY = -1  # sentinel seq of the worker's startup handshake
 #: always returns to the pump loop, reads the reply, and unblocks the
 #: worker — the classic duplex-pipe deadlock is structurally impossible.
 #: 32 KiB is far below any platform's default socketpair buffer.
+#: Ring-carried ingest payloads do not count against this window (only
+#: their tiny descriptors do) — the ring has its own capacity bound.
 _MAX_INFLIGHT_BYTES = 32 << 10
+
+#: Virtual nodes per shard on the consistent-hash routing ring.  More
+#: vnodes → flatter load split; 64 keeps the worst shard within a few
+#: percent of fair share for realistic session counts.
+_RING_VNODES = 64
 
 
 class ShardError(RuntimeError):
@@ -92,21 +149,158 @@ class ShardCrashError(ShardError):
     """A worker process died (pipe closed mid-conversation)."""
 
 
-def shard_for(session_id: Hashable, n_shards: int) -> int:
-    """Stable hash partition of a session id onto ``n_shards`` workers.
+# -- routing -----------------------------------------------------------------
 
-    Uses BLAKE2b over ``repr(session_id)`` — deterministic across
-    processes, machines, and Python runs (``hash()`` is salted), so a
-    session always lands on the same shard and a respawned fleet
-    partitions identically.  Session ids should have stable reprs
-    (ints and strings — the supported id types — do).
+
+def session_key_bytes(session_id: Hashable) -> bytes:
+    """Canonical byte encoding of a session id, for routing hashes.
+
+    Explicitly handles the supported id types — ``str`` (UTF-8),
+    ``bytes``/``bytearray`` (verbatim), and ``int`` (decimal) — each
+    under a distinct type tag so ``"1"``, ``b"1"`` and ``1`` are three
+    different keys, and rejects everything else (including ``bool``,
+    whose int-ness would silently alias ``True`` with ``1``).  Hashing
+    an explicit encoding instead of ``repr(session_id)`` makes routing
+    independent of repr quirks and documented per type.
+    """
+    if isinstance(session_id, bool):
+        raise TypeError(
+            "bool session ids are not routable (they would alias 0/1); "
+            "use str, bytes, or int"
+        )
+    if isinstance(session_id, str):
+        return b"s:" + session_id.encode("utf-8")
+    if isinstance(session_id, (bytes, bytearray)):
+        return b"b:" + bytes(session_id)
+    if isinstance(session_id, (int, np.integer)):
+        return b"i:" + str(int(session_id)).encode("ascii")
+    raise TypeError(
+        f"session id type {type(session_id).__name__} is not routable; "
+        f"use str, bytes, or int"
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _shard_points(index: int) -> Tuple[int, ...]:
+    """The ring positions of one shard's virtual nodes (stable forever)."""
+    return tuple(
+        int.from_bytes(
+            hashlib.blake2b(
+                f"repro-stream-shard:{index}:{vnode}".encode(),
+                digest_size=8,
+            ).digest(),
+            "big",
+        )
+        for vnode in range(_RING_VNODES)
+    )
+
+
+@functools.lru_cache(maxsize=128)
+def _hash_ring(n_shards: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Sorted (points, owners) of the ring over shards ``0..n_shards-1``."""
+    pairs = sorted(
+        (point, index)
+        for index in range(n_shards)
+        for point in _shard_points(index)
+    )
+    return (
+        tuple(point for point, _ in pairs),
+        tuple(index for _, index in pairs),
+    )
+
+
+def shard_for(session_id: Hashable, n_shards: int) -> int:
+    """Consistent-hash placement of a session onto ``n_shards`` workers.
+
+    BLAKE2b over :func:`session_key_bytes` positions the session on a
+    ring of per-shard virtual nodes — deterministic across processes,
+    machines, and Python runs (``hash()`` is salted), so a session
+    always lands on the same shard and a respawned fleet partitions
+    identically.  Consistency is what makes rescaling cheap: growing
+    ``n → n+1`` moves sessions *only onto the new shard* (everything
+    else keeps its owner), and shrinking moves *only the retired
+    shard's* sessions.
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-    digest = hashlib.blake2b(
-        repr(session_id).encode(), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "little") % n_shards
+    key = session_key_bytes(session_id)
+    if n_shards == 1:
+        return 0
+    point = int.from_bytes(
+        hashlib.blake2b(key, digest_size=8).digest(), "big"
+    )
+    points, owners = _hash_ring(n_shards)
+    idx = bisect.bisect_right(points, point)
+    if idx == len(points):
+        idx = 0  # wrap around the ring
+    return owners[idx]
+
+
+# -- autoscaling -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Queue-pressure driven shard-count policy.
+
+    The coordinator's cheapest live load signal is its own credit
+    windows: the fraction of ``max_inflight`` command credits currently
+    outstanding, averaged over shards (1.0 = every send would block).
+    The policy steps the fleet by one shard at a time — up when mean
+    utilization sits at/above ``high_watermark``, down when at/below
+    ``low_watermark`` — and enforces a cooldown of global ingest ticks
+    between rescales so one burst cannot thrash the fleet size.
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    high_watermark: float = 0.75
+    low_watermark: float = 0.10
+    cooldown: int = 512
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError(
+                f"min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise ValueError(
+                f"max_shards {self.max_shards} < min_shards "
+                f"{self.min_shards}"
+            )
+        if not 0.0 <= self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                f"need 0 <= low_watermark < high_watermark <= 1, got "
+                f"{self.low_watermark} / {self.high_watermark}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(
+                f"cooldown must be >= 0, got {self.cooldown}"
+            )
+
+    def decide(
+        self,
+        n_shards: int,
+        utilization: float,
+        ticks_since_rescale: int,
+    ) -> Optional[int]:
+        """Target shard count, or ``None`` to leave the fleet alone."""
+        if ticks_since_rescale < self.cooldown:
+            return None
+        if (
+            utilization >= self.high_watermark
+            and n_shards < self.max_shards
+        ):
+            return n_shards + 1
+        if (
+            utilization <= self.low_watermark
+            and n_shards > self.min_shards
+        ):
+            return n_shards - 1
+        return None
+
+
+# -- the worker --------------------------------------------------------------
 
 
 def _shard_worker(
@@ -116,15 +310,28 @@ def _shard_worker(
     device: Optional[DevicePerfModel],
     shard_index: int,
     use_mmap: bool,
+    ring_name: Optional[str],
+    ring_bytes: int,
 ) -> None:
     """One shard: a private StreamingService over the shared model store.
 
     Runs the command loop until ``stop`` or until the coordinator goes
     away.  Every command is acknowledged in order; exceptions inside a
     command are reported (with traceback) instead of killing the worker.
+
+    State-transfer ops speak the versioned snapshot envelope of
+    :mod:`repro.hdc.serialize`: ``checkpoint`` returns the full
+    scheduler snapshot as a ``"worker"`` blob, ``restore`` adopts one
+    on a fresh service, ``extract``/``inject`` move a single session
+    as a ``"session-transfer"`` blob.  Ingest payloads arrive either
+    inline (an ndarray) or as an ``("shm", offset, shape)`` descriptor
+    into the attached :class:`IngestRing`.
     """
+    ring: Optional[IngestRing] = None
     try:
         try:
+            if ring_name is not None:
+                ring = IngestRing.attach(ring_name, ring_bytes)
             loader = load_model_mmap if use_mmap else load_model
             service = StreamingService(
                 loader(model_path), config, device=device
@@ -139,6 +346,8 @@ def _shard_worker(
             try:
                 if op == "ingest":
                     _, _, sid, samples, tick = message
+                    if type(samples) is tuple and samples[0] == "shm":
+                        samples = ring.read(samples[1], samples[2])
                     payload = service.ingest(sid, samples, tick=tick)
                 elif op == "open":
                     service.open_session(message[2])
@@ -148,6 +357,20 @@ def _shard_worker(
                     payload = []
                 elif op == "drain":
                     payload = service.drain()
+                elif op == "checkpoint":
+                    payload = dumps_snapshot("worker", service.snapshot())
+                elif op == "restore":
+                    service.restore(loads_snapshot(message[2], "worker"))
+                    payload = []
+                elif op == "extract":
+                    payload = dumps_snapshot(
+                        "session-transfer",
+                        service.extract_session(message[2]),
+                    )
+                elif op == "inject":
+                    payload = service.inject_session(
+                        loads_snapshot(message[2], "session-transfer")
+                    )
                 elif op == "stats":
                     payload = StreamStats.collect(service, shard_index)
                 elif op == "stop":
@@ -162,6 +385,8 @@ def _shard_worker(
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # coordinator went away; nothing left to serve
     finally:
+        if ring is not None:
+            ring.close()
         conn.close()
 
 
@@ -172,17 +397,28 @@ class _Shard:
     index: int
     process: multiprocessing.process.BaseProcess
     conn: object  # multiprocessing.connection.Connection
+    ring: Optional[IngestRing] = None
     next_seq: int = 0
     outstanding: int = 0  # unacknowledged commands (backpressure credit)
     inflight_bytes: Dict[int, int] = field(default_factory=dict)
+    #: seqs whose ingest payload occupies a ring span, released on ack.
+    ring_seqs: Set[int] = field(default_factory=set)
     #: seq -> journal position of unacknowledged journaled commands: a
     #: command the worker rejects ("err" reply) is tombstoned out of the
     #: journal — it did not contribute to worker state (the scheduler
     #: validates before mutating; the clock is injected), so replaying
     #: it on respawn would only re-raise the same error mid-repair.
     inflight_journal: Dict[int, int] = field(default_factory=dict)
+    #: State-bearing commands since the last checkpoint.  The repair
+    #: invariant: ``checkpoint (blob) + journal`` always reconstructs
+    #: the worker exactly; the journal is truncated *only* at the
+    #: moment a fresh checkpoint blob covers everything in it.
     journal: List[Optional[tuple]] = field(default_factory=list)
+    #: Last full worker snapshot (versioned "worker" blob), if any.
+    checkpoint: Optional[bytes] = None
     last_stats: Optional[StreamStats] = None
+    #: Last state blob returned by a checkpoint/extract command.
+    last_state: Optional[bytes] = None
     respawns: int = 0
 
     @property
@@ -194,11 +430,14 @@ class ShardedStreamingService:
     """Hash-partitioned multi-process twin of :class:`StreamingService`.
 
     Same serving interface (``open_session`` / ``ingest`` / ``drain`` /
-    ``close_session``), same per-session outputs, N cores.  Decisions
-    are returned as they are acknowledged: an ``ingest`` may return
-    decisions of *other* sessions whose batches happened to complete,
-    exactly like the single-process scheduler — and within one session
-    the delivery order (by decision index) is strictly enforced.
+    ``close_session``), same per-session outputs, N cores — plus the
+    elastic surface: :meth:`checkpoint_shard`, :meth:`migrate_session`,
+    :meth:`rescale`, and an optional :class:`AutoscalePolicy`.
+    Decisions are returned as they are acknowledged: an ``ingest`` may
+    return decisions of *other* sessions whose batches happened to
+    complete, exactly like the single-process scheduler — and within
+    one session the delivery order (by decision index) is strictly
+    enforced.
 
     The coordinator never touches the model: workers rebuild it from
     ``model_path`` (the :mod:`repro.hdc.serialize` store), read-only
@@ -215,12 +454,26 @@ class ShardedStreamingService:
         use_mmap: bool = True,
         auto_respawn: bool = True,
         start_method: Optional[str] = None,
+        use_shm_ring: bool = True,
+        ring_bytes: int = 1 << 20,
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
+        autoscale: Optional[AutoscalePolicy] = None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if max_inflight < 1:
             raise ValueError(
                 f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if ring_bytes < 1:
+            raise ValueError(
+                f"ring_bytes must be >= 1, got {ring_bytes}"
+            )
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {checkpoint_interval}"
             )
         info = model_info(model_path)  # validates magic/version early
         if config.window.slice_samples < info["ngram_size"]:
@@ -235,6 +488,22 @@ class ShardedStreamingService:
         self._max_inflight = int(max_inflight)
         self._use_mmap = bool(use_mmap)
         self._auto_respawn = bool(auto_respawn)
+        self._use_shm_ring = bool(use_shm_ring) and SHM_AVAILABLE
+        self._ring_bytes = int(ring_bytes)
+        self._checkpoint_interval = checkpoint_interval
+        self._checkpoint_dir = (
+            pathlib.Path(checkpoint_dir)
+            if checkpoint_dir is not None
+            else None
+        )
+        self._autoscale = autoscale
+        if autoscale is not None and not (
+            autoscale.min_shards <= n_shards <= autoscale.max_shards
+        ):
+            raise ValueError(
+                f"n_shards {n_shards} outside autoscale range "
+                f"[{autoscale.min_shards}, {autoscale.max_shards}]"
+            )
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -243,7 +512,11 @@ class ShardedStreamingService:
         self._delivered: Dict[Hashable, int] = {}
         self._ready: List[Decision] = []
         self._clock = 0
+        self._last_rescale_tick = 0
         self._closed = False
+        self.checkpoints = 0  # lifetime elastic-operation counters
+        self.migrations = 0
+        self.rescales = 0
         self._shards: List[_Shard] = []
         try:
             for index in range(n_shards):
@@ -255,6 +528,10 @@ class ShardedStreamingService:
     # -- lifecycle ---------------------------------------------------------
 
     def _spawn(self, index: int) -> _Shard:
+        """Start one worker (with a fresh ingest ring) and handshake."""
+        ring: Optional[IngestRing] = None
+        if self._use_shm_ring:
+            ring = IngestRing.create(self._ring_bytes)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_worker,
@@ -265,35 +542,55 @@ class ShardedStreamingService:
                 self._device,
                 index,
                 self._use_mmap,
+                ring.name if ring is not None else None,
+                self._ring_bytes,
             ),
             name=f"repro-stream-shard-{index}",
             daemon=True,
         )
-        process.start()
+        try:
+            process.start()
+        except Exception:
+            if ring is not None:
+                ring.close()
+            raise
         child_conn.close()  # parent's copy; worker keeps its own end
-        shard = _Shard(index=index, process=process, conn=parent_conn)
-        kind, seq, payload = self._recv(shard)
+        shard = _Shard(
+            index=index, process=process, conn=parent_conn, ring=ring
+        )
+        try:
+            kind, seq, payload = self._recv(shard)
+        except ShardCrashError:
+            self._stop_shard(shard)
+            raise
         if kind != "ok" or seq != _READY:
+            self._stop_shard(shard)
             raise ShardError(index, str(payload))
         return shard
+
+    def _stop_shard(self, shard: _Shard) -> None:
+        """Stop one worker and free its transport (idempotent)."""
+        try:
+            shard.conn.send(("stop", shard.next_seq))
+        except Exception:
+            pass
+        try:
+            shard.conn.close()
+        except Exception:
+            pass
+        shard.process.join(timeout=2.0)
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(timeout=2.0)
+        if shard.ring is not None:
+            shard.ring.close()
 
     def close(self) -> None:
         """Stop all workers (idempotent).  Pending windows are dropped —
         call :meth:`drain` first for a clean shutdown."""
         self._closed = True
         for shard in self._shards:
-            try:
-                shard.conn.send(("stop", shard.next_seq))
-            except Exception:
-                pass
-            try:
-                shard.conn.close()
-            except Exception:
-                pass
-            shard.process.join(timeout=2.0)
-            if shard.process.is_alive():
-                shard.process.terminate()
-                shard.process.join(timeout=2.0)
+            self._stop_shard(shard)
 
     def __enter__(self) -> "ShardedStreamingService":
         return self
@@ -329,7 +626,7 @@ class ShardedStreamingService:
         return tuple(self._session_shard)
 
     def shard_of(self, session_id: Hashable) -> int:
-        """The shard an *open* session is partitioned onto."""
+        """The shard an *open* session is currently routed to."""
         try:
             return self._session_shard[session_id]
         except KeyError:
@@ -346,8 +643,25 @@ class ShardedStreamingService:
         return self._shards[index].respawns
 
     def journal_length(self, index: int) -> int:
-        """Commands journaled for one shard (replayed on respawn)."""
+        """Commands journaled for one shard since its last checkpoint."""
         return len(self._shards[index].journal)
+
+    def journal_bytes(self, index: int) -> int:
+        """Approximate bytes a respawn of this shard would replay."""
+        return sum(
+            self._entry_bytes(entry)
+            for entry in self._shards[index].journal
+            if entry is not None
+        )
+
+    def checkpoint_bytes(self, index: int) -> int:
+        """Size of the shard's last checkpoint blob (0 if none)."""
+        blob = self._shards[index].checkpoint
+        return len(blob) if blob is not None else 0
+
+    def shm_ring_enabled(self, index: int) -> bool:
+        """Whether a shard's ingest payloads ride a shared-memory ring."""
+        return self._shards[index].ring is not None
 
     @property
     def total_delivered(self) -> int:
@@ -398,7 +712,9 @@ class ShardedStreamingService:
         Stamps the chunk with the next global ingest tick (all shards
         age their ``max_wait`` windows on fleet-wide traffic), applies
         per-shard backpressure, and returns every decision — from any
-        shard — acknowledged by the time the call completes.
+        shard — acknowledged by the time the call completes.  When an
+        autoscale policy is attached, this is also where it observes
+        load and may trigger a :meth:`rescale`.
         """
         self._ensure_open()
         try:
@@ -415,6 +731,14 @@ class ShardedStreamingService:
         )
         for shard in self._shards:
             self._pump_or_respawn(shard)
+        if self._autoscale is not None:
+            target = self._autoscale.decide(
+                len(self._shards),
+                self._utilization(),
+                self._clock - self._last_rescale_tick,
+            )
+            if target is not None:
+                self._rescale(target)
         return self._take_ready()
 
     def pump(self) -> List[Decision]:
@@ -438,7 +762,9 @@ class ShardedStreamingService:
 
         Synchronous: each shard's snapshot is taken after everything the
         coordinator sent so far has been acknowledged, so after a
-        ``drain`` the numbers are exact, not racy.
+        ``drain`` the numbers are exact, not racy.  Coordinator-side
+        elastic telemetry (journal/checkpoint sizes, operation counts)
+        rides along.
         """
         self._ensure_open()
         for attempt in range(2):
@@ -454,9 +780,171 @@ class ShardedStreamingService:
                 continue  # shard was respawned; retake the snapshot
             snapshots = [s.last_stats for s in self._shards]
             if all(s is not None for s in snapshots):
-                return merge_stream_stats(snapshots)
+                return merge_stream_stats(
+                    snapshots,
+                    journal_bytes=[
+                        self.journal_bytes(i)
+                        for i in range(len(self._shards))
+                    ],
+                    checkpoint_bytes=[
+                        self.checkpoint_bytes(i)
+                        for i in range(len(self._shards))
+                    ],
+                    checkpoints=self.checkpoints,
+                    migrations=self.migrations,
+                    rescales=self.rescales,
+                )
             # A shard crashed mid-snapshot and was respawned; retry once.
         raise ShardError(-1, "could not collect fleet statistics")
+
+    # -- elastic operations ------------------------------------------------
+
+    def checkpoint_shard(self, index: int) -> int:
+        """Snapshot one worker's full state; truncate its journal.
+
+        Quiesces the shard (every outstanding command acknowledged),
+        pulls the versioned ``"worker"`` snapshot blob, and *then*
+        clears the journal: at that moment the blob provably covers
+        every journaled command — the checkpoint command was sent after
+        all of them, replies arrive in seq order, and the
+        single-threaded coordinator sent nothing else while waiting.
+        Returns the blob size in bytes.  A respawn afterwards restores
+        the blob and replays only commands journaled since.
+
+        With ``checkpoint_dir`` set, the blob is also persisted to
+        ``shard-<index>.snap`` (the :func:`repro.hdc.serialize`
+        snapshot envelope, loadable by ``load_snapshot``).
+        """
+        self._ensure_open()
+        shard = self._shards[index]
+        self._flush(shard)
+        shard = self._shards[index]  # _flush may have respawned it
+        shard.last_state = None
+        self._post(shard, ("checkpoint",), journal=False)
+        self._flush(shard)
+        shard = self._shards[index]
+        if shard.last_state is None:
+            # The worker died mid-checkpoint and was respawned; the
+            # journal is intact, so nothing was lost — the checkpoint
+            # just didn't happen.
+            raise ShardError(index, "checkpoint did not complete")
+        shard.checkpoint = shard.last_state
+        shard.last_state = None
+        shard.journal.clear()
+        shard.inflight_journal.clear()
+        self.checkpoints += 1
+        if self._checkpoint_dir is not None:
+            self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            path = self._checkpoint_dir / f"shard-{index}.snap"
+            path.write_bytes(shard.checkpoint)
+        return len(shard.checkpoint)
+
+    def migrate_session(
+        self, session_id: Hashable, to_shard: int
+    ) -> List[Decision]:
+        """Move one live session to another worker, byte-exactly.
+
+        Quiesce → extract → inject → re-route: the source shard is
+        flushed (its in-flight decisions deliver first), the session's
+        state — windower buffer, vote history, decision counter, and
+        its still-queued windows — travels as a versioned
+        ``"session-transfer"`` blob, and the destination merges the
+        queued windows into its ready queue by original ingest tick and
+        pumps.  Both halves are journaled, so crash repair on either
+        side replays them (duplicates are index-filtered).  The
+        migrated stream's decision sequence is byte-identical to one
+        that never moved.
+        """
+        self._ensure_open()
+        self._migrate_session(session_id, to_shard)
+        return self._take_ready()
+
+    def _migrate_session(self, session_id: Hashable, to_shard: int) -> None:
+        try:
+            src_index = self._session_shard[session_id]
+        except KeyError:
+            raise KeyError(
+                f"session {session_id!r} is not open"
+            ) from None
+        if not 0 <= to_shard < len(self._shards):
+            raise ValueError(
+                f"shard {to_shard} out of range "
+                f"(fleet has {len(self._shards)})"
+            )
+        if to_shard == src_index:
+            return
+        src = self._shards[src_index]
+        self._flush(src)
+        src = self._shards[src_index]
+        src.last_state = None
+        self._post(src, ("extract", session_id))
+        self._flush(src)
+        src = self._shards[src_index]
+        if src.last_state is None:
+            raise ShardError(
+                src_index,
+                f"extraction of session {session_id!r} did not complete",
+            )
+        blob = src.last_state
+        src.last_state = None
+        self._post(self._shards[to_shard], ("inject", blob))
+        self._session_shard[session_id] = to_shard
+        self.migrations += 1
+
+    def rescale(self, n_shards: int) -> List[Decision]:
+        """Grow or shrink the fleet to ``n_shards`` workers, live.
+
+        New workers spawn first; the consistent-hash ring then names
+        exactly the sessions whose owner changes (growing moves
+        sessions only *onto new shards*, shrinking only *off retiring
+        shards*), and each one migrates with its full state.  Retiring
+        workers drain (delivering any still-queued windows, including
+        those of already-closed sessions) and stop.  Per-session
+        decision streams are byte-identical to a fleet that never
+        rescaled.  Returns the decisions delivered along the way.
+        """
+        self._ensure_open()
+        self._rescale(n_shards)
+        return self._take_ready()
+
+    def _rescale(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        old_n = len(self._shards)
+        if n_shards == old_n:
+            return
+        for index in range(old_n, n_shards):
+            self._shards.append(self._spawn(index))
+        moves = [
+            (sid, shard_for(sid, n_shards))
+            for sid, current in list(self._session_shard.items())
+            if shard_for(sid, n_shards) != current
+        ]
+        for sid, destination in moves:
+            self._migrate_session(sid, destination)
+        if n_shards < old_n:
+            # Drain the retiring workers *while they are still in the
+            # routing table* (a crash mid-drain then heals through the
+            # normal respawn path), delivering anything still inside
+            # them — e.g. queued windows of sessions closed before the
+            # rescale — then stop them and drop them from the fleet.
+            for shard in self._shards[n_shards:]:
+                self._post(shard, ("drain",))
+                self._flush(shard)
+            retiring = self._shards[n_shards:]
+            del self._shards[n_shards:]
+            for shard in retiring:
+                self._stop_shard(shard)
+        self.rescales += 1
+        self._last_rescale_tick = self._clock
+
+    def _utilization(self) -> float:
+        """Mean outstanding-credit fraction across shards (0..1)."""
+        if not self._shards:
+            return 0.0
+        return sum(s.outstanding for s in self._shards) / (
+            len(self._shards) * self._max_inflight
+        )
 
     # -- shard repair ------------------------------------------------------
 
@@ -466,10 +954,15 @@ class ShardedStreamingService:
         Works on a live shard (graceful: outstanding work is collected,
         the worker is stopped cleanly) and on a crashed one (salvage:
         replies still sitting in the pipe are delivered first).  The new
-        worker replays the shard's journal with the original ingest
-        ticks, re-deriving the lost scheduler state; decisions the
-        caller already saw are filtered by per-session index, so nothing
-        is delivered twice and nothing is lost.
+        worker first restores the shard's last checkpoint blob (if one
+        exists), then replays the journal — which holds only commands
+        since that checkpoint — with the original ingest ticks,
+        re-deriving the lost scheduler state in O(since-checkpoint)
+        work; decisions the caller already saw are filtered by
+        per-session index, so nothing is delivered twice and nothing is
+        lost.  The replacement gets a fresh ingest ring (journal
+        entries store real sample arrays, so replay simply re-places
+        them).
 
         Worker-side command errors encountered along the way (salvaged
         "err" acks, or an unacknowledged bad command hitting the fresh
@@ -503,14 +996,29 @@ class ShardedStreamingService:
         if shard.process.is_alive():
             shard.process.terminate()
             shard.process.join(timeout=2.0)
+        if shard.ring is not None:
+            # Outstanding spans die with the worker; the replacement
+            # gets a fresh ring and replay re-places the payloads.
+            shard.ring.close()
+            shard.ring = None
 
         # Compact tombstones out before replaying.
         journal = [e for e in shard.journal if e is not None]
+        checkpoint = shard.checkpoint
         respawns = shard.respawns + 1
         fresh = self._spawn(index)
         fresh.journal = journal
+        fresh.checkpoint = checkpoint
         fresh.respawns = respawns
         self._shards[index] = fresh
+        # Restore the checkpoint first: the journal holds only commands
+        # sent after the blob was taken, so blob + tail is the exact
+        # worker state.  A restore failure is not deferrable — replay
+        # against the wrong base would fabricate state — so it raises.
+        if checkpoint is not None:
+            self._send(fresh, ("restore", checkpoint), journal=False)
+            while fresh.outstanding > 0:
+                self._wait_one(fresh)
         # Replay: same commands, same ticks -> same scheduler decisions.
         # Duplicates are dropped in _deliver by per-session index.  A
         # replayed entry that errs (possible only for a command the old
@@ -541,15 +1049,14 @@ class ShardedStreamingService:
         if self._closed:
             raise RuntimeError("service is closed")
 
-    def _wire(self, entry: tuple, seq: int) -> tuple:
-        return (entry[0], seq) + tuple(entry[1:])
-
     @staticmethod
-    def _entry_cost(entry: tuple) -> int:
-        """Wire-size estimate of a command (samples dominate)."""
+    def _entry_bytes(entry: tuple) -> int:
+        """Journal-size estimate of one entry (payloads dominate)."""
         cost = 512
         if entry[0] == "ingest":
             cost += entry[2].nbytes
+        elif entry[0] in ("inject", "restore"):
+            cost += len(entry[1])
         return cost
 
     def _send(
@@ -560,6 +1067,13 @@ class ShardedStreamingService:
         journal_pos: Optional[int] = None,
     ) -> int:
         """Low-level send with backpressure; raises ShardCrashError.
+
+        Ingest payloads take the shard's shared-memory ring when it has
+        room — the pipe then carries a tiny ``("shm", offset, shape)``
+        descriptor, and only the descriptor counts against the
+        unacked-bytes credit window (the ring is bounded by its own
+        capacity and its spans are freed as acks arrive, in seq order).
+        A chunk the ring cannot hold is sent inline and costed in full.
 
         The journal records exactly the commands the worker has been
         handed, in hand-over order — so ``journal=True`` appends the
@@ -573,7 +1087,22 @@ class ShardedStreamingService:
         reply tombstone the entry.  Returns the seq.
         """
         self._pump(shard)
-        cost = self._entry_cost(entry)
+        # Decide the wire encoding (ring vs. inline) *before* the
+        # credit wait: the wait only ever frees ring spans, so a
+        # placement that fits now still fits after waiting — while the
+        # reverse decision (assume ring, fall back to inline) would
+        # under-count the byte window and break deadlock freedom.
+        use_ring = (
+            entry[0] == "ingest"
+            and shard.ring is not None
+            and entry[2].nbytes > 0
+            and shard.ring.can_place(entry[2].nbytes)
+        )
+        cost = 512
+        if entry[0] == "ingest" and not use_ring:
+            cost += entry[2].nbytes
+        elif entry[0] in ("inject", "restore"):
+            cost += len(entry[1])
         # Two credit windows: command count (decision-latency knob) and
         # command bytes (deadlock-freedom invariant, see module top).
         # An oversized single command waits for an idle worker instead.
@@ -584,9 +1113,24 @@ class ShardedStreamingService:
             self._wait_one(shard)
         seq = shard.next_seq
         shard.next_seq += 1
+        if use_ring:
+            offset = shard.ring.place(entry[2], seq)
+            assert offset is not None, "ring shrank while waiting"
+            shard.ring_seqs.add(seq)
+            wire = (
+                "ingest",
+                seq,
+                entry[1],
+                ("shm", offset, entry[2].shape),
+                entry[3],
+            )
+        else:
+            wire = (entry[0], seq) + tuple(entry[1:])
         try:
-            shard.conn.send(self._wire(entry, seq))
+            shard.conn.send(wire)
         except (BrokenPipeError, OSError) as exc:
+            if use_ring:
+                shard.ring_seqs.discard(seq)
             raise ShardCrashError(shard.index, str(exc)) from None
         shard.outstanding += 1
         shard.inflight_bytes[seq] = cost
@@ -611,6 +1155,10 @@ class ShardedStreamingService:
         hands it to the replacement: at-least-once delivery into a
         worker, exactly-once delivery of decisions to the caller (the
         per-session index filter drops replayed duplicates).
+
+        A ``checkpoint_interval`` triggers an automatic
+        :meth:`checkpoint_shard` once a shard's journal reaches that
+        many entries, bounding every future respawn's replay debt.
         """
         try:
             self._send(shard, entry, journal=journal)
@@ -623,9 +1171,21 @@ class ShardedStreamingService:
                 shard.journal.append(entry)
             self.respawn_shard(shard.index)
             if not journal:
-                # Non-journaled commands (stats) are not replayed; the
-                # caller retries.
+                # Non-journaled commands (stats/checkpoint) are not
+                # replayed; the caller retries.
                 raise
+        else:
+            # Auto-checkpoint when the journal hits the interval —
+            # except on an "extract" post: checkpointing there would
+            # clobber the extraction blob the in-progress migration is
+            # about to read (the next journaled post triggers instead).
+            if (
+                journal
+                and entry[0] != "extract"
+                and self._checkpoint_interval is not None
+                and len(shard.journal) >= self._checkpoint_interval
+            ):
+                self.checkpoint_shard(shard.index)
 
     def _recv(self, shard: _Shard):
         try:
@@ -692,6 +1252,10 @@ class ShardedStreamingService:
         kind, seq, payload = message
         shard.outstanding -= 1
         shard.inflight_bytes.pop(seq, None)
+        if seq in shard.ring_seqs:
+            shard.ring_seqs.discard(seq)
+            if shard.ring is not None:
+                shard.ring.release(seq)
         journal_pos = shard.inflight_journal.pop(seq, None)
         if kind == "err":
             if journal_pos is not None:
@@ -702,6 +1266,8 @@ class ShardedStreamingService:
             raise ShardError(shard.index, payload)
         if isinstance(payload, StreamStats):
             shard.last_stats = payload
+        elif isinstance(payload, (bytes, bytearray)):
+            shard.last_state = bytes(payload)
         elif isinstance(payload, list):
             self._deliver(payload)
 

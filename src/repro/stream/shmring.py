@@ -1,0 +1,174 @@
+"""Shared-memory ingest rings: sample payloads out of the pipes.
+
+PR 4's profile showed ~16 % of coordinator time going to pickling
+ingest sample arrays into the worker pipes.  An :class:`IngestRing`
+lifts that tax: the coordinator copies each chunk's float64 payload
+into a per-shard ``multiprocessing.shared_memory`` segment and sends
+only ``("shm", offset, shape)`` over the pipe; the worker copies the
+payload back out of the mapping.  Both copies are straight memcpys —
+no pickle traversal, no pipe syscalls proportional to sample bytes.
+
+The allocator is the simplest thing that is provably correct for this
+traffic, a SPSC byte ring driven by the pipe's own FIFO discipline:
+
+* the coordinator allocates spans at a monotonically increasing
+  *absolute* head (``offset = head % capacity``; a span never wraps —
+  the tail gap is padded instead);
+* every span is tagged with the command ``seq`` it carries, and the
+  worker acknowledges commands strictly in seq order, so spans are
+  freed strictly FIFO: :meth:`release` just pops the oldest span and
+  advances the absolute tail to its end.
+
+A chunk that does not fit (ring full, or bigger than the whole ring)
+simply falls back to the inline pipe encoding — the ring is a fast
+path, never a correctness dependency.  Crash recovery needs no ring
+repair at all: the coordinator's journal stores real sample arrays,
+and a respawned worker gets a *fresh* ring into which replayed
+commands are re-placed.
+
+Python 3.9+ registers every attach with the ``resource_tracker``; the
+worker-side :meth:`IngestRing.attach` unregisters itself again so only
+the creating coordinator unlinks the segment (exactly once).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+try:  # gate: some minimal platforms build CPython without _posixshmem
+    from multiprocessing import shared_memory as _shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover - full CPython always has it
+    _shared_memory = None
+    SHM_AVAILABLE = False
+
+
+class IngestRing:
+    """Single-producer single-consumer shared-memory byte ring."""
+
+    def __init__(self, shm, capacity: int, owner: bool):
+        self._shm = shm
+        self._capacity = int(capacity)
+        self._owner = bool(owner)
+        self._head = 0  # absolute bytes allocated (incl. wrap padding)
+        self._tail = 0  # absolute bytes released
+        self._spans: Deque[Tuple[int, int]] = deque()  # (seq, abs end)
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int) -> "IngestRing":
+        """Coordinator side: allocate a fresh segment (auto-named)."""
+        if not SHM_AVAILABLE:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        shm = _shared_memory.SharedMemory(create=True, size=int(capacity))
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "IngestRing":
+        """Worker side: map an existing segment by name.
+
+        Workers are ``multiprocessing`` children, so they share the
+        coordinator's ``resource_tracker`` process — the extra
+        registration the attach performs lands in the same name set the
+        creator already populated (a dedup no-op), and the creator's
+        ``unlink`` deregisters it exactly once.  No tracker surgery is
+        needed here; it would be for a genuinely unrelated process.
+        """
+        if not SHM_AVAILABLE:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        shm = _shared_memory.SharedMemory(name=name)
+        return cls(shm, capacity, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def capacity(self) -> int:
+        """Payload bytes the ring can hold."""
+        return self._capacity
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes currently allocated (including wrap padding)."""
+        return self._head - self._tail
+
+    def close(self) -> None:
+        """Unmap (and, for the creating side, unlink) the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover
+                pass
+
+    # -- producer side -----------------------------------------------------
+
+    def can_place(self, nbytes: int) -> bool:
+        """Whether :meth:`place` would currently succeed for ``nbytes``."""
+        if nbytes < 1 or nbytes > self._capacity:
+            return False
+        head = self._head
+        offset = head % self._capacity
+        if offset + nbytes > self._capacity:
+            head += self._capacity - offset  # wrap padding
+        return head + nbytes - self._tail <= self._capacity
+
+    def place(self, samples: np.ndarray, seq: int) -> Optional[int]:
+        """Copy one C-contiguous array in; returns its byte offset.
+
+        Returns ``None`` when the span does not fit — the caller falls
+        back to the inline pipe encoding.  The span stays allocated
+        until :meth:`release` is called with the same ``seq``.
+        """
+        nbytes = samples.nbytes
+        if nbytes < 1 or nbytes > self._capacity:
+            return None
+        head = self._head
+        offset = head % self._capacity
+        if offset + nbytes > self._capacity:
+            head += self._capacity - offset
+            offset = 0
+        if head + nbytes - self._tail > self._capacity:
+            return None
+        self._shm.buf[offset : offset + nbytes] = samples.tobytes()
+        self._head = head + nbytes
+        self._spans.append((seq, self._head))
+        return offset
+
+    def release(self, seq: int) -> None:
+        """Free the span carried by command ``seq``.
+
+        Acks arrive in seq order over the pipe, so the released span is
+        always the oldest live one; anything else is a protocol bug.
+        """
+        if not self._spans or self._spans[0][0] != seq:
+            raise RuntimeError(
+                f"out-of-order ring release: seq {seq}, oldest span "
+                f"{self._spans[0][0] if self._spans else None}"
+            )
+        _, end = self._spans.popleft()
+        self._tail = end
+
+    # -- consumer side -----------------------------------------------------
+
+    def read(self, offset: int, shape: tuple) -> np.ndarray:
+        """Copy one float64 payload out of the mapping."""
+        nbytes = int(np.prod(shape)) * 8
+        payload = bytes(self._shm.buf[offset : offset + nbytes])
+        return np.frombuffer(payload, dtype=np.float64).reshape(shape)

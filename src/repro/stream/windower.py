@@ -111,6 +111,57 @@ class StreamWindower:
         self._trim()
         return out
 
+    # -- snapshot protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the windower's mutable state as a plain dict.
+
+        The dict is value-like (ints + one ``bytes`` payload holding the
+        pending buffer rows) and picklable; feeding it to
+        :meth:`restore` on a windower built with the same config yields
+        a stream continuation byte-identical to never having paused.
+        """
+        return {
+            "length": self._length,
+            "stride": self._stride,
+            "n_channels": self._n_channels,
+            "next_start": self._next_start,
+            "base": self._base,
+            "filled": self._filled,
+            "buf": self._buf[: self._filled].tobytes(),
+            "samples_in": self.samples_in,
+            "windows_out": self.windows_out,
+        }
+
+    def restore(self, state: dict) -> "StreamWindower":
+        """Adopt a :meth:`snapshot` dict; returns ``self``.
+
+        The snapshot's structural parameters must match this windower's
+        config — state captured under one slicing cannot silently
+        continue under another.
+        """
+        for key in ("length", "stride", "n_channels"):
+            if int(state[key]) != getattr(self, f"_{key}"):
+                raise ValueError(
+                    f"windower snapshot {key}={state[key]} does not match "
+                    f"this windower's {key}={getattr(self, f'_{key}')}"
+                )
+        filled = int(state["filled"])
+        rows = np.frombuffer(
+            state["buf"], dtype=np.float64
+        ).reshape(filled, self._n_channels)
+        cap = max(self._length + self._stride, 64)
+        while cap < filled:
+            cap *= 2
+        self._buf = np.empty((cap, self._n_channels), dtype=np.float64)
+        self._buf[:filled] = rows
+        self._filled = filled
+        self._next_start = int(state["next_start"])
+        self._base = int(state["base"])
+        self.samples_in = int(state["samples_in"])
+        self.windows_out = int(state["windows_out"])
+        return self
+
     # -- buffer management -------------------------------------------------
 
     def _append(self, samples: np.ndarray) -> None:

@@ -561,3 +561,61 @@ class TestModelVersion2:
     def test_unknown_write_version_rejected(self, fitted, tmp_path):
         with pytest.raises(ModelFormatError, match="version 3"):
             save_model(tmp_path / "future", fitted, version=3)
+
+
+class TestSnapshotEnvelope:
+    """The versioned pickle envelope elastic state travels in."""
+
+    def test_roundtrip(self):
+        state = {"clock": 7, "buf": b"\x00\x01", "nested": {"a": [1, 2]}}
+        blob = serialize.dumps_snapshot("worker", state)
+        assert isinstance(blob, bytes)
+        assert serialize.loads_snapshot(blob) == state
+        assert serialize.loads_snapshot(blob, "worker") == state
+
+    def test_kind_mismatch_rejected(self):
+        blob = serialize.dumps_snapshot("worker", {})
+        with pytest.raises(
+            serialize.SnapshotFormatError, match="session-transfer"
+        ):
+            serialize.loads_snapshot(blob, "session-transfer")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(serialize.SnapshotFormatError):
+            serialize.loads_snapshot(b"not a snapshot")
+        # A pickle that is not a snapshot envelope is also rejected.
+        import pickle
+
+        with pytest.raises(serialize.SnapshotFormatError):
+            serialize.loads_snapshot(pickle.dumps({"magic": "nope"}))
+
+    def test_unknown_version_rejected(self):
+        import pickle
+
+        blob = pickle.dumps(
+            {
+                "magic": serialize.SNAPSHOT_MAGIC,
+                "version": serialize.SNAPSHOT_VERSION + 99,
+                "kind": "worker",
+                "state": {},
+            }
+        )
+        with pytest.raises(
+            serialize.SnapshotFormatError, match="version"
+        ):
+            serialize.loads_snapshot(blob)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            serialize.dumps_snapshot("", {})
+        with pytest.raises(ValueError):
+            serialize.dumps_snapshot("worker", [1, 2])
+
+    def test_save_and_load_paths(self, tmp_path):
+        state = {"x": 1}
+        path = serialize.save_snapshot(
+            tmp_path / "deep" / "nested" / "s.snap", "worker", state
+        )
+        assert path.is_file()
+        assert serialize.load_snapshot(path) == state
+        assert serialize.load_snapshot(path, "worker") == state

@@ -26,6 +26,7 @@ from repro.stream import (
     decision_records,
     parity_digest,
     replay,
+    session_key_bytes,
     shard_for,
     synthetic_trace,
 )
@@ -85,6 +86,48 @@ class TestHashPartition:
     def test_validation(self):
         with pytest.raises(ValueError):
             shard_for("x", 0)
+
+    def test_session_key_bytes_is_canonical_and_typed(self):
+        # Each supported type gets an unambiguous tagged encoding —
+        # hashing canonical bytes, not repr(), so placement can never
+        # depend on how a type happens to print.
+        assert session_key_bytes("user-1") == b"s:user-1"
+        assert session_key_bytes(b"user-1") == b"b:user-1"
+        assert session_key_bytes(7) == b"i:7"
+        assert session_key_bytes(np.int64(7)) == b"i:7"
+        # Same-looking values of different types never collide.
+        keys = [session_key_bytes(v) for v in ("7", b"7", 7)]
+        assert len(set(keys)) == 3
+
+    def test_session_key_bytes_rejects_unsupported_types(self):
+        for bad in (True, 1.5, None, ("a", 1)):
+            with pytest.raises(TypeError):
+                session_key_bytes(bad)
+        with pytest.raises(TypeError):
+            shard_for(1.5, 2)
+
+    def test_str_and_repr_equivalent_ids_place_independently(self):
+        # The repr()-hashing bug this replaces made 'x' and "'x'"-style
+        # collisions possible; canonical encoding keeps every id type
+        # in its own namespace while staying deterministic.
+        ids = [1, "1", b"1", 2, "2", b"2"]
+        for n_shards in (2, 3, 5):
+            placed = {repr(i): shard_for(i, n_shards) for i in ids}
+            assert placed == {
+                repr(i): shard_for(i, n_shards) for i in ids
+            }
+
+    def test_consistent_hash_minimal_movement(self):
+        # Growing the fleet n -> n+1 moves sessions only *onto the new
+        # shard*; everything else stays put.  This is the property that
+        # makes live resharding cheap.
+        ids = [f"sess-{i}" for i in range(300)]
+        for n in (1, 2, 3, 5, 7):
+            before = {sid: shard_for(sid, n) for sid in ids}
+            after = {sid: shard_for(sid, n + 1) for sid in ids}
+            moved = [sid for sid in ids if before[sid] != after[sid]]
+            assert all(after[sid] == n for sid in moved)
+            assert moved  # the new shard takes a share of the keys
 
     def test_service_places_sessions_by_hash(self, store):
         path, _ = store
