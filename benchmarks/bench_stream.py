@@ -55,12 +55,14 @@ except ModuleNotFoundError:  # standalone: python benchmarks/bench_stream.py
 from repro.emg import EMGDatasetConfig, WindowConfig, generate_subject
 from repro.hdc import save_model
 from repro.perf import device_model
+from repro.perf.streaming import format_percentiles, wall_histogram
 from repro.pulp import PULPV3_SOC
 from repro.stream import (
     ShardedStreamingService,
     StreamConfig,
     StreamingService,
     StreamWindower,
+    parity_digest,
     replay,
     trace_from_streams,
 )
@@ -163,6 +165,9 @@ def stream_scaling(stream_workload):
             mean_batch=mean_batch,
             naive_us=(naive * 1e6) if naive else None,
             speedup=(naive * warm_w / warm_s) if naive else None,
+            staleness=format_percentiles(
+                service.queue_age_ticks_hist, "ticks"
+            ),
         )
 
     device = device_model(PULPV3_SOC, n_cores=4, dim=model.config.dim)
@@ -185,6 +190,12 @@ def stream_scaling(stream_workload):
             f"{row['mean_batch']:>6.0f} {naive:>8s} {speedup:>8s}"
         )
     lines.append(
+        "  decision staleness (ticks a window queued before dispatch, "
+        "p50/p95/p99):"
+    )
+    for n_sessions, row in rows.items():
+        lines.append(f"    {n_sessions:>6d} sessions: {row['staleness']}")
+    lines.append(
         f"  simulated device: {device.name} @ {device.f_mhz:.2f} MHz, "
         f"{device.cycles_per_window:,} cycles / "
         f"{device.window_latency_ms:.2f} ms / "
@@ -192,6 +203,13 @@ def stream_scaling(stream_workload):
     )
     publish("stream", "\n".join(lines))
     return rows
+
+
+def test_scaling_reports_staleness_percentiles(stream_scaling):
+    """Every published row carries non-empty p50/p95/p99 staleness."""
+    for n_sessions, row in stream_scaling.items():
+        assert row["staleness"] != "-", n_sessions
+        assert "p95" in row["staleness"], row["staleness"]
 
 
 def test_scaling_covers_thousand_sessions(stream_scaling):
@@ -486,6 +504,144 @@ def test_shm_ring_reduces_coordinator_overhead(
     assert ring["gain"] >= 1.0, ring
 
 
+# -- network ingress: the SLO harness ---------------------------------------
+
+INGRESS_STEADY_SESSIONS = 6
+INGRESS_BURST_SESSIONS = 24
+INGRESS_SAMPLES = 400
+
+
+def _ingress_parity(result, model, config):
+    """Digest of network decisions vs. in-process replay of the same
+    accepted streams.  Byte equality or bust."""
+    if not result.completed:
+        return True, "no completed sessions"
+    reference = StreamingService(model, config)
+    expected = replay(
+        reference, trace_from_streams(result.completed, seed=0)
+    )
+    got = parity_digest(result.decisions)
+    want = parity_digest({sid: expected[sid] for sid in result.completed})
+    return got == want, got[:16]
+
+
+def _run_ingress_slo(model):
+    """Steady phase + overload burst against a live TCP server.
+
+    Latency stamps ride the wire (client ``perf_counter`` on each
+    SAMPLES frame, echoed on the DECISION frames of the windows that
+    chunk completed), so the percentiles are true ingest→decision wall
+    latency over real sockets — scheduler queueing, coordinator
+    round-trips, and network framing included.  The overload burst
+    slams an arrival herd at a server with tight admission watermarks:
+    OPENs past the watermark are shed with retry-after, and the
+    decisions of every *admitted* session must stay byte-identical to
+    an in-process replay of exactly the streams that were accepted.
+    """
+    import asyncio
+
+    from repro.stream import IngressConfig, IngressServer
+    from repro.stream.workload import (
+        WorkloadConfig,
+        generate_workload,
+        run_workload,
+    )
+
+    config = StreamConfig(window=WINDOW, max_batch=64, max_wait=4)
+    phases = {}
+
+    async def drive(ingress_config, workload_config, seed):
+        service = StreamingService(model, config)
+        server = IngressServer(service, config, ingress_config)
+        host, port = await server.start("127.0.0.1", 0)
+        scripts = generate_workload(workload_config, seed=seed)
+        result = await run_workload(host, port, scripts)
+        await server.stop()
+        return result, server.stats
+
+    # Steady phase: arrivals the fleet absorbs without shedding.
+    result, stats = asyncio.run(
+        drive(
+            IngressConfig(),
+            WorkloadConfig(
+                n_sessions=INGRESS_STEADY_SESSIONS,
+                n_channels=model.config.n_channels,
+                samples_per_session=INGRESS_SAMPLES,
+                burst_fraction=0.3,
+                arrival_span_s=0.2,
+            ),
+            seed=11,
+        )
+    )
+    hist = wall_histogram()
+    hist.record_many(np.asarray(result.latencies))
+    ok, digest = _ingress_parity(result, model, config)
+    phases["steady"] = dict(
+        result=result, stats=stats, hist=hist, parity=ok, digest=digest
+    )
+
+    # Overload burst: a thundering herd against tight watermarks.
+    result, stats = asyncio.run(
+        drive(
+            IngressConfig(shed_backlog=4, retry_after_s=0.25),
+            WorkloadConfig(
+                n_sessions=INGRESS_BURST_SESSIONS,
+                n_channels=model.config.n_channels,
+                samples_per_session=INGRESS_SAMPLES,
+                burst_fraction=1.0,
+            ),
+            seed=13,
+        )
+    )
+    hist = wall_histogram()
+    hist.record_many(np.asarray(result.latencies))
+    ok, digest = _ingress_parity(result, model, config)
+    phases["overload"] = dict(
+        result=result, stats=stats, hist=hist, parity=ok, digest=digest
+    )
+    return phases
+
+
+def _render_ingress(model, phases) -> str:
+    lines = [
+        "Network ingress - ingest->decision latency SLO over TCP",
+        f"  (D={model.config.dim}, W=5/stride 5, framed wire protocol, "
+        f"client-clock stamps, {_usable_cores()} usable cores)",
+    ]
+    for name, phase in phases.items():
+        result, stats = phase["result"], phase["stats"]
+        n_decisions = sum(len(d) for d in result.decisions.values())
+        lines += [
+            f"  {name} phase: "
+            f"{len(result.completed)} sessions completed, "
+            f"{len(result.rejected)} shed, "
+            f"{len(result.aborted)} aborted, "
+            f"{n_decisions} decisions",
+            f"    latency: {format_percentiles(phase['hist'], 'ms')}",
+            f"    accepted-session parity vs in-process replay: "
+            f"{'PASS' if phase['parity'] else 'FAIL'} "
+            f"[{phase['digest']}]",
+            f"    server: {stats.describe()}",
+        ]
+    return "\n".join(lines)
+
+
+def test_ingress_slo_harness(stream_workload):
+    """Acceptance: the ingress harness publishes non-empty latency
+    percentiles and shed counts; the overload burst sheds load while
+    accepted sessions stay byte-identical to in-process replay."""
+    model, _ = stream_workload
+    phases = _run_ingress_slo(model)
+    publish("stream_ingress", _render_ingress(model, phases))
+    for name, phase in phases.items():
+        assert phase["parity"], f"{name}: network decisions diverged"
+    assert phases["steady"]["hist"].count > 0
+    assert phases["steady"]["result"].completed
+    overload = phases["overload"]["result"]
+    assert overload.rejected, "overload burst shed no sessions"
+    assert overload.completed, "overload burst admitted no sessions"
+
+
 def _main(argv=None) -> int:
     """Standalone smoke entry point: the CI ``--shards 4`` job."""
     parser = argparse.ArgumentParser(
@@ -500,12 +656,19 @@ def _main(argv=None) -> int:
         help="run the elastic section (checkpointed respawn + shm "
         "rings) instead of the scaling smoke",
     )
+    parser.add_argument(
+        "--ingress",
+        action="store_true",
+        help="run the network-ingress SLO harness (latency "
+        "percentiles + admission-control shed counts) instead of "
+        "the scaling smoke",
+    )
     args = parser.parse_args(argv)
     cores = _usable_cores()
     from repro.emg import subject_windows
     from repro.hdc import BatchHDClassifier, HDClassifierConfig
 
-    if not args.elastic and cores < args.shards:
+    if not (args.elastic or args.ingress) and cores < args.shards:
         print(
             f"SKIP: sharded scaling needs >= {args.shards} usable "
             f"cores, found {cores}"
@@ -517,6 +680,24 @@ def _main(argv=None) -> int:
     )
     model = BatchHDClassifier(HDClassifierConfig(dim=args.dim))
     model.fit(np.asarray(train_w), train_l)
+    if args.ingress:
+        phases = _run_ingress_slo(model)
+        publish("stream_ingress", _render_ingress(model, phases))
+        failed = [
+            name
+            for name, phase in phases.items()
+            if not phase["parity"]
+        ]
+        if failed:
+            print(f"FAIL: network decisions diverged in {failed}")
+            return 1
+        if phases["steady"]["hist"].count == 0:
+            print("FAIL: steady phase produced no latency samples")
+            return 1
+        if not phases["overload"]["result"].rejected:
+            print("FAIL: overload burst shed no sessions")
+            return 1
+        return 0
     with tempfile.TemporaryDirectory() as tmp:
         store = save_model(f"{tmp}/model", model)
         if args.elastic:

@@ -20,8 +20,11 @@ callers that already ran Table 2/3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..kernels.layout import ChainDims
 from ..pulp.power import (
@@ -165,6 +168,214 @@ def device_model(
     )
 
 
+# -- latency histograms ------------------------------------------------------
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram with mergeable counts and percentile stats.
+
+    The serving stack needs tail latency (p95/p99), not means, and it
+    needs it aggregated across worker processes — so raw sample lists
+    are out (unbounded) and a plain mean is out (hides the tail).  This
+    is the standard compromise: fixed geometric buckets spanning
+    ``[lo, hi)`` with ``buckets_per_decade`` buckets per factor of 10
+    (16/decade ≈ 15 % bucket width, so percentile estimates carry that
+    resolution), an exact-zero counter (logical-tick waits are often 0),
+    and under/overflow clamped into the edge buckets.  Two histograms
+    with the same geometry merge by adding counts, which is how
+    :class:`FleetStats` folds per-shard views into fleet percentiles.
+
+    Values are unit-agnostic: the scheduler records wall-clock seconds
+    into one instance and logical-tick waits into another.  Instances
+    are plain picklable values (they ride worker stats replies and
+    scheduler snapshots) and records are O(1).
+    """
+
+    __slots__ = (
+        "lo", "hi", "buckets_per_decade", "zeros", "counts",
+        "total", "min", "max",
+    )
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 1e4,
+        buckets_per_decade: int = 16,
+    ):
+        if not (0.0 < lo < hi):
+            raise ValueError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"buckets_per_decade must be >= 1, "
+                f"got {buckets_per_decade}"
+            )
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets_per_decade = int(buckets_per_decade)
+        n = int(
+            math.ceil(math.log10(hi / lo) * buckets_per_decade)
+        )
+        self.zeros = 0  # exact-zero (and negative-clamped) values
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def count(self) -> int:
+        """Recorded values, including exact zeros."""
+        return self.zeros + int(self.counts.sum())
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded values (0.0 when empty)."""
+        n = self.count
+        return self.total / n if n else 0.0
+
+    def _index(self, values: np.ndarray) -> np.ndarray:
+        scaled = np.log10(values / self.lo) * self.buckets_per_decade
+        return np.clip(
+            np.floor(scaled).astype(np.int64), 0, len(self.counts) - 1
+        )
+
+    def record(self, value: float) -> None:
+        """Record one value (non-positive values count as exact zeros)."""
+        self.record_many(np.asarray([value], dtype=np.float64))
+
+    def record_many(self, values) -> None:
+        """Record a batch of values in one vectorized pass."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        positive = values[values > 0.0]
+        self.zeros += values.size - positive.size
+        self.total += float(values.sum())
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        if positive.size:
+            np.add.at(self.counts, self._index(positive), 1)
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 100].
+
+        Returns the geometric midpoint of the bucket where the
+        cumulative count crosses the rank (0.0 for the zero bucket),
+        clamped into the observed ``[min, max]`` range so tiny samples
+        do not report a bucket edge outside anything recorded.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile must be in [0, 100], got {q}")
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = q / 100.0 * n
+        if rank <= self.zeros:
+            return 0.0
+        cumulative = self.zeros + np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cumulative, rank))
+        bucket = min(bucket, len(self.counts) - 1)
+        lo_edge = self.lo * 10.0 ** (bucket / self.buckets_per_decade)
+        hi_edge = lo_edge * 10.0 ** (1.0 / self.buckets_per_decade)
+        value = math.sqrt(lo_edge * hi_edge)
+        return float(min(max(value, self.min), self.max))
+
+    def percentiles(
+        self, qs: Sequence[float] = (50.0, 95.0, 99.0)
+    ) -> Tuple[float, ...]:
+        """Percentile estimates at each requested quantile."""
+        return tuple(self.percentile(q) for q in qs)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram of identical geometry into this one."""
+        if (
+            other.lo != self.lo
+            or other.hi != self.hi
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ValueError(
+                "cannot merge histograms with different geometries"
+            )
+        self.zeros += other.zeros
+        self.counts += other.counts
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        """Independent deep copy (merge folds in place)."""
+        out = LatencyHistogram(self.lo, self.hi, self.buckets_per_decade)
+        return out.merge(self)
+
+    # Plain picklable state for snapshots and stats transport.
+    def __getstate__(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_decade": self.buckets_per_decade,
+            "zeros": self.zeros,
+            "counts": self.counts.tobytes(),
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.lo = float(state["lo"])
+        self.hi = float(state["hi"])
+        self.buckets_per_decade = int(state["buckets_per_decade"])
+        self.zeros = int(state["zeros"])
+        self.counts = np.frombuffer(
+            state["counts"], dtype=np.int64
+        ).copy()
+        self.total = float(state["total"])
+        self.min = float(state["min"])
+        self.max = float(state["max"])
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "LatencyHistogram(empty)"
+        p50, p95, p99 = self.percentiles()
+        return (
+            f"LatencyHistogram(n={self.count}, p50={p50:.4g}, "
+            f"p95={p95:.4g}, p99={p99:.4g}, max={self.max:.4g})"
+        )
+
+
+def tick_histogram() -> LatencyHistogram:
+    """Histogram geometry for logical-tick waits (integers, 0..~1e6)."""
+    return LatencyHistogram(lo=0.5, hi=1e6, buckets_per_decade=16)
+
+
+def wall_histogram() -> LatencyHistogram:
+    """Histogram geometry for wall-clock seconds (1 µs .. 10 ks)."""
+    return LatencyHistogram(lo=1e-6, hi=1e4, buckets_per_decade=16)
+
+
+def format_percentiles(
+    hist: Optional[LatencyHistogram], unit: str = "s"
+) -> str:
+    """One-line ``p50/p95/p99`` rendering (``-`` when empty/absent)."""
+    if hist is None or hist.count == 0:
+        return "-"
+    p50, p95, p99 = hist.percentiles()
+    if unit == "ms":
+        p50, p95, p99 = p50 * 1e3, p95 * 1e3, p99 * 1e3
+        return (
+            f"p50 {p50:.2f}ms / p95 {p95:.2f}ms / p99 {p99:.2f}ms "
+            f"(n={hist.count})"
+        )
+    if unit == "ticks":
+        return (
+            f"p50 {p50:.1f} / p95 {p95:.1f} / p99 {p99:.1f} ticks "
+            f"(n={hist.count})"
+        )
+    return (
+        f"p50 {p50:.4g}{unit} / p95 {p95:.4g}{unit} / "
+        f"p99 {p99:.4g}{unit} (n={hist.count})"
+    )
+
+
 # -- per-scheduler and fleet-wide aggregation --------------------------------
 #
 # The sharded front end (:mod:`repro.stream.sharded`) runs one scheduler
@@ -190,10 +401,22 @@ class StreamStats:
     host_seconds: float  # wall-clock inside engine passes
     device_cycles: int  # simulated on-device totals (0 without a device)
     device_energy_uj: float
+    #: Queue-age telemetry (PR 8): the age of the *oldest* still-queued
+    #: window at snapshot time, and per-window dispatch-wait histograms
+    #: over the scheduler's lifetime — in logical ingest ticks (the
+    #: deterministic unit replay can reproduce) and wall-clock seconds
+    #: (the unit SLOs are written in).  Defaults keep old constructors
+    #: (and pickled snapshots) working.
+    oldest_queue_age_ticks: int = 0
+    oldest_queue_age_s: float = 0.0
+    queue_age_ticks_hist: Optional[LatencyHistogram] = None
+    queue_age_s_hist: Optional[LatencyHistogram] = None
 
     @classmethod
     def collect(cls, service, shard: Optional[int] = None) -> "StreamStats":
         """Snapshot any object with the scheduler's telemetry surface."""
+        ticks_hist = getattr(service, "queue_age_ticks_hist", None)
+        wall_hist = getattr(service, "queue_age_s_hist", None)
         return cls(
             shard=shard,
             n_sessions=len(service.sessions),
@@ -206,6 +429,18 @@ class StreamStats:
             host_seconds=service.total_host_seconds,
             device_cycles=service.total_device_cycles,
             device_energy_uj=service.total_device_energy_uj,
+            oldest_queue_age_ticks=getattr(
+                service, "oldest_queued_tick_age", 0
+            ),
+            oldest_queue_age_s=getattr(
+                service, "oldest_queued_wall_age", 0.0
+            ),
+            queue_age_ticks_hist=(
+                ticks_hist.copy() if ticks_hist is not None else None
+            ),
+            queue_age_s_hist=(
+                wall_hist.copy() if wall_hist is not None else None
+            ),
         )
 
     @property
@@ -334,6 +569,39 @@ class FleetStats:
         return sum(s.device_energy_uj for s in self.shards)
 
     @property
+    def queue_age_ticks_hist(self) -> Optional[LatencyHistogram]:
+        """Merged per-window dispatch-wait histogram in logical ticks."""
+        return self._merged_hist("queue_age_ticks_hist")
+
+    @property
+    def queue_age_s_hist(self) -> Optional[LatencyHistogram]:
+        """Merged per-window dispatch-wait histogram in seconds."""
+        return self._merged_hist("queue_age_s_hist")
+
+    def _merged_hist(self, name: str) -> Optional[LatencyHistogram]:
+        merged: Optional[LatencyHistogram] = None
+        for s in self.shards:
+            hist = getattr(s, name)
+            if hist is None:
+                continue
+            merged = hist.copy() if merged is None else merged.merge(hist)
+        return merged
+
+    @property
+    def oldest_queue_age_ticks(self) -> int:
+        """Worst (oldest) queued-window age across shards, in ticks."""
+        return max(
+            (s.oldest_queue_age_ticks for s in self.shards), default=0
+        )
+
+    @property
+    def oldest_queue_age_s(self) -> float:
+        """Worst (oldest) queued-window age across shards, in seconds."""
+        return max(
+            (s.oldest_queue_age_s for s in self.shards), default=0.0
+        )
+
+    @property
     def total_journal_bytes(self) -> int:
         """Coordinator journal bytes across the fleet (replay debt)."""
         return sum(self.journal_bytes)
@@ -373,6 +641,13 @@ class FleetStats:
             f"{_format_bytes(self.total_checkpoint_bytes):>8s} "
             f"{self.host_seconds:>9.3f}"
         )
+        ticks = self.queue_age_ticks_hist
+        if ticks is not None and ticks.count:
+            lines.append(
+                f"  queue age: "
+                f"{format_percentiles(ticks, 'ticks')}; wall "
+                f"{format_percentiles(self.queue_age_s_hist, 'ms')}"
+            )
         if self.checkpoints or self.migrations or self.rescales:
             lines.append(
                 f"  elastic: {self.checkpoints} checkpoints, "

@@ -32,14 +32,30 @@ low-power device.  This package is that serving layer, scaled out:
   checkpoints, migration, and resharding possible;
 * :mod:`~repro.stream.replay` — seedable deterministic traces and the
   differential parity harness that pins the sharded service bit-exactly
-  to the single-process one.
+  to the single-process one;
+* :mod:`~repro.stream.wire` / :mod:`~repro.stream.ingress` — the
+  network front door: a versioned length-prefixed frame protocol and an
+  asyncio TCP server multiplexing client connections onto either
+  service, with credit-based flow control, admission control with load
+  shedding, and client-clock latency stamping;
+* :mod:`~repro.stream.workload` — seeded synthetic network workloads
+  (bursty arrivals, session churn, ragged chunking, slow clients) for
+  the SLO harness in ``benchmarks/bench_stream.py --ingress``.
 
 Models come from the versioned store (:mod:`repro.hdc.serialize`);
 serving never retrains.  ``python -m repro.stream`` runs a synthetic-EMG
 demo (``--shards N`` for the multi-process front end); ``--selftest``
-checks streaming/offline and sharded/single-process parity end to end.
+checks streaming/offline and sharded/single-process parity end to end;
+``--serve HOST:PORT`` / ``--client HOST:PORT`` run the network ingress
+server and a workload-driving client.
 """
 
+from .ingress import (
+    IngressClient,
+    IngressConfig,
+    IngressServer,
+    IngressStats,
+)
 from .replay import (
     ReplayTrace,
     TraceEvent,
@@ -62,13 +78,21 @@ from .sharded import (
 )
 from .shmring import IngestRing
 from .windower import StreamWindower
+from .wire import PROTOCOL_VERSION, FrameDecoder, WireError, encode_frame
+from .workload import WorkloadConfig, generate_workload, run_workload
 
 __all__ = [
     "AutoscalePolicy",
     "BatchReport",
     "Decision",
+    "FrameDecoder",
     "IngestRing",
+    "IngressClient",
+    "IngressConfig",
+    "IngressServer",
+    "IngressStats",
     "MajorityVoteSmoother",
+    "PROTOCOL_VERSION",
     "ReplayTrace",
     "Session",
     "ShardCrashError",
@@ -78,9 +102,14 @@ __all__ = [
     "StreamingService",
     "StreamWindower",
     "TraceEvent",
+    "WireError",
+    "WorkloadConfig",
     "decision_records",
+    "encode_frame",
+    "generate_workload",
     "parity_digest",
     "replay",
+    "run_workload",
     "session_key_bytes",
     "shard_for",
     "stream_bytes",

@@ -19,17 +19,24 @@ single-process scheduler on the same trace, model-store round-trip
 bit-exactness (eager and mmap loads), checkpoint + SIGKILL recovery and
 a live ``rescale(2->4->3)`` both byte-identical to the undisturbed run —
 exiting non-zero on any mismatch (wired into CI).
+
+``--serve HOST:PORT`` starts the network ingress front door
+(:mod:`repro.stream.ingress`) over the configured service and serves
+until interrupted; ``--client HOST:PORT`` drives a seeded synthetic
+workload (:mod:`repro.stream.workload`) against a running server and
+reports ingest→decision latency percentiles plus shed counts.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import os
 import signal
 import sys
 import tempfile
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,7 +98,30 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="simulated device for telemetry (default pulp4)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the CI parity selftest and exit")
+    parser.add_argument("--serve", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="start the network ingress server "
+                             "(port 0 picks a free port)")
+    parser.add_argument("--client", type=str, default=None,
+                        metavar="HOST:PORT",
+                        help="drive a seeded workload against a "
+                             "running ingress server")
+    parser.add_argument("--channels", type=int, default=4,
+                        help="with --client: channels per sample "
+                             "(default 4; must match the server model)")
+    parser.add_argument("--client-samples", type=int, default=1000,
+                        help="with --client: samples per session "
+                             "(default 1000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
     return parser
+
+
+def _parse_hostport(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port:
+        raise SystemExit(f"expected HOST:PORT, got {spec!r}")
+    return host, int(port)
 
 
 def _train_model(
@@ -457,10 +487,96 @@ def run_selftest() -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """Start the ingress front door and serve until interrupted."""
+    from .ingress import IngressServer
+
+    host, port = _parse_hostport(args.serve)
+    if args.model:
+        model = load_model(args.model)
+    else:
+        model = _train_model(args.dim, args.subject, args.repetitions)
+        print(f"trained subject {args.subject} at dim={args.dim}")
+    config = StreamConfig(
+        window=WindowConfig(),
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        smooth=args.smooth,
+    )
+
+    async def serve(service) -> None:
+        server = IngressServer(service, config)
+        bound_host, bound_port = await server.start(host, port)
+        print(
+            f"ingress serving on {bound_host}:{bound_port} "
+            f"({'sharded x' + str(args.shards) if args.shards else 'single'}"
+            f" service); ctrl-c to stop",
+            flush=True,
+        )
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        finally:
+            await server.stop()
+            print(f"ingress stats: {server.stats.describe()}")
+
+    try:
+        if args.shards > 0:
+            with tempfile.TemporaryDirectory() as tmp:
+                model_path = args.model or str(
+                    save_model(f"{tmp}/model", model)
+                )
+                with ShardedStreamingService(
+                    model_path, config, n_shards=args.shards
+                ) as service:
+                    asyncio.run(serve(service))
+        else:
+            asyncio.run(serve(StreamingService(model, config)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def run_client(args: argparse.Namespace) -> int:
+    """Drive a seeded workload against a live ingress server."""
+    from .workload import WorkloadConfig, generate_workload, run_workload
+
+    host, port = _parse_hostport(args.client)
+    scripts = generate_workload(
+        WorkloadConfig(
+            n_sessions=args.sessions,
+            n_channels=args.channels,
+            samples_per_session=args.client_samples,
+        ),
+        seed=args.seed,
+    )
+    result = asyncio.run(run_workload(host, port, scripts))
+    lines = [
+        f"sessions            : {len(scripts)} driven, "
+        f"{len(result.completed)} completed, "
+        f"{len(result.rejected)} shed, {len(result.aborted)} aborted",
+        f"decisions observed  : "
+        f"{sum(len(d) for d in result.decisions.values())}",
+    ]
+    if result.latencies:
+        p50, p95, p99 = np.percentile(result.latencies, [50, 95, 99])
+        lines.append(
+            f"ingest->decision    : p50 {p50 * 1e3:.2f} ms / "
+            f"p95 {p95 * 1e3:.2f} ms / p99 {p99 * 1e3:.2f} ms "
+            f"({len(result.latencies)} stamped decisions)"
+        )
+    print("\n".join(lines))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.selftest:
         return run_selftest()
+    if args.serve:
+        return run_serve(args)
+    if args.client:
+        return run_client(args)
     return run_demo(args)
 
 

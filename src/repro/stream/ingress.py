@@ -1,0 +1,932 @@
+"""Asyncio network ingress: the fleet's TCP front door.
+
+:class:`IngressServer` multiplexes many concurrent client connections
+(each carrying any number of sessions) onto one streaming service —
+the single-process :class:`~repro.stream.scheduler.StreamingService`
+or the sharded :class:`~repro.stream.sharded.ShardedStreamingService` —
+speaking the framed protocol of :mod:`repro.stream.wire`.
+
+Design constraints this module resolves:
+
+* **The coordinator is single-threaded and blocking.**  All service
+  calls run on one dedicated driver thread (:class:`_ServiceDriver`)
+  fed by a command queue; results hop back to the event loop via
+  ``call_soon_threadsafe``.  The driver's queue depth is itself an
+  admission signal — a deep backlog means the fleet is not keeping up
+  with arrival rate no matter what the credit windows say.
+* **Backpressure must reach the socket.**  Each connection gets a
+  window of unacknowledged SAMPLES payload bytes (granted in WELCOME);
+  the server returns CREDIT only after ``service.ingest`` has accepted
+  the chunk, so coordinator credit pressure delays CREDIT frames and a
+  well-behaved client stops sending.  A client that overdraws its
+  window is a protocol violation and is disconnected.
+* **Admission control sheds load at the edge.**  New OPENs are
+  rejected with a retry-after ERROR frame when fleet credit
+  utilization, rolling p95 queue age, or driver backlog crosses the
+  configured watermarks; established sessions keep their service.
+* **Slow clients cannot stall the pump.**  Outbound frames go through
+  a bounded per-connection queue drained by a writer task with tight
+  transport write-buffer limits; a full queue disconnects the client
+  (``ERR_SLOW``) instead of buffering without bound.  Idle connections
+  time out.
+* **Latency is measured end to end without trusting clocks.**  Clients
+  stamp each SAMPLES frame with their own ``perf_counter``; the server
+  mirrors the windower's emission arithmetic (:class:`_StampTracker`)
+  to map each chunk to the windows it completes, and echoes the stamp
+  on those windows' DECISION frames.  The client subtracts — one
+  clock, no cross-host skew.
+
+Decisions themselves are untouched by any of this: framing, chunk
+boundaries, interleaving, and shedding change *which* sample streams
+reach the fleet, never the decisions a given stream produces (the
+parity tests pin network output byte-identical to in-process replay).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .scheduler import StreamConfig
+from .wire import (
+    ERR_PROTOCOL,
+    ERR_SESSION,
+    ERR_SHED,
+    ERR_SLOW,
+    ERR_VERSION,
+    PROTOCOL_VERSION,
+    Bye,
+    Close,
+    Closed,
+    Credit,
+    DecisionFrame,
+    Error,
+    FrameDecoder,
+    Hello,
+    Open,
+    OpenOk,
+    Samples,
+    Welcome,
+    WireError,
+    encode_frame,
+)
+
+_NAN = float("nan")
+
+
+@dataclass(frozen=True)
+class IngressConfig:
+    """Tunables for one :class:`IngressServer`."""
+
+    #: Per-connection window of unacknowledged SAMPLES payload bytes.
+    credit_bytes: int = 1 << 18
+    #: Hard frame-size cap enforced by the decoder.
+    max_frame_bytes: int = 8 << 20
+    #: Disconnect a connection with no inbound frames for this long.
+    idle_timeout_s: float = 30.0
+    #: Outbound frames buffered per connection before it counts as slow.
+    write_queue_frames: int = 256
+    #: Transport write-buffer high watermark (bytes); small so a
+    #: non-reading peer back-pressures into the frame queue quickly.
+    write_buffer_bytes: int = 1 << 16
+    #: Admit no new sessions while fleet credit utilization >= this.
+    shed_utilization: float = 0.90
+    #: Admit no new sessions while rolling p95 queue age exceeds these
+    #: (``None`` disables the respective signal).
+    shed_queue_age_ticks: Optional[float] = None
+    shed_queue_age_s: Optional[float] = None
+    #: Admit no new sessions while the driver backlog is this deep.
+    shed_backlog: int = 64
+    #: Retry hint carried on shed ERROR frames.
+    retry_after_s: float = 0.5
+    #: Period of the idle sweeper that drains max_wait-aged windows
+    #: when ingest traffic pauses.
+    sweep_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.credit_bytes < 1:
+            raise ValueError(
+                f"credit_bytes must be >= 1, got {self.credit_bytes}"
+            )
+        if not 0.0 < self.shed_utilization <= 1.0:
+            raise ValueError(
+                f"shed_utilization must be in (0, 1], got "
+                f"{self.shed_utilization}"
+            )
+        if self.shed_backlog < 1:
+            raise ValueError(
+                f"shed_backlog must be >= 1, got {self.shed_backlog}"
+            )
+
+
+@dataclass
+class IngressStats:
+    """Mutable counters published by one server instance."""
+
+    connections_accepted: int = 0
+    connections_closed: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_rejected: int = 0
+    samples_frames: int = 0
+    sample_bytes: int = 0
+    decisions_sent: int = 0
+    slow_client_disconnects: int = 0
+    idle_disconnects: int = 0
+    protocol_errors: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"conns {self.connections_accepted}/"
+            f"{self.connections_closed} open/closed; "
+            f"sessions {self.sessions_opened} opened, "
+            f"{self.sessions_rejected} shed; "
+            f"{self.samples_frames} sample frames "
+            f"({self.sample_bytes} B), "
+            f"{self.decisions_sent} decisions; "
+            f"slow={self.slow_client_disconnects} "
+            f"idle={self.idle_disconnects} "
+            f"proto={self.protocol_errors}"
+        )
+
+
+class _StampTracker:
+    """Shadow of one session's windower emission arithmetic.
+
+    Re-runs the exact completion rule of
+    :class:`~repro.stream.windower.StreamWindower` (windows complete
+    while ``next_start + slice_samples <= samples_seen``, advancing by
+    the stride; the onset skip is the first start) on chunk *counts*
+    only — no sample data — so each inbound chunk can be mapped to the
+    windows it completes and their client stamps queued in emission
+    order.  Decisions arrive in per-session index order, so stamps pop
+    FIFO.
+    """
+
+    __slots__ = ("_length", "_stride", "_next_start", "_total", "stamps")
+
+    def __init__(self, config: StreamConfig):
+        window = config.window
+        self._length = window.slice_samples
+        self._stride = window.stride
+        self._next_start = int(
+            round(window.skip_onset_s * config.sample_rate_hz)
+        )
+        self._total = 0
+        self.stamps: Deque[float] = collections.deque()
+
+    def push(self, n_samples: int, stamp: float) -> None:
+        self._total += n_samples
+        while self._next_start + self._length <= self._total:
+            self.stamps.append(stamp)
+            self._next_start += self._stride
+
+    def pop(self) -> float:
+        return self.stamps.popleft() if self.stamps else _NAN
+
+
+class _ServiceDriver:
+    """Single worker thread owning all blocking service calls.
+
+    Commands are ``(op, args, done)``; ``done`` (if given) is invoked
+    on the event loop as ``done(decisions, error)``.  ``close`` drains
+    first so every window of the closing session is decided — exactly
+    what an in-process replay with ``drain=True`` does, which is what
+    keeps cleanly-closed network sessions byte-identical to replay.
+    """
+
+    def __init__(self, service, loop: asyncio.AbstractEventLoop):
+        self._service = service
+        self._loop = loop
+        self._commands: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._run, name="ingress-driver", daemon=True
+        )
+        self._thread.start()
+
+    def backlog(self) -> int:
+        return self._commands.qsize()
+
+    def submit(self, op: str, *args, done=None) -> None:
+        self._commands.put((op, args, done))
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._commands.put(("stop", (), None))
+        self._thread.join(timeout=timeout)
+
+    def _run(self) -> None:
+        service = self._service
+        while True:
+            op, args, done = self._commands.get()
+            if op == "stop":
+                return
+            error = None
+            decisions: list = []
+            try:
+                if op == "ingest":
+                    decisions = service.ingest(args[0], args[1])
+                elif op == "open":
+                    service.open_session(args[0])
+                elif op == "close":
+                    decisions = service.drain()
+                    service.close_session(args[0])
+                elif op == "drain":
+                    decisions = service.drain()
+                else:
+                    raise ValueError(f"unknown driver op {op!r}")
+            except Exception as exc:  # reported to the caller, not fatal
+                error = exc
+            if done is not None:
+                self._loop.call_soon_threadsafe(done, decisions, error)
+
+
+class _Connection:
+    """Server-side state for one client connection."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "decoder",
+        "outbound",
+        "writer_task",
+        "sessions",
+        "credit_debt",
+        "closing",
+        "slow",
+    )
+
+    def __init__(self, reader, writer, max_frame_bytes, queue_frames):
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self.outbound: "asyncio.Queue" = asyncio.Queue(
+            maxsize=queue_frames
+        )
+        self.writer_task: Optional[asyncio.Task] = None
+        self.sessions: set = set()
+        self.credit_debt = 0
+        self.closing = False
+        self.slow = False
+
+
+class IngressServer:
+    """Framed-TCP front door over one streaming service.
+
+    The server takes *ownership of the service's call schedule* (all
+    calls go through its driver thread) but not of the service's
+    lifecycle — callers create and close the service.
+
+    Usage::
+
+        service = ShardedStreamingService(model_path, config, ...)
+        server = IngressServer(service, config)
+        host, port = await server.start("127.0.0.1", 0)
+        ...
+        await server.stop()
+    """
+
+    def __init__(
+        self,
+        service,
+        stream_config: StreamConfig,
+        config: IngressConfig = IngressConfig(),
+    ):
+        self._service = service
+        self._stream_config = stream_config
+        self._config = config
+        self.stats = IngressStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._driver: Optional[_ServiceDriver] = None
+        self._sessions: Dict[str, Tuple[_Connection, _StampTracker]] = {}
+        self._connections: set = set()
+        self._sweeper: Optional[asyncio.Task] = None
+        self._dirty = False  # ingested since the last drain
+        self._drain_pending = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Bind and serve; returns the actual (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        loop = asyncio.get_running_loop()
+        self._driver = _ServiceDriver(self._service, loop)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        self._sweeper = asyncio.ensure_future(self._sweep_loop())
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, drop connections, stop the driver thread."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        for conn in list(self._connections):
+            await self._drop_connection(conn)
+        if self._driver is not None:
+            self._driver.stop()
+            self._driver = None
+
+    @property
+    def open_sessions(self) -> int:
+        return len(self._sessions)
+
+    # -- admission ---------------------------------------------------------
+
+    def _admission_signals(self) -> Tuple[float, float, float, int]:
+        """(utilization, age_p95_ticks, age_p95_s, backlog) right now."""
+        service = self._service
+        if hasattr(service, "credit_utilization"):
+            utilization = service.credit_utilization()
+        else:
+            utilization = 0.0
+        if hasattr(service, "queue_age_p95"):
+            age_ticks, age_s = service.queue_age_p95()
+        else:
+            age_ticks = float(
+                getattr(service, "oldest_queued_tick_age", 0)
+            )
+            age_s = float(
+                getattr(service, "oldest_queued_wall_age", 0.0)
+            )
+        backlog = self._driver.backlog() if self._driver else 0
+        return utilization, age_ticks, age_s, backlog
+
+    def _shed_reason(self) -> Optional[str]:
+        """Why a new OPEN must be rejected, or None to admit."""
+        cfg = self._config
+        utilization, age_ticks, age_s, backlog = self._admission_signals()
+        if backlog >= cfg.shed_backlog:
+            return f"driver backlog {backlog} >= {cfg.shed_backlog}"
+        if utilization >= cfg.shed_utilization:
+            return (
+                f"credit utilization {utilization:.2f} >= "
+                f"{cfg.shed_utilization:.2f}"
+            )
+        if (
+            cfg.shed_queue_age_ticks is not None
+            and age_ticks > cfg.shed_queue_age_ticks
+        ):
+            return (
+                f"queue age p95 {age_ticks:.0f} ticks > "
+                f"{cfg.shed_queue_age_ticks:.0f}"
+            )
+        if (
+            cfg.shed_queue_age_s is not None
+            and age_s > cfg.shed_queue_age_s
+        ):
+            return (
+                f"queue age p95 {age_s * 1e3:.1f} ms > "
+                f"{cfg.shed_queue_age_s * 1e3:.1f}"
+            )
+        return None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        cfg = self._config
+        conn = _Connection(
+            reader,
+            writer,
+            cfg.max_frame_bytes,
+            cfg.write_queue_frames,
+        )
+        self._connections.add(conn)
+        self.stats.connections_accepted += 1
+        writer.transport.set_write_buffer_limits(
+            high=cfg.write_buffer_bytes
+        )
+        conn.writer_task = asyncio.ensure_future(self._write_loop(conn))
+        try:
+            await self._read_loop(conn)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            WireError,
+        ):
+            pass
+        finally:
+            await self._drop_connection(conn)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        cfg = self._config
+        hello_seen = False
+        while not conn.closing:
+            try:
+                data = await asyncio.wait_for(
+                    conn.reader.read(1 << 16),
+                    timeout=cfg.idle_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                self.stats.idle_disconnects += 1
+                self._send(
+                    conn,
+                    Error(ERR_PROTOCOL, "idle timeout", 0.0),
+                )
+                return
+            if not data:
+                return  # peer closed
+            try:
+                frames = conn.decoder.feed(data)
+            except WireError as exc:
+                self.stats.protocol_errors += 1
+                self._send(conn, Error(ERR_PROTOCOL, str(exc), 0.0))
+                return
+            for frame in frames:
+                if not hello_seen:
+                    if (
+                        not isinstance(frame, Hello)
+                        or frame.version != PROTOCOL_VERSION
+                    ):
+                        self.stats.protocol_errors += 1
+                        self._send(
+                            conn,
+                            Error(
+                                ERR_VERSION,
+                                f"server speaks version "
+                                f"{PROTOCOL_VERSION}",
+                                0.0,
+                            ),
+                        )
+                        return
+                    hello_seen = True
+                    self._send(
+                        conn,
+                        Welcome(PROTOCOL_VERSION, cfg.credit_bytes),
+                    )
+                    continue
+                if not self._dispatch_frame(conn, frame):
+                    return
+
+    def _dispatch_frame(self, conn: _Connection, frame) -> bool:
+        """Handle one post-handshake frame; False ends the connection."""
+        if isinstance(frame, Open):
+            self._on_open(conn, frame.session_id)
+            return True
+        if isinstance(frame, Samples):
+            return self._on_samples(conn, frame)
+        if isinstance(frame, Close):
+            self._on_close(conn, frame.session_id)
+            return True
+        if isinstance(frame, Bye):
+            self._on_bye(conn)
+            return True
+        self.stats.protocol_errors += 1
+        self._send(
+            conn,
+            Error(
+                ERR_PROTOCOL,
+                f"unexpected {type(frame).__name__} frame",
+                0.0,
+            ),
+        )
+        return False
+
+    def _on_open(self, conn: _Connection, sid: str) -> None:
+        if sid in self._sessions:
+            self._send(
+                conn,
+                Error(ERR_SESSION, "session already open", 0.0, sid),
+            )
+            return
+        reason = self._shed_reason()
+        if reason is not None:
+            self.stats.sessions_rejected += 1
+            self._send(
+                conn,
+                Error(
+                    ERR_SHED,
+                    reason,
+                    self._config.retry_after_s,
+                    sid,
+                ),
+            )
+            return
+        tracker = _StampTracker(self._stream_config)
+        self._sessions[sid] = (conn, tracker)
+        conn.sessions.add(sid)
+        self.stats.sessions_opened += 1
+
+        def done(decisions, error, conn=conn, sid=sid):
+            if error is not None:
+                self._fail_session(conn, sid, error)
+                return
+            self._route_decisions(decisions)
+            self._send(conn, OpenOk(sid))
+
+        self._driver.submit("open", sid, done=done)
+
+    def _on_samples(self, conn: _Connection, frame: Samples) -> bool:
+        sid = frame.session_id
+        owner = self._sessions.get(sid)
+        if owner is None or owner[0] is not conn:
+            self._send(
+                conn,
+                Error(ERR_SESSION, "session not open here", 0.0, sid),
+            )
+            return False
+        cost = frame.samples.size * 8
+        conn.credit_debt += cost
+        if conn.credit_debt > self._config.credit_bytes:
+            self.stats.protocol_errors += 1
+            self._send(
+                conn,
+                Error(
+                    ERR_PROTOCOL,
+                    f"credit overdraft: {conn.credit_debt} B in "
+                    f"flight > {self._config.credit_bytes} B window",
+                    0.0,
+                    sid,
+                ),
+            )
+            return False
+        self.stats.samples_frames += 1
+        self.stats.sample_bytes += cost
+        owner[1].push(frame.samples.shape[0], frame.stamp)
+        self._dirty = True
+
+        def done(decisions, error, conn=conn, sid=sid, cost=cost):
+            conn.credit_debt = max(0, conn.credit_debt - cost)
+            if error is not None:
+                self._fail_session(conn, sid, error)
+                return
+            self._send(conn, Credit(cost))
+            self._route_decisions(decisions)
+
+        self._driver.submit("ingest", sid, frame.samples, done=done)
+        return True
+
+    def _on_close(self, conn: _Connection, sid: str) -> None:
+        owner = self._sessions.get(sid)
+        if owner is None or owner[0] is not conn:
+            self._send(
+                conn,
+                Error(ERR_SESSION, "session not open here", 0.0, sid),
+            )
+            return
+
+        def done(decisions, error, conn=conn, sid=sid):
+            self._route_decisions(decisions)
+            self._forget_session(sid)
+            if error is None:
+                self.stats.sessions_closed += 1
+                self._send(conn, Closed(sid))
+            else:
+                self._fail_session(conn, sid, error)
+
+        self._driver.submit("close", sid, done=done)
+
+    def _on_bye(self, conn: _Connection) -> None:
+        def done(decisions, error, conn=conn):
+            self._route_decisions(decisions)
+            self._send(conn, Bye())
+            conn.closing = True
+            self._enqueue(conn, None)  # writer flushes, then closes
+
+        self._driver.submit("drain", done=done)
+
+    # -- outbound ----------------------------------------------------------
+
+    def _send(self, conn: _Connection, frame) -> None:
+        self._enqueue(conn, encode_frame(frame))
+        if isinstance(frame, DecisionFrame):
+            self.stats.decisions_sent += 1
+
+    def _enqueue(self, conn: _Connection, data: Optional[bytes]) -> None:
+        if conn.slow:
+            return
+        try:
+            conn.outbound.put_nowait(data)
+        except asyncio.QueueFull:
+            conn.slow = True
+            self.stats.slow_client_disconnects += 1
+            if conn.writer_task is not None:
+                conn.writer_task.cancel()
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                data = await conn.outbound.get()
+                if data is None:
+                    break
+                conn.writer.write(data)
+                await conn.writer.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+
+    def _route_decisions(self, decisions) -> None:
+        for decision in decisions:
+            owner = self._sessions.get(decision.session_id)
+            if owner is None:
+                continue  # session's connection already went away
+            conn, tracker = owner
+            self._send(
+                conn,
+                DecisionFrame(
+                    decision.session_id,
+                    decision.index,
+                    int(decision.raw_label),
+                    int(decision.label),
+                    tracker.pop(),
+                ),
+            )
+
+    # -- teardown paths ----------------------------------------------------
+
+    def _fail_session(self, conn: _Connection, sid: str, error) -> None:
+        self._forget_session(sid)
+        self._send(
+            conn,
+            Error(ERR_SESSION, f"{type(error).__name__}: {error}", 0.0, sid),
+        )
+
+    def _forget_session(self, sid: str) -> None:
+        owner = self._sessions.pop(sid, None)
+        if owner is not None:
+            owner[0].sessions.discard(sid)
+
+    async def _drop_connection(self, conn: _Connection) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        self.stats.connections_closed += 1
+        for sid in list(conn.sessions):
+            self._forget_session(sid)
+            self._driver.submit("close", sid)
+        conn.closing = True
+        if conn.writer_task is not None:
+            if not conn.slow:
+                # Give the writer a chance to flush queued frames.
+                self._enqueue(conn, None)
+                try:
+                    await asyncio.wait_for(conn.writer_task, timeout=5.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    conn.writer_task.cancel()
+            try:
+                await asyncio.wait_for(conn.writer_task, timeout=1.0)
+            except (
+                asyncio.TimeoutError,
+                asyncio.CancelledError,
+                ConnectionError,
+            ):
+                pass
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    async def _sweep_loop(self) -> None:
+        """Drain the fleet when ingest traffic pauses.
+
+        ``max_wait`` batching ages on the ingest clock; when clients go
+        quiet the clock stops and queued partial batches would wait
+        forever.  Decisions are batching-independent, so a periodic
+        drain is parity-safe liveness, not a semantics change.
+        """
+        interval = self._config.sweep_interval_s
+        while True:
+            await asyncio.sleep(interval)
+            if not self._dirty or self._drain_pending:
+                continue
+            if self._driver is None or self._driver.backlog() > 0:
+                continue  # traffic is flowing; no sweep needed
+            self._dirty = False
+            self._drain_pending = True
+
+            def done(decisions, error):
+                self._drain_pending = False
+                if error is None:
+                    self._route_decisions(decisions)
+
+            self._driver.submit("drain", done=done)
+
+
+# -- client ------------------------------------------------------------------
+
+
+@dataclass
+class ClientDecision:
+    """One decision as observed by the client, with measured latency."""
+
+    session_id: str
+    index: int
+    raw_label: int
+    label: int
+    #: ingest→decision wall seconds on the client's own clock, or None
+    #: for decisions whose completing chunk was never stamped.
+    latency_s: Optional[float]
+
+
+class IngressClient:
+    """Credit-respecting asyncio client for the ingress protocol.
+
+    Collects every DECISION into :attr:`decisions` (per session, in
+    index order) and the measured ingest→decision latencies into
+    :attr:`latencies`.  One client may carry many sessions.
+    """
+
+    def __init__(self) -> None:
+        self.decisions: Dict[str, List[ClientDecision]] = {}
+        self.latencies: List[float] = []
+        self.errors: List[Error] = []
+        self.credit_bytes = 0
+        self._credit = 0
+        self._credit_event = asyncio.Event()
+        self._reader = None
+        self._writer = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._open_waiters: Dict[str, asyncio.Future] = {}
+        self._close_waiters: Dict[str, asyncio.Future] = {}
+        self._welcome: Optional[asyncio.Future] = None
+        self._bye_event = asyncio.Event()
+        self._closed_event = asyncio.Event()
+        #: artificial per-read delay for simulating a slow consumer
+        self.read_delay_s = 0.0
+
+    async def connect(
+        self,
+        host: str,
+        port: int,
+        version: int = PROTOCOL_VERSION,
+        timeout: float = 10.0,
+    ) -> Welcome:
+        loop = asyncio.get_running_loop()
+        self._reader, self._writer = await asyncio.open_connection(
+            host, port
+        )
+        self._welcome = loop.create_future()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._writer.write(encode_frame(Hello(version)))
+        await self._writer.drain()
+        welcome = await asyncio.wait_for(self._welcome, timeout)
+        self.credit_bytes = welcome.credit_bytes
+        self._credit = welcome.credit_bytes
+        self._credit_event.set()
+        return welcome
+
+    async def open(
+        self, session_id: str, timeout: float = 30.0
+    ) -> Tuple[bool, float]:
+        """OPEN a session; returns (admitted, retry_after_s)."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._open_waiters[session_id] = future
+        self._writer.write(encode_frame(Open(session_id)))
+        await self._writer.drain()
+        return await asyncio.wait_for(future, timeout)
+
+    async def send(
+        self,
+        session_id: str,
+        samples: np.ndarray,
+        stamp: Optional[float] = None,
+    ) -> None:
+        """Send one chunk, waiting for credit as needed."""
+        samples = np.ascontiguousarray(samples, dtype=np.float64)
+        cost = samples.size * 8
+        if cost > self.credit_bytes:
+            raise ValueError(
+                f"chunk of {cost} B exceeds the {self.credit_bytes} B "
+                f"credit window; split it"
+            )
+        while self._credit < cost:
+            self._credit_event.clear()
+            if self._closed_event.is_set():
+                raise ConnectionError("connection closed")
+            await self._credit_event.wait()
+        self._credit -= cost
+        if stamp is None:
+            stamp = time.perf_counter()
+        self._writer.write(
+            encode_frame(Samples(session_id, samples, stamp))
+        )
+        await self._writer.drain()
+
+    async def close(self, session_id: str, timeout: float = 30.0) -> None:
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._close_waiters[session_id] = future
+        self._writer.write(encode_frame(Close(session_id)))
+        await self._writer.drain()
+        await asyncio.wait_for(future, timeout)
+
+    async def bye(self, timeout: float = 30.0) -> None:
+        """Flush-then-close handshake; returns once the server confirms."""
+        self._writer.write(encode_frame(Bye()))
+        await self._writer.drain()
+        await asyncio.wait_for(self._bye_event.wait(), timeout)
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+            self._writer = None
+        self._fail_waiters(ConnectionError("connection closed"))
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        self._closed_event.set()
+        self._credit_event.set()
+        for waiters in (self._open_waiters, self._close_waiters):
+            for future in waiters.values():
+                if not future.done():
+                    future.set_exception(exc)
+            waiters.clear()
+        if self._welcome is not None and not self._welcome.done():
+            self._welcome.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(1 << 16)
+                if not data:
+                    break
+                if self.read_delay_s:
+                    await asyncio.sleep(self.read_delay_s)
+                for frame in decoder.feed(data):
+                    self._on_frame(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass
+        finally:
+            self._fail_waiters(ConnectionError("connection closed"))
+
+    def _on_frame(self, frame) -> None:
+        if isinstance(frame, Welcome):
+            if self._welcome is not None and not self._welcome.done():
+                self._welcome.set_result(frame)
+            return
+        if isinstance(frame, OpenOk):
+            future = self._open_waiters.pop(frame.session_id, None)
+            if future is not None and not future.done():
+                future.set_result((True, 0.0))
+            return
+        if isinstance(frame, Credit):
+            self._credit += frame.bytes
+            self._credit_event.set()
+            return
+        if isinstance(frame, DecisionFrame):
+            latency: Optional[float] = None
+            if frame.stamp == frame.stamp:  # not NaN
+                latency = time.perf_counter() - frame.stamp
+                self.latencies.append(latency)
+            self.decisions.setdefault(frame.session_id, []).append(
+                ClientDecision(
+                    frame.session_id,
+                    frame.index,
+                    frame.raw_label,
+                    frame.label,
+                    latency,
+                )
+            )
+            return
+        if isinstance(frame, Closed):
+            future = self._close_waiters.pop(frame.session_id, None)
+            if future is not None and not future.done():
+                future.set_result(None)
+            return
+        if isinstance(frame, Bye):
+            self._bye_event.set()
+            return
+        if isinstance(frame, Error):
+            self.errors.append(frame)
+            if frame.code == ERR_SHED and frame.session_id:
+                future = self._open_waiters.pop(frame.session_id, None)
+                if future is not None and not future.done():
+                    future.set_result((False, frame.retry_after_s))

@@ -47,7 +47,13 @@ import numpy as np
 from ..emg.windows import WindowConfig
 from ..hdc import engine
 from ..hdc.batch import BatchHDClassifier
-from ..perf.streaming import BatchDevicePerf, DevicePerfModel
+from ..perf.streaming import (
+    BatchDevicePerf,
+    DevicePerfModel,
+    LatencyHistogram,
+    tick_histogram,
+    wall_histogram,
+)
 from .session import Decision, Session
 
 
@@ -134,6 +140,10 @@ class BatchReport:
     decided_at: int  # service clock at dispatch
     host_seconds: float  # wall-clock of encode + AM search
     device: Optional[BatchDevicePerf] = None
+    #: Age of the batch's oldest window at dispatch — how long it sat
+    #: in the ready queue, in logical ingest ticks and wall seconds.
+    queue_age_ticks: int = 0
+    queue_age_s: float = 0.0
 
     @property
     def host_windows_per_sec(self) -> float:
@@ -172,8 +182,11 @@ class StreamingService:
         self._device = device
         self._sessions: Dict[Hashable, Session] = {}
         # Ready windows in arrival order, blocked per ingest:
-        # (session, (k, T, channels) window stack, enqueued_at).
-        self._queue: Deque[Tuple[Session, np.ndarray, int]] = deque()
+        # (session, (k, T, channels) window stack, enqueued_at tick,
+        # enqueued_at wall stamp from time.monotonic()).  The tick
+        # drives the deterministic max_wait policy; the wall stamp is
+        # telemetry only (queue-age SLOs) and never affects decisions.
+        self._queue: Deque[Tuple[Session, np.ndarray, int, float]] = deque()
         self._pending = 0
         self._clock = 0
         self._next_batch_id = 0
@@ -186,6 +199,12 @@ class StreamingService:
             model.encoder.spatial.enable_row_cache(
                 config.spatial_row_cache_limit
             )
+        # Per-window dispatch-wait histograms: how long each window sat
+        # in the ready queue before its batch dispatched, in logical
+        # ticks (deterministic, replay-stable) and wall seconds (the
+        # SLO unit).  Mergeable across shards into FleetStats.
+        self.queue_age_ticks_hist: LatencyHistogram = tick_histogram()
+        self.queue_age_s_hist: LatencyHistogram = wall_histogram()
         # Bounded recent-batch telemetry (see StreamConfig.history),
         # next to unbounded lifetime totals for fleet aggregation.
         self.reports: Deque[BatchReport] = deque(maxlen=config.history)
@@ -226,6 +245,28 @@ class StreamingService:
     def cache_size(self) -> int:
         """Entries currently held by the decision cache."""
         return len(self._decision_cache)
+
+    @property
+    def oldest_queued_tick_age(self) -> int:
+        """Ticks the oldest still-queued window has waited (0 if none).
+
+        This is the scheduler's queue-latency pressure signal: under
+        ``max_wait`` backpressure it is bounded in steady state, and a
+        value persistently above ``max_wait`` means dispatches cannot
+        keep up with arrivals.  Exported by shard workers with every
+        command acknowledgement so the coordinator can drive admission
+        control and autoscaling from queue age, not just credits.
+        """
+        if not self._queue:
+            return 0
+        return self._clock - self._queue[0][2]
+
+    @property
+    def oldest_queued_wall_age(self) -> float:
+        """Seconds the oldest still-queued window has waited (0.0 if none)."""
+        if not self._queue:
+            return 0.0
+        return max(0.0, time.monotonic() - self._queue[0][3])
 
     @property
     def sessions(self) -> Tuple[Session, ...]:
@@ -320,7 +361,8 @@ class StreamingService:
         orphans: List[dict] = []
         orphan_index: Dict[int, int] = {}
         queue_state: List[tuple] = []
-        for session, windows, tick in self._queue:
+        now = time.monotonic()
+        for session, windows, tick, wall in self._queue:
             if id(session) in open_ids:
                 ref = ("open", session.id)
             else:
@@ -330,8 +372,11 @@ class StreamingService:
                     orphan_index[id(session)] = slot
                     orphans.append(session.snapshot())
                 ref = ("orphan", slot)
+            # Wall stamps travel as *ages* (now - stamp): monotonic
+            # clocks are not comparable across processes, ages are.
             queue_state.append(
-                (ref, windows.tobytes(), windows.shape, tick)
+                (ref, windows.tobytes(), windows.shape, tick,
+                 max(0.0, now - wall))
             )
         return {
             "clock": self._clock,
@@ -340,6 +385,8 @@ class StreamingService:
             "sessions": [s.snapshot() for s in self._sessions.values()],
             "orphans": orphans,
             "queue": queue_state,
+            "queue_age_ticks_hist": self.queue_age_ticks_hist.copy(),
+            "queue_age_s_hist": self.queue_age_s_hist.copy(),
             "decision_cache": list(self._decision_cache.items()),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -371,7 +418,8 @@ class StreamingService:
             self._make_session(o["id"]).restore(o)
             for o in state["orphans"]
         ]
-        for (kind, ref), buf, shape, tick in state["queue"]:
+        now = time.monotonic()
+        for (kind, ref), buf, shape, tick, wall_age in state["queue"]:
             session = (
                 self._sessions[ref] if kind == "open"
                 else orphan_sessions[ref]
@@ -379,7 +427,11 @@ class StreamingService:
             windows = (
                 np.frombuffer(buf, dtype=np.float64).reshape(shape).copy()
             )
-            self._queue.append((session, windows, int(tick)))
+            self._queue.append(
+                (session, windows, int(tick), now - float(wall_age))
+            )
+        self.queue_age_ticks_hist = state["queue_age_ticks_hist"].copy()
+        self.queue_age_s_hist = state["queue_age_s_hist"].copy()
         self._pending = int(state["pending"])
         self._clock = int(state["clock"])
         self._next_batch_id = int(state["next_batch_id"])
@@ -412,13 +464,17 @@ class StreamingService:
         except KeyError:
             raise KeyError(f"session {session_id!r} is not open") from None
         queued: List[tuple] = []
-        kept: Deque[Tuple[Session, np.ndarray, int]] = deque()
-        for entry_session, windows, tick in self._queue:
+        kept: Deque[Tuple[Session, np.ndarray, int, float]] = deque()
+        now = time.monotonic()
+        for entry_session, windows, tick, wall in self._queue:
             if entry_session is session:
-                queued.append((windows.tobytes(), windows.shape, tick))
+                queued.append(
+                    (windows.tobytes(), windows.shape, tick,
+                     max(0.0, now - wall))
+                )
                 self._pending -= windows.shape[0]
             else:
-                kept.append((entry_session, windows, tick))
+                kept.append((entry_session, windows, tick, wall))
         self._queue = kept
         return {"session": session.snapshot(), "queued": queued}
 
@@ -436,16 +492,20 @@ class StreamingService:
             raise ValueError(f"session {session_id!r} is already open")
         session = self._make_session(session_id).restore(s_state)
         self._sessions[session_id] = session
-        for buf, shape, tick in state["queued"]:
+        now = time.monotonic()
+        for buf, shape, tick, wall_age in state["queued"]:
             windows = (
                 np.frombuffer(buf, dtype=np.float64).reshape(shape).copy()
             )
-            self._insert_by_tick(session, windows, int(tick))
+            self._insert_by_tick(
+                session, windows, int(tick), now - float(wall_age)
+            )
             self._pending += windows.shape[0]
         return self.pump()
 
     def _insert_by_tick(
-        self, session: Session, windows: np.ndarray, tick: int
+        self, session: Session, windows: np.ndarray, tick: int,
+        wall: float,
     ) -> None:
         """Insert a queue entry keeping ticks non-decreasing.
 
@@ -458,7 +518,7 @@ class StreamingService:
         idx = len(queue)
         while idx > 0 and queue[idx - 1][2] > tick:
             idx -= 1
-        queue.insert(idx, (session, windows, tick))
+        queue.insert(idx, (session, windows, tick, wall))
 
     # -- the data path -----------------------------------------------------
 
@@ -499,7 +559,8 @@ class StreamingService:
         windows = session.push(samples)
         if windows:
             self._queue.append(
-                (session, np.stack(windows), self._clock)
+                (session, np.stack(windows), self._clock,
+                 time.monotonic())
             )
             self._pending += len(windows)
         return self.pump()
@@ -577,21 +638,23 @@ class StreamingService:
 
     def _dispatch(self, n: int) -> List[Decision]:
         """Classify the ``n`` oldest ready windows in one engine pass."""
-        items: List[Tuple[Session, np.ndarray, int]] = []
+        items: List[Tuple[Session, np.ndarray, int, float]] = []
         take = n
         while take:
-            session, windows, tick = self._queue.popleft()
+            session, windows, tick, wall = self._queue.popleft()
             k = windows.shape[0]
             if k > take:
-                items.append((session, windows[:take], tick))
-                self._queue.appendleft((session, windows[take:], tick))
+                items.append((session, windows[:take], tick, wall))
+                self._queue.appendleft(
+                    (session, windows[take:], tick, wall)
+                )
                 take = 0
             else:
-                items.append((session, windows, tick))
+                items.append((session, windows, tick, wall))
                 take -= k
         self._pending -= n
         stacked = (
-            np.concatenate([block for _, block, _ in items])
+            np.concatenate([block for _, block, _, _ in items])
             if len(items) > 1
             else items[0][1]
         )
@@ -603,9 +666,17 @@ class StreamingService:
         decisions: List[Decision] = []
         labels = self._labels
         clock = self._clock
+        now = time.monotonic()
         pos = 0
-        for session, block, tick in items:
-            for j in range(block.shape[0]):
+        for session, block, tick, wall in items:
+            k = block.shape[0]
+            self.queue_age_ticks_hist.record_many(
+                np.full(k, clock - tick, dtype=np.float64)
+            )
+            self.queue_age_s_hist.record_many(
+                np.full(k, max(0.0, now - wall), dtype=np.float64)
+            )
+            for j in range(k):
                 decisions.append(
                     session.record(
                         raw_label=labels[int(indices[pos])],
@@ -625,14 +696,17 @@ class StreamingService:
         if device is not None:
             self._device_cycles += device.total_cycles
             self._device_energy_uj += device.energy_uj
+        oldest_tick, oldest_wall = items[0][2], items[0][3]
         self.reports.append(
             BatchReport(
                 batch_id=batch_id,
                 n_windows=n,
-                n_sessions=len({id(session) for session, _, _ in items}),
+                n_sessions=len({id(session) for session, _, _, _ in items}),
                 decided_at=clock,
                 host_seconds=host_seconds,
                 device=device,
+                queue_age_ticks=clock - oldest_tick,
+                queue_age_s=max(0.0, now - oldest_wall),
             )
         )
         return decisions

@@ -95,6 +95,7 @@ import hashlib
 import multiprocessing
 import pathlib
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple, Union
 
@@ -250,6 +251,15 @@ class AutoscalePolicy:
     utilization sits at/above ``high_watermark``, down when at/below
     ``low_watermark`` — and enforces a cooldown of global ingest ticks
     between rescales so one burst cannot thrash the fleet size.
+
+    Credit utilization alone is a *throughput* signal; a fleet can sit
+    below the watermark while ``max_wait`` batching quietly ages
+    windows past any latency target.  Setting ``max_queue_age_ticks``
+    and/or ``max_queue_age_s`` adds a latency SLO: workers piggyback
+    their oldest-queued-window age on every ingest ack, the
+    coordinator keeps a rolling p95 of those samples, and the policy
+    also scales *up* when that p95 exceeds the target — and refuses to
+    scale *down* while it does.
     """
 
     min_shards: int = 1
@@ -257,6 +267,8 @@ class AutoscalePolicy:
     high_watermark: float = 0.75
     low_watermark: float = 0.10
     cooldown: int = 512
+    max_queue_age_ticks: Optional[float] = None
+    max_queue_age_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.min_shards < 1:
@@ -277,23 +289,36 @@ class AutoscalePolicy:
             raise ValueError(
                 f"cooldown must be >= 0, got {self.cooldown}"
             )
+        for name in ("max_queue_age_ticks", "max_queue_age_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0, got {value}")
 
     def decide(
         self,
         n_shards: int,
         utilization: float,
         ticks_since_rescale: int,
+        queue_age_p95_ticks: float = 0.0,
+        queue_age_p95_s: float = 0.0,
     ) -> Optional[int]:
         """Target shard count, or ``None`` to leave the fleet alone."""
         if ticks_since_rescale < self.cooldown:
             return None
+        age_over = (
+            self.max_queue_age_ticks is not None
+            and queue_age_p95_ticks > self.max_queue_age_ticks
+        ) or (
+            self.max_queue_age_s is not None
+            and queue_age_p95_s > self.max_queue_age_s
+        )
         if (
-            utilization >= self.high_watermark
-            and n_shards < self.max_shards
-        ):
+            utilization >= self.high_watermark or age_over
+        ) and n_shards < self.max_shards:
             return n_shards + 1
         if (
             utilization <= self.low_watermark
+            and not age_over
             and n_shards > self.min_shards
         ):
             return n_shards - 1
@@ -343,12 +368,20 @@ def _shard_worker(
         while True:
             message = conn.recv()
             op, seq = message[0], message[1]
+            ages = None
             try:
                 if op == "ingest":
                     _, _, sid, samples, tick = message
                     if type(samples) is tuple and samples[0] == "shm":
                         samples = ring.read(samples[1], samples[2])
                     payload = service.ingest(sid, samples, tick=tick)
+                    # Piggyback the oldest-queued-window age so the
+                    # coordinator can watch queue latency without an
+                    # extra stats round-trip per tick.
+                    ages = (
+                        service.oldest_queued_tick_age,
+                        service.oldest_queued_wall_age,
+                    )
                 elif op == "open":
                     service.open_session(message[2])
                     payload: List[Decision] = []
@@ -381,7 +414,10 @@ def _shard_worker(
             except Exception:
                 conn.send(("err", seq, traceback.format_exc()))
                 continue
-            conn.send(("ok", seq, payload))
+            if ages is None:
+                conn.send(("ok", seq, payload))
+            else:
+                conn.send(("ok", seq, payload, ages))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # coordinator went away; nothing left to serve
     finally:
@@ -510,6 +546,10 @@ class ShardedStreamingService:
         self._ctx = multiprocessing.get_context(start_method)
         self._session_shard: Dict[Hashable, int] = {}
         self._delivered: Dict[Hashable, int] = {}
+        # Rolling queue-age samples piggybacked on ingest acks, for
+        # latency-SLO admission control and autoscaling.
+        self._queue_age_ticks: deque = deque(maxlen=128)
+        self._queue_age_s: deque = deque(maxlen=128)
         self._ready: List[Decision] = []
         self._clock = 0
         self._last_rescale_tick = 0
@@ -732,10 +772,13 @@ class ShardedStreamingService:
         for shard in self._shards:
             self._pump_or_respawn(shard)
         if self._autoscale is not None:
+            age_ticks, age_s = self.queue_age_p95()
             target = self._autoscale.decide(
                 len(self._shards),
                 self._utilization(),
                 self._clock - self._last_rescale_tick,
+                queue_age_p95_ticks=age_ticks,
+                queue_age_p95_s=age_s,
             )
             if target is not None:
                 self._rescale(target)
@@ -944,6 +987,31 @@ class ShardedStreamingService:
             return 0.0
         return sum(s.outstanding for s in self._shards) / (
             len(self._shards) * self._max_inflight
+        )
+
+    def credit_utilization(self) -> float:
+        """Live mean outstanding-credit fraction across shards (0..1).
+
+        Ingress admission control reads this between ingests; it costs
+        nothing (pure coordinator bookkeeping, no worker round-trip).
+        """
+        return self._utilization()
+
+    @staticmethod
+    def _p95(samples: deque) -> float:
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        return ordered[min(len(ordered) - 1, (len(ordered) * 95) // 100)]
+
+    def queue_age_p95(self) -> Tuple[float, float]:
+        """Rolling p95 of worker oldest-queued-window age.
+
+        Returns ``(ticks, seconds)`` over the last ~128 ingest acks.
+        Both are 0.0 until the fleet has acknowledged any ingest.
+        """
+        return self._p95(self._queue_age_ticks), self._p95(
+            self._queue_age_s
         )
 
     # -- shard repair ------------------------------------------------------
@@ -1249,7 +1317,11 @@ class ShardedStreamingService:
                 return  # respawn already flushed the replacement
 
     def _handle_reply(self, shard: _Shard, message) -> None:
-        kind, seq, payload = message
+        kind, seq, payload = message[0], message[1], message[2]
+        if len(message) > 3 and message[3] is not None:
+            age_ticks, age_s = message[3]
+            self._queue_age_ticks.append(float(age_ticks))
+            self._queue_age_s.append(float(age_s))
         shard.outstanding -= 1
         shard.inflight_bytes.pop(seq, None)
         if seq in shard.ring_seqs:

@@ -1,0 +1,255 @@
+"""Wire codec: property-based round-trips and framing robustness.
+
+The contract: ``decode(encode(frame)) == frame`` for every frame type
+and any payload; the :class:`FrameDecoder` reassembles identically for
+ANY partition of the byte stream (single bytes, ragged chunks, many
+coalesced frames in one read); malformed input raises
+:class:`WireError` and poisons the decoder instead of desynchronizing.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stream.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERR_SHED,
+    PROTOCOL_VERSION,
+    Bye,
+    Close,
+    Closed,
+    Credit,
+    DecisionFrame,
+    Error,
+    FrameDecoder,
+    Hello,
+    Open,
+    OpenOk,
+    Samples,
+    Welcome,
+    WireError,
+    encode_frame,
+)
+
+# -- strategies --------------------------------------------------------------
+
+_sids = st.text(min_size=0, max_size=40)
+_u16 = st.integers(min_value=0, max_value=0xFFFF)
+_u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+_stamps = st.one_of(
+    st.just(float("nan")),
+    st.floats(
+        allow_nan=False, allow_infinity=False, width=64
+    ),
+)
+
+
+@st.composite
+def _samples_frames(draw):
+    sid = draw(_sids)
+    k = draw(st.integers(min_value=0, max_value=12))
+    ch = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    arr = np.random.default_rng(seed).standard_normal((k, ch))
+    return Samples(sid, arr, draw(_stamps))
+
+
+_frames = st.one_of(
+    st.builds(Hello, version=_u16),
+    st.builds(Welcome, version=_u16, credit_bytes=_u32),
+    st.builds(Open, session_id=_sids),
+    st.builds(OpenOk, session_id=_sids),
+    _samples_frames(),
+    st.builds(
+        DecisionFrame,
+        session_id=_sids,
+        index=_u32,
+        raw_label=_i64,
+        label=_i64,
+        stamp=_stamps,
+    ),
+    st.builds(Credit, bytes=_u32),
+    st.builds(Close, session_id=_sids),
+    st.builds(Closed, session_id=_sids),
+    st.builds(Bye),
+    st.builds(
+        Error,
+        code=_u16,
+        message=st.text(max_size=60),
+        retry_after_s=st.floats(
+            min_value=0.0, max_value=1e3, width=32
+        ),
+        session_id=_sids,
+    ),
+)
+
+
+# -- round-trips -------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(frame=_frames)
+    def test_single_frame_round_trips(self, frame):
+        decoded = FrameDecoder().feed(encode_frame(frame))
+        assert decoded == [frame]
+
+    @settings(max_examples=50, deadline=None)
+    @given(frames=st.lists(_frames, min_size=1, max_size=8))
+    def test_coalesced_frames_round_trip(self, frames):
+        wire = b"".join(encode_frame(f) for f in frames)
+        assert FrameDecoder().feed(wire) == frames
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        frames=st.lists(_frames, min_size=1, max_size=6),
+        data=st.data(),
+    )
+    def test_any_partition_round_trips(self, frames, data):
+        """Reassembly is invariant to how the transport chunks bytes."""
+        wire = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        pos = 0
+        while pos < len(wire):
+            step = data.draw(
+                st.integers(min_value=1, max_value=len(wire) - pos),
+                label="chunk",
+            )
+            out.extend(decoder.feed(wire[pos : pos + step]))
+            pos += step
+        assert out == frames
+        assert decoder.pending_bytes == 0
+
+    def test_byte_dribble(self):
+        frames = [
+            Hello(),
+            Samples("s0", np.arange(8.0).reshape(4, 2), 1.25),
+            Bye(),
+        ]
+        wire = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert out == frames
+
+    def test_samples_payload_is_float64_exact(self):
+        arr = np.array(
+            [[0.1, -1e300], [math.pi, 5e-324]], dtype=np.float64
+        )
+        (decoded,) = FrameDecoder().feed(
+            encode_frame(Samples("x", arr, 0.0))
+        )
+        assert decoded.samples.dtype == np.float64
+        assert decoded.samples.tobytes() == arr.tobytes()
+
+    def test_nan_stamp_survives(self):
+        (decoded,) = FrameDecoder().feed(
+            encode_frame(Samples("x", np.zeros((1, 1))))
+        )
+        assert math.isnan(decoded.stamp)
+
+
+# -- malformed input ---------------------------------------------------------
+
+
+class TestMalformed:
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError, match="unknown frame tag"):
+            FrameDecoder().feed(struct.pack("!IB", 1, 0x7F))
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(WireError, match="length must be >= 1"):
+            FrameDecoder().feed(struct.pack("!I", 0) + b"\x01")
+
+    def test_oversized_length_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(WireError, match="exceeds"):
+            decoder.feed(struct.pack("!I", 1 << 30))
+
+    def test_default_cap_rejects_hostile_prefix(self):
+        with pytest.raises(WireError, match="exceeds"):
+            FrameDecoder().feed(
+                struct.pack("!I", DEFAULT_MAX_FRAME_BYTES + 1)
+            )
+
+    def test_truncated_body_rejected(self):
+        # HELLO with a 1-byte body instead of the required 2.
+        with pytest.raises(WireError, match="HELLO body"):
+            FrameDecoder().feed(struct.pack("!IBB", 2, 0x01, 9))
+
+    def test_samples_payload_size_mismatch_rejected(self):
+        good = encode_frame(Samples("s", np.zeros((2, 3))))
+        clipped = good[:-8]  # drop one float64
+        patched = struct.pack("!I", len(clipped) - 4) + clipped[4:]
+        with pytest.raises(WireError, match="SAMPLES payload"):
+            FrameDecoder().feed(patched)
+
+    def test_non_utf8_session_id_rejected(self):
+        with pytest.raises(WireError, match="not utf-8"):
+            FrameDecoder().feed(
+                struct.pack("!IB", 3, 0x03) + b"\xff\xfe"
+            )
+
+    def test_poisoned_decoder_stays_poisoned(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            decoder.feed(struct.pack("!IB", 1, 0x7F))
+        with pytest.raises(WireError, match="already failed"):
+            decoder.feed(encode_frame(Bye()))
+
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.binary(min_size=5, max_size=64))
+    def test_random_junk_never_desyncs_silently(self, junk):
+        """Arbitrary bytes either decode cleanly or raise WireError —
+        no other exception, no silent garbage state."""
+        decoder = FrameDecoder(max_frame_bytes=1 << 16)
+        try:
+            decoder.feed(junk)
+        except WireError:
+            assert decoder._poisoned
+
+    def test_samples_requires_2d(self):
+        with pytest.raises(WireError, match="samples must be"):
+            encode_frame(Samples("s", np.zeros(4)))
+
+    def test_overlong_session_id_rejected(self):
+        with pytest.raises(WireError, match="too long"):
+            encode_frame(Open("x" * 70000))
+
+
+# -- versioning --------------------------------------------------------------
+
+
+class TestVersioning:
+    def test_version_constant_is_on_the_wire(self):
+        wire = encode_frame(Hello())
+        assert wire[5:7] == struct.pack("!H", PROTOCOL_VERSION)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        version=st.integers(min_value=0, max_value=0xFFFF).filter(
+            lambda v: v != PROTOCOL_VERSION
+        )
+    )
+    def test_foreign_version_round_trips_for_rejection(self, version):
+        """The codec itself carries any version — rejecting a mismatch
+        is the server's job (it answers ERR_VERSION and hangs up)."""
+        (decoded,) = FrameDecoder().feed(encode_frame(Hello(version)))
+        assert decoded == Hello(version)
+        assert decoded.version != PROTOCOL_VERSION
+
+    def test_shed_error_carries_retry_hint(self):
+        frame = Error(
+            ERR_SHED, "shed", retry_after_s=0.5, session_id="s1"
+        )
+        (decoded,) = FrameDecoder().feed(encode_frame(frame))
+        assert decoded.code == ERR_SHED
+        assert decoded.session_id == "s1"
+        assert decoded.retry_after_s == pytest.approx(0.5, rel=1e-6)
