@@ -642,6 +642,183 @@ def test_ingress_slo_harness(stream_workload):
     assert overload.completed, "overload burst admitted no sessions"
 
 
+ADAPT_SEGMENTS = 6
+ADAPT_WINDOWS_PER_SEGMENT = 80
+#: Per-segment attenuation on the worst electrode; the other channels
+#: drift proportionally to their index, as when electrodes progressively
+#: lose skin contact across a session and their envelopes collapse
+#: toward the bottom quantisation levels.
+ADAPT_DRIFT_PER_SEGMENT = 0.14
+
+
+def _drift_gain(n_channels: int, segment: int) -> np.ndarray:
+    grade = np.arange(1, n_channels + 1) / n_channels
+    return 1.0 - ADAPT_DRIFT_PER_SEGMENT * segment * grade
+
+
+def _adapt_workload(model, trials, seed=17):
+    """Drifting gesture stream: window-aligned W-sample blocks whose
+    channel gains worsen segment over segment.
+
+    Blocks are drawn from gesture plateaus, so window ``i`` of the
+    stream carries exactly one known gesture — ``truths[i]`` — and the
+    non-overlapping ``WINDOW`` slicing keeps decision indices aligned
+    with block indices.  Returns ``(stream, truths, segment_of)``.
+    """
+    rng = np.random.default_rng(seed)
+    w = WINDOW.slice_samples
+    pool = []
+    for t in trials:
+        env = t.envelope
+        for start in range(len(env) // 4, len(env) - w, w):
+            pool.append((env[start : start + w], t.gesture))
+    blocks, truths, segment_of = [], [], []
+    for seg in range(ADAPT_SEGMENTS):
+        gain = _drift_gain(model.config.n_channels, seg)
+        for _ in range(ADAPT_WINDOWS_PER_SEGMENT):
+            block, label = pool[rng.integers(len(pool))]
+            blocks.append(block * gain)
+            truths.append(label)
+            segment_of.append(seg)
+    return np.concatenate(blocks, axis=0), truths, segment_of
+
+
+def _run_adapt_pass(model, stream, truths, bystander, feedback):
+    """One replay: frozen + adaptive tenants over the same drifted
+    stream, plus a clean bystander; ground-truth feedback (when on)
+    goes to the adaptive session only."""
+    from repro.hdc import AdaptConfig
+
+    config = StreamConfig(
+        window=WINDOW,
+        max_batch=64,
+        max_wait=0,
+        adapt=AdaptConfig(compact_every=128),
+    )
+    service = StreamingService(model, config)
+    service.open_session("frozen")
+    service.open_session("adaptive", adaptive=True)
+    service.open_session("bystander")
+    decisions = {"frozen": [], "adaptive": [], "bystander": []}
+    w = WINDOW.slice_samples
+    n_fed = 0
+    for i in range(len(truths)):
+        out = list(service.ingest("frozen", stream[i * w : (i + 1) * w]))
+        out += service.ingest("adaptive", stream[i * w : (i + 1) * w])
+        out += service.ingest("bystander", bystander[i * w : (i + 1) * w])
+        for d in out:
+            decisions[d.session_id].append(d)
+            if feedback and d.session_id == "adaptive":
+                service.feedback(
+                    "adaptive", truths[d.index], index=d.index
+                )
+                n_fed += 1
+    for d in service.drain():
+        decisions[d.session_id].append(d)
+    return decisions, n_fed
+
+
+def _segment_accuracy(decisions, truths, segment_of):
+    correct = [0] * ADAPT_SEGMENTS
+    total = [0] * ADAPT_SEGMENTS
+    for d in decisions:
+        seg = segment_of[d.index]
+        total[seg] += 1
+        correct[seg] += int(d.raw_label == truths[d.index])
+    return [c / max(t, 1) for c, t in zip(correct, total)]
+
+
+def _hot_swap_gate(model, stream):
+    """Republication through the multi-tenant store must cut over
+    bit-exactly under the decision gate."""
+    from repro.hdc import ModelStore
+
+    w = WINDOW.slice_samples
+    probe = np.stack([stream[i * w : (i + 1) * w] for i in range(32)])
+    with tempfile.TemporaryDirectory() as tmp:
+        with ModelStore(tmp) as store:
+            store.publish("subject", model)
+            version = store.hot_swap("subject", model, gate_windows=probe)
+            same = store.load("subject").predict(probe) == model.predict(
+                probe
+            )
+    return bool(same and version == 2), version
+
+
+def _run_adaptation(model, trials):
+    stream, truths, segment_of = _adapt_workload(model, trials)
+    bystander, by_truths, _ = _adapt_workload(model, trials, seed=29)
+    adapted, n_fed = _run_adapt_pass(
+        model, stream, truths, bystander, feedback=True
+    )
+    silent, _ = _run_adapt_pass(
+        model, stream, truths, bystander, feedback=False
+    )
+    from repro.stream import stream_bytes
+
+    isolated = all(
+        stream_bytes(adapted[sid]) == stream_bytes(silent[sid])
+        for sid in ("frozen", "bystander")
+    )
+    hot_swap_ok, version = _hot_swap_gate(model, stream)
+    return dict(
+        frozen=_segment_accuracy(adapted["frozen"], truths, segment_of),
+        adaptive=_segment_accuracy(
+            adapted["adaptive"], truths, segment_of
+        ),
+        n_fed=n_fed,
+        isolated=isolated,
+        hot_swap_ok=hot_swap_ok,
+        hot_swap_version=version,
+    )
+
+
+def _render_adapt(model, res) -> str:
+    lines = [
+        "Per-user adaptation under electrode drift - accuracy over time",
+        f"  (D={model.config.dim}, {ADAPT_SEGMENTS} segments x "
+        f"{ADAPT_WINDOWS_PER_SEGMENT} windows, channel-graded "
+        f"electrode attenuation "
+        f"-{ADAPT_DRIFT_PER_SEGMENT:.0%}/segment, "
+        f"{res['n_fed']} ground-truth feedback updates)",
+        "  segment   drift   frozen  adaptive   delta",
+    ]
+    for seg in range(ADAPT_SEGMENTS):
+        f, a = res["frozen"][seg], res["adaptive"][seg]
+        lines.append(
+            f"  {seg:7d}  {-ADAPT_DRIFT_PER_SEGMENT * seg:+6.0%}  "
+            f"{f:6.3f}  {a:8.3f}  {a - f:+6.3f}"
+        )
+    lines += [
+        f"  final segment: frozen {res['frozen'][-1]:.3f} -> "
+        f"adaptive {res['adaptive'][-1]:.3f}",
+        f"  tenant isolation (frozen+bystander bytes identical under "
+        f"neighbour feedback): "
+        f"{'PASS' if res['isolated'] else 'FAIL'}",
+        f"  hot-swap cutover (gated republication, version "
+        f"{res['hot_swap_version']}): "
+        f"{'PASS' if res['hot_swap_ok'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def test_adaptation_recovers_drift(stream_workload):
+    """Acceptance: under electrode drift the adaptive session beats the
+    frozen one on the final segment, feedback never perturbs the frozen
+    or bystander byte streams, and the store's hot-swap gate holds."""
+    model, _ = stream_workload
+    trials = generate_subject(EMGDatasetConfig(n_subjects=1), 0).trials
+    res = _run_adaptation(model, trials)
+    publish("stream_adapt", _render_adapt(model, res))
+    assert res["isolated"], "neighbour feedback changed tenant bytes"
+    assert res["hot_swap_ok"], "hot-swap cutover diverged"
+    assert res["n_fed"] == ADAPT_SEGMENTS * ADAPT_WINDOWS_PER_SEGMENT
+    assert res["adaptive"][-1] > res["frozen"][-1], (
+        f"adaptation did not recover drift: "
+        f"{res['adaptive'][-1]:.3f} <= {res['frozen'][-1]:.3f}"
+    )
+
+
 def _main(argv=None) -> int:
     """Standalone smoke entry point: the CI ``--shards 4`` job."""
     parser = argparse.ArgumentParser(
@@ -663,12 +840,19 @@ def _main(argv=None) -> int:
         "percentiles + admission-control shed counts) instead of "
         "the scaling smoke",
     )
+    parser.add_argument(
+        "--adapt",
+        action="store_true",
+        help="run the per-user adaptation harness (accuracy over "
+        "time under electrode drift, tenant-isolation and hot-swap "
+        "gates) instead of the scaling smoke",
+    )
     args = parser.parse_args(argv)
     cores = _usable_cores()
     from repro.emg import subject_windows
     from repro.hdc import BatchHDClassifier, HDClassifierConfig
 
-    if not (args.elastic or args.ingress) and cores < args.shards:
+    if not (args.elastic or args.ingress or args.adapt) and cores < args.shards:
         print(
             f"SKIP: sharded scaling needs >= {args.shards} usable "
             f"cores, found {cores}"
@@ -680,6 +864,22 @@ def _main(argv=None) -> int:
     )
     model = BatchHDClassifier(HDClassifierConfig(dim=args.dim))
     model.fit(np.asarray(train_w), train_l)
+    if args.adapt:
+        res = _run_adaptation(model, subject.trials)
+        publish("stream_adapt", _render_adapt(model, res))
+        if not res["isolated"]:
+            print("FAIL: neighbour feedback changed tenant bytes")
+            return 1
+        if not res["hot_swap_ok"]:
+            print("FAIL: hot-swap cutover diverged")
+            return 1
+        if res["adaptive"][-1] <= res["frozen"][-1]:
+            print(
+                f"FAIL: adaptation did not recover drift "
+                f"({res['adaptive'][-1]:.3f} <= {res['frozen'][-1]:.3f})"
+            )
+            return 1
+        return 0
     if args.ingress:
         phases = _run_ingress_slo(model)
         publish("stream_ingress", _render_ingress(model, phases))

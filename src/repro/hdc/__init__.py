@@ -38,7 +38,7 @@ from .encoder import SpatialEncoder, TemporalEncoder, WindowEncoder
 from .engine import HypervectorArray
 from .hypervector import BinaryHypervector
 from .item_memory import ContinuousItemMemory, ItemMemory, quantize_samples
-from .online import OnlineHDClassifier
+from .online import AdaptConfig, OnlineHDClassifier, SessionDelta
 from .robustness import (
     DegradationCurve,
     DegradationPoint,
@@ -51,7 +51,9 @@ from .ops import bind, bundle, bundle_counts, hamming, permute, similarity
 from .serialize import (
     MODEL_MAGIC,
     MODEL_VERSION,
+    CutoverError,
     ModelFormatError,
+    ModelStore,
     load_model,
     load_model_mmap,
     model_info,
@@ -59,10 +61,12 @@ from .serialize import (
 )
 
 __all__ = [
+    "AdaptConfig",
     "AssociativeMemory",
     "BatchHDClassifier",
     "BinaryHypervector",
     "ContinuousItemMemory",
+    "CutoverError",
     "DegradationCurve",
     "DegradationPoint",
     "HDClassifier",
@@ -72,8 +76,10 @@ __all__ = [
     "MODEL_MAGIC",
     "MODEL_VERSION",
     "ModelFormatError",
+    "ModelStore",
     "OnlineHDClassifier",
     "PrototypeAccumulator",
+    "SessionDelta",
     "SpatialEncoder",
     "TemporalEncoder",
     "WindowEncoder",

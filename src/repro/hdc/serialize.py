@@ -41,11 +41,12 @@ and mmap read-only/bit-identity behaviour are pinned by
 
 from __future__ import annotations
 
+import os
 import pathlib
 import pickle
 import struct
 import zipfile
-from typing import Hashable, List, Optional, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -231,12 +232,22 @@ def _widen_readonly(
 
 
 def _open_archive(path: pathlib.Path):
+    # The handle is opened here, not by np.load: when handed a path,
+    # np.load detaches its cleanup stack before parsing the zip, so a
+    # corrupt archive orphans the open file (ResourceWarning, and a
+    # leaked fd per failed load on a long-lived server).  Owning the
+    # handle lets every error path close it deterministically.
+    fh = open(path, "rb")
     try:
-        return np.load(path, allow_pickle=False)
-    except FileNotFoundError:
-        raise
+        archive = np.load(fh, allow_pickle=False)
     except Exception as exc:
+        fh.close()
         raise ModelFormatError(f"cannot read model file {path}: {exc}")
+    # np.load was handed an open file object, so it does not own it;
+    # adopting it as the NpzFile's fid ties the handle's lifetime to
+    # ``archive.close()`` (and hence to the ``with`` blocks below).
+    archive.fid = fh
+    return archive
 
 
 def _load_header(
@@ -306,6 +317,246 @@ def load_model(path: Union[str, pathlib.Path]) -> BatchHDClassifier:
         labels,
         am64,
     )
+
+
+class CutoverError(RuntimeError):
+    """A hot-swap cutover gate failed; the active version is unchanged."""
+
+
+class ModelStore:
+    """Several packed models mmapped side-by-side, addressed by model id.
+
+    The multi-tenant front for :func:`save_model` /
+    :func:`load_model_mmap`: each model id owns a directory of immutable
+    versioned store files plus an atomically-replaced ``CURRENT``
+    pointer, so a fleet of serving processes can map any mix of models
+    (different D, gesture sets, subjects) out of one page cache and a
+    publisher can roll a new version without touching the readers.
+
+    Layout under ``root``::
+
+        <model_id>/v<version>.npz   # immutable, written once
+        <model_id>/CURRENT          # active version number, os.replace'd
+
+    * :meth:`publish` writes the next version (optionally activating it);
+    * :meth:`hot_swap` is the gated rollout path: the new version is
+      written, **re-loaded through the serving loader**, and must be
+      bit-exact with the supplied classifier (labels, config, IM/CIM and
+      prototype words — plus identical decisions on optional
+      ``gate_windows``) before the ``CURRENT`` pointer flips.  A failed
+      gate deletes the candidate file and raises :class:`CutoverError`,
+      leaving the active version untouched.
+    * :meth:`load` returns (and caches) the classifier for
+      ``(model_id, version)``; with ``use_mmap`` the packed matrices are
+      read-only maps shared across every loader of the same file.
+    """
+
+    _CURRENT = "CURRENT"
+
+    def __init__(
+        self, root: Union[str, pathlib.Path], use_mmap: bool = True
+    ):
+        self._root = pathlib.Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._use_mmap = bool(use_mmap)
+        self._cache: Dict[Tuple[str, int], BatchHDClassifier] = {}
+
+    def __enter__(self) -> "ModelStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def root(self) -> pathlib.Path:
+        return self._root
+
+    @staticmethod
+    def check_id(model_id: str) -> str:
+        """Validate a model id (it doubles as a directory name)."""
+        if (
+            not isinstance(model_id, str)
+            or not model_id
+            or model_id.startswith(".")
+            or not all(c.isalnum() or c in "._-" for c in model_id)
+        ):
+            raise ModelFormatError(
+                f"model id must be a non-empty [A-Za-z0-9._-] string "
+                f"not starting with '.', got {model_id!r}"
+            )
+        return model_id
+
+    def _dir(self, model_id: str) -> pathlib.Path:
+        return self._root / self.check_id(model_id)
+
+    @property
+    def model_ids(self) -> Tuple[str, ...]:
+        """Ids with an active version, sorted."""
+        out = []
+        for child in self._root.iterdir():
+            if child.is_dir() and (child / self._CURRENT).exists():
+                out.append(child.name)
+        return tuple(sorted(out))
+
+    def versions(self, model_id: str) -> Tuple[int, ...]:
+        """All stored versions of ``model_id``, ascending."""
+        directory = self._dir(model_id)
+        if not directory.is_dir():
+            return ()
+        found = []
+        for child in directory.glob("v*.npz"):
+            stem = child.name[1 : -len(".npz")]
+            if stem.isdigit():
+                found.append(int(stem))
+        return tuple(sorted(found))
+
+    def current_version(self, model_id: str) -> int:
+        """The active version of ``model_id``."""
+        pointer = self._dir(model_id) / self._CURRENT
+        try:
+            text = pointer.read_text().strip()
+        except FileNotFoundError:
+            raise ModelFormatError(
+                f"model {model_id!r} has no active version"
+            ) from None
+        if not text.isdigit():
+            raise ModelFormatError(
+                f"corrupt version pointer for model {model_id!r}: "
+                f"{text!r}"
+            )
+        version = int(text)
+        if not self.path(model_id, version).exists():
+            raise ModelFormatError(
+                f"model {model_id!r} points at missing version "
+                f"{version}"
+            )
+        return version
+
+    def path(
+        self, model_id: str, version: Optional[int] = None
+    ) -> pathlib.Path:
+        """The store file for ``(model_id, version)`` (default: active)."""
+        if version is None:
+            return self.path(model_id, self.current_version(model_id))
+        return self._dir(model_id) / f"v{int(version)}.npz"
+
+    def publish(
+        self,
+        model_id: str,
+        classifier: BatchHDClassifier,
+        activate: bool = True,
+    ) -> int:
+        """Write the next version of ``model_id``; returns its number."""
+        directory = self._dir(model_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        version = max(self.versions(model_id), default=0) + 1
+        save_model(self.path(model_id, version), classifier)
+        if activate:
+            self.activate(model_id, version)
+        return version
+
+    def activate(self, model_id: str, version: int) -> None:
+        """Atomically flip the active version pointer."""
+        version = int(version)
+        if version not in self.versions(model_id):
+            raise ModelFormatError(
+                f"model {model_id!r} has no version {version} "
+                f"(stored: {self.versions(model_id)})"
+            )
+        directory = self._dir(model_id)
+        tmp = directory / f"{self._CURRENT}.tmp"
+        tmp.write_text(f"{version}\n")
+        os.replace(tmp, directory / self._CURRENT)
+
+    def load(
+        self, model_id: str, version: Optional[int] = None
+    ) -> BatchHDClassifier:
+        """The classifier for ``(model_id, version)``, cached."""
+        if version is None:
+            version = self.current_version(model_id)
+        key = (self.check_id(model_id), int(version))
+        cached = self._cache.get(key)
+        if cached is None:
+            loader = load_model_mmap if self._use_mmap else load_model
+            path = self.path(model_id, version)
+            if not path.exists():
+                raise ModelFormatError(
+                    f"model {model_id!r} has no version {version}"
+                )
+            cached = self._cache[key] = loader(path)
+        return cached
+
+    def hot_swap(
+        self,
+        model_id: str,
+        classifier: BatchHDClassifier,
+        gate_windows: Optional[np.ndarray] = None,
+    ) -> int:
+        """Publish + gate + atomically cut over; returns the version.
+
+        The bit-exact cutover gate: the candidate is re-read through the
+        serving loader and compared word-for-word against the in-memory
+        classifier (config, labels, IM, CIM, prototypes); when
+        ``gate_windows`` is given the stored copy must also reproduce
+        the candidate's decisions on them through the serving predict
+        path.  Only a fully bit-exact candidate activates.
+        """
+        version = self.publish(model_id, classifier, activate=False)
+        path = self.path(model_id, version)
+        try:
+            loader = load_model_mmap if self._use_mmap else load_model
+            loaded = loader(path)
+            self._gate_bit_exact(loaded, classifier, gate_windows)
+        except Exception:
+            self._cache.pop((model_id, version), None)
+            path.unlink(missing_ok=True)
+            raise
+        self.activate(model_id, version)
+        return version
+
+    @staticmethod
+    def _gate_bit_exact(
+        loaded: BatchHDClassifier,
+        candidate: BatchHDClassifier,
+        gate_windows: Optional[np.ndarray],
+    ) -> None:
+        if loaded.config != candidate.config:
+            raise CutoverError(
+                f"cutover gate: stored config {loaded.config} differs "
+                f"from candidate {candidate.config}"
+            )
+        if tuple(loaded.labels) != tuple(candidate.labels):
+            raise CutoverError(
+                "cutover gate: stored labels differ from candidate"
+            )
+        pairs = (
+            ("prototypes", loaded.prototype_words,
+             candidate.prototype_words),
+            ("item memory",
+             loaded.encoder.spatial.item_memory.as_matrix64(),
+             candidate.encoder.spatial.item_memory.as_matrix64()),
+            ("level memory",
+             loaded.encoder.spatial.continuous_memory.as_matrix64(),
+             candidate.encoder.spatial.continuous_memory.as_matrix64()),
+        )
+        for name, stored, fresh in pairs:
+            if not np.array_equal(stored, fresh):
+                raise CutoverError(
+                    f"cutover gate: stored {name} are not bit-exact "
+                    f"with the candidate"
+                )
+        if gate_windows is not None:
+            stored = loaded.predict(gate_windows)
+            fresh = candidate.predict(gate_windows)
+            if list(stored) != list(fresh):
+                raise CutoverError(
+                    "cutover gate: stored model decides gate windows "
+                    "differently from the candidate"
+                )
+
+    def close(self) -> None:
+        """Drop cached classifiers so mmapped pages can be released."""
+        self._cache.clear()
 
 
 def _mmap_member(
@@ -418,7 +669,7 @@ def model_info(path: Union[str, pathlib.Path]) -> dict:
     Used by the streaming CLI to describe a model without rebuilding it.
     """
     path = pathlib.Path(path)
-    with np.load(path, allow_pickle=False) as archive:
+    with _open_archive(path) as archive:
         magic = str(_require(archive, "magic"))
         if magic != MODEL_MAGIC:
             raise ModelFormatError(f"{path} is not a {MODEL_MAGIC} file")

@@ -43,7 +43,13 @@ low-power device.  This package is that serving layer, scaled out:
   the SLO harness in ``benchmarks/bench_stream.py --ingress``.
 
 Models come from the versioned store (:mod:`repro.hdc.serialize`);
-serving never retrains.  ``python -m repro.stream`` runs a synthetic-EMG
+serving never retrains the *shared* model — but a session opened with
+``adaptive=True`` carries a private copy-on-write prototype delta
+(:class:`~repro.hdc.online.SessionDelta`) fed by ground-truth feedback
+(``StreamingService.feedback`` / the FEEDBACK wire frame), and a
+service can host several models side by side (``models=...`` +
+``open_session(..., model_id=...)``) with gated bit-exact hot-swap
+(``swap_model``).  ``python -m repro.stream`` runs a synthetic-EMG
 demo (``--shards N`` for the multi-process front end); ``--selftest``
 checks streaming/offline and sharded/single-process parity end to end;
 ``--serve HOST:PORT`` / ``--client HOST:PORT`` run the network ingress
@@ -78,13 +84,22 @@ from .sharded import (
 )
 from .shmring import IngestRing
 from .windower import StreamWindower
-from .wire import PROTOCOL_VERSION, FrameDecoder, WireError, encode_frame
+from .wire import (
+    PROTOCOL_VERSION,
+    Feedback,
+    FeedbackOk,
+    FrameDecoder,
+    WireError,
+    encode_frame,
+)
 from .workload import WorkloadConfig, generate_workload, run_workload
 
 __all__ = [
     "AutoscalePolicy",
     "BatchReport",
     "Decision",
+    "Feedback",
+    "FeedbackOk",
     "FrameDecoder",
     "IngestRing",
     "IngressClient",

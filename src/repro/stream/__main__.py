@@ -42,11 +42,17 @@ import numpy as np
 
 from ..emg import EMGDatasetConfig, WindowConfig, generate_subject
 from ..emg.windows import paper_split, windows_from_trials
-from ..hdc import BatchHDClassifier, HDClassifierConfig
+from ..hdc import AdaptConfig, BatchHDClassifier, HDClassifierConfig
 from ..hdc.serialize import load_model, load_model_mmap, save_model
 from ..perf.streaming import DevicePerfModel, device_model
 from ..pulp.soc import soc_by_name
-from .replay import ReplayTrace, parity_digest, replay, trace_from_streams
+from .replay import (
+    ReplayTrace,
+    parity_digest,
+    replay,
+    stream_bytes,
+    trace_from_streams,
+)
 from .scheduler import StreamConfig, StreamingService
 from .sharded import ShardedStreamingService
 
@@ -91,6 +97,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="majority-vote smoothing length (default 5)")
     parser.add_argument("--model", type=str, default=None,
                         help="load the model store instead of training")
+    parser.add_argument("--extra-model", action="append", default=None,
+                        metavar="ID=PATH",
+                        help="serve an additional named model beside "
+                             "the default one (repeatable); sessions "
+                             "select it by model id")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="open demo sessions with per-user "
+                             "adaptation and feed ground-truth labels "
+                             "back after every decision")
     parser.add_argument("--save-model", type=str, default=None,
                         help="write the trained model store here")
     parser.add_argument("--device", choices=[*_DEVICES, "none"],
@@ -190,6 +205,44 @@ def _accuracy(
     return raw_hits / total, smooth_hits / total
 
 
+def _parse_extra_models(specs: Optional[Sequence[str]]) -> Dict[str, str]:
+    extra: Dict[str, str] = {}
+    for spec in specs or []:
+        model_id, _, path = spec.partition("=")
+        if not model_id or not path:
+            raise SystemExit(f"expected ID=PATH, got {spec!r}")
+        extra[model_id] = path
+    return extra
+
+
+def _replay_adaptive(service, trace: ReplayTrace, truths) -> tuple:
+    """Replay with ground-truth feedback folded back per decision.
+
+    Works against both service flavours (they share ``open_session`` /
+    ``ingest`` / ``feedback``); feedback always names the decision's
+    explicit index, so it is batching-independent.  Returns
+    ``(per_session, n_applied)``.
+    """
+    per_session: Dict = {}
+    for sid in trace.session_ids:
+        service.open_session(sid, adaptive=True)
+        per_session[sid] = []
+    applied = 0
+    for event in trace.events:
+        for decision in service.ingest(event.session_id, event.samples):
+            per_session[decision.session_id].append(decision)
+            applied += service.feedback(
+                decision.session_id,
+                truths[decision.session_id][decision.index],
+                index=decision.index,
+            )
+    for decision in service.drain():
+        per_session[decision.session_id].append(decision)
+    for decisions in per_session.values():
+        decisions.sort(key=lambda d: d.index)
+    return per_session, applied
+
+
 def _device_lines(device: Optional[DevicePerfModel], n_windows: int):
     if device is None:
         return []
@@ -212,15 +265,26 @@ def _run_single(
     trace: ReplayTrace,
     truths: List[List[int]],
     device: Optional[DevicePerfModel],
+    adaptive: bool = False,
 ) -> List[str]:
     service = StreamingService(model, config, device=device)
     t0 = time.perf_counter()
-    per_session = replay(service, trace)
+    n_applied = 0
+    if adaptive:
+        per_session, n_applied = _replay_adaptive(service, trace, truths)
+    else:
+        per_session = replay(service, trace)
     wall = time.perf_counter() - t0
     n_windows = service.total_windows
     n_batches = service.total_batches
     raw_acc, smooth_acc = _accuracy(per_session, truths)
-    lines = [
+    adapt_lines = (
+        [f"adaptation          : {n_applied} feedback updates folded "
+         f"into per-session deltas"]
+        if adaptive
+        else []
+    )
+    lines = adapt_lines + [
         f"sessions            : {len(service.sessions)}",
         f"windows classified  : {n_windows}",
         f"dispatch batches    : {n_batches} "
@@ -244,12 +308,14 @@ def _run_sharded(
     device: Optional[DevicePerfModel],
     checkpoint_interval: int = 0,
     rescale_to: int = 0,
+    adaptive: bool = False,
 ) -> List[str]:
     actions = (
         {trace.n_events // 2: lambda s: s.rescale(rescale_to)}
         if rescale_to
         else None
     )
+    n_applied = 0
     with ShardedStreamingService(
         model_path,
         config,
@@ -258,7 +324,12 @@ def _run_sharded(
         checkpoint_interval=checkpoint_interval or None,
     ) as service:
         t0 = time.perf_counter()
-        per_session = replay(service, trace, actions=actions)
+        if adaptive:
+            per_session, n_applied = _replay_adaptive(
+                service, trace, truths
+            )
+        else:
+            per_session = replay(service, trace, actions=actions)
         wall = time.perf_counter() - t0
         fleet = service.stats()
         final_shards = service.n_shards
@@ -268,7 +339,13 @@ def _run_sharded(
         if final_shards == n_shards
         else f"{n_shards} -> {final_shards} worker processes"
     )
-    lines = [
+    adapt_lines = (
+        [f"adaptation          : {n_applied} feedback updates folded "
+         f"into per-session deltas"]
+        if adaptive
+        else []
+    )
+    lines = adapt_lines + [
         f"shards              : {shard_note} (mmap'd model store)",
         f"sessions            : {fleet.n_sessions}",
         f"windows classified  : {fleet.n_windows}",
@@ -311,6 +388,11 @@ def run_demo(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait=args.max_wait,
         smooth=args.smooth,
+        # The demo labels decisions as they come back from the service;
+        # over the sharded front end delivery is pipelined, so decided
+        # windows must stay in the feedback buffer until the coordinator
+        # has seen them.  Size it to cover the delivery lag.
+        adapt=AdaptConfig(feedback_window=4096),
     )
     dataset = EMGDatasetConfig(
         n_subjects=args.subject + 1, n_repetitions=args.repetitions
@@ -331,10 +413,12 @@ def run_demo(args: argparse.Namespace) -> int:
                 model_path, args.shards, config, trace, truths, device,
                 checkpoint_interval=args.checkpoint_interval,
                 rescale_to=args.rescale,
+                adaptive=args.adaptive,
             )))
     else:
         print("\n".join(_run_single(
-            model, config, trace, truths, device
+            model, config, trace, truths, device,
+            adaptive=args.adaptive,
         )))
     return 0
 
@@ -474,6 +558,116 @@ def run_selftest() -> int:
             parity_digest(rescaled) == reference and n_after == 3,
         )
 
+        # 5. Per-user adaptation: tenant isolation, gated hot-swap,
+        #    and sharded parity of adapted streams.  max_wait=0 keeps
+        #    "latest decision" feedback deterministic across topologies.
+        adapt_config = StreamConfig(window=window, max_wait=0)
+        # Long enough to clear the onset skip and then repeat the same
+        # pattern, so the post-feedback flip is visible in the stream.
+        adapter_stream = np.tile(
+            trials[0].envelope[: window.slice_samples], (60, 1)
+        )
+        adapt_trace = trace_from_streams(
+            {
+                "adapter": adapter_stream,
+                "bystander": trials[1].envelope[:400],
+            },
+            seed=4,
+            chunking=(20, 60),
+        )
+        # Feedback needs a decided window: fire right after the event
+        # that completes the adapter's first window (max_wait=0 means
+        # it is decided within that ingest).
+        need = (
+            int(round(window.skip_onset_s * adapt_config.sample_rate_hz))
+            + window.slice_samples
+        )
+        got, first_decidable = 0, None
+        for pos, event in enumerate(adapt_trace.events):
+            if event.session_id == "adapter":
+                got += event.samples.shape[0]
+                if got >= need:
+                    first_decidable = pos
+                    break
+        assert first_decidable is not None
+        feedback_at = {
+            first_decidable: lambda s: s.feedback("adapter", 99)
+            and None
+        }
+
+        def run_adapt(service, with_feedback):
+            service.open_session("adapter", adaptive=True)
+            service.open_session("bystander")
+            return replay(
+                service,
+                adapt_trace,
+                open_sessions=False,
+                actions=feedback_at if with_feedback else None,
+            )
+
+        silent = run_adapt(
+            StreamingService(model, adapt_config), False
+        )
+        adapted = run_adapt(
+            StreamingService(model, adapt_config), True
+        )
+        check(
+            "tenant isolation: feedback never changes a "
+            "neighbour's bytes",
+            stream_bytes(silent["bystander"])
+            == stream_bytes(adapted["bystander"])
+            and stream_bytes(silent["adapter"])
+            != stream_bytes(adapted["adapter"]),
+        )
+
+        with ShardedStreamingService(
+            path, adapt_config, n_shards=2
+        ) as adaptive_fleet:
+            sharded_adapted = run_adapt(adaptive_fleet, True)
+        check(
+            "sharded adapted streams byte-identical to "
+            "single-process",
+            parity_digest(sharded_adapted) == parity_digest(adapted),
+        )
+
+        from ..hdc.serialize import ModelStore
+
+        with ModelStore(f"{tmp}/store") as model_store:
+            model_store.publish("subject", model)
+            version = model_store.hot_swap(
+                "subject", load_model(path), gate_windows=probe
+            )
+            check(
+                "model-store hot-swap cutover gated bit-exact",
+                version == 2
+                and model_store.current_version("subject") == 2,
+            )
+
+        def run_swap(with_swap):
+            service = StreamingService(load_model(path), adapt_config)
+            service.open_session("adapter")
+            service.open_session("bystander")
+            actions = (
+                {
+                    adapt_trace.n_events // 2: lambda s: s.swap_model(
+                        load_model(path), gate_windows=probe
+                    )
+                }
+                if with_swap
+                else None
+            )
+            return replay(
+                service,
+                adapt_trace,
+                open_sessions=False,
+                actions=actions,
+            )
+
+        check(
+            "live swap_model of a republication byte-identical",
+            parity_digest(run_swap(True)) == parity_digest(run_swap(False)),
+        )
+
     # 4. The scheduler actually batched across sessions.
     multiplexed = any(r.n_sessions > 1 for r in service.reports)
     check("dispatches multiplex sessions", multiplexed)
@@ -520,6 +714,10 @@ def run_serve(args: argparse.Namespace) -> int:
             await server.stop()
             print(f"ingress stats: {server.stats.describe()}")
 
+    extra = _parse_extra_models(args.extra_model)
+    if extra:
+        print(f"extra models: {', '.join(sorted(extra))} "
+              f"(clients select with OPEN2 model ids)")
     try:
         if args.shards > 0:
             with tempfile.TemporaryDirectory() as tmp:
@@ -527,11 +725,20 @@ def run_serve(args: argparse.Namespace) -> int:
                     save_model(f"{tmp}/model", model)
                 )
                 with ShardedStreamingService(
-                    model_path, config, n_shards=args.shards
+                    model_path,
+                    config,
+                    n_shards=args.shards,
+                    models=extra or None,
                 ) as service:
                     asyncio.run(serve(service))
         else:
-            asyncio.run(serve(StreamingService(model, config)))
+            asyncio.run(serve(StreamingService(
+                model,
+                config,
+                models={
+                    mid: load_model(path) for mid, path in extra.items()
+                },
+            )))
     except KeyboardInterrupt:
         pass
     return 0

@@ -68,6 +68,8 @@ from .wire import (
     Credit,
     DecisionFrame,
     Error,
+    Feedback,
+    FeedbackOk,
     FrameDecoder,
     Hello,
     Open,
@@ -233,7 +235,15 @@ class _ServiceDriver:
                 if op == "ingest":
                     decisions = service.ingest(args[0], args[1])
                 elif op == "open":
-                    service.open_session(args[0])
+                    service.open_session(
+                        args[0], model_id=args[1], adaptive=args[2]
+                    )
+                elif op == "feedback":
+                    # The "decisions" slot carries the applied flag;
+                    # the submitting done-callback knows the shape.
+                    decisions = service.feedback(
+                        args[0], args[1], index=args[2]
+                    )
                 elif op == "close":
                     decisions = service.drain()
                     service.close_session(args[0])
@@ -481,10 +491,13 @@ class IngressServer:
     def _dispatch_frame(self, conn: _Connection, frame) -> bool:
         """Handle one post-handshake frame; False ends the connection."""
         if isinstance(frame, Open):
-            self._on_open(conn, frame.session_id)
+            self._on_open(conn, frame)
             return True
         if isinstance(frame, Samples):
             return self._on_samples(conn, frame)
+        if isinstance(frame, Feedback):
+            self._on_feedback(conn, frame)
+            return True
         if isinstance(frame, Close):
             self._on_close(conn, frame.session_id)
             return True
@@ -502,7 +515,8 @@ class IngressServer:
         )
         return False
 
-    def _on_open(self, conn: _Connection, sid: str) -> None:
+    def _on_open(self, conn: _Connection, frame: Open) -> None:
+        sid = frame.session_id
         if sid in self._sessions:
             self._send(
                 conn,
@@ -534,7 +548,49 @@ class IngressServer:
             self._route_decisions(decisions)
             self._send(conn, OpenOk(sid))
 
-        self._driver.submit("open", sid, done=done)
+        self._driver.submit(
+            "open",
+            sid,
+            frame.model_id or None,
+            frame.adaptive,
+            done=done,
+        )
+
+    def _on_feedback(self, conn: _Connection, frame: Feedback) -> None:
+        sid = frame.session_id
+        owner = self._sessions.get(sid)
+        if owner is None or owner[0] is not conn:
+            self._send(
+                conn,
+                Error(ERR_SESSION, "session not open here", 0.0, sid),
+            )
+            return
+
+        def done(applied, error, conn=conn, frame=frame):
+            if error is not None:
+                # A rejected feedback (not adaptive, index fell out of
+                # the buffer, ...) is answered, not fatal: the stream
+                # itself is untouched, so the session stays open.
+                self._send(
+                    conn,
+                    Error(
+                        ERR_SESSION,
+                        f"{type(error).__name__}: {error}",
+                        0.0,
+                        frame.session_id,
+                    ),
+                )
+                return
+            self._send(
+                conn,
+                FeedbackOk(
+                    frame.session_id, bool(applied), frame.index
+                ),
+            )
+
+        self._driver.submit(
+            "feedback", sid, frame.label, frame.index, done=done
+        )
 
     def _on_samples(self, conn: _Connection, frame: Samples) -> bool:
         sid = frame.session_id
@@ -762,6 +818,8 @@ class IngressClient:
         self._reader_task: Optional[asyncio.Task] = None
         self._open_waiters: Dict[str, asyncio.Future] = {}
         self._close_waiters: Dict[str, asyncio.Future] = {}
+        #: FIFO per session: the server answers FEEDBACKs in order.
+        self._feedback_waiters: Dict[str, Deque[asyncio.Future]] = {}
         self._welcome: Optional[asyncio.Future] = None
         self._bye_event = asyncio.Event()
         self._closed_event = asyncio.Event()
@@ -790,13 +848,48 @@ class IngressClient:
         return welcome
 
     async def open(
-        self, session_id: str, timeout: float = 30.0
+        self,
+        session_id: str,
+        model_id: str = "",
+        adaptive: bool = False,
+        timeout: float = 30.0,
     ) -> Tuple[bool, float]:
-        """OPEN a session; returns (admitted, retry_after_s)."""
+        """OPEN a session; returns (admitted, retry_after_s).
+
+        ``model_id`` selects one of the server's named models ("" =
+        the default); ``adaptive=True`` requests a per-user prototype
+        delta fed by :meth:`feedback`.
+        """
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         self._open_waiters[session_id] = future
-        self._writer.write(encode_frame(Open(session_id)))
+        self._writer.write(
+            encode_frame(Open(session_id, model_id, adaptive))
+        )
+        await self._writer.drain()
+        return await asyncio.wait_for(future, timeout)
+
+    async def feedback(
+        self,
+        session_id: str,
+        label: int,
+        index: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> bool:
+        """Send ground-truth feedback; returns the applied flag.
+
+        ``index=None`` targets the most recent decided window of the
+        session.  Raises ``RuntimeError`` if the server rejects the
+        feedback (session not adaptive, index no longer retained, ...).
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._feedback_waiters.setdefault(
+            session_id, collections.deque()
+        ).append(future)
+        self._writer.write(
+            encode_frame(Feedback(session_id, label, index))
+        )
         await self._writer.drain()
         return await asyncio.wait_for(future, timeout)
 
@@ -866,6 +959,11 @@ class IngressClient:
                 if not future.done():
                     future.set_exception(exc)
             waiters.clear()
+        for queue_ in self._feedback_waiters.values():
+            for future in queue_:
+                if not future.done():
+                    future.set_exception(exc)
+        self._feedback_waiters.clear()
         if self._welcome is not None and not self._welcome.done():
             self._welcome.set_exception(exc)
 
@@ -916,6 +1014,13 @@ class IngressClient:
                 )
             )
             return
+        if isinstance(frame, FeedbackOk):
+            queue_ = self._feedback_waiters.get(frame.session_id)
+            if queue_:
+                future = queue_.popleft()
+                if not future.done():
+                    future.set_result(frame.applied)
+            return
         if isinstance(frame, Closed):
             future = self._close_waiters.pop(frame.session_id, None)
             if future is not None and not future.done():
@@ -930,3 +1035,11 @@ class IngressClient:
                 future = self._open_waiters.pop(frame.session_id, None)
                 if future is not None and not future.done():
                     future.set_result((False, frame.retry_after_s))
+            elif frame.session_id:
+                queue_ = self._feedback_waiters.get(frame.session_id)
+                if queue_:
+                    future = queue_.popleft()
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError(frame.message)
+                        )

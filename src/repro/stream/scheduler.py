@@ -37,16 +37,19 @@ eviction policy is bit-exact by construction.
 
 from __future__ import annotations
 
+import struct
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Optional, Tuple
+from typing import Deque, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..emg.windows import WindowConfig
 from ..hdc import engine
 from ..hdc.batch import BatchHDClassifier
+from ..hdc.online import AdaptConfig, SessionDelta
+from ..hdc.serialize import CutoverError
 from ..perf.streaming import (
     BatchDevicePerf,
     DevicePerfModel,
@@ -98,6 +101,9 @@ class StreamConfig:
     #: record per window forever.  Full streams are available to callers
     #: as the return values of ``ingest`` / ``pump`` / ``drain``.
     history: int = 10_000
+    #: Per-session adaptation policy, applied to sessions opened with
+    #: ``adaptive=True`` (see :class:`~repro.hdc.online.AdaptConfig`).
+    adapt: AdaptConfig = field(default_factory=AdaptConfig)
 
     def __post_init__(self) -> None:
         if self.sample_rate_hz <= 0:
@@ -153,12 +159,37 @@ class BatchReport:
         return self.n_windows / self.host_seconds
 
 
+@dataclass
+class _ModelEntry:
+    """One served model: the classifier plus its cache identity.
+
+    ``index`` is the attach order (stable across a respawn that rebuilds
+    the same model set in the same order); ``epoch`` counts hot-swaps.
+    Together they form the decision-cache tag, so two models — or two
+    versions of one model — can never collide on a window pattern.
+    """
+
+    model_id: Optional[str]
+    model: BatchHDClassifier
+    proto_words: np.ndarray
+    labels: tuple
+    index: int
+    epoch: int = 0
+
+    @property
+    def cache_tag(self) -> bytes:
+        return struct.pack("<HI", self.index, self.epoch)
+
+
 class StreamingService:
     """The serving front end: sessions in, smoothed decisions out.
 
-    Owns a *fitted* :class:`BatchHDClassifier` (typically rebuilt from
-    the model store — serving never retrains) and any number of
-    concurrent sessions.
+    Owns one or more *fitted* :class:`BatchHDClassifier` instances
+    (typically rebuilt from the model store — serving never retrains)
+    and any number of concurrent sessions, each routed to its model by
+    id.  Sessions opened with ``adaptive=True`` additionally carry a
+    copy-on-write :class:`~repro.hdc.online.SessionDelta` over their
+    model's read-only prototypes, fed through :meth:`feedback`.
     """
 
     def __init__(
@@ -166,19 +197,18 @@ class StreamingService:
         model: BatchHDClassifier,
         config: StreamConfig = StreamConfig(),
         device: Optional[DevicePerfModel] = None,
+        models: Optional[Mapping[str, BatchHDClassifier]] = None,
     ):
-        # Fail fast on an unfitted model; also freezes the AM matrix.
-        self._proto_words = model.prototype_words
-        self._labels = model.labels
-        if config.window.slice_samples < model.config.ngram_size:
-            raise ValueError(
-                f"windows of {config.window.slice_samples} timestamps "
-                f"cannot form the model's {model.config.ngram_size}-grams"
-                f"; set WindowConfig.extra_samples >= "
-                f"{model.config.ngram_size - config.window.window_samples}"
-            )
-        self._model = model
         self._config = config
+        # Models by id; None is the default model every session falls
+        # back to, additional ids are tenant-selectable at open time.
+        self._entries: "OrderedDict[Optional[str], _ModelEntry]" = (
+            OrderedDict()
+        )
+        self._attach_model(None, model)
+        if models:
+            for model_id, extra in models.items():
+                self.add_model(model_id, extra)
         self._device = device
         self._sessions: Dict[Hashable, Session] = {}
         # Ready windows in arrival order, blocked per ingest:
@@ -195,10 +225,6 @@ class StreamingService:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
-        if config.spatial_row_cache:
-            model.encoder.spatial.enable_row_cache(
-                config.spatial_row_cache_limit
-            )
         # Per-window dispatch-wait histograms: how long each window sat
         # in the ready queue before its batch dispatched, in logical
         # ticks (deterministic, replay-stable) and wall seconds (the
@@ -214,6 +240,127 @@ class StreamingService:
         self._device_cycles = 0
         self._device_energy_uj = 0.0
 
+    # -- model registry ----------------------------------------------------
+
+    def _attach_model(
+        self, model_id: Optional[str], model: BatchHDClassifier
+    ) -> _ModelEntry:
+        # Fail fast on an unfitted model; also freezes the AM matrix.
+        proto_words = model.prototype_words
+        config = self._config
+        if config.window.slice_samples < model.config.ngram_size:
+            raise ValueError(
+                f"windows of {config.window.slice_samples} timestamps "
+                f"cannot form the model's {model.config.ngram_size}-grams"
+                f"; set WindowConfig.extra_samples >= "
+                f"{model.config.ngram_size - config.window.window_samples}"
+            )
+        if config.spatial_row_cache:
+            model.encoder.spatial.enable_row_cache(
+                config.spatial_row_cache_limit
+            )
+        entry = _ModelEntry(
+            model_id=model_id,
+            model=model,
+            proto_words=proto_words,
+            labels=model.labels,
+            index=len(self._entries),
+        )
+        self._entries[model_id] = entry
+        return entry
+
+    def add_model(
+        self, model_id: str, model: BatchHDClassifier
+    ) -> None:
+        """Register an additional model under ``model_id``.
+
+        Sessions select it at :meth:`open_session` time; the default
+        model (id ``None``) keeps serving sessions that name no model.
+        """
+        if not isinstance(model_id, str) or not model_id:
+            raise ValueError(
+                f"model id must be a non-empty string, got {model_id!r}"
+            )
+        if model_id in self._entries:
+            raise ValueError(f"model {model_id!r} is already registered")
+        self._attach_model(model_id, model)
+
+    def _entry(self, model_id: Optional[str]) -> _ModelEntry:
+        try:
+            return self._entries[model_id]
+        except KeyError:
+            raise KeyError(
+                f"model {model_id!r} is not registered "
+                f"(known: {sorted(k for k in self._entries if k)!r} "
+                f"+ default)"
+            ) from None
+
+    def swap_model(
+        self,
+        new_model: BatchHDClassifier,
+        model_id: Optional[str] = None,
+        gate_windows: Optional[np.ndarray] = None,
+    ) -> None:
+        """Hot-swap the served classifier for ``model_id``.
+
+        The cutover is bit-exact from the scheduler's point of view: the
+        entry's cache epoch is bumped, so no decision memoized against
+        the old prototypes can ever be served for a window classified
+        after the swap.  When ``gate_windows`` is given they act as a
+        cutover gate: the swap is refused (:class:`CutoverError`, old
+        model keeps serving) unless old and new models decide them
+        identically — the validation step of a rollout that is supposed
+        to be a byte-exact refresh (e.g. a recompacted or re-published
+        store of the same weights).
+
+        Sessions with applied adaptation keep the base their delta was
+        built over (the delta owns a copy); every other session of this
+        model classifies against the new prototypes from the next
+        dispatch.
+        """
+        entry = self._entry(model_id)
+        proto_words = new_model.prototype_words
+        old = entry.model
+        if new_model.config.n_channels != old.config.n_channels and any(
+            s.model_id == model_id for s in self._sessions.values()
+        ):
+            raise ValueError(
+                f"cannot swap model {model_id!r} to "
+                f"{new_model.config.n_channels} channels while sessions "
+                f"opened at {old.config.n_channels} channels are live"
+            )
+        if self._config.window.slice_samples < new_model.config.ngram_size:
+            raise ValueError(
+                f"windows of {self._config.window.slice_samples} "
+                f"timestamps cannot form the new model's "
+                f"{new_model.config.ngram_size}-grams"
+            )
+        if gate_windows is not None:
+            before = list(old.predict(gate_windows))
+            after = list(new_model.predict(gate_windows))
+            if before != after:
+                mismatches = sum(
+                    1 for b, a in zip(before, after) if b != a
+                )
+                which = (
+                    "the default model" if model_id is None
+                    else f"model {model_id!r}"
+                )
+                raise CutoverError(
+                    f"cutover gate: new model decides "
+                    f"{mismatches}/{len(before)} gate windows "
+                    f"differently; {which} keeps serving "
+                    f"the old version"
+                )
+        if self._config.spatial_row_cache:
+            new_model.encoder.spatial.enable_row_cache(
+                self._config.spatial_row_cache_limit
+            )
+        entry.model = new_model
+        entry.proto_words = proto_words
+        entry.labels = new_model.labels
+        entry.epoch += 1
+
     # -- introspection -----------------------------------------------------
 
     @property
@@ -223,8 +370,19 @@ class StreamingService:
 
     @property
     def model(self) -> BatchHDClassifier:
-        """The served classifier."""
-        return self._model
+        """The default served classifier."""
+        return self._entries[None].model
+
+    @property
+    def model_ids(self) -> Tuple[str, ...]:
+        """Ids of the additionally registered models, in attach order."""
+        return tuple(k for k in self._entries if k is not None)
+
+    def model_for(
+        self, model_id: Optional[str] = None
+    ) -> BatchHDClassifier:
+        """The classifier serving ``model_id`` (None = default)."""
+        return self._entry(model_id).model
 
     @property
     def device(self) -> Optional[DevicePerfModel]:
@@ -305,25 +463,91 @@ class StreamingService:
 
     # -- session lifecycle -------------------------------------------------
 
-    def _make_session(self, session_id: Hashable) -> Session:
+    def _make_session(
+        self,
+        session_id: Hashable,
+        model_id: Optional[str] = None,
+        adaptive: bool = False,
+    ) -> Session:
         """Construct a session under this service's configuration."""
-        return Session(
+        entry = self._entry(model_id)
+        adapt = self._config.adapt
+        session = Session(
             session_id,
             self._config.window,
-            self._model.config.n_channels,
+            entry.model.config.n_channels,
             sample_rate_hz=self._config.sample_rate_hz,
             smooth=self._config.smooth,
             extract_features=self._config.extract_features,
             history=self._config.history,
+            model_id=model_id,
+            adaptive=adaptive,
+            feedback_window=adapt.feedback_window,
         )
+        if adaptive:
+            session.delta = SessionDelta(
+                entry.proto_words,
+                entry.labels,
+                entry.model.config.dim,
+                adapt,
+            )
+        return session
 
-    def open_session(self, session_id: Hashable) -> Session:
-        """Open a new stream; session ids must be unique while open."""
+    def open_session(
+        self,
+        session_id: Hashable,
+        model_id: Optional[str] = None,
+        adaptive: bool = False,
+    ) -> Session:
+        """Open a new stream; session ids must be unique while open.
+
+        ``model_id`` routes the stream to a registered model (None =
+        default); ``adaptive`` gives it a copy-on-write prototype delta
+        driven through :meth:`feedback`.
+        """
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
-        session = self._make_session(session_id)
+        session = self._make_session(session_id, model_id, adaptive)
         self._sessions[session_id] = session
         return session
+
+    def feedback(
+        self,
+        session_id: Hashable,
+        label: Hashable,
+        index: Optional[int] = None,
+    ) -> bool:
+        """Fold one labelled correction into a session's delta.
+
+        ``index`` names the decision the correction refers to (it must
+        still be inside the session's bounded feedback buffer); None
+        applies it to the most recent decision.  Under the ``mistake``
+        policy the correction only updates the delta when it disagrees
+        with the raw decision that was actually served.  Returns True
+        when the session's prototypes changed.
+
+        Determinism note for differential replays: with ``max_wait=0``
+        every ingested window is decided before ``ingest`` returns, so
+        "most recent decision" is the same on every topology; under a
+        batching policy (``max_wait > 0``) pass an explicit ``index``.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"session {session_id!r} is not open")
+        if not session.adaptive or session.delta is None:
+            raise ValueError(
+                f"session {session_id!r} was not opened with "
+                f"adaptive=True"
+            )
+        _, window, raw_label = session.recent_window(index)
+        entry = self._entry(session.model_id)
+        query = entry.model.encode_windows_packed(
+            window[None, :, :]
+        ).words[0]
+        predicted = (
+            raw_label if self._config.adapt.policy == "mistake" else None
+        )
+        return session.delta.update(query, label, predicted=predicted)
 
     def close_session(self, session_id: Hashable) -> Session:
         """Close a stream; its already-queued windows still dispatch.
@@ -412,11 +636,10 @@ class StreamingService:
                 "restore() requires a freshly constructed service"
             )
         for s_state in state["sessions"]:
-            session = self._make_session(s_state["id"]).restore(s_state)
+            session = self._restore_session(s_state)
             self._sessions[session.id] = session
         orphan_sessions = [
-            self._make_session(o["id"]).restore(o)
-            for o in state["orphans"]
+            self._restore_session(o) for o in state["orphans"]
         ]
         now = time.monotonic()
         for (kind, ref), buf, shape, tick, wall_age in state["queue"]:
@@ -450,6 +673,14 @@ class StreamingService:
         self._device_cycles = int(state["device_cycles"])
         self._device_energy_uj = float(state["device_energy_uj"])
         return self
+
+    def _restore_session(self, s_state: dict) -> Session:
+        """Rebuild one session (with its model routing) from a snapshot."""
+        return self._make_session(
+            s_state["id"],
+            s_state.get("model_id"),
+            bool(s_state.get("adaptive", False)),
+        ).restore(s_state)
 
     def extract_session(self, session_id: Hashable) -> dict:
         """Remove one session *and its queued windows* for migration.
@@ -490,7 +721,7 @@ class StreamingService:
         session_id = s_state["id"]
         if session_id in self._sessions:
             raise ValueError(f"session {session_id!r} is already open")
-        session = self._make_session(session_id).restore(s_state)
+        session = self._restore_session(s_state)
         self._sessions[session_id] = session
         now = time.monotonic()
         for buf, shape, tick, wall_age in state["queued"]:
@@ -587,29 +818,81 @@ class StreamingService:
             )
         return decisions
 
-    def _classify(self, stacked: np.ndarray) -> np.ndarray:
+    @staticmethod
+    def _group_of(session: Session) -> Tuple[Optional[str], Hashable]:
+        """Classification-group key of a session's windows.
+
+        Sessions of one model share a single engine pass and one cache
+        partition; a session with *applied* adaptation (generation > 0)
+        classifies against its own delta prototypes, so it forms a group
+        — and a cache partition — of its own.  An adaptive session that
+        has received no feedback yet still decides byte-identically to
+        its non-adaptive neighbours, so it rides the shared partition.
+        """
+        if session.delta is not None and session.delta.generation > 0:
+            return (session.model_id, session.id)
+        return (session.model_id, None)
+
+    def _cache_prefix(
+        self, entry: _ModelEntry, session: Optional[Session]
+    ) -> bytes:
+        """Decision-cache key prefix: model identity (+ delta identity).
+
+        The chain being memoized is a pure function of (quantised
+        levels, prototypes) — so the key must name the prototypes too.
+        ``entry.cache_tag`` (attach index + hot-swap epoch) covers the
+        shared read-only case; adapted sessions get a private partition
+        tagged with their session id *and* delta generation, so a stale
+        pre-feedback winner can never be replayed after the prototypes
+        moved.  The kind byte keeps the two key families prefix-free.
+        """
+        if session is None:
+            return entry.cache_tag + b"s"
+        sid = repr(session.id).encode("utf-8")
+        return (
+            entry.cache_tag
+            + b"a"
+            + struct.pack("<IQ", len(sid), session.delta.generation)
+            + sid
+        )
+
+    def _classify(
+        self,
+        stacked: np.ndarray,
+        entry: _ModelEntry,
+        session: Optional[Session] = None,
+    ) -> np.ndarray:
         """Winner indices of a window stack, through the decision cache.
 
-        Cache keys are the quantised level patterns; the encode + AM
-        search chain is a pure, deterministic function of those integer
-        levels, so a hit returns exactly the winner the chain would
+        Cache keys are the quantised level patterns prefixed with the
+        identity of the prototypes in play (see :meth:`_cache_prefix`);
+        the encode + AM search chain is a pure, deterministic function
+        of those, so a hit returns exactly the winner the chain would
         compute.  Misses run as one batched engine pass (which itself
-        deduplicates repeated rows) and populate the cache.
+        deduplicates repeated rows) and populate the cache.  ``session``
+        is the owning session when (and only when) the stack classifies
+        against that session's adapted prototypes.
         """
+        proto_words = (
+            session.delta.prototype_words()
+            if session is not None
+            else entry.proto_words
+        )
+        encoder = entry.model.encoder
         if not self._config.decision_cache:
-            queries = self._model.encode_windows_packed(stacked)
-            indices, _ = engine.am_search(queries.words, self._proto_words)
+            queries = entry.model.encode_windows_packed(stacked)
+            indices, _ = engine.am_search(queries.words, proto_words)
             return indices
-        encoder = self._model.encoder
         levels = encoder.spatial.quantize_batch(stacked)
         n = levels.shape[0]
         flat = levels.reshape(n, -1)
+        prefix = self._cache_prefix(entry, session)
         cache = self._decision_cache
         winners = np.empty(n, dtype=np.int64)
         keys: List[bytes] = []
         missing: List[int] = []
         for i in range(n):
-            key = flat[i].tobytes()
+            key = prefix + flat[i].tobytes()
             keys.append(key)
             winner = cache.get(key)
             if winner is None:
@@ -621,7 +904,7 @@ class StreamingService:
         self.cache_misses += len(missing)
         if missing:
             queries = encoder.encode_levels_batch(levels[missing])
-            found, _ = engine.am_search(queries.words, self._proto_words)
+            found, _ = engine.am_search(queries.words, proto_words)
             limit = self._config.decision_cache_limit
             for j, i in enumerate(missing):
                 winner = int(found[j])
@@ -637,7 +920,8 @@ class StreamingService:
         return winners
 
     def _dispatch(self, n: int) -> List[Decision]:
-        """Classify the ``n`` oldest ready windows in one engine pass."""
+        """Classify the ``n`` oldest ready windows, one engine pass per
+        classification group (model, or adapted session)."""
         items: List[Tuple[Session, np.ndarray, int, float]] = []
         take = n
         while take:
@@ -653,22 +937,46 @@ class StreamingService:
                 items.append((session, windows, tick, wall))
                 take -= k
         self._pending -= n
-        stacked = (
-            np.concatenate([block for _, block, _, _ in items])
-            if len(items) > 1
-            else items[0][1]
-        )
+        # Group queue entries by classification context.  Windows of
+        # different models (or of an adapted session) cannot share an
+        # engine pass — their encoders/prototypes differ — but kernels
+        # are row-independent, so per-group passes decide bit-identically
+        # to the single-model fast path.
+        groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for pos, (session, _, _, _) in enumerate(items):
+            groups.setdefault(self._group_of(session), []).append(pos)
         start = time.perf_counter()
-        indices = self._classify(stacked)
+        item_labels: List[Optional[list]] = [None] * len(items)
+        for (model_id, owner), positions in groups.items():
+            entry = self._entries[model_id]
+            blocks = [items[pos][1] for pos in positions]
+            stacked = (
+                np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+            )
+            group_session = (
+                items[positions[0]][0] if owner is not None else None
+            )
+            indices = self._classify(stacked, entry, group_session)
+            labels = (
+                group_session.delta.labels()
+                if group_session is not None
+                else entry.labels
+            )
+            offset = 0
+            for pos in positions:
+                k = items[pos][1].shape[0]
+                item_labels[pos] = [
+                    labels[int(i)]
+                    for i in indices[offset : offset + k]
+                ]
+                offset += k
         host_seconds = time.perf_counter() - start
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         decisions: List[Decision] = []
-        labels = self._labels
         clock = self._clock
         now = time.monotonic()
-        pos = 0
-        for session, block, tick, wall in items:
+        for pos, (session, block, tick, wall) in enumerate(items):
             k = block.shape[0]
             self.queue_age_ticks_hist.record_many(
                 np.full(k, clock - tick, dtype=np.float64)
@@ -679,14 +987,13 @@ class StreamingService:
             for j in range(k):
                 decisions.append(
                     session.record(
-                        raw_label=labels[int(indices[pos])],
+                        raw_label=item_labels[pos][j],
                         batch_id=batch_id,
                         enqueued_at=tick,
                         decided_at=clock,
                         window=block[j],
                     )
                 )
-                pos += 1
         self._n_reports += 1
         self._n_windows += n
         self._host_seconds += host_seconds

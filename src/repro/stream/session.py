@@ -94,7 +94,17 @@ class Decision:
 
 
 class Session:
-    """One stream's windower, smoother, and decision history."""
+    """One stream's windower, smoother, and decision history.
+
+    ``model_id`` names which of the service's models classifies this
+    stream (None = the default model); it is part of the session's
+    identity and travels with every snapshot, so migration and respawn
+    route the stream to the same prototypes.  An *adaptive* session
+    additionally carries a per-user prototype delta
+    (:class:`~repro.hdc.online.SessionDelta`, attached by the scheduler)
+    plus a bounded buffer of recently decided windows so late feedback
+    can still be re-encoded.
+    """
 
     def __init__(
         self,
@@ -105,6 +115,9 @@ class Session:
         smooth: int = 1,
         extract_features: bool = False,
         history: int = 10_000,
+        model_id: Optional[str] = None,
+        adaptive: bool = False,
+        feedback_window: int = 64,
     ):
         if history < 1:
             raise ValueError(f"history must be >= 1, got {history}")
@@ -114,6 +127,17 @@ class Session:
         )
         self.smoother = MajorityVoteSmoother(smooth)
         self.extract_features = bool(extract_features)
+        self.model_id = model_id
+        self.adaptive = bool(adaptive)
+        #: The copy-on-write prototype delta of an adaptive session;
+        #: attached by the owning service (it needs the base AM).
+        self.delta = None
+        #: Recently decided windows of an adaptive session, newest last:
+        #: (decision index, window copy, raw label).  Bounded — feedback
+        #: older than ``feedback_window`` decisions cannot be applied.
+        self.recent: Optional[deque] = (
+            deque(maxlen=int(feedback_window)) if self.adaptive else None
+        )
         # Bounded: a long-running service delivers decisions forever;
         # the retained history is a convenience window, not a log.
         # Callers that need every decision consume the return values of
@@ -163,7 +187,40 @@ class Session:
         )
         self.decisions.append(decision)
         self._n_decisions += 1
+        if self.recent is not None:
+            self.recent.append(
+                (decision.index, np.array(window, copy=True), raw_label)
+            )
         return decision
+
+    def recent_window(self, index: Optional[int] = None) -> tuple:
+        """A retained ``(decision index, window, raw label)`` entry.
+
+        ``index=None`` returns the most recent decision; an explicit
+        index must still be inside the bounded feedback buffer.
+        """
+        if self.recent is None:
+            raise ValueError(
+                f"session {self.id!r} was not opened with adaptive=True"
+            )
+        if not self.recent:
+            raise ValueError(
+                f"session {self.id!r} has no decided windows to "
+                f"apply feedback to"
+            )
+        if index is None:
+            return self.recent[-1]
+        index = int(index)
+        for entry in reversed(self.recent):
+            if entry[0] == index:
+                return entry
+            if entry[0] < index:
+                break
+        raise ValueError(
+            f"decision {index} of session {self.id!r} is not in the "
+            f"feedback buffer (retained: "
+            f"{self.recent[0][0]}..{self.recent[-1][0]})"
+        )
 
     # -- snapshot protocol -------------------------------------------------
 
@@ -176,7 +233,7 @@ class Session:
         file unchanged; :meth:`restore` on a session built with the same
         configuration continues the stream byte-identically.
         """
-        return {
+        state = {
             "id": self.id,
             "windower": self.windower.snapshot(),
             "smoother": self.smoother.snapshot(),
@@ -185,6 +242,20 @@ class Session:
             "decisions": list(self.decisions),
             "n_decisions": self._n_decisions,
         }
+        # Adaptation state travels as optional keys: snapshots taken
+        # before per-user adaptation existed restore unchanged.
+        if self.model_id is not None:
+            state["model_id"] = self.model_id
+        if self.adaptive:
+            state["adaptive"] = True
+            state["recent"] = [
+                (index, window.tobytes(), window.shape, raw_label)
+                for index, window, raw_label in self.recent
+            ]
+            state["feedback_window"] = self.recent.maxlen
+            if self.delta is not None:
+                state["delta"] = self.delta.snapshot()
+        return state
 
     def restore(self, state: dict) -> "Session":
         """Adopt a :meth:`snapshot` dict; returns ``self``.
@@ -207,8 +278,45 @@ class Session:
                 f"session snapshot history={state['history']} does not "
                 f"match this session's history={self.decisions.maxlen}"
             )
+        if state.get("model_id") != self.model_id:
+            raise ValueError(
+                f"session snapshot is for model "
+                f"{state.get('model_id')!r}, not {self.model_id!r}"
+            )
+        if bool(state.get("adaptive", False)) != self.adaptive:
+            raise ValueError(
+                "session snapshot adaptive flag does not match"
+            )
         self.windower.restore(state["windower"])
         self.smoother.restore(state["smoother"])
         self.decisions = deque(state["decisions"], maxlen=self.decisions.maxlen)
         self._n_decisions = int(state["n_decisions"])
+        if self.adaptive:
+            if int(state["feedback_window"]) != self.recent.maxlen:
+                raise ValueError(
+                    f"session snapshot feedback_window="
+                    f"{state['feedback_window']} does not match "
+                    f"{self.recent.maxlen}"
+                )
+            self.recent = deque(
+                (
+                    (
+                        int(index),
+                        np.frombuffer(buf, dtype=np.float64)
+                        .reshape(shape)
+                        .copy(),
+                        raw_label,
+                    )
+                    for index, buf, shape, raw_label in state["recent"]
+                ),
+                maxlen=self.recent.maxlen,
+            )
+            delta_state = state.get("delta")
+            if delta_state is not None:
+                if self.delta is None:
+                    raise ValueError(
+                        "session snapshot carries a prototype delta but "
+                        "no SessionDelta is attached to this session"
+                    )
+                self.delta.restore(delta_state)
         return self

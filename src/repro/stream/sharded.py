@@ -337,6 +337,7 @@ def _shard_worker(
     use_mmap: bool,
     ring_name: Optional[str],
     ring_bytes: int,
+    model_paths: Optional[Dict[str, str]] = None,
 ) -> None:
     """One shard: a private StreamingService over the shared model store.
 
@@ -359,7 +360,13 @@ def _shard_worker(
                 ring = IngestRing.attach(ring_name, ring_bytes)
             loader = load_model_mmap if use_mmap else load_model
             service = StreamingService(
-                loader(model_path), config, device=device
+                loader(model_path),
+                config,
+                device=device,
+                models={
+                    mid: loader(path)
+                    for mid, path in (model_paths or {}).items()
+                },
             )
         except Exception:
             conn.send(("err", _READY, traceback.format_exc()))
@@ -383,8 +390,22 @@ def _shard_worker(
                         service.oldest_queued_wall_age,
                     )
                 elif op == "open":
-                    service.open_session(message[2])
+                    service.open_session(
+                        message[2],
+                        model_id=message[3],
+                        adaptive=message[4],
+                    )
                     payload: List[Decision] = []
+                elif op == "feedback":
+                    # Journaled like ingest: feedback mutates serving
+                    # state (the session's prototype delta), so respawn
+                    # replay must re-apply it to reconstruct the worker.
+                    payload = (
+                        "feedback",
+                        service.feedback(
+                            message[2], message[3], index=message[4]
+                        ),
+                    )
                 elif op == "close":
                     service.close_session(message[2])
                     payload = []
@@ -455,6 +476,8 @@ class _Shard:
     last_stats: Optional[StreamStats] = None
     #: Last state blob returned by a checkpoint/extract command.
     last_state: Optional[bytes] = None
+    #: Last boolean flag returned by a feedback command.
+    last_flag: Optional[bool] = None
     respawns: int = 0
 
     @property
@@ -495,6 +518,7 @@ class ShardedStreamingService:
         checkpoint_interval: Optional[int] = None,
         checkpoint_dir: Optional[Union[str, pathlib.Path]] = None,
         autoscale: Optional[AutoscalePolicy] = None,
+        models: Optional[Dict[str, Union[str, pathlib.Path]]] = None,
     ):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -519,6 +543,20 @@ class ShardedStreamingService:
             )
         self._model_path = str(model_path)
         self._model_info = info
+        self._model_paths: Dict[str, str] = {}
+        for mid, path in (models or {}).items():
+            if not isinstance(mid, str) or not mid:
+                raise ValueError(
+                    f"model id must be a non-empty string, got {mid!r}"
+                )
+            extra = model_info(path)
+            if config.window.slice_samples < extra["ngram_size"]:
+                raise ValueError(
+                    f"windows of {config.window.slice_samples} "
+                    f"timestamps cannot form model {mid!r}'s "
+                    f"{extra['ngram_size']}-grams"
+                )
+            self._model_paths[mid] = str(path)
         self._config = config
         self._device = device
         self._max_inflight = int(max_inflight)
@@ -584,6 +622,7 @@ class ShardedStreamingService:
                 self._use_mmap,
                 ring.name if ring is not None else None,
                 self._ring_bytes,
+                self._model_paths,
             ),
             name=f"repro-stream-shard-{index}",
             daemon=True,
@@ -661,6 +700,11 @@ class ShardedStreamingService:
         return self._model_path
 
     @property
+    def model_ids(self) -> Tuple[str, ...]:
+        """Ids of the extra models loaded beside the default one."""
+        return tuple(self._model_paths)
+
+    @property
     def session_ids(self) -> Tuple[Hashable, ...]:
         """Open session ids, in opening order."""
         return tuple(self._session_shard)
@@ -710,8 +754,19 @@ class ShardedStreamingService:
 
     # -- the data path -----------------------------------------------------
 
-    def open_session(self, session_id: Hashable) -> int:
+    def open_session(
+        self,
+        session_id: Hashable,
+        model_id: Optional[str] = None,
+        adaptive: bool = False,
+    ) -> int:
         """Open a stream; returns the shard index it is partitioned to.
+
+        ``model_id`` routes the stream to one of the extra models the
+        fleet was constructed with (None = the default model), and
+        ``adaptive=True`` attaches a per-user prototype delta fed by
+        :meth:`feedback` — both travel in the journal, so a respawned
+        worker reopens the session identically.
 
         Unlike the single-process service, session ids must be unique
         over the *lifetime* of the coordinator, not just while open:
@@ -727,11 +782,57 @@ class ShardedStreamingService:
                 f"session id {session_id!r} was already used; sharded "
                 f"session ids must be unique over the service lifetime"
             )
+        if model_id is not None and model_id not in self._model_paths:
+            raise KeyError(
+                f"unknown model id {model_id!r}; known extra models: "
+                f"{sorted(self._model_paths)}"
+            )
         index = shard_for(session_id, len(self._shards))
-        self._post(self._shards[index], ("open", session_id))
+        self._post(
+            self._shards[index],
+            ("open", session_id, model_id, bool(adaptive)),
+        )
         self._session_shard[session_id] = index
         self._delivered[session_id] = 0
         return index
+
+    def feedback(
+        self,
+        session_id: Hashable,
+        label: Hashable,
+        index: Optional[int] = None,
+    ) -> bool:
+        """Apply ground-truth feedback to an adaptive session.
+
+        Mirrors ``StreamingService.feedback``: the labelled window
+        (``index=None`` = the most recent decided one) is re-encoded on
+        the session's shard and folded into its private prototype
+        delta.  Synchronous — returns the worker's ``applied`` flag
+        once every command sent so far has been acknowledged.  The
+        command is journaled, so respawn replay reconstructs the
+        adapted prototypes exactly.
+        """
+        self._ensure_open()
+        try:
+            shard_index = self._session_shard[session_id]
+        except KeyError:
+            raise KeyError(
+                f"session {session_id!r} is not open"
+            ) from None
+        self._shards[shard_index].last_flag = None
+        self._post(
+            self._shards[shard_index],
+            ("feedback", session_id, label, index),
+        )
+        # A crash inside _post (or _flush) respawns the shard, replacing
+        # the _Shard object — re-read it before trusting the flag.
+        self._flush(self._shards[shard_index])
+        applied = self._shards[shard_index].last_flag
+        if applied is None:
+            raise ShardError(
+                shard_index, "feedback was not acknowledged"
+            )
+        return applied
 
     def close_session(self, session_id: Hashable) -> None:
         """Close a stream; its already-queued windows still dispatch."""
@@ -1340,6 +1441,8 @@ class ShardedStreamingService:
             shard.last_stats = payload
         elif isinstance(payload, (bytes, bytearray)):
             shard.last_state = bytes(payload)
+        elif type(payload) is tuple and payload[0] == "feedback":
+            shard.last_flag = bool(payload[1])
         elif isinstance(payload, list):
             self._deliver(payload)
 

@@ -36,6 +36,22 @@ Frame types and bodies::
     ERROR     0x0B  s->c  u16 code | f32 retry_after_s
                           | u16 sid_len | sid utf-8
                           | message utf-8 (rest of body)
+    OPEN2     0x0C  c->s  u8 flags (bit0: adaptive)
+                          | u16 sid_len | sid utf-8
+                          | model_id utf-8 (rest of body)
+    FEEDBACK  0x0D  c->s  u16 sid_len | sid utf-8
+                          | u32 index (0xFFFFFFFF = latest)
+                          | i64 label
+    FEEDB_OK  0x0E  s->c  u16 sid_len | sid utf-8
+                          | u32 index (as requested) | u8 applied
+
+An :class:`Open` with a model id or the adaptive flag encodes as OPEN2;
+a plain one keeps the version-1 OPEN bytes, so old clients and servers
+interoperate as long as neither uses per-user adaptation.  FEEDBACK
+hands a ground-truth label back to an *adaptive* session — the server
+folds it into that session's private prototype delta and answers
+FEEDB_OK with an ``applied`` flag (False when the decision was already
+correct under a mistake-driven policy).
 
 Sample payloads are little-endian float64 (numpy's native layout on
 every platform we run on — ``tobytes()`` round-trips without a copy);
@@ -82,6 +98,12 @@ T_CLOSE = 0x08
 T_CLOSED = 0x09
 T_BYE = 0x0A
 T_ERROR = 0x0B
+T_OPEN2 = 0x0C
+T_FEEDBACK = 0x0D
+T_FEEDBACK_OK = 0x0E
+
+#: FEEDBACK index meaning "the most recent decided window".
+FEEDBACK_LATEST = 0xFFFFFFFF
 
 #: ERROR frame codes.
 ERR_VERSION = 1  #: protocol version mismatch; connection is closed
@@ -101,6 +123,8 @@ _WELCOME_BODY = struct.Struct("!HI")
 _SAMPLES_HEAD = struct.Struct("!dIH")  # stamp, n_samples, n_channels
 _DECISION_TAIL = struct.Struct("!Iqqd")  # index, raw, label, stamp
 _ERROR_HEAD = struct.Struct("!Hf")  # code, retry_after_s
+_FEEDBACK_TAIL = struct.Struct("!Iq")  # index, label
+_FEEDBACK_OK_TAIL = struct.Struct("!IB")  # index, applied
 
 
 class WireError(ValueError):
@@ -123,7 +147,15 @@ class Welcome:
 
 @dataclass(frozen=True)
 class Open:
+    """Open a session, optionally on a named model / with adaptation.
+
+    The defaults (`model_id=""`, `adaptive=False`) encode as the
+    original OPEN frame; anything else rides the OPEN2 frame.
+    """
+
     session_id: str
+    model_id: str = ""
+    adaptive: bool = False
 
 
 @dataclass(frozen=True)
@@ -196,6 +228,26 @@ class Error:
     session_id: str = ""
 
 
+@dataclass(frozen=True)
+class Feedback:
+    """Ground-truth label for one decided window of an adaptive
+    session (``index=None`` = the most recent decision)."""
+
+    session_id: str
+    label: int
+    index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FeedbackOk:
+    """Acknowledgement of a FEEDBACK frame; echoes the requested index
+    (None when the client asked for the latest decision)."""
+
+    session_id: str
+    applied: bool
+    index: Optional[int] = None
+
+
 Frame = Union[
     Hello,
     Welcome,
@@ -208,6 +260,8 @@ Frame = Union[
     Closed,
     Bye,
     Error,
+    Feedback,
+    FeedbackOk,
 ]
 
 
@@ -241,7 +295,16 @@ def encode_frame(frame: Frame) -> bytes:
             _WELCOME_BODY.pack(frame.version, frame.credit_bytes),
         )
     if isinstance(frame, Open):
-        return _frame(T_OPEN, _sid_bytes(frame.session_id))
+        if not frame.model_id and not frame.adaptive:
+            return _frame(T_OPEN, _sid_bytes(frame.session_id))
+        sid = _sid_bytes(frame.session_id)
+        return _frame(
+            T_OPEN2,
+            bytes([1 if frame.adaptive else 0])
+            + _U16.pack(len(sid))
+            + sid
+            + frame.model_id.encode("utf-8"),
+        )
     if isinstance(frame, OpenOk):
         return _frame(T_OPEN_OK, _sid_bytes(frame.session_id))
     if isinstance(frame, Samples):
@@ -286,6 +349,31 @@ def encode_frame(frame: Frame) -> bytes:
             + _U16.pack(len(sid))
             + sid
             + frame.message.encode("utf-8"),
+        )
+    if isinstance(frame, Feedback):
+        sid = _sid_bytes(frame.session_id)
+        index = FEEDBACK_LATEST if frame.index is None else frame.index
+        if not 0 <= index <= FEEDBACK_LATEST:
+            raise WireError(f"feedback index {frame.index} out of range")
+        if frame.index is not None and index == FEEDBACK_LATEST:
+            raise WireError(
+                f"explicit feedback index {index} collides with the "
+                f"latest-decision sentinel"
+            )
+        return _frame(
+            T_FEEDBACK,
+            _U16.pack(len(sid))
+            + sid
+            + _FEEDBACK_TAIL.pack(index, frame.label),
+        )
+    if isinstance(frame, FeedbackOk):
+        sid = _sid_bytes(frame.session_id)
+        index = FEEDBACK_LATEST if frame.index is None else frame.index
+        return _frame(
+            T_FEEDBACK_OK,
+            _U16.pack(len(sid))
+            + sid
+            + _FEEDBACK_OK_TAIL.pack(index, 1 if frame.applied else 0),
         )
     raise WireError(f"cannot encode {type(frame).__name__}")
 
@@ -375,6 +463,40 @@ def _decode_body(tag: int, body: bytes) -> Frame:
                 f"ERROR message is not utf-8: {exc}"
             ) from None
         return Error(code, message, retry, sid)
+    if tag == T_OPEN2:
+        if len(body) < 1:
+            raise WireError("truncated OPEN2 flags")
+        flags = body[0]
+        if flags & ~0x01:
+            raise WireError(f"unknown OPEN2 flags 0x{flags:02x}")
+        sid, offset = _take_sid(body, 1)
+        try:
+            model_id = body[offset:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(
+                f"model id is not utf-8: {exc}"
+            ) from None
+        return Open(sid, model_id, bool(flags & 0x01))
+    if tag == T_FEEDBACK:
+        sid, offset = _take_sid(body, 0)
+        if len(body) - offset != _FEEDBACK_TAIL.size:
+            raise WireError("bad FEEDBACK body size")
+        index, label = _FEEDBACK_TAIL.unpack_from(body, offset)
+        return Feedback(
+            sid, label, None if index == FEEDBACK_LATEST else index
+        )
+    if tag == T_FEEDBACK_OK:
+        sid, offset = _take_sid(body, 0)
+        if len(body) - offset != _FEEDBACK_OK_TAIL.size:
+            raise WireError("bad FEEDB_OK body size")
+        index, applied = _FEEDBACK_OK_TAIL.unpack_from(body, offset)
+        if applied > 1:
+            raise WireError(f"bad FEEDB_OK applied byte {applied}")
+        return FeedbackOk(
+            sid,
+            bool(applied),
+            None if index == FEEDBACK_LATEST else index,
+        )
     raise WireError(f"unknown frame tag 0x{tag:02x}")
 
 

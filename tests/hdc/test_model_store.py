@@ -1,0 +1,214 @@
+"""ModelStore: multi-tenant versioned model storage with gated cutover."""
+
+import gc
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.hdc import BatchHDClassifier, HDClassifierConfig
+from repro.hdc.serialize import (
+    CutoverError,
+    ModelFormatError,
+    ModelStore,
+)
+
+
+def train(seed=3, dim=128, n_classes=3, n_channels=4):
+    rng = np.random.default_rng(seed)
+    cfg = HDClassifierConfig(
+        dim=dim, n_channels=n_channels, seed=seed
+    )
+    windows = rng.random((n_classes * 4, 8, n_channels)) * 20
+    labels = [i % n_classes for i in range(len(windows))]
+    return BatchHDClassifier(cfg).fit(windows, labels)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ModelStore(tmp_path / "store") as st:
+        yield st
+
+
+class TestPublishAndLoad:
+    def test_publish_load_round_trip(self, store):
+        model = train()
+        assert store.publish("subj-a", model) == 1
+        loaded = store.load("subj-a")
+        assert tuple(loaded.labels) == tuple(model.labels)
+        assert np.array_equal(
+            loaded.prototype_words, model.prototype_words
+        )
+
+    def test_models_side_by_side(self, store):
+        """Different D / gesture sets / subjects under one root."""
+        variants = {
+            "small": train(seed=1, dim=64, n_classes=2),
+            "big": train(seed=2, dim=256, n_classes=5),
+            "other-subject": train(seed=9, dim=64, n_classes=2),
+        }
+        for model_id, model in variants.items():
+            store.publish(model_id, model)
+        assert store.model_ids == ("big", "other-subject", "small")
+        for model_id, model in variants.items():
+            assert np.array_equal(
+                store.load(model_id).prototype_words,
+                model.prototype_words,
+            )
+
+    def test_versions_accumulate(self, store):
+        store.publish("m", train(seed=1))
+        store.publish("m", train(seed=2))
+        assert store.versions("m") == (1, 2)
+        assert store.current_version("m") == 2
+        # Old versions stay addressable.
+        assert np.array_equal(
+            store.load("m", version=1).prototype_words,
+            train(seed=1).prototype_words,
+        )
+
+    def test_publish_without_activate(self, store):
+        store.publish("m", train(seed=1))
+        store.publish("m", train(seed=2), activate=False)
+        assert store.current_version("m") == 1
+        assert store.versions("m") == (1, 2)
+
+    def test_mmap_arrays_are_read_only(self, store):
+        store.publish("m", train())
+        loaded = store.load("m")
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded.prototype_words[0, 0] = 1
+
+    def test_load_is_cached(self, store):
+        store.publish("m", train())
+        assert store.load("m") is store.load("m")
+
+
+class TestVersionRejection:
+    def test_unknown_model(self, store):
+        with pytest.raises(ModelFormatError, match="no active version"):
+            store.current_version("ghost")
+        with pytest.raises(ModelFormatError, match="no active version"):
+            store.load("ghost")
+
+    def test_unknown_version(self, store):
+        store.publish("m", train())
+        with pytest.raises(ModelFormatError, match="no version"):
+            store.load("m", version=7)
+        with pytest.raises(ModelFormatError, match="no version 7"):
+            store.activate("m", 7)
+
+    def test_corrupt_pointer(self, store):
+        store.publish("m", train())
+        (store.root / "m" / "CURRENT").write_text("banana\n")
+        with pytest.raises(ModelFormatError, match="corrupt"):
+            store.current_version("m")
+
+    def test_dangling_pointer(self, store):
+        store.publish("m", train())
+        (store.root / "m" / "CURRENT").write_text("9\n")
+        with pytest.raises(ModelFormatError, match="missing version"):
+            store.load("m")
+
+    def test_bad_model_ids(self, store):
+        for bad in ("", ".hidden", "a/b", "a b", 7, None):
+            with pytest.raises((ModelFormatError, TypeError)):
+                store.publish(bad, train())
+
+    def test_unsupported_store_version_rejected(self, store):
+        """A tampered file fails validation without being adopted."""
+        store.publish("m", train())
+        path = store.path("m")
+        blob = bytearray(path.read_bytes())
+        path.write_bytes(bytes(blob[: len(blob) // 2]))
+        store.close()  # drop the cached good copy
+        with pytest.raises(Exception):
+            store.load("m")
+
+
+class TestMmapLifecycle:
+    def test_error_paths_leave_no_open_handles(self, store, tmp_path):
+        """Failed loads must not leak file handles (no ResourceWarning)."""
+        store.publish("m", train())
+        truncated = tmp_path / "trunc.npz"
+        truncated.write_bytes(store.path("m").read_bytes()[:100])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            for _ in range(3):
+                with pytest.raises(Exception):
+                    ModelStore(tmp_path / "s2").load("nope")
+                bad = ModelStore(tmp_path / "s3")
+                bad.root.joinpath("bad").mkdir(exist_ok=True)
+                bad.root.joinpath("bad", "v1.npz").write_bytes(
+                    truncated.read_bytes()
+                )
+                bad.root.joinpath("bad", "CURRENT").write_text("1\n")
+                with pytest.raises(Exception):
+                    bad.load("bad")
+            gc.collect()
+
+    def test_close_releases_cached_models(self, store):
+        store.publish("m", train())
+        loaded = store.load("m")
+        words = np.array(loaded.prototype_words)  # private copy
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            store.close()
+            del loaded
+            gc.collect()
+        # Store still works after close (cache simply refills).
+        assert np.array_equal(
+            np.array(store.load("m").prototype_words), words
+        )
+
+
+class TestHotSwap:
+    def test_cutover_is_bit_exact(self, store):
+        v1 = train(seed=1)
+        store.publish("m", v1)
+        v2 = train(seed=2)
+        rng = np.random.default_rng(0)
+        gate = rng.random((6, 8, 4)) * 20
+        version = store.hot_swap("m", v2, gate_windows=gate)
+        assert version == 2
+        assert store.current_version("m") == 2
+        active = store.load("m")
+        assert np.array_equal(
+            active.prototype_words, v2.prototype_words
+        )
+        assert list(active.predict(gate)) == list(v2.predict(gate))
+
+    def test_failed_gate_leaves_active_version(self, store, monkeypatch):
+        store.publish("m", train(seed=1))
+        candidate = train(seed=2)
+        # Force the stored copy to read back different bytes.
+        monkeypatch.setattr(
+            ModelStore,
+            "_gate_bit_exact",
+            staticmethod(
+                lambda *a: (_ for _ in ()).throw(
+                    CutoverError("forced gate failure")
+                )
+            ),
+        )
+        with pytest.raises(CutoverError):
+            store.hot_swap("m", candidate)
+        monkeypatch.undo()
+        assert store.current_version("m") == 1
+        # The rejected candidate file was cleaned up.
+        assert store.versions("m") == (1,)
+
+    def test_gate_catches_config_mismatch(self, store, monkeypatch):
+        store.publish("m", train(seed=1))
+        candidate = train(seed=2)
+        real_loader = ModelStore.load
+
+        import repro.hdc.serialize as ser
+
+        monkeypatch.setattr(
+            ser, "load_model_mmap", lambda path: train(seed=1)
+        )
+        with pytest.raises(CutoverError):
+            store.hot_swap("m", candidate)
+        assert store.current_version("m") == 1
+        assert real_loader is ModelStore.load

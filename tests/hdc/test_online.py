@@ -1,9 +1,18 @@
 """Tests for the on-line learning mode (paper section 3)."""
 
+import pickle
+
 import numpy as np
 import pytest
 
-from repro.hdc import HDClassifier, HDClassifierConfig, OnlineHDClassifier
+from repro.hdc import (
+    BatchHDClassifier,
+    HDClassifier,
+    HDClassifierConfig,
+    OnlineHDClassifier,
+)
+from repro.hdc import engine
+from repro.hdc.online import AdaptConfig, SessionDelta
 
 
 def make_windows(rng, n, centers=(4.0, 11.0, 18.0)):
@@ -89,6 +98,216 @@ class TestOnlineBehaviour:
         online = OnlineHDClassifier(HDClassifierConfig(dim=256))
         window = np.clip(rng.normal(5, 1, size=(5, 4)), 0, 21)
         assert online.update(window, "fresh", mistake_driven=True)
+
+
+class TestWarmStartParity:
+    """The documented bit-parity with off-line training, pinned.
+
+    ``OnlineHDClassifier`` fed the training windows in order must be
+    bit-identical to ``BatchHDClassifier.fit`` — including even
+    per-class totals, where the result hinges on the frozen
+    XOR-of-first-two tiebreak matching fit's append-tiebreak rule.
+    """
+
+    @pytest.mark.parametrize("n_per_class", [1, 2, 3, 4, 6])
+    def test_bit_identical_to_batch_fit(self, rng, n_per_class):
+        cfg = HDClassifierConfig(dim=96, seed=5)
+        windows, labels = make_windows(rng, 3 * n_per_class)
+        offline = BatchHDClassifier(cfg).fit(
+            np.stack(windows), labels
+        )
+        online = OnlineHDClassifier(cfg)
+        online.update_batch(windows, labels)
+        assert online.classes == offline.labels
+        assert np.array_equal(online.am_matrix(), offline.am_matrix())
+
+    def test_one_by_one_even_totals(self, rng):
+        """update() per window hits the same bits at an exact tie."""
+        cfg = HDClassifierConfig(dim=64, seed=3)
+        windows, labels = make_windows(rng, 6)
+        offline = BatchHDClassifier(cfg).fit(np.stack(windows), labels)
+        online = OnlineHDClassifier(cfg)
+        for window, label in zip(windows, labels):
+            online.update(window, label)
+        assert np.array_equal(online.am_matrix(), offline.am_matrix())
+
+    def test_singleton_class_parity(self, rng):
+        """A one-window class stores the query itself in both paths."""
+        cfg = HDClassifierConfig(dim=128, seed=9)
+        windows, labels = make_windows(rng, 7)
+        offline = BatchHDClassifier(cfg).fit(np.stack(windows), labels)
+        online = OnlineHDClassifier(cfg)
+        online.update_batch(windows, labels)
+        assert np.array_equal(online.am_matrix(), offline.am_matrix())
+
+
+class TestEmptyBatch:
+    """update_batch([]) must not install an empty AM (regression)."""
+
+    @pytest.mark.parametrize("mistake_driven", [False, True])
+    def test_empty_batch_keeps_unfitted_guard(self, mistake_driven):
+        online = OnlineHDClassifier(HDClassifierConfig(dim=64))
+        assert (
+            online.update_batch([], [], mistake_driven=mistake_driven)
+            == 0
+        )
+        with pytest.raises(RuntimeError, match="no updates"):
+            online.associative_memory
+        with pytest.raises(RuntimeError, match="no updates"):
+            online.predict_window(np.zeros((5, 4)))
+
+    def test_first_mistake_driven_window_after_empty_batch(self, rng):
+        """The first-window path is consistent after an empty batch."""
+        online = OnlineHDClassifier(HDClassifierConfig(dim=256))
+        online.update_batch([], [])
+        window = np.clip(rng.normal(5, 1, size=(5, 4)), 0, 21)
+        assert online.update(window, "fresh", mistake_driven=True)
+        assert online.predict_window(window) == "fresh"
+
+    def test_empty_batch_preserves_trained_state(self, rng):
+        online = OnlineHDClassifier(HDClassifierConfig(dim=256))
+        windows, labels = make_windows(rng, 9)
+        online.update_batch(windows, labels)
+        before = online.am_matrix().copy()
+        assert online.update_batch([], []) == 0
+        assert np.array_equal(online.am_matrix(), before)
+
+
+class TestSessionDelta:
+    def make_delta(self, rng, dim=96, n_classes=3, **kwargs):
+        base = engine.random_words(n_classes, dim, rng)
+        labels = [f"g{i}" for i in range(n_classes)]
+        return (
+            SessionDelta(base, labels, dim, AdaptConfig(**kwargs)),
+            base,
+        )
+
+    def test_pristine_serves_the_base(self, rng):
+        delta, base = self.make_delta(rng)
+        assert delta.generation == 0
+        assert np.array_equal(delta.prototype_words(), base)
+        assert delta.labels() == ("g0", "g1", "g2")
+
+    def test_update_touches_only_its_class(self, rng):
+        delta, base = self.make_delta(rng, base_weight=1)
+        query = engine.random_words(1, 96, rng)[0]
+        assert delta.update(query, "g1")
+        matrix = delta.prototype_words()
+        assert np.array_equal(matrix[0], base[0])
+        assert np.array_equal(matrix[2], base[2])
+        assert delta.generation == 1
+
+    def test_matches_online_fold_arithmetic(self, rng):
+        """A touched class re-thresholds base_weight·base + counts."""
+        dim = 64
+        delta, base = self.make_delta(rng, dim=dim, base_weight=3)
+        queries = engine.random_words(2, dim, rng)
+        for q in queries:
+            delta.update(q, "g0")
+        counts = engine.bit_counts(queries, dim) + 3 * engine.unpack_bits(
+            base[0], dim
+        ).astype(np.int64)
+        expected = engine.majority_from_counts(counts, 5, dim)
+        assert np.array_equal(delta.prototype_words()[0], expected)
+
+    def test_new_class_one_shot_semantics(self, rng):
+        delta, _ = self.make_delta(rng)
+        queries = engine.random_words(2, 96, rng)
+        delta.update(queries[0], "new")
+        assert delta.labels()[-1] == "new"
+        assert np.array_equal(delta.prototype_words()[3], queries[0])
+        delta.update(queries[1], "new")
+        counts = engine.bit_counts(queries, 96)
+        expected = engine.majority_from_counts(
+            counts, 2, 96, queries[0] ^ queries[1]
+        )
+        assert np.array_equal(delta.prototype_words()[3], expected)
+
+    def test_mistake_policy_skips_confirmations(self, rng):
+        delta, _ = self.make_delta(rng, policy="mistake")
+        query = engine.random_words(1, 96, rng)[0]
+        assert not delta.update(query, "g0", predicted="g0")
+        assert delta.generation == 0
+        assert delta.update(query, "g0", predicted="g2")
+        assert delta.generation == 1
+
+    def test_compaction_bounds_memory_and_is_deterministic(self, rng):
+        dim = 256
+        base = engine.random_words(2, dim, rng)
+        queries = engine.random_words(40, dim, rng)
+        compacting = SessionDelta(
+            base, ["a", "b"], dim, AdaptConfig(compact_every=4)
+        )
+        twin = SessionDelta(
+            base, ["a", "b"], dim, AdaptConfig(compact_every=4)
+        )
+        for delta in (compacting, twin):
+            for i, q in enumerate(queries):
+                delta.update(q, "a" if i < 28 else "b")
+        assert compacting.n_compactions > 0
+        assert np.array_equal(
+            compacting.prototype_words(), twin.prototype_words()
+        )
+        # Each class ended on a compaction boundary, so its pending
+        # counts were folded back into packed words: resident delta
+        # state stays far below one int64 counts row per class.
+        unbounded = SessionDelta(
+            base, ["a", "b"], dim, AdaptConfig(compact_every=0)
+        )
+        for i, q in enumerate(queries):
+            unbounded.update(q, "a" if i < 28 else "b")
+        assert compacting.memory_bytes() < unbounded.memory_bytes() / 4
+
+    def test_snapshot_round_trip(self, rng):
+        delta, base = self.make_delta(rng, compact_every=3)
+        queries = engine.random_words(8, 96, rng)
+        for i, q in enumerate(queries):
+            delta.update(q, ["g0", "g1", "fresh"][i % 3])
+        blob = pickle.dumps(delta.snapshot())
+        restored = SessionDelta(
+            base, ["g0", "g1", "g2"], 96, AdaptConfig(compact_every=3)
+        )
+        restored.restore(pickle.loads(blob))
+        assert restored.generation == delta.generation
+        assert restored.labels() == delta.labels()
+        assert np.array_equal(
+            restored.prototype_words(), delta.prototype_words()
+        )
+        # Divergence-free continuation after restore.
+        more = engine.random_words(3, 96, rng)
+        for q in more:
+            delta.update(q, "fresh")
+            restored.update(q, "fresh")
+        assert np.array_equal(
+            restored.prototype_words(), delta.prototype_words()
+        )
+
+    def test_restore_validation(self, rng):
+        delta, base = self.make_delta(rng)
+        query = engine.random_words(1, 96, rng)[0]
+        delta.update(query, "g0")
+        snap = delta.snapshot()
+        dirty, _ = self.make_delta(rng)
+        dirty.update(query, "g1")
+        with pytest.raises(ValueError, match="pristine"):
+            dirty.restore(snap)
+        mismatched = SessionDelta(
+            base, ["g0", "g1", "g2"], 96, AdaptConfig(base_weight=5)
+        )
+        with pytest.raises(ValueError, match="config"):
+            mismatched.restore(snap)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            AdaptConfig(policy="nope")
+        with pytest.raises(ValueError, match="base weight"):
+            AdaptConfig(base_weight=0)
+        with pytest.raises(ValueError, match="compact_every"):
+            AdaptConfig(compact_every=-1)
+        with pytest.raises(ValueError, match="feedback window"):
+            AdaptConfig(feedback_window=0)
+        with pytest.raises(ValueError):
+            SessionDelta(np.zeros((2, 2), dtype=np.uint64), ["a"], 96)
 
 
 class TestValidation:
