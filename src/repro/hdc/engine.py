@@ -29,7 +29,7 @@ packed words and its pad bits are always zero on the way in and out.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -19,6 +19,7 @@ from ..pulp.assembler import Assembler, CORE_ID_REG
 from ..pulp.isa import ArchProfile
 from . import codegen
 from .layout import ChainLayout
+from ..pulp.analyze import StaticContract
 
 
 def emit_am_distance(
@@ -186,3 +187,12 @@ def build_am_program(
     asm.barrier()
     asm.halt()
     return asm.build()
+
+
+#: Checked by ``python -m repro.pulp.analyze`` over the corpus.
+STATIC_CONTRACT = StaticContract(
+    name="kernels.am_search",
+    clean=True,
+    allowed_rejects=frozenset(),
+    min_vector_loops=1,
+)

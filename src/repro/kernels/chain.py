@@ -35,6 +35,7 @@ from .am_search import build_am_program
 from .layout import ChainDims, ChainLayout, make_layout
 from .spatial import SpatialSource, choose_strategy, emit_spatial_sample
 from .temporal import emit_ngram
+from ..pulp.analyze import StaticContract
 
 MAX_REGISTER_BUNDLE_ROWS = 7
 """Largest row count handled by the register window bundle."""
@@ -777,3 +778,15 @@ class HDChainSimulator:
         return self.cluster.read_words(
             self.layout.query_l1, self.config.dims.n_words
         )
+
+
+#: Checked by ``python -m repro.pulp.analyze`` over the corpus.
+STATIC_CONTRACT = StaticContract(
+    name="kernels.chain",
+    clean=True,
+    # The M4 carry-save majority accumulates through a register the
+    # classifier cannot prove inductive or reducible; those loops run
+    # on the scalar path by design.
+    allowed_rejects=frozenset({"carried-register"}),
+    min_vector_loops=2,
+)

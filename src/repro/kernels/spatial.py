@@ -24,6 +24,7 @@ from ..pulp.assembler import Assembler
 from ..pulp.isa import ArchProfile
 from . import codegen
 from .layout import ChainLayout
+from ..pulp.analyze import StaticContract
 
 MAX_REGISTER_BOUND_VECTORS = 7
 """Upper bound-vector count for the register strategy."""
@@ -568,3 +569,12 @@ def build_spatial_program(
     asm.barrier()
     asm.halt()
     return asm.build()
+
+
+#: Checked by ``python -m repro.pulp.analyze`` over the corpus.
+STATIC_CONTRACT = StaticContract(
+    name="kernels.spatial",
+    clean=True,
+    allowed_rejects=frozenset(),
+    min_vector_loops=1,
+)

@@ -25,6 +25,7 @@ from ..pulp.memory import L1_BASE, L2_BASE
 from ..pulp.soc import CORTEX_M4_SOC, SoCConfig
 from ..svm.fixed_point import FixedPointSVM
 from . import codegen
+from ..pulp.analyze import StaticContract
 
 MAX_FEATURES_IN_REGS = 6
 """Feature dimensions supported by the register-resident query."""
@@ -317,3 +318,14 @@ class SVMKernelSimulator:
         x_q = self.fp_svm.quantize_features(np.asarray(features))
         idx, cycles = self.classify_q(x_q)
         return self.fp_svm.classes[idx], cycles
+
+
+#: Checked by ``python -m repro.pulp.analyze`` over the corpus.
+STATIC_CONTRACT = StaticContract(
+    name="kernels.svm_kernel",
+    clean=True,
+    allowed_rejects=frozenset(),
+    # The M4 SVM kernel is fully unrolled straight-line code: no loop
+    # sites exist, so nothing vectorizes (and nothing can bail).
+    min_vector_loops=0,
+)

@@ -24,6 +24,7 @@ from ..pulp.assembler import Assembler, CORE_ID_REG
 from ..pulp.isa import ArchProfile
 from . import codegen
 from .layout import ChainLayout
+from ..pulp.analyze import StaticContract
 
 
 def emit_rotate_xor_pass(
@@ -212,3 +213,12 @@ def build_ngram_program(
     asm.barrier()
     asm.halt()
     return asm.build()
+
+
+#: Checked by ``python -m repro.pulp.analyze`` over the corpus.
+STATIC_CONTRACT = StaticContract(
+    name="kernels.temporal",
+    clean=True,
+    allowed_rejects=frozenset(),
+    min_vector_loops=1,
+)

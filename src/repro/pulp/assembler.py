@@ -22,10 +22,10 @@ The assembler validates every emitted mnemonic against the target
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from .isa import ALL_OPS, BRANCH_OPS, ArchProfile
+from .isa import BRANCH_OPS, ArchProfile
 
 N_REGS = 32
 ZERO_REG = 0
@@ -136,6 +136,86 @@ def basic_blocks(instrs) -> tuple:
     return tuple(blocks)
 
 
+def hw_loop_regions(instrs) -> tuple:
+    """Every hardware-loop region as ``(setup_pc, body_start, end)``.
+
+    ``body_start`` is ``setup_pc + 1``; ``end`` is the resolved loop
+    boundary (one past the last body instruction).  Regions are returned
+    in program order; nesting is not validated here (that is the
+    analyzer's job).
+    """
+    regions = []
+    for pc, instr in enumerate(instrs):
+        if instr.op == "lp.setup":
+            regions.append((pc, pc + 1, instr.target))
+    return tuple(regions)
+
+
+def block_successors(instrs, block: BasicBlock):
+    """Static successor starts of one block, or ``None`` for ``jr``.
+
+    Successors follow the oracle core's semantics: branches have the
+    taken target and the fall-through, ``j``/``jal`` only their target
+    (``jal`` is a call — control returns via a later ``jr``, which is an
+    indirect jump with no static successor set), ``lp.setup`` both the
+    body (trips > 0) and the loop end (trips == 0), and
+    ``barrier``/DMA ops fall through.  Hardware-loop back-edges are
+    *not* included here — :func:`cfg_successors` adds them, because
+    they depend on the enclosing loop regions rather than the block
+    alone.
+    """
+    n = len(instrs)
+    if block.terminator is None:
+        return (block.end,) if block.end < n else ()
+    instr = instrs[block.terminator]
+    fall = block.end if block.end < n else None
+    if instr.op in BRANCH_OPS:
+        out = [instr.target]
+        if fall is not None and fall != instr.target:
+            out.append(fall)
+        return tuple(out)
+    if instr.op in ("j", "jal"):
+        return (instr.target,)
+    if instr.op == "jr":
+        return None
+    if instr.op == "lp.setup":
+        out = [block.end]
+        if instr.target != block.end:
+            out.append(instr.target)
+        return tuple(out)
+    if instr.op == "halt":
+        return ()
+    # barrier, dma.copy, dma.wait: synchronization, then fall through.
+    return (fall,) if fall is not None else ()
+
+
+def cfg_successors(instrs, blocks=None) -> Dict[int, Optional[tuple]]:
+    """Block start -> successor starts for the whole program.
+
+    The value is ``None`` when the block ends in an indirect jump
+    (``jr``) — any block can follow.  Hardware-loop back-edges are
+    materialized: a block inside a loop body whose successor is the
+    loop-end boundary also flows back to the body start (the core
+    decrements the trip counter and re-enters while trips remain).
+    """
+    if blocks is None:
+        blocks = basic_blocks(instrs)
+    loops = hw_loop_regions(instrs)
+    edges: Dict[int, Optional[tuple]] = {}
+    for block in blocks:
+        succ = block_successors(instrs, block)
+        if succ is None:
+            edges[block.start] = None
+            continue
+        out = list(succ)
+        for _setup, body_start, end in loops:
+            if body_start <= block.start < end and end in out:
+                if body_start not in out:
+                    out.append(body_start)
+        edges[block.start] = tuple(out)
+    return edges
+
+
 @dataclass(frozen=True)
 class Program:
     """An assembled program: resolved instructions plus metadata."""
@@ -154,6 +234,19 @@ class Program:
         if cached is None:
             cached = basic_blocks(self.instrs)
             object.__setattr__(self, "_iss_blocks", cached)
+        return cached
+
+    def cfg(self) -> Dict[int, Optional[tuple]]:
+        """Block start -> successor starts (computed once, cached).
+
+        See :func:`cfg_successors` for the edge semantics (``None``
+        marks an indirect ``jr`` block; hardware-loop back-edges are
+        included).
+        """
+        cached = getattr(self, "_iss_cfg", None)
+        if cached is None:
+            cached = cfg_successors(self.instrs, self.basic_blocks())
+            object.__setattr__(self, "_iss_cfg", cached)
         return cached
 
     def listing(self) -> str:

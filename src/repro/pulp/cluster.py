@@ -17,13 +17,13 @@ run start and end for multi-core teams, per
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from .assembler import CORE_ID_REG, N_CORES_REG, ARG_REGS, Program
-from .core import Core, ExecutionError, STOP_BARRIER, STOP_HALT, predecode
+from .core import Core, ExecutionError, STOP_HALT, predecode
 from .dma import DMAEngine
 from .fastpath import FastCore, compile_program
 from .isa import ArchProfile

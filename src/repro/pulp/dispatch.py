@@ -46,7 +46,7 @@ re-exports them for backward compatibility.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Tuple
+from typing import Tuple
 
 from .core import _OPCODE_BY_NAME, STOP_BARRIER, STOP_HALT, _signed
 from .isa import ArchProfile
@@ -148,18 +148,83 @@ def _base_cost(op: int, profile: ArchProfile) -> int:
     return 1
 
 
+# ---------------------------------------------------------------------------
+# Reject/bail reason vocabulary.
+#
+# Every reason string the vector engines can emit lives here as a named
+# constant, grouped into the two frozen tables below.  The static
+# analyzer (:mod:`repro.pulp.analyze`) consumes these tables to predict
+# which reasons a program can trigger; keeping them as data (rather
+# than inline literals scattered through the bail sites) is what makes
+# that prediction checkable — a renamed or newly added reason that the
+# analyzer does not know about fails the differential harness instead
+# of silently drifting.
+# ---------------------------------------------------------------------------
+
+#: Compile-time rejects (no plan is built; counted in
+#: ``compile_rejects`` telemetry).
+REASON_IRREGULAR_STRUCTURE = "irregular-structure"
+REASON_CARRIED_REGISTER = "carried-register"
+REASON_REDUCTION_IN_CONDITION = "reduction-in-condition"
+REASON_LOOP_DEPTH = "loop-depth"
+
+#: Runtime bails (a built plan declines one engagement; counted in
+#: ``bails`` / ``plan_bails`` telemetry).
+REASON_TRIP_COUNT_RANGE = "trip-count-range"
+REASON_TRIP_UNSOLVABLE = "trip-unsolvable"
+REASON_INSTRUCTION_CAP = "instruction-cap"
+REASON_RUNAWAY_INNER_LOOP = "runaway-inner-loop"
+REASON_DIVERGENT_BRANCH = "divergent-branch"
+REASON_DIVERGENT_TRIP_COUNT = "divergent-trip-count"
+REASON_STORE_OVERLAP = "store-overlap"
+REASON_LOAD_STORE_OVERLAP = "load-store-overlap"
+REASON_GATHER_SPAN = "gather-span"
+REASON_REGION_SPAN = "region-span"
+REASON_UNALIGNED_ACCESS = "unaligned-access"
+REASON_DUPLICATE_STORE_LANES = "duplicate-store-lanes"
+
+#: Reasons a loop can be rejected when its plan is built (the
+#: ``compile_rejects`` telemetry key space).
+COMPILE_REJECT_REASONS = frozenset({
+    REASON_IRREGULAR_STRUCTURE,
+    REASON_CARRIED_REGISTER,
+    REASON_REDUCTION_IN_CONDITION,
+    REASON_LOOP_DEPTH,
+})
+
+#: Reasons a built plan can decline a single engagement at runtime (the
+#: ``bails`` telemetry key space).  The laned lockstep engine may
+#: additionally surface any :data:`repro.pulp.lockstep.LOCKSTEP_BAIL_REASONS`
+#: entry prefixed with ``laned-``.
+RUNTIME_BAIL_REASONS = frozenset({
+    REASON_TRIP_COUNT_RANGE,
+    REASON_TRIP_UNSOLVABLE,
+    REASON_INSTRUCTION_CAP,
+    REASON_RUNAWAY_INNER_LOOP,
+    REASON_DIVERGENT_BRANCH,
+    REASON_DIVERGENT_TRIP_COUNT,
+    REASON_STORE_OVERLAP,
+    REASON_LOAD_STORE_OVERLAP,
+    REASON_GATHER_SPAN,
+    REASON_REGION_SPAN,
+    REASON_UNALIGNED_ACCESS,
+    REASON_DUPLICATE_STORE_LANES,
+})
+
+
 class _Bail(Exception):
     """Internal: this loop cannot be vectorized (for this run).
 
     ``reason`` is a short stable tag recorded by the telemetry counters
     (see :func:`repro.pulp.fastpath.fastpath_telemetry`); the default
     covers the compile-time structure bails where finer detail buys
-    nothing.
+    nothing.  Every value is drawn from :data:`COMPILE_REJECT_REASONS`
+    or :data:`RUNTIME_BAIL_REASONS`.
     """
 
     __slots__ = ("reason",)
 
-    def __init__(self, reason: str = "irregular-structure"):
+    def __init__(self, reason: str = REASON_IRREGULAR_STRUCTURE):
         super().__init__(reason)
         self.reason = reason
 
@@ -281,7 +346,7 @@ class DispatchCore:
     def _try_vector(self, plan, trips: int) -> bool:
         """Vector-execute ``plan``; True on success, False on bail."""
         if trips < 1 or trips > MAX_VECTOR_TRIPS:
-            _record_bail(plan, "trip-count-range")
+            _record_bail(plan, REASON_TRIP_COUNT_RANGE)
             return False
         try:
             run = self._vector_run_cls(self, plan, trips)
@@ -292,7 +357,7 @@ class DispatchCore:
                 run.n_instr += trips
                 run.base_cycles += (trips - 1) * taken + not_taken
                 if run.n_instr > run.budget:
-                    _record_bail(plan, "instruction-cap")
+                    _record_bail(plan, REASON_INSTRUCTION_CAP)
                     return False
         except _Bail as bail:
             _record_bail(plan, bail.reason)
@@ -354,7 +419,7 @@ class DispatchCore:
                             op in (_OP_BLT, _OP_BGE),
                         )
                 if trips is None:
-                    _record_bail(plan, "trip-unsolvable")
+                    _record_bail(plan, REASON_TRIP_UNSOLVABLE)
                 elif self._try_vector(plan, trips):
                     last_pc = plan.branch_pc
                     next_pc = plan.exit_pc

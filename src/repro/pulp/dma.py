@@ -17,7 +17,7 @@ the ``max(compute, transfer)`` overlap behaviour of double buffering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from .memory import MemorySystem

@@ -56,19 +56,15 @@ instruction counts between the two engines.
 from __future__ import annotations
 
 import bisect
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..hdc.bitpack import _popcount_array
-from .assembler import Program, basic_blocks
+from .assembler import Program
 from .core import (
-    _OPCODE_BY_NAME,
     ExecutionError,
-    STOP_BARRIER,
-    STOP_HALT,
     Core,
     _signed,
     predecode,
@@ -79,14 +75,24 @@ from .core import (
 from .dispatch import (  # noqa: F401 - re-exported shared definitions
     DispatchCore,
     MAX_VECTOR_TRIPS,
-    _ALU3_OPS,
-    _ALUI_OPS,
+    REASON_CARRIED_REGISTER,
+    REASON_DIVERGENT_BRANCH,
+    REASON_DIVERGENT_TRIP_COUNT,
+    REASON_DUPLICATE_STORE_LANES,
+    REASON_GATHER_SPAN,
+    REASON_INSTRUCTION_CAP,
+    REASON_LOAD_STORE_OVERLAP,
+    REASON_LOOP_DEPTH,
+    REASON_REDUCTION_IN_CONDITION,
+    REASON_REGION_SPAN,
+    REASON_RUNAWAY_INNER_LOOP,
+    REASON_STORE_OVERLAP,
+    REASON_UNALIGNED_ACCESS,
     _Bail,
     _BRANCH_OPS,
     _LOAD_OPS,
     _MASK32,
     _MEM_WIDTH,
-    _OP,
     _OP_ADD,
     _OP_ADDI,
     _OP_AND,
@@ -94,7 +100,6 @@ from .dispatch import (  # noqa: F401 - re-exported shared definitions
     _OP_BARRIER,
     _OP_BEQ,
     _OP_BFI,
-    _OP_BGE,
     _OP_BGEU,
     _OP_BLT,
     _OP_BLTU,
@@ -139,15 +144,11 @@ from .dispatch import (  # noqa: F401 - re-exported shared definitions
     _OP_XOR,
     _OP_XORI,
     _REDUCIBLE_OPS,
-    _STORE_OPS,
     _TELEMETRY,
     _base_cost,
     _reads_writes,
-    _record_bail,
-    _solve_branch_trips,
 )
 from .isa import ArchProfile
-from .memory import MemorySystem
 
 
 # ---------------------------------------------------------------------------
@@ -603,7 +604,7 @@ def _classify_region(decoded, units, branch_pc: Optional[int]):
                 src = rb if ra == reg else ra
                 reduction_pcs[pc] = (reg, op, src)
                 continue
-        raise _Bail("carried-register")
+        raise _Bail(REASON_CARRIED_REGISTER)
     # Outer-branch condition registers must be solvable for a trip count.
     if branch_pc is not None:
         ins = decoded[branch_pc]
@@ -611,7 +612,7 @@ def _classify_region(decoded, units, branch_pc: Optional[int]):
         red = frozenset(r for r, _, _ in reduction_pcs.values())
         for reg in (ra, rb):
             if reg in red:
-                raise _Bail("reduction-in-condition")
+                raise _Bail(REASON_REDUCTION_IN_CONDITION)
     return inductions, reduction_pcs, frozenset(write_sites)
 
 
@@ -863,7 +864,7 @@ def _build_plan_body(region, kind, n: int, branch_rel, profile):
     )
     depth = _hw_depth(units) + (1 if kind == "hw" else 0)
     if depth > 2:
-        raise _Bail("loop-depth")  # the core supports two hw-loop levels
+        raise _Bail(REASON_LOOP_DEPTH)  # the core supports two hw-loop levels
     return (
         units,
         inductions,
@@ -1148,7 +1149,7 @@ class _VectorRun:
             if lo <= s_hi and s_lo <= hi and not _accesses_disjoint(
                 addr, width, stride, s_addr, s_width, s_stride
             ):
-                raise _Bail("store-overlap")
+                raise _Bail(REASON_STORE_OVERLAP)
 
     def _check_no_load_overlap(self, lo, hi, addr, width, stride) -> None:
         """A new store range may not touch any already-gathered load.
@@ -1181,7 +1182,7 @@ class _VectorRun:
                     addr, width, stride, l_addr, l_width, l_stride
                 ):
                     continue
-                raise _Bail("load-store-overlap")
+                raise _Bail(REASON_LOAD_STORE_OVERLAP)
 
     def _load(self, addr, width: int):
         memory = self.memory
@@ -1193,16 +1194,16 @@ class _VectorRun:
             self._check_no_store_overlap(lo, hi, addr, width, stride)
             gathered = memory.gather(addr, width)
             if gathered is None:
-                raise _Bail("gather-span")
+                raise _Bail(REASON_GATHER_SPAN)
             values, is_l1 = gathered
         else:
             addr = int(addr)
             lo, hi = addr, addr + width - 1
             if width > 1 and addr % width:
-                raise _Bail("unaligned-access")
+                raise _Bail(REASON_UNALIGNED_ACCESS)
             located = memory.locate_bulk(lo, hi)
             if located is None:
-                raise _Bail("region-span")
+                raise _Bail(REASON_REGION_SPAN)
             is_l1 = located[0]
             self._check_no_store_overlap(lo, hi, addr, width, stride)
             values = int.from_bytes(
@@ -1223,13 +1224,13 @@ class _VectorRun:
             hi = int(addr.max()) + width - 1
             located = memory.locate_bulk(lo, hi)
             if located is None:
-                raise _Bail("region-span")
+                raise _Bail(REASON_REGION_SPAN)
             if width > 1 and (addr % width).any():
-                raise _Bail("unaligned-access")
+                raise _Bail(REASON_UNALIGNED_ACCESS)
             stride = _affine_stride(addr)
             if stride is None and np.unique(addr).size != addr.size:
                 # Duplicate lane addresses: order-dependent.
-                raise _Bail("duplicate-store-lanes")
+                raise _Bail(REASON_DUPLICATE_STORE_LANES)
             is_l1 = located[0]
             if not isinstance(value, np.ndarray):
                 value = np.full(self.trips, value, dtype=np.uint64)
@@ -1237,10 +1238,10 @@ class _VectorRun:
             addr = int(addr)
             lo, hi = addr, addr + width - 1
             if width > 1 and addr % width:
-                raise _Bail("unaligned-access")
+                raise _Bail(REASON_UNALIGNED_ACCESS)
             located = memory.locate_bulk(lo, hi)
             if located is None:
-                raise _Bail("region-span")
+                raise _Bail(REASON_REGION_SPAN)
             is_l1 = located[0]
             if isinstance(value, np.ndarray):
                 value = int(value[-1])  # last lane wins on one address
@@ -1263,7 +1264,7 @@ class _VectorRun:
                 closure, count, cost = node[1], node[2], node[3]
                 self.n_instr += count * T
                 if self.n_instr > self.budget:
-                    raise _Bail("instruction-cap")
+                    raise _Bail(REASON_INSTRUCTION_CAP)
                 self.base_cycles += cost * T
                 if closure is not None:
                     closure(sym, self._load, self._store, T)
@@ -1287,11 +1288,11 @@ class _VectorRun:
                 while True:
                     passes += 1
                     if passes > MAX_VECTOR_TRIPS:
-                        raise _Bail("runaway-inner-loop")  # go scalar
+                        raise _Bail(REASON_RUNAWAY_INNER_LOOP)  # go scalar
                     self.run_nodes(body)
                     self.n_instr += T
                     if self.n_instr > self.budget:
-                        raise _Bail("instruction-cap")
+                        raise _Bail(REASON_INSTRUCTION_CAP)
                     cond = _cond_v(
                         op,
                         sym[ra] if ra else 0,
@@ -1304,7 +1305,7 @@ class _VectorRun:
                             branch_taken = False
                         else:
                             # Lane-divergent control flow.
-                            raise _Bail("divergent-branch")
+                            raise _Bail(REASON_DIVERGENT_BRANCH)
                     else:
                         branch_taken = bool(cond)
                     if branch_taken:
@@ -1319,13 +1320,13 @@ class _VectorRun:
                 trips_v = sym[trip_reg] if trip_reg else 0
                 if isinstance(trips_v, np.ndarray):
                     if not (trips_v == trips_v.flat[0]).all():
-                        raise _Bail("divergent-trip-count")
+                        raise _Bail(REASON_DIVERGENT_TRIP_COUNT)
                     trips_v = trips_v.flat[0]
                 inner = int(trips_v)
                 # Every pass adds at least T to n_instr, so this
                 # pre-guard bounds the unroll work by the instruction cap.
                 if inner and self.n_instr + inner * T > self.budget:
-                    raise _Bail("instruction-cap")
+                    raise _Bail(REASON_INSTRUCTION_CAP)
                 for _ in range(inner):
                     self.run_nodes(body)
 

@@ -22,7 +22,7 @@ paths, exactly as the paper's C code selects builtin or plain-C variants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet
 
 #: Instruction mnemonics understood by the core, grouped by class.

@@ -66,9 +66,9 @@ import numpy as np
 
 from .assembler import CORE_ID_REG, N_CORES_REG, Program
 from .cluster import ClusterRunResult
-from .core import STOP_BARRIER, STOP_HALT
-from .dispatch import DispatchCore
-from .fastpath import (
+from .core import STOP_HALT
+from .dispatch import (
+    DispatchCore,
     _Bail,
     _LOAD_OPS,
     _MASK32,
@@ -77,6 +77,8 @@ from .fastpath import (
     _OP_OR,
     _OP_XOR,
     _STORE_OPS,
+)
+from .fastpath import (
     _VectorRun,
     _affine_stride,
     _base_cost,
@@ -99,11 +101,69 @@ def _lane64(value, n_lanes: int) -> np.ndarray:
 
 
 def _pred_no_load(addr, width):  # pragma: no cover - guarded by _pred_entry
-    raise LockstepBail("predicated-memory")
+    raise LockstepBail(LS_PREDICATED_MEMORY)
 
 
 def _pred_no_store(addr, value, width):  # pragma: no cover - see above
-    raise LockstepBail("predicated-memory")
+    raise LockstepBail(LS_PREDICATED_MEMORY)
+
+
+# ---------------------------------------------------------------------------
+# LockstepBail reason vocabulary (analyzer-consumable, like the
+# COMPILE_REJECT_REASONS / RUNTIME_BAIL_REASONS tables in dispatch.py).
+# ---------------------------------------------------------------------------
+
+LS_ADDRESS_RANGE = "address-range"
+LS_MISALIGNED = "misaligned"
+LS_DIVERGENT_STORE_ADDRESS = "divergent-store-address"
+LS_DIVERGENT_JUMP = "divergent-jump"
+LS_DIVERGENT_TRIP_COUNT = "divergent-trip-count"
+LS_DIVERGENT_BRANCH = "divergent-branch"
+LS_DIVERGENT_DMA = "divergent-dma"
+LS_PC_OVERRUN = "pc-overrun"
+LS_LOOP_NESTING = "loop-nesting"
+LS_DMA_ERROR = "dma-error"
+LS_UNKNOWN_TERMINATOR = "unknown-terminator"
+LS_INSTRUCTION_CAP = "instruction-cap"
+LS_MID_BLOCK_ENTRY = "mid-block-entry"
+LS_STOP_DISAGREEMENT = "stop-disagreement"
+LS_PREDICATED_MEMORY = "predicated-memory"
+LS_BLOCK_ADDRESS_SHAPE = "block-address-shape"
+LS_UNSUPPORTED = "unsupported"
+
+#: Every reason :class:`LockstepBail` can carry.
+LOCKSTEP_BAIL_REASONS = frozenset({
+    LS_ADDRESS_RANGE,
+    LS_MISALIGNED,
+    LS_DIVERGENT_STORE_ADDRESS,
+    LS_DIVERGENT_JUMP,
+    LS_DIVERGENT_TRIP_COUNT,
+    LS_DIVERGENT_BRANCH,
+    LS_DIVERGENT_DMA,
+    LS_PC_OVERRUN,
+    LS_LOOP_NESTING,
+    LS_DMA_ERROR,
+    LS_UNKNOWN_TERMINATOR,
+    LS_INSTRUCTION_CAP,
+    LS_MID_BLOCK_ENTRY,
+    LS_STOP_DISAGREEMENT,
+    LS_PREDICATED_MEMORY,
+    LS_BLOCK_ADDRESS_SHAPE,
+    LS_UNSUPPORTED,
+})
+
+#: The window-laned vector path converts a ``LockstepBail`` into a
+#: fastpath runtime bail tagged ``laned-<reason>``; it can additionally
+#: emit the two lane-array-specific tags below that have no scalar
+#: LockstepBail counterpart site.
+LANED_BAIL_PREFIX = "laned-"
+LS_LANED_STORE_ADDRESSES = "store-addresses"
+
+#: The ``bails`` telemetry key space of the laned vector path.
+LANED_BAIL_REASONS = frozenset(
+    LANED_BAIL_PREFIX + reason
+    for reason in LOCKSTEP_BAIL_REASONS | {LS_LANED_STORE_ADDRESSES}
+)
 
 
 class LockstepBail(Exception):
@@ -113,9 +173,10 @@ class LockstepBail(Exception):
     instruction-cap proximity, faulting accesses, and anything else the
     laned engine does not model — the caller's sequential fallback then
     reproduces the exact scalar behaviour (including exact errors).
+    ``reason`` is always drawn from :data:`LOCKSTEP_BAIL_REASONS`.
     """
 
-    def __init__(self, reason: str = "unsupported"):
+    def __init__(self, reason: str = LS_UNSUPPORTED):
         super().__init__(reason)
         self.reason = reason
 
@@ -229,7 +290,7 @@ class LanedMemory:
             return True, L1_BASE
         if L2_BASE <= lo and hi < self._l2_end:
             return False, L2_BASE
-        raise LockstepBail("address-range")
+        raise LockstepBail(LS_ADDRESS_RANGE)
 
     def set_team_size(self, n_cores: int) -> None:
         """Configure the expected L1 bank-conflict penalty for a team."""
@@ -262,7 +323,7 @@ class LanedMemory:
     def load_scalar(self, addr: int, width: int):
         """Load one address in every lane: int when uniform, else (n,)."""
         if width > 1 and addr % width:
-            raise LockstepBail("misaligned")
+            raise LockstepBail(LS_MISALIGNED)
         is_l1, base = self.locate(addr, addr + width - 1)
         offset = addr - base
         view = self._view(is_l1, width)
@@ -277,7 +338,7 @@ class LanedMemory:
     def store_scalar(self, addr: int, value, width: int) -> bool:
         """Store int-or-(n,) ``value`` at one address in every lane."""
         if width > 1 and addr % width:
-            raise LockstepBail("misaligned")
+            raise LockstepBail(LS_MISALIGNED)
         is_l1, base = self.locate(addr, addr + width - 1)
         view = self._view(is_l1, width)
         mask = (1 << (8 * width)) - 1
@@ -296,7 +357,7 @@ class LanedMemory:
         lo = int(addr.min())
         hi = int(addr.max()) + width - 1
         if width > 1 and (addr % width).any():
-            raise LockstepBail("misaligned")
+            raise LockstepBail(LS_MISALIGNED)
         is_l1, base = self.locate(lo, hi)
         view = self._view(is_l1, width)
         offsets = (addr.astype(np.int64) - base) // width
@@ -399,7 +460,7 @@ class LanedMemory:
     def read_lane_word(self, lane: int, addr: int) -> int:
         """Untimed aligned 32-bit read from one lane's image."""
         if addr & 3:
-            raise LockstepBail("misaligned")
+            raise LockstepBail(LS_MISALIGNED)
         is_l1, base = self.locate(addr, addr + 3)
         return int(self._view(is_l1, 4)[lane, (addr - base) // 4])
 
@@ -429,11 +490,11 @@ class _LanedDMA:
             # DMA) would need a per-lane busy-until clock; bail instead.
             issue_cycle = _uniform_int(issue_cycle)
             if issue_cycle is None:
-                raise LockstepBail("divergent-dma")
+                raise LockstepBail(LS_DIVERGENT_DMA)
         if dst is None or size is None:
-            raise LockstepBail("divergent-dma")
+            raise LockstepBail(LS_DIVERGENT_DMA)
         if size < 0:
-            raise LockstepBail("dma-error")
+            raise LockstepBail(LS_DMA_ERROR)
         self._lmem.dma_copy(src, dst, size)
         start = max(self.busy_until, issue_cycle)
         self.busy_until = start + -(-size // self._bytes_per_cycle)
@@ -559,12 +620,12 @@ class _LanedVectorRun(_VectorRun):
                         if width > 1 and (
                             lo % width or stride % width
                         ):
-                            raise LockstepBail("misaligned")
+                            raise LockstepBail(LS_MISALIGNED)
                     else:
                         lo = int(flat.min())
                         hi = int(flat.max()) + width - 1
                         if width > 1 and (flat % width).any():
-                            raise LockstepBail("misaligned")
+                            raise LockstepBail(LS_MISALIGNED)
                     self._check_no_store_overlap(
                         lo, hi, flat, width, stride
                     )
@@ -583,7 +644,7 @@ class _LanedVectorRun(_VectorRun):
                     lo = int(addr.min())
                     hi = int(addr.max()) + width - 1
                     if width > 1 and (addr % width).any():
-                        raise LockstepBail("misaligned")
+                        raise LockstepBail(LS_MISALIGNED)
                     self._check_no_store_overlap(lo, hi, None, width, None)
                     is_l1, base = lmem.locate(lo, hi)
                     values = lmem.gather_2d(
@@ -610,7 +671,7 @@ class _LanedVectorRun(_VectorRun):
         except LockstepBail as bail:
             # Inside a vector attempt a memory-model refusal is a plan
             # bail (scalar lockstep execution may still handle it).
-            raise _Bail(f"laned-{bail.reason}")
+            raise _Bail(LANED_BAIL_PREFIX + bail.reason)
         if is_l1:
             self.n_l1 += self.trips
         else:
@@ -621,25 +682,25 @@ class _LanedVectorRun(_VectorRun):
         lmem: LanedMemory = self.memory
         if isinstance(addr, np.ndarray):
             if addr.ndim != 2 or addr.shape[1] != 1:
-                raise _Bail("laned-store-addresses")
+                raise _Bail(LANED_BAIL_PREFIX + LS_LANED_STORE_ADDRESSES)
             flat = addr[:, 0]
             stride = _affine_stride(flat)
             if stride is not None:
                 lo = int(flat[0])
                 hi = int(flat[-1]) + width - 1
                 if width > 1 and (lo % width or stride % width):
-                    raise _Bail("laned-misaligned")
+                    raise _Bail(LANED_BAIL_PREFIX + LS_MISALIGNED)
             else:
                 lo = int(flat.min())
                 hi = int(flat.max()) + width - 1
                 if width > 1 and (flat % width).any():
-                    raise _Bail("laned-misaligned")
+                    raise _Bail(LANED_BAIL_PREFIX + LS_MISALIGNED)
                 if np.unique(flat).size != flat.size:
                     raise _Bail("duplicate-store-lanes")
             try:
                 is_l1, _ = lmem.locate(lo, hi)
             except LockstepBail as bail:
-                raise _Bail(f"laned-{bail.reason}")
+                raise _Bail(LANED_BAIL_PREFIX + bail.reason)
             self._check_no_store_overlap(lo, hi, flat, width, stride)
             self._check_no_load_overlap(lo, hi, flat, width, stride)
             self.stores.append((lo, hi, flat, value, width, stride))
@@ -647,11 +708,11 @@ class _LanedVectorRun(_VectorRun):
             addr = int(addr)
             lo, hi = addr, addr + width - 1
             if width > 1 and addr % width:
-                raise _Bail("laned-misaligned")
+                raise _Bail(LANED_BAIL_PREFIX + LS_MISALIGNED)
             try:
                 is_l1, _ = lmem.locate(lo, hi)
             except LockstepBail as bail:
-                raise _Bail(f"laned-{bail.reason}")
+                raise _Bail(LANED_BAIL_PREFIX + bail.reason)
             if isinstance(value, np.ndarray) and value.ndim == 2:
                 value = value[-1]  # last trip wins on one address
                 if value.shape[0] == 1 or (value == value[0]).all():
@@ -810,7 +871,7 @@ class _LaneCore(DispatchCore):
         def load(addr, width):
             if isinstance(addr, np.ndarray):
                 if addr.ndim != 1:
-                    raise LockstepBail("block-address-shape")
+                    raise LockstepBail(LS_BLOCK_ADDRESS_SHAPE)
                 value, is_l1 = lmem.load_lanes(addr, width)
             else:
                 value, is_l1 = lmem.load_scalar(int(addr), width)
@@ -822,7 +883,7 @@ class _LaneCore(DispatchCore):
                 addr, np.ndarray
             ) else int(addr)
             if uniform is None:
-                raise LockstepBail("divergent-store-address")
+                raise LockstepBail(LS_DIVERGENT_STORE_ADDRESS)
             counts[lmem.store_scalar(uniform, value, width)] += 1
 
         regs = self.regs
@@ -841,7 +902,7 @@ class _LaneCore(DispatchCore):
     def _fetch_block(self, pc: int):
         block = self.compiled.blocks.get(pc)
         if block is None:
-            raise LockstepBail("mid-block-entry")
+            raise LockstepBail(LS_MID_BLOCK_ENTRY)
         return block
 
     def _uniform_reg(self, reg: int):
@@ -854,7 +915,7 @@ class _LaneCore(DispatchCore):
         return instr_count + needed > self.max_instructions
 
     def _cap_handoff(self, pc: int):
-        raise LockstepBail("instruction-cap")
+        raise LockstepBail(LS_INSTRUCTION_CAP)
 
     def _exec_straight(self, block) -> None:
         self._run_block(block.start, block.n_straight)
@@ -886,13 +947,13 @@ class _LaneCore(DispatchCore):
     def _jr_target(self, ra: int):
         next_pc = _uniform_int(self.regs[ra])
         if next_pc is None:
-            raise LockstepBail("divergent-jump")
+            raise LockstepBail(LS_DIVERGENT_JUMP)
         return next_pc
 
     def _lpsetup_trips(self, ra: int) -> int:
         trips = _uniform_int(self.regs[ra]) if ra else 0
         if trips is None:
-            raise LockstepBail("divergent-trip-count")
+            raise LockstepBail(LS_DIVERGENT_TRIP_COUNT)
         return trips
 
     def _dma_wait(self) -> None:
@@ -903,16 +964,16 @@ class _LaneCore(DispatchCore):
             self.cycles = max(cycles + 1, self.dma.busy_until)
 
     def _fault_pc_overrun(self, pc: int):
-        raise LockstepBail("pc-overrun")
+        raise LockstepBail(LS_PC_OVERRUN)
 
     def _fault_loop_nesting(self):
-        raise LockstepBail("loop-nesting")
+        raise LockstepBail(LS_LOOP_NESTING)
 
     def _fault_no_dma(self, what: str):
-        raise LockstepBail("dma-error")
+        raise LockstepBail(LS_DMA_ERROR)
 
     def _fault_unknown_terminator(self, op: int):
-        raise LockstepBail("unknown-terminator")
+        raise LockstepBail(LS_UNKNOWN_TERMINATOR)
 
     # -- predicated divergent branches -------------------------------------
 
@@ -988,7 +1049,7 @@ class _LaneCore(DispatchCore):
         if entry is None or (loop_stack and target == loop_stack[-1][1]):
             # Ineligible body, or the skip lands on an active hardware
             # loop boundary (back-edge bookkeeping would diverge).
-            raise LockstepBail("divergent-branch")
+            raise LockstepBail(LS_DIVERGENT_BRANCH)
         closure, n_body, body_cost, written = entry
         instr_count = self.instr_count
         instr_hi = (
@@ -997,7 +1058,7 @@ class _LaneCore(DispatchCore):
             else instr_count
         )
         if instr_hi + n_body > self.max_instructions:
-            raise LockstepBail("instruction-cap")
+            raise LockstepBail(LS_INSTRUCTION_CAP)
         regs = self.regs
         n = self.n_lanes
         old = [regs[reg] for reg in written]
@@ -1109,7 +1170,7 @@ class LockstepSession:
                 if all(reason == STOP_HALT for reason in reasons):
                     break
                 if any(reason == STOP_HALT for reason in reasons):
-                    raise LockstepBail("stop-disagreement")
+                    raise LockstepBail(LS_STOP_DISAGREEMENT)
                 n_barriers += 1
                 synced = states[0].cycles
                 for state in states[1:]:

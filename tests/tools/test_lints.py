@@ -1,0 +1,59 @@
+"""The repo-wide invariant lints must hold — and must actually detect.
+
+These import ``tools/lint_snapshot.py`` and ``tools/lint_wire.py`` by
+path (they are scripts, not a package) and assert both directions:
+green on the current tree, and red when a covered invariant is broken
+(simulated by shrinking the exemption table / test scope).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _load(name):
+    path = REPO / "tools" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+lint_snapshot = _load("lint_snapshot")
+lint_wire = _load("lint_wire")
+
+
+class TestSnapshotLint:
+    def test_tree_is_clean(self):
+        assert lint_snapshot.run() == []
+
+    def test_detects_uncovered_attribute(self, monkeypatch):
+        # Dropping a live exemption must surface the attribute it hides.
+        exempt = dict(lint_snapshot.EXEMPT)
+        (cls, attr), _ = sorted(exempt.items())[0]
+        del exempt[(cls, attr)]
+        monkeypatch.setattr(lint_snapshot, "EXEMPT", exempt)
+        problems = lint_snapshot.run()
+        assert any(f"{cls}.{attr}" in p for p in problems)
+
+    def test_flags_stale_exemption(self, monkeypatch):
+        exempt = dict(lint_snapshot.EXEMPT)
+        exempt[("NoSuchClass", "_ghost")] = "test entry"
+        monkeypatch.setattr(lint_snapshot, "EXEMPT", exempt)
+        problems = lint_snapshot.run()
+        assert any("stale exemption (NoSuchClass, _ghost)" in p
+                   for p in problems)
+
+
+class TestWireLint:
+    def test_tree_is_clean(self):
+        assert lint_wire.run() == []
+
+    def test_detects_missing_round_trip(self, monkeypatch):
+        monkeypatch.setattr(lint_wire, "TEST_FILES", ())
+        problems = lint_wire.run()
+        assert problems
+        assert all("no round-trip construction" in p for p in problems)

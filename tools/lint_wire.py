@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Wire-frame exhaustiveness lint: no frame type may be half-added.
+
+For every member of the ``Frame`` union in ``src/repro/stream/wire.py``
+this lint asserts, by AST inspection, that:
+
+* ``encode_frame`` has an ``isinstance(frame, X)`` branch,
+* ``_decode_body`` constructs ``X(...)`` somewhere, and
+* at least one round-trip test constructs ``X(...)``
+  (``tests/stream/test_wire.py`` or ``tests/stream/test_adapt.py``).
+
+OPEN2/FEEDBACK were hand-joined across PRs; this makes the next frame
+impossible to add without all three pieces.
+
+Usage::
+
+    python tools/lint_wire.py   # exit 0 = clean
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Set
+
+REPO = Path(__file__).resolve().parent.parent
+WIRE = REPO / "src/repro/stream/wire.py"
+TEST_FILES = (
+    REPO / "tests/stream/test_wire.py",
+    REPO / "tests/stream/test_adapt.py",
+)
+
+
+def _union_members(tree: ast.Module) -> List[str]:
+    """Names listed in the ``Frame = Union[...]`` assignment."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "Frame"
+            and isinstance(node.value, ast.Subscript)
+        ):
+            index = node.value.slice
+            elts = index.elts if isinstance(index, ast.Tuple) else [index]
+            return [e.id for e in elts if isinstance(e, ast.Name)]
+    raise SystemExit("lint_wire: Frame union not found in wire.py")
+
+
+def _function(tree: ast.Module, name: str) -> ast.FunctionDef:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise SystemExit(f"lint_wire: function {name} not found in wire.py")
+
+
+def _isinstance_targets(func: ast.FunctionDef) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            cls = node.args[1]
+            if isinstance(cls, ast.Name):
+                out.add(cls.id)
+            elif isinstance(cls, ast.Tuple):
+                out |= {e.id for e in cls.elts if isinstance(e, ast.Name)}
+    return out
+
+
+def _constructed_names(node: ast.AST) -> Set[str]:
+    """Class names constructed directly (``X(...)``) or through a
+    hypothesis strategy (``st.builds(X, ...)``)."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is not None:
+            out.add(name)
+        if name == "builds" and sub.args:
+            target = sub.args[0]
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                out.add(target.attr)
+    return out
+
+
+def run() -> List[str]:
+    tree = ast.parse(WIRE.read_text(), filename=str(WIRE))
+    members = _union_members(tree)
+    problems: List[str] = []
+    if not members:
+        return ["Frame union is empty"]
+
+    encoder_targets = _isinstance_targets(_function(tree, "encode_frame"))
+    decoder_ctors = _constructed_names(_function(tree, "_decode_body"))
+    test_ctors: Set[str] = set()
+    for path in TEST_FILES:
+        if path.exists():
+            test_ctors |= _constructed_names(ast.parse(path.read_text()))
+
+    for name in members:
+        if name not in encoder_targets:
+            problems.append(
+                f"frame {name}: no isinstance branch in encode_frame()"
+            )
+        if name not in decoder_ctors:
+            problems.append(
+                f"frame {name}: never constructed in _decode_body()"
+            )
+        if name not in test_ctors:
+            problems.append(
+                f"frame {name}: no round-trip construction in "
+                + " or ".join(str(p.relative_to(REPO)) for p in TEST_FILES)
+            )
+    return problems
+
+
+def main() -> int:
+    problems = run()
+    for msg in problems:
+        print(f"lint_wire: {msg}", file=sys.stderr)
+    if problems:
+        return 1
+    tree = ast.parse(WIRE.read_text())
+    print(f"lint_wire: {len(_union_members(tree))} frame types fully wired")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
